@@ -1,0 +1,128 @@
+//! Cooperative Caching (Chang & Sohi, ISCA 2006).
+//!
+//! The original spill design: when a replacement evicts the *last on-chip
+//! copy* of a line, CC forwards it to another cache instead of dropping it
+//! to memory, choosing the destination **randomly** and regardless of
+//! whether the spill will help — the indiscriminateness the ASCC paper
+//! criticises in §2. We implement 1-chance forwarding: a line that already
+//! arrived via a spill is not recirculated when evicted again.
+
+use cmp_cache::{AccessOutcome, CoreId, LlcPolicy, SetIdx, SpillDecision};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The Cooperative Caching policy.
+#[derive(Debug)]
+pub struct CcPolicy {
+    cores: usize,
+    rng: SmallRng,
+    spills_refused: u64,
+}
+
+impl CcPolicy {
+    /// Builds CC for `cores` private caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0`.
+    pub fn new(cores: usize, seed: u64) -> Self {
+        assert!(cores > 0, "need at least one core");
+        CcPolicy {
+            cores,
+            rng: SmallRng::seed_from_u64(seed),
+            spills_refused: 0,
+        }
+    }
+
+    /// How many re-spills the 1-chance rule refused.
+    pub fn spills_refused(&self) -> u64 {
+        self.spills_refused
+    }
+}
+
+impl LlcPolicy for CcPolicy {
+    fn name(&self) -> &str {
+        "CC"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn record_access(&mut self, _core: CoreId, _set: SetIdx, _outcome: AccessOutcome) {}
+
+    fn spill_decision(&mut self, from: CoreId, _set: SetIdx, victim_spilled: bool) -> SpillDecision {
+        if self.cores < 2 {
+            return SpillDecision::NoCandidate;
+        }
+        if victim_spilled {
+            // 1-chance forwarding: spilled lines die on their next eviction.
+            self.spills_refused += 1;
+            return SpillDecision::NotSpiller;
+        }
+        // Any peer, chosen uniformly at random.
+        let mut target = self.rng.gen_range(0..self.cores - 1);
+        if target >= from.index() {
+            target += 1;
+        }
+        SpillDecision::Spill(CoreId(target as u8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_spills_fresh_victims() {
+        let mut p = CcPolicy::new(4, 7);
+        for _ in 0..50 {
+            match p.spill_decision(CoreId(2), SetIdx(0), false) {
+                SpillDecision::Spill(c) => assert_ne!(c, CoreId(2), "never to itself"),
+                d => panic!("CC must always spill, got {d:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn covers_all_peers() {
+        let mut p = CcPolicy::new(4, 7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            if let SpillDecision::Spill(c) = p.spill_decision(CoreId(0), SetIdx(0), false) {
+                seen.insert(c.0);
+            }
+        }
+        assert_eq!(seen.len(), 3, "all three peers should be hit: {seen:?}");
+    }
+
+    #[test]
+    fn one_chance_forwarding() {
+        let mut p = CcPolicy::new(2, 7);
+        assert_eq!(
+            p.spill_decision(CoreId(0), SetIdx(0), true),
+            SpillDecision::NotSpiller
+        );
+        assert_eq!(p.spills_refused(), 1);
+    }
+
+    #[test]
+    fn single_core_never_spills() {
+        let mut p = CcPolicy::new(1, 7);
+        assert_eq!(
+            p.spill_decision(CoreId(0), SetIdx(0), false),
+            SpillDecision::NoCandidate
+        );
+    }
+
+    #[test]
+    fn two_core_target_is_the_peer() {
+        let mut p = CcPolicy::new(2, 7);
+        for _ in 0..20 {
+            assert_eq!(
+                p.spill_decision(CoreId(1), SetIdx(3), false),
+                SpillDecision::Spill(CoreId(0))
+            );
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! DIP — Dynamic Insertion Policy (Qureshi et al., ISCA 2007).
+//!
+//! Per cache, set duelling decides between traditional MRU insertion ("LRU
+//! policy") and the Bimodal Insertion Policy (BIP: LRU insertion except with
+//! probability ε). The ASCC paper combines DIP with DSR ("DSR+DIP", §6) as
+//! one of its comparison points: DIP supplies the *insertion* decision while
+//! DSR supplies the *spill* decision.
+//!
+//! The monitor sets are chosen at residues that never collide with the DSR
+//! monitors built by [`crate::DsrConfig`] (which occupy the low residues
+//! `0 .. 2*cores` of the stride), so the two duelling mechanisms compose.
+
+use cmp_cache::{AccessOutcome, CoreId, InsertPos, LlcPolicy, SetIdx};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a [`DipPolicy`].
+#[derive(Clone, Debug)]
+pub struct DipConfig {
+    /// Number of cores / private LLCs.
+    pub cores: usize,
+    /// Sets per LLC.
+    pub sets: u32,
+    /// Sets per duelling monitor (32, as in the paper's DSR setup).
+    pub sdm_sets: u32,
+    /// PSEL width in bits.
+    pub psel_bits: u32,
+    /// BIP's probability of MRU insertion (the paper uses 1/32).
+    pub epsilon: f64,
+    /// RNG seed for ε decisions.
+    pub seed: u64,
+}
+
+impl DipConfig {
+    /// The paper's DIP configuration (32-set monitors on the 4096-set
+    /// baseline; smaller caches shrink the monitors so that the residue
+    /// space still fits next to DSR's).
+    pub fn dip(cores: usize, sets: u32) -> Self {
+        DipConfig {
+            cores,
+            sets,
+            sdm_sets: fitting_sdm(cores, sets),
+            psel_bits: 10,
+            epsilon: 1.0 / 32.0,
+            seed: 0xD1B,
+        }
+    }
+
+    /// Builds the policy.
+    pub fn build(self) -> DipPolicy {
+        DipPolicy::new(self)
+    }
+}
+
+/// Largest power-of-two monitor size (at most 32 sets) whose residue
+/// stride leaves room for the DSR monitors of `cores` caches plus DIP's
+/// two residues.
+pub(crate) fn fitting_sdm(cores: usize, sets: u32) -> u32 {
+    let needed = 2 * cores as u32 + 2;
+    let mut sdm = 32u32.min(sets);
+    while sdm > 1 && sets / sdm < needed {
+        sdm /= 2;
+    }
+    sdm
+}
+
+/// Which insertion flavour a set is operating under.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DipMode {
+    /// Traditional MRU insertion.
+    Lru,
+    /// Bimodal insertion (mostly LRU-position fills).
+    Bip,
+}
+
+/// The DIP policy: per-cache insertion duelling, no spilling.
+pub struct DipPolicy {
+    cfg: DipConfig,
+    psel: Vec<u32>,
+    psel_max: u32,
+    stride: u32,
+    rng: SmallRng,
+}
+
+impl std::fmt::Debug for DipPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DipPolicy").field("psel", &self.psel).finish()
+    }
+}
+
+impl DipPolicy {
+    /// Builds the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the monitors do not fit (`sets / sdm_sets` must leave two
+    /// residues above the DSR range, i.e. be at least `2 * cores + 2`).
+    pub fn new(cfg: DipConfig) -> Self {
+        assert!(cfg.cores > 0, "need at least one core");
+        assert!(
+            cfg.sdm_sets > 0 && cfg.sets.is_multiple_of(cfg.sdm_sets),
+            "sdm_sets must divide the set count"
+        );
+        let stride = cfg.sets / cfg.sdm_sets;
+        assert!(
+            stride >= 2 * cfg.cores as u32 + 2,
+            "not enough residues for DIP monitors next to DSR's"
+        );
+        let psel_max = (1u32 << cfg.psel_bits) - 1;
+        DipPolicy {
+            // Start at the LRU side of the midpoint: caches begin with the
+            // traditional insertion policy until BIP proves itself.
+            psel: vec![psel_max / 2; cfg.cores],
+            psel_max,
+            stride,
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            cfg,
+        }
+    }
+
+    /// The duelling mode of `cache` at `set`: monitors are pinned, followers
+    /// take the PSEL winner.
+    pub fn mode(&self, cache: CoreId, set: SetIdx) -> DipMode {
+        match self.monitor_of(set.0) {
+            Some(mode) => mode,
+            None => self.follower_mode(cache),
+        }
+    }
+
+    /// Follower mode of a cache: high PSEL means the LRU-monitor misses
+    /// dominate, so BIP wins.
+    pub fn follower_mode(&self, cache: CoreId) -> DipMode {
+        if self.psel[cache.index()] > self.psel_max / 2 {
+            DipMode::Bip
+        } else {
+            DipMode::Lru
+        }
+    }
+
+    /// Current PSEL value of a cache.
+    pub fn psel(&self, cache: CoreId) -> u32 {
+        self.psel[cache.index()]
+    }
+
+    /// DIP monitors sit at the two residues just above the DSR monitors.
+    fn monitor_of(&self, set: u32) -> Option<DipMode> {
+        let r = set % self.stride;
+        if r == self.stride - 2 {
+            Some(DipMode::Lru)
+        } else if r == self.stride - 1 {
+            Some(DipMode::Bip)
+        } else {
+            None
+        }
+    }
+
+    /// Draws an insertion position for a BIP-mode fill.
+    pub fn bip_pos(&mut self) -> InsertPos {
+        if self.rng.gen::<f64>() < self.cfg.epsilon {
+            InsertPos::Mru
+        } else {
+            InsertPos::Lru
+        }
+    }
+}
+
+impl LlcPolicy for DipPolicy {
+    fn name(&self) -> &str {
+        "DIP"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn record_access(&mut self, core: CoreId, set: SetIdx, outcome: AccessOutcome) {
+        if outcome.is_hit() {
+            return;
+        }
+        // DIP duels within one cache: only the owner's misses count.
+        match self.monitor_of(set.0) {
+            Some(DipMode::Lru) => {
+                let p = &mut self.psel[core.index()];
+                *p = (*p + 1).min(self.psel_max);
+            }
+            Some(DipMode::Bip) => {
+                let p = &mut self.psel[core.index()];
+                *p = p.saturating_sub(1);
+            }
+            None => {}
+        }
+    }
+
+    fn demand_insert_pos(&mut self, core: CoreId, set: SetIdx) -> InsertPos {
+        match self.mode(core, set) {
+            DipMode::Lru => InsertPos::Mru,
+            DipMode::Bip => self.bip_pos(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SETS: u32 = 4096;
+
+    fn miss(p: &mut DipPolicy, core: u8, set: u32) {
+        p.record_access(CoreId(core), SetIdx(set), AccessOutcome::Miss);
+    }
+
+    #[test]
+    fn monitors_avoid_dsr_residues() {
+        let p = DipConfig::dip(4, SETS).build();
+        // Stride 128; DSR uses residues 0..8 for 4 cores; DIP uses 126/127.
+        assert_eq!(p.monitor_of(126), Some(DipMode::Lru));
+        assert_eq!(p.monitor_of(127), Some(DipMode::Bip));
+        assert_eq!(p.monitor_of(0), None);
+        assert_eq!(p.monitor_of(7), None);
+    }
+
+    #[test]
+    fn learns_bip_under_thrashing() {
+        let mut p = DipConfig::dip(2, SETS).build();
+        assert_eq!(p.follower_mode(CoreId(0)), DipMode::Lru);
+        // LRU-monitor sets miss a lot: BIP wins.
+        for i in 0..600 {
+            miss(&mut p, 0, (i % 32) * 128 + 126);
+        }
+        assert_eq!(p.follower_mode(CoreId(0)), DipMode::Bip);
+        // And back when BIP monitors miss more.
+        for i in 0..1200 {
+            miss(&mut p, 0, (i % 32) * 128 + 127);
+        }
+        assert_eq!(p.follower_mode(CoreId(0)), DipMode::Lru);
+    }
+
+    #[test]
+    fn duelling_is_per_cache() {
+        let mut p = DipConfig::dip(2, SETS).build();
+        for i in 0..600 {
+            miss(&mut p, 0, (i % 32) * 128 + 126);
+        }
+        assert_eq!(p.follower_mode(CoreId(0)), DipMode::Bip);
+        assert_eq!(p.follower_mode(CoreId(1)), DipMode::Lru);
+    }
+
+    #[test]
+    fn monitor_sets_insert_per_their_policy() {
+        let mut p = DipConfig::dip(2, SETS).build();
+        assert_eq!(p.demand_insert_pos(CoreId(0), SetIdx(126)), InsertPos::Mru);
+        let lru_fills = (0..200)
+            .filter(|_| p.demand_insert_pos(CoreId(0), SetIdx(127)) == InsertPos::Lru)
+            .count();
+        assert!(lru_fills > 150, "BIP monitor fills deep only {lru_fills}/200");
+    }
+
+    #[test]
+    fn followers_follow_psel() {
+        let mut p = DipConfig::dip(2, SETS).build();
+        assert_eq!(p.demand_insert_pos(CoreId(0), SetIdx(50)), InsertPos::Mru);
+        for i in 0..600 {
+            miss(&mut p, 0, (i % 32) * 128 + 126);
+        }
+        let deep = (0..200)
+            .filter(|_| p.demand_insert_pos(CoreId(0), SetIdx(50)) == InsertPos::Lru)
+            .count();
+        assert!(deep > 150, "followers should be in BIP mode: {deep}/200");
+    }
+
+    #[test]
+    fn dip_never_spills() {
+        let mut p = DipConfig::dip(2, SETS).build();
+        assert_eq!(
+            p.spill_decision(CoreId(0), SetIdx(0), false),
+            cmp_cache::SpillDecision::NotSpiller
+        );
+    }
+}

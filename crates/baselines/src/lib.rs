@@ -1,0 +1,42 @@
+//! # spill-baselines — the comparison policies of the ASCC/AVGCC evaluation
+//!
+//! Implementations of every prior design the paper compares against, all
+//! behind the [`cmp_cache::LlcPolicy`] interface:
+//!
+//! * [`CcPolicy`] — Cooperative Caching (ISCA 2006): indiscriminate random
+//!   spilling of last-copy victims, 1-chance forwarding;
+//! * [`DsrPolicy`] — Dynamic Spill-Receive (HPCA 2009): per-cache
+//!   spiller/receiver roles learned by set duelling, plus the **DSR-3S**
+//!   three-state variant the paper constructs for Fig. 5;
+//! * [`DipPolicy`] — Dynamic Insertion Policy (ISCA 2007): per-cache
+//!   LRU-vs-BIP insertion duelling;
+//! * [`DsrDipPolicy`] — the DSR+DIP combination of §6 (spills from DSR,
+//!   insertion from DIP, *not* spilling-aware);
+//! * [`EccPolicy`] — Elastic Cooperative Caching (ISCA 2010): per-cache
+//!   private/shared way partitions with periodic repartitioning.
+//!
+//! ## Example
+//!
+//! ```
+//! use cmp_cache::{CoreId, LlcPolicy, SetIdx};
+//! use spill_baselines::DsrConfig;
+//!
+//! let dsr = DsrConfig::dsr(/*cores=*/4, /*sets=*/4096).build();
+//! // Monitor sets have pinned roles; followers take the PSEL winner.
+//! let _ = dsr.role(CoreId(0), SetIdx(0));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cc;
+mod dip;
+mod dsr;
+mod dsr_dip;
+mod ecc;
+
+pub use cc::CcPolicy;
+pub use dip::{DipConfig, DipMode, DipPolicy};
+pub use dsr::{DsrConfig, DsrPolicy, DsrRole};
+pub use dsr_dip::DsrDipPolicy;
+pub use ecc::{EccConfig, EccPolicy};

@@ -1,0 +1,93 @@
+//! Microbenchmarks of the cache substrate: lookup/fill throughput of the
+//! set-associative model and the fully-associative LRU.
+
+use cmp_cache::{
+    CacheGeometry, CacheLine, FillKind, FullyAssocLru, InsertPos, LineAddr, MesiState,
+    RecencyStack, SetAssocCache, WayIdx,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_set_assoc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_assoc");
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("access_hit", |b| {
+        let geom = CacheGeometry::from_capacity(1 << 20, 8, 32).unwrap();
+        let mut cache = SetAssocCache::new(geom);
+        for i in 0..4096u64 {
+            let la = LineAddr::new(i);
+            let set = geom.set_of(la);
+            let way = cache.set(set).default_victim();
+            cache.fill(
+                set,
+                way,
+                CacheLine::demand(la, MesiState::Exclusive),
+                InsertPos::Mru,
+                FillKind::Demand,
+            );
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            black_box(cache.access(LineAddr::new(i)))
+        });
+    });
+    group.bench_function("miss_and_fill", |b| {
+        let geom = CacheGeometry::from_capacity(1 << 20, 8, 32).unwrap();
+        let mut cache = SetAssocCache::new(geom);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 4096; // always a fresh line, same-set pressure
+            let la = LineAddr::new(i);
+            if cache.access(la).is_none() {
+                let set = geom.set_of(la);
+                let way = cache.set(set).default_victim();
+                black_box(cache.fill(
+                    set,
+                    way,
+                    CacheLine::demand(la, MesiState::Exclusive),
+                    InsertPos::Mru,
+                    FillKind::Demand,
+                ));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_recency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recency");
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("touch_mru_8way", |b| {
+        let mut r = RecencyStack::new(8);
+        let mut i = 0u16;
+        b.iter(|| {
+            i = (i + 3) % 8;
+            r.touch_mru(WayIdx(i));
+            black_box(r.lru())
+        });
+    });
+    group.finish();
+}
+
+fn bench_fully_assoc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fully_assoc");
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("access_64k_lines", |b| {
+        let mut lru = FullyAssocLru::new(65536);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37_79B9) % 100_000;
+            black_box(lru.access(LineAddr::new(i)))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_set_assoc, bench_recency, bench_fully_assoc);
+criterion_main!(benches);

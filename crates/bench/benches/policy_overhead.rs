@@ -1,0 +1,48 @@
+//! Per-access cost of each LLC policy's bookkeeping: `record_access` plus a
+//! periodic `spill_decision`, the two hooks on the simulator's hot path.
+
+use ascc::{AsccConfig, AvgccConfig};
+use cmp_cache::{AccessOutcome, CoreId, LlcPolicy, PrivateBaseline, SetIdx};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use spill_baselines::{DsrConfig, EccConfig};
+
+fn drive(policy: &mut dyn LlcPolicy, i: &mut u32) {
+    *i = i.wrapping_add(0x9E37_79B9);
+    let core = CoreId((*i >> 30) as u8 % 4);
+    let set = SetIdx(*i % 4096);
+    let outcome = if (*i).is_multiple_of(3) {
+        AccessOutcome::Miss
+    } else {
+        AccessOutcome::Hit {
+            spilled: false,
+            depth: (*i % 8) as u16,
+        }
+    };
+    policy.record_access(core, set, outcome);
+    if (*i).is_multiple_of(8) {
+        black_box(policy.spill_decision(core, set, false));
+    }
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_per_access");
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2));
+    let mut cases: Vec<(&str, Box<dyn LlcPolicy>)> = vec![
+        ("baseline", Box::new(PrivateBaseline::new())),
+        ("DSR", Box::new(DsrConfig::dsr(4, 4096).build())),
+        ("ECC", Box::new(EccConfig::ecc(4, 8).build())),
+        ("ASCC", Box::new(AsccConfig::ascc(4, 4096, 8).build())),
+        ("AVGCC", Box::new(AvgccConfig::avgcc(4, 4096, 8).build())),
+        ("QoS-AVGCC", Box::new(AvgccConfig::qos_avgcc(4, 4096, 8).build())),
+    ];
+    for (name, policy) in &mut cases {
+        let mut i = 0u32;
+        group.bench_function(*name, |b| b.iter(|| drive(&mut **policy, &mut i)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

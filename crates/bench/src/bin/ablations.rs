@@ -1,0 +1,112 @@
+//! Design-choice ablations beyond the paper's own (DESIGN.md §7):
+//!
+//! * swap on/off (§3.2's requested/victim exchange);
+//! * exact minimum search vs the approximate hardware Spill Allocator;
+//! * BIP/SABIP ε sweep (the paper fixes ε = 1/32);
+//! * SSL saturation-range tuning (§9 future work: `2K-1` vs wider).
+
+use ascc::{AsccConfig, SslTuning, StressMetric};
+use ascc_bench::{parallel_map, pct, print_table, ExperimentRecord, Policy, Scale};
+use cmp_sim::{geomean_improvement, run_mix, weighted_speedup_improvement, SystemConfig};
+use cmp_trace::four_app_mixes;
+
+fn main() {
+    let scale = Scale::from_env();
+    let cfg = SystemConfig::table2(4);
+    let mixes = four_app_mixes();
+    let (cores, sets, ways) = (cfg.cores, cfg.l2.sets(), cfg.l2.ways());
+
+    type Variant = (&'static str, Box<dyn Fn() -> ascc::AsccPolicy + Sync>);
+    let variants: Vec<Variant> = vec![
+        ("ASCC", Box::new(move || AsccConfig::ascc(cores, sets, ways).build())),
+        (
+            "no-swap",
+            Box::new(move || {
+                let mut c = AsccConfig::ascc(cores, sets, ways);
+                c.swap = false;
+                c.build()
+            }),
+        ),
+        (
+            "hw-allocator",
+            Box::new(move || {
+                let mut c = AsccConfig::ascc(cores, sets, ways);
+                c.use_spill_allocator = true;
+                c.build()
+            }),
+        ),
+        (
+            "eps=1/8",
+            Box::new(move || {
+                let mut c = AsccConfig::ascc(cores, sets, ways);
+                c.bip_epsilon = 1.0 / 8.0;
+                c.build()
+            }),
+        ),
+        (
+            "eps=1/128",
+            Box::new(move || {
+                let mut c = AsccConfig::ascc(cores, sets, ways);
+                c.bip_epsilon = 1.0 / 128.0;
+                c.build()
+            }),
+        ),
+        (
+            "ssl-max=4K",
+            Box::new(move || {
+                let mut c = AsccConfig::ascc(cores, sets, ways);
+                c.tuning = SslTuning {
+                    max_multiplier: 4.0,
+                    ..SslTuning::default()
+                };
+                c.build()
+            }),
+        ),
+        (
+            "ewma-metric",
+            Box::new(move || {
+                let mut c = AsccConfig::ascc(cores, sets, ways);
+                c.tuning = SslTuning {
+                    metric: StressMetric::Ewma { shift: 3 },
+                    ..SslTuning::default()
+                };
+                c.build()
+            }),
+        ),
+    ];
+
+    let jobs: Vec<(usize, usize)> = (0..mixes.len())
+        .flat_map(|m| (0..=variants.len()).map(move |v| (m, v)))
+        .collect();
+    let runs = parallel_map(jobs, |(m, v)| {
+        let policy: Box<dyn cmp_cache::LlcPolicy> = if v == 0 {
+            Policy::Baseline.build(&cfg)
+        } else {
+            Box::new(variants[v - 1].1())
+        };
+        run_mix(&cfg, &mixes[m], policy, scale.instrs, scale.warmup, scale.seed)
+    });
+
+    let per = variants.len() + 1;
+    println!("== Ablations of ASCC design choices (4 cores, geomean over mixes) ==\n");
+    let mut rows = Vec::new();
+    let mut values = Vec::new();
+    for (vi, (name, _)) in variants.iter().enumerate() {
+        let imps: Vec<f64> = (0..mixes.len())
+            .map(|m| weighted_speedup_improvement(&runs[m * per + 1 + vi], &runs[m * per]))
+            .collect();
+        let g = geomean_improvement(&imps);
+        rows.push(vec![name.to_string(), pct(g)]);
+        values.push(vec![g]);
+    }
+    print_table(&["variant".into(), "speedup".into()], &rows);
+    ExperimentRecord {
+        id: "ablations".into(),
+        title: "ASCC design-choice ablations (geomean speedup, 4 cores)".into(),
+        columns: vec!["geomean_speedup".into()],
+        rows: variants.iter().map(|(n, _)| n.to_string()).collect(),
+        values,
+        paper_reference: "extensions beyond the paper: swap, allocator accuracy, eps, SSL range".into(),
+    }
+    .save();
+}

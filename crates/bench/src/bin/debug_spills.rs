@@ -1,0 +1,51 @@
+//! Diagnostic: per-core behaviour of one mix under several policies.
+
+use ascc_bench::{parallel_map, Policy, Scale};
+use cmp_sim::{run_mix, weighted_speedup_improvement, SystemConfig};
+use cmp_trace::four_app_mixes;
+
+fn main() {
+    let scale = Scale::from_env();
+    let idx: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let cfg = SystemConfig::table2(4);
+    let mix = four_app_mixes().remove(idx);
+    println!("mix {} ({} instrs)", mix.name, scale.instrs);
+    let policies = vec![
+        Policy::Baseline,
+        Policy::Dsr,
+        Policy::Ecc,
+        Policy::Ascc,
+        Policy::AsccAllocator,
+        Policy::Avgcc,
+    ];
+    let runs = parallel_map(policies.clone(), |p| {
+        run_mix(&cfg, &mix, p.build(&cfg), scale.instrs, scale.warmup, scale.seed)
+    });
+    let base = runs[0].clone();
+    for (p, r) in policies.iter().zip(&runs) {
+        println!(
+            "\n{:10} ws={:+.2}% spills={} swaps={} spill_hits={} hits/spill={:.2}",
+            p.label(),
+            100.0 * weighted_speedup_improvement(r, &base),
+            r.spills,
+            r.swaps,
+            r.spill_hits,
+            r.hits_per_spill()
+        );
+        for c in &r.cores {
+            println!(
+                "  {:16} cpi={:.3} mpki={:6.2} l2acc={:8} local={:8} remote={:7} mem={:7}",
+                c.label,
+                c.cpi(),
+                c.l2_mpki(),
+                c.l2_accesses,
+                c.l2_local_hits,
+                c.l2_remote_hits,
+                c.l2_mem
+            );
+        }
+    }
+}

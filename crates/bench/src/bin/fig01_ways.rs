@@ -1,0 +1,95 @@
+//! Fig. 1 — MPKI and CPI for SPEC benchmarks as the number of enabled ways
+//! of a 2 MB/16-way cache varies (2..=16, plus full associativity).
+//!
+//! Paper reference: the upper row (milc, sphinx3, namd, sjeng) is barely
+//! affected by extra ways; the lower row (bzip2, mcf/soplex, omnetpp,
+//! astar) improves gradually; full associativity still removes misses for
+//! several benchmarks.
+
+use ascc_bench::{parallel_map, print_table, ExperimentRecord, Scale};
+use cmp_cache::CacheGeometry;
+use cmp_sim::{run_solo, run_solo_fully_assoc, SystemConfig};
+use cmp_trace::SpecBench;
+
+/// The eight benchmarks of Fig. 1 (upper row then lower row).
+const BENCHES: [SpecBench; 8] = [
+    SpecBench::Milc,
+    SpecBench::Sphinx3,
+    SpecBench::Namd,
+    SpecBench::Sjeng,
+    SpecBench::Bzip2,
+    SpecBench::Soplex,
+    SpecBench::Omnetpp,
+    SpecBench::Astar,
+];
+
+fn main() {
+    let scale = Scale::from_env();
+    let ways: Vec<u16> = (1..=8).map(|w| 2 * w).collect();
+    let jobs: Vec<(SpecBench, Option<u16>)> = BENCHES
+        .iter()
+        .flat_map(|&b| {
+            ways.iter()
+                .map(move |&w| (b, Some(w)))
+                .chain(std::iter::once((b, None))) // None = fully associative
+        })
+        .collect();
+    let results = parallel_map(jobs.clone(), |(b, w)| {
+        let mut cfg = SystemConfig::table2(1);
+        match w {
+            Some(w) => {
+                // 2 MB/16-way has 4096 sets; enabling w ways keeps the sets.
+                cfg.l2 = CacheGeometry::new(4096, w, 32).expect("valid");
+                let r = run_solo(&cfg, b, scale.instrs, scale.warmup, scale.seed);
+                (r.l2_mpki(), r.cpi())
+            }
+            None => {
+                let r = run_solo_fully_assoc(
+                    cfg.l1,
+                    (2 << 20) / 32,
+                    cfg.lat_l2_local,
+                    cfg.lat_mem,
+                    b,
+                    scale.instrs,
+                    scale.warmup,
+                    scale.seed,
+                );
+                (r.l2_mpki(), r.cpi())
+            }
+        }
+    });
+
+    let cols: Vec<String> = ways
+        .iter()
+        .map(|w| format!("{w}w"))
+        .chain(std::iter::once("FA".into()))
+        .collect();
+    let per_bench = cols.len();
+    for metric in ["MPKI", "CPI"] {
+        println!("\n== Fig. 1 ({metric}) — 2MB/16-way L2, 2..16 enabled ways + full assoc ==");
+        let mut rows = Vec::new();
+        for (bi, b) in BENCHES.iter().enumerate() {
+            let mut row = vec![b.name().to_string()];
+            for ci in 0..per_bench {
+                let (mpki, cpi) = results[bi * per_bench + ci];
+                row.push(format!("{:.2}", if metric == "MPKI" { mpki } else { cpi }));
+            }
+            rows.push(row);
+        }
+        let mut headers = vec!["benchmark".to_string()];
+        headers.extend(cols.iter().cloned());
+        print_table(&headers, &rows);
+    }
+
+    ExperimentRecord {
+        id: "fig01".into(),
+        title: "MPKI vs enabled ways (2MB/16-way, 4096 sets) + full associativity".into(),
+        columns: cols,
+        rows: BENCHES.iter().map(|b| b.name().to_string()).collect(),
+        values: (0..BENCHES.len())
+            .map(|bi| (0..per_bench).map(|ci| results[bi * per_bench + ci].0).collect())
+            .collect(),
+        paper_reference: "upper row (milc/sphinx3/namd/sjeng) flat; lower row (bzip2/soplex/omnetpp/astar) declines with ways".into(),
+    }
+    .save();
+}

@@ -1,0 +1,70 @@
+//! Fig. 3 — behaviour of the insertion policies on a 4-way set.
+//!
+//! A deterministic walk-through of what happens to the recency stack when
+//! a new line E fills into a full set [A B C D] under MRU, LRU (BIP's
+//! common case) and LRU-1 (SABIP's common case) insertion.
+
+use cmp_cache::{CacheLine, CacheSet, InsertPos, LineAddr, MesiState, WayIdx};
+
+fn show(set: &CacheSet, names: &[(u64, char)]) -> String {
+    let mut order: Vec<char> = Vec::new();
+    for w in set.recency().order() {
+        let line = set.line(w).expect("full set");
+        let c = names
+            .iter()
+            .find(|&&(a, _)| a == line.addr.raw())
+            .map(|&(_, c)| c)
+            .unwrap_or('?');
+        order.push(c);
+    }
+    format!(
+        "MRU [{}] LRU",
+        order.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(" ")
+    )
+}
+
+fn demo(pos: InsertPos, label: &str) {
+    // Build set X holding A (MRU), B, C, D (LRU) — Fig. 3's starting point.
+    let names = [(0, 'A'), (1, 'B'), (2, 'C'), (3, 'D'), (4, 'E')];
+    let mut set = CacheSet::new(4);
+    for (i, addr) in [3u64, 2, 1, 0].iter().enumerate() {
+        set.fill(
+            WayIdx(i as u16),
+            CacheLine::demand(LineAddr::new(*addr), MesiState::Exclusive),
+            InsertPos::Mru,
+        );
+    }
+    println!("\n{label}");
+    println!("  before: {}", show(&set, &names));
+    // The victim is the LRU line (D); E replaces it at `pos`.
+    let victim = set.recency().lru();
+    let evicted = set.fill(
+        victim,
+        CacheLine::demand(LineAddr::new(4), MesiState::Exclusive),
+        pos,
+    );
+    println!(
+        "  insert E at {pos:?} (evicts {})",
+        names
+            .iter()
+            .find(|&&(a, _)| Some(a) == evicted.map(|e| e.addr.raw()))
+            .map(|&(_, c)| c)
+            .unwrap_or('?')
+    );
+    println!("  after:  {}", show(&set, &names));
+}
+
+fn main() {
+    println!("== Fig. 3: insertion policies for new line E in 4-way set X ==");
+    demo(InsertPos::Mru, "MRU insertion (traditional)");
+    demo(InsertPos::Lru, "LRU insertion (BIP, probability 1-eps)");
+    demo(
+        InsertPos::LruMinus1,
+        "LRU-1 insertion (SABIP, probability 1-eps): one eviction of protection",
+    );
+    println!(
+        "\nSABIP keeps the new line one step above the LRU position, so a \
+         subsequent spilled line arriving from a peer evicts the true LRU \
+         line instead of the just-inserted one (Section 3.2)."
+    );
+}

@@ -1,0 +1,45 @@
+//! Fig. 4 — design breakdown: LRS, LMS, GMS, LMS+BIP, GMS+SABIP, DSR and
+//! ASCC on the six four-application mixes.
+//!
+//! Paper reference: LMS > LRS (minimum selection), LMS > GMS (per-set
+//! management), ASCC > LMS+BIP (SABIP), GMS+SABIP > DSR (capacity policy
+//! with half DSR's storage).
+
+use ascc_bench::{print_improvement_table, run_grid, ExperimentRecord, Policy, Scale};
+use cmp_sim::SystemConfig;
+use cmp_trace::four_app_mixes;
+
+fn main() {
+    let scale = Scale::from_env();
+    let cfg = SystemConfig::table2(4);
+    let policies = [
+        Policy::Lrs,
+        Policy::Lms,
+        Policy::Gms,
+        Policy::LmsBip,
+        Policy::GmsSabip,
+        Policy::Dsr,
+        Policy::Ascc,
+    ];
+    let grid = run_grid(&cfg, &four_app_mixes(), &policies, scale);
+    let table = grid.speedup_improvements();
+    let geo = print_improvement_table(
+        "Fig. 4: intermediate designs of ASCC (4 cores)",
+        &grid.mixes,
+        &grid.policies,
+        &table,
+    );
+    let mut values = table.clone();
+    values.push(geo);
+    let mut rows = grid.mixes.clone();
+    rows.push("geomean".into());
+    ExperimentRecord {
+        id: "fig04".into(),
+        title: "Design breakdown: LRS/LMS/GMS/LMS+BIP/GMS+SABIP/DSR/ASCC".into(),
+        columns: grid.policies.clone(),
+        rows,
+        values,
+        paper_reference: "LMS>LRS, LMS>GMS, ASCC>LMS+BIP, GMS+SABIP ~30% more speedup than DSR".into(),
+    }
+    .save();
+}

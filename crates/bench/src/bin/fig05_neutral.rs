@@ -1,0 +1,36 @@
+//! Fig. 5 — the value of the neutral state: ASCC vs a 2-state ASCC, and
+//! DSR vs a 3-state DSR, on the six four-application mixes.
+//!
+//! Paper reference: DSR-3S achieves ~9% more improvement than DSR;
+//! ASCC-2S's improvement is ~10% smaller than ASCC's.
+
+use ascc_bench::{print_improvement_table, run_grid, ExperimentRecord, Policy, Scale};
+use cmp_sim::SystemConfig;
+use cmp_trace::four_app_mixes;
+
+fn main() {
+    let scale = Scale::from_env();
+    let cfg = SystemConfig::table2(4);
+    let policies = [Policy::Ascc, Policy::Ascc2s, Policy::Dsr, Policy::Dsr3s];
+    let grid = run_grid(&cfg, &four_app_mixes(), &policies, scale);
+    let table = grid.speedup_improvements();
+    let geo = print_improvement_table(
+        "Fig. 5: neutral-state value (4 cores)",
+        &grid.mixes,
+        &grid.policies,
+        &table,
+    );
+    let mut values = table.clone();
+    values.push(geo);
+    let mut rows = grid.mixes.clone();
+    rows.push("geomean".into());
+    ExperimentRecord {
+        id: "fig05".into(),
+        title: "Neutral state: ASCC vs ASCC-2S, DSR vs DSR-3S".into(),
+        columns: grid.policies.clone(),
+        rows,
+        values,
+        paper_reference: "ASCC > ASCC-2S (~10% relative); DSR-3S > DSR (~9% relative)".into(),
+    }
+    .save();
+}

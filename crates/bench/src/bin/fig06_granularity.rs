@@ -1,0 +1,63 @@
+//! Fig. 6 — illustration of granularity levels, plus a live demonstration
+//! of AVGCC's `A`/`B`/`D` machinery adapting the number of counters.
+
+use ascc::AvgccConfig;
+use cmp_cache::{AccessOutcome, CoreId, LlcPolicy, SetIdx};
+
+fn main() {
+    println!("== Fig. 6: granularity levels for a 16-set cache ==\n");
+    for d in (0..=4).rev() {
+        let counters = 16u32 >> d;
+        let groups: Vec<String> = (0..counters)
+            .map(|c| {
+                let lo = c << d;
+                let hi = ((c + 1) << d) - 1;
+                if lo == hi {
+                    format!("[{lo}]")
+                } else {
+                    format!("[{lo}..{hi}]")
+                }
+            })
+            .collect();
+        println!(
+            "D={d}: {:2} counter(s)  sets {}",
+            counters,
+            groups.join(" ")
+        );
+    }
+
+    println!("\n== AVGCC adapting at run time (16 sets, 4 ways) ==\n");
+    let mut cfg = AvgccConfig::avgcc(1, 16, 4);
+    cfg.epoch_accesses = 64;
+    let mut p = cfg.build();
+    let core = CoreId(0);
+    println!(
+        "start: D={} ({} counter) — \"starting with one counter for the whole cache\"",
+        p.granularity_log2(core),
+        p.counters_in_use(core)
+    );
+
+    // Plenty of hits: most counters stay below K -> B high -> refine.
+    for i in 0..512u32 {
+        p.record_access(core, SetIdx(i % 16), AccessOutcome::Hit { spilled: false, depth: 0 });
+    }
+    println!(
+        "after a hit-rich phase:  D={} ({} counters) — spare capacity, finer tracking",
+        p.granularity_log2(core),
+        p.counters_in_use(core)
+    );
+
+    // Uniform misses: all counters equal and high -> pairs similar -> coarsen.
+    for round in 0..64 {
+        for i in 0..16u32 {
+            let _ = round;
+            p.record_access(core, SetIdx(i), AccessOutcome::Miss);
+        }
+    }
+    println!(
+        "after uniform pressure:  D={} ({} counters) — adjacent counters redundant, coarser",
+        p.granularity_log2(core),
+        p.counters_in_use(core)
+    );
+    println!("\ntotal granularity changes: {}", p.granularity_changes());
+}

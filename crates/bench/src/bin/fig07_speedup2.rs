@@ -1,0 +1,35 @@
+//! Fig. 7 — performance improvement over the baseline for DSR, DSR+DIP,
+//! ECC, ASCC and AVGCC, running two applications.
+//!
+//! Paper reference: geomean ASCC +6.4%, AVGCC +7.0%; DSR+DIP > DSR with 2
+//! cores; ECC modest.
+
+use ascc_bench::{print_improvement_table, run_grid, ExperimentRecord, Policy, Scale};
+use cmp_sim::SystemConfig;
+use cmp_trace::two_app_mixes;
+
+fn main() {
+    let scale = Scale::from_env();
+    let cfg = SystemConfig::table2(2);
+    let grid = run_grid(&cfg, &two_app_mixes(), &Policy::HEADLINE, scale);
+    let table = grid.speedup_improvements();
+    let geo = print_improvement_table(
+        "Fig. 7: weighted-speedup improvement over baseline (2 cores)",
+        &grid.mixes,
+        &grid.policies,
+        &table,
+    );
+    let mut values = table.clone();
+    values.push(geo);
+    let mut rows = grid.mixes.clone();
+    rows.push("geomean".into());
+    ExperimentRecord {
+        id: "fig07".into(),
+        title: "Performance improvement over baseline, 2 cores (weighted speedup)".into(),
+        columns: grid.policies.clone(),
+        rows,
+        values,
+        paper_reference: "geomean: DSR < DSR+DIP < ASCC +6.4% < AVGCC +7.0%; ECC modest".into(),
+    }
+    .save();
+}

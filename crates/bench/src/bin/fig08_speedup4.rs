@@ -1,0 +1,37 @@
+//! Fig. 8 — performance improvement over the baseline for DSR, DSR+DIP,
+//! ECC, ASCC and AVGCC, running four applications.
+//!
+//! Paper reference: ASCC +5.7% and AVGCC +7.8% geomean; both clearly ahead
+//! of DSR, DSR+DIP and ECC; DSR+DIP *degrades* DSR with 4 cores.
+
+use ascc_bench::{print_improvement_table, run_grid, ExperimentRecord, Policy, Scale};
+use cmp_sim::SystemConfig;
+use cmp_trace::four_app_mixes;
+
+fn main() {
+    let scale = Scale::from_env();
+    let cfg = SystemConfig::table2(4);
+    let mixes = four_app_mixes();
+    let grid = run_grid(&cfg, &mixes, &Policy::HEADLINE, scale);
+    let table = grid.speedup_improvements();
+    let geo = print_improvement_table(
+        "Fig. 8: weighted-speedup improvement over baseline (4 cores)",
+        &grid.mixes,
+        &grid.policies,
+        &table,
+    );
+    let mut values = table.clone();
+    values.push(geo);
+    let mut rows = grid.mixes.clone();
+    rows.push("geomean".into());
+    ExperimentRecord {
+        id: "fig08".into(),
+        title: "Performance improvement over baseline, 4 cores (weighted speedup)".into(),
+        columns: grid.policies.clone(),
+        rows,
+        values,
+        paper_reference: "geomean: DSR < DSR+DIP(< DSR at 4 cores) < ECC < ASCC +5.7% < AVGCC +7.8%"
+            .into(),
+    }
+    .save();
+}

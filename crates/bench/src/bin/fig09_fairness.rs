@@ -1,0 +1,36 @@
+//! Fig. 9 — fairness improvement (harmonic mean of normalised IPCs) over
+//! the baseline, running four applications.
+//!
+//! Paper reference: same ordering as the performance analysis; ECC ahead of
+//! DSR/DSR+DIP; AVGCC leads. ASCC/AVGCC never trade fairness for speed.
+
+use ascc_bench::{print_improvement_table, run_grid, ExperimentRecord, Policy, Scale};
+use cmp_sim::SystemConfig;
+use cmp_trace::four_app_mixes;
+
+fn main() {
+    let scale = Scale::from_env();
+    let cfg = SystemConfig::table2(4);
+    let grid = run_grid(&cfg, &four_app_mixes(), &Policy::HEADLINE, scale);
+    let table = grid.fairness_improvements();
+    let geo = print_improvement_table(
+        "Fig. 9: fairness (hmean of normalised IPCs) improvement, 4 cores",
+        &grid.mixes,
+        &grid.policies,
+        &table,
+    );
+    let mut values = table.clone();
+    values.push(geo);
+    let mut rows = grid.mixes.clone();
+    rows.push("geomean".into());
+    ExperimentRecord {
+        id: "fig09".into(),
+        title: "Fairness improvement over baseline, 4 cores".into(),
+        columns: grid.policies.clone(),
+        rows,
+        values,
+        paper_reference: "ordering mirrors Fig. 8; AVGCC leads; ASCC/AVGCC do not hurt fairness"
+            .into(),
+    }
+    .save();
+}

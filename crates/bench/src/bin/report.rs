@@ -1,0 +1,69 @@
+//! Renders the JSON records under `results/` into markdown tables — the
+//! mechanical part of EXPERIMENTS.md. Commentary is written by hand around
+//! the generated blocks.
+//!
+//! Usage: `report [results-dir]` (prints to stdout).
+
+use serde::Deserialize;
+
+#[derive(Deserialize)]
+struct Record {
+    id: String,
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<String>,
+    values: Vec<Vec<f64>>,
+    paper_reference: String,
+}
+
+/// Experiment ids whose values are fractions to print as percentages.
+fn is_percent(id: &str) -> bool {
+    !matches!(id, "fig01" | "table3" | "table5" | "behavior_spills")
+}
+
+fn fmt(id: &str, col: &str, v: f64) -> String {
+    if col.contains("bytes") || col.contains("spill") && !col.contains("per") {
+        return format!("{v:.0}");
+    }
+    if col.contains("fraction") || col.contains("overhead") {
+        return format!("{:.2}%", v * 100.0);
+    }
+    if is_percent(id) && v.abs() < 1.5 {
+        format!("{:+.1}%", v * 100.0)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "results".into());
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {dir}: {e}"))
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let data = std::fs::read_to_string(&path).expect("readable record");
+        let r: Record = match serde_json::from_str(&data) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("skipping {}: {e}", path.display());
+                continue;
+            }
+        };
+        println!("### {} — {}\n", r.id, r.title);
+        println!("*Paper:* {}\n", r.paper_reference);
+        println!("| {} | {} |", "", r.columns.join(" | "));
+        println!("|{}", "---|".repeat(r.columns.len() + 1));
+        for (name, vals) in r.rows.iter().zip(&r.values) {
+            let cells: Vec<String> = vals
+                .iter()
+                .zip(&r.columns)
+                .map(|(&v, c)| fmt(&r.id, c, v))
+                .collect();
+            println!("| {} | {} |", name, cells.join(" | "));
+        }
+        println!();
+    }
+}

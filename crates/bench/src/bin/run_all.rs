@@ -1,0 +1,58 @@
+//! Runs every experiment binary in paper order and rebuilds EXPERIMENTS.md
+//! from the JSON records the binaries drop under `results/`.
+//!
+//! Usage: `cargo run --release -p ascc-bench --bin run_all` (set
+//! `ASCC_QUICK=1` or `ASCC_INSTRS=...` to change the scale).
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "table2_arch",
+    "table3_characterization",
+    "fig01_ways",
+    "fig02_sets",
+    "fig03_insertion",
+    "fig04_breakdown",
+    "fig05_neutral",
+    "fig06_granularity",
+    "table1_gran_sweep",
+    "fig07_speedup2",
+    "fig08_speedup4",
+    "fig09_fairness",
+    "fig10_memlat",
+    "sens_shared",
+    "sens_multithreaded",
+    "sens_prefetch",
+    "table4_cache_size",
+    "behavior_spills",
+    "table5_storage",
+    "fig11_qos",
+    "sect7_limited",
+    "ablations",
+];
+
+fn main() {
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin dir").to_path_buf();
+    let started = std::time::Instant::now();
+    let mut failures = Vec::new();
+    for exp in EXPERIMENTS {
+        println!("\n############ {exp} ############");
+        let status = Command::new(bin_dir.join(exp))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
+        if !status.success() {
+            eprintln!("!! {exp} failed with {status}");
+            failures.push(*exp);
+        }
+    }
+    println!(
+        "\nall experiments done in {:.1} min; {} failures {:?}",
+        started.elapsed().as_secs_f64() / 60.0,
+        failures.len(),
+        failures
+    );
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}

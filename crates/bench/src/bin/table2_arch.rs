@@ -1,0 +1,35 @@
+//! Table 2 — the simulated architecture, as configured in `cmp-sim`.
+
+use ascc_bench::print_table;
+use cmp_sim::{SharedConfig, SystemConfig};
+
+fn main() {
+    let cfg = SystemConfig::table2(4);
+    println!("== Table 2: architecture ==\n");
+    print_table(
+        &["parameter".into(), "value".into()],
+        &[
+            vec!["Frequency".into(), "4 GHz (latencies in cycles)".into()],
+            vec!["Cores".into(), format!("{} (analytical timing model)", cfg.cores)],
+            vec!["L1 d-cache".into(), format!("{} / LRU / WT", cfg.l1)],
+            vec!["L2 (unified, inclusive)".into(), format!("{} / LRU / WB", cfg.l2)],
+            vec![
+                "L2 latency".into(),
+                format!(
+                    "{} cycles local hits, {} remote hits",
+                    cfg.lat_l2_local, cfg.lat_l2_remote
+                ),
+            ],
+            vec![
+                "Main memory latency".into(),
+                format!("{} cycles (115 ns at 4 GHz)", cfg.lat_mem),
+            ],
+            vec!["Coherence protocol".into(), "MESI-based broadcasting".into()],
+        ],
+    );
+    let shared = SharedConfig::from_private(&cfg);
+    println!(
+        "\nShared-LLC comparison (§6.1): {} at {} cycles average bank latency",
+        shared.llc, shared.lat_llc
+    );
+}

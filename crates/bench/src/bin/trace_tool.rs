@@ -1,0 +1,61 @@
+//! Record and inspect workload traces (`cmp_trace::RecordedTrace`).
+//!
+//! ```console
+//! trace_tool record 473 100000 /tmp/astar.trc   # record 100k accesses of 473.astar
+//! trace_tool info /tmp/astar.trc                # summarise a trace file
+//! ```
+
+use cmp_trace::{RecordedTrace, SpecBench};
+use std::collections::HashSet;
+use std::path::Path;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage: trace_tool record <spec-id> <accesses> <file>");
+    eprintln!("       trace_tool info <file>");
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("record") if args.len() == 4 => {
+            let id: u16 = args[1].parse().unwrap_or_else(|_| usage());
+            let bench = SpecBench::from_id(id).unwrap_or_else(|| {
+                eprintln!("unknown SPEC id {id}; known ids:");
+                for b in SpecBench::ALL {
+                    eprintln!("  {} = {}", b.id(), b.name());
+                }
+                exit(2);
+            });
+            let n: usize = args[2].parse().unwrap_or_else(|_| usage());
+            let mut w = bench.workload(0, 42);
+            let trace = RecordedTrace::record(w.stream.as_mut(), n);
+            trace.save(Path::new(&args[3])).unwrap_or_else(|e| {
+                eprintln!("cannot save: {e}");
+                exit(1);
+            });
+            println!("recorded {} accesses of {} to {}", n, bench, args[3]);
+        }
+        Some("info") if args.len() == 2 => {
+            let trace = RecordedTrace::load(Path::new(&args[1])).unwrap_or_else(|e| {
+                eprintln!("cannot load: {e}");
+                exit(1);
+            });
+            let accesses = trace.accesses();
+            let stores = accesses.iter().filter(|a| a.kind.is_store()).count();
+            let lines: HashSet<u64> = accesses.iter().map(|a| a.addr.raw() >> 5).collect();
+            let sets_4096: HashSet<u64> = lines.iter().map(|l| l & 4095).collect();
+            println!("accesses:       {}", trace.len());
+            println!("stores:         {} ({:.1}%)", stores, 100.0 * stores as f64 / trace.len() as f64);
+            println!("distinct lines: {} ({} kB footprint at 32 B)", lines.len(), lines.len() * 32 / 1024);
+            println!("4096-set cover: {} sets touched", sets_4096.len());
+            println!(
+                "address range:  {:#x} ..= {:#x}",
+                accesses.iter().map(|a| a.addr.raw()).min().expect("nonempty"),
+                accesses.iter().map(|a| a.addr.raw()).max().expect("nonempty"),
+            );
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,438 @@
+//! Shared harness for the experiment binaries (one per paper table/figure).
+//!
+//! Everything here is plumbing: the policy zoo ([`Policy`]), scaled run
+//! lengths ([`Scale`]), a simple thread-pool [`parallel_map`] over
+//! independent simulations, the (mix × policy) [`run_grid`] driver, table
+//! printing, and JSON result dumps under `results/` that `run_all` collects
+//! into EXPERIMENTS.md.
+
+use ascc::{AsccConfig, AvgccConfig};
+use cmp_cache::{LlcPolicy, PrivateBaseline};
+use cmp_sim::{
+    fairness_improvement, geomean_improvement, run_mix, weighted_speedup_improvement, RunResult,
+    SystemConfig,
+};
+use cmp_trace::WorkloadMix;
+use serde::Serialize;
+use spill_baselines::{CcPolicy, DipConfig, DsrConfig, DsrDipPolicy, EccConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Simulation lengths, overridable via environment:
+/// `ASCC_INSTRS` (measured instructions per core), `ASCC_WARMUP`, and
+/// `ASCC_QUICK=1` for a fast smoke-test scale.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Measured instructions per core.
+    pub instrs: u64,
+    /// Warmup instructions per core.
+    pub warmup: u64,
+    /// Base RNG seed for workloads.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Reads the scale from the environment (defaults: 12 M measured, 4 M
+    /// warmup instructions per core — long enough to cover several passes
+    /// of the >1 MB thrashing loops of the capacity-hungry benchmarks).
+    pub fn from_env() -> Self {
+        let env_u64 = |k: &str| std::env::var(k).ok().and_then(|v| v.parse::<u64>().ok());
+        if std::env::var("ASCC_QUICK").is_ok_and(|v| v != "0") {
+            return Scale {
+                instrs: env_u64("ASCC_INSTRS").unwrap_or(600_000),
+                warmup: env_u64("ASCC_WARMUP").unwrap_or(200_000),
+                seed: env_u64("ASCC_SEED").unwrap_or(42),
+            };
+        }
+        Scale {
+            instrs: env_u64("ASCC_INSTRS").unwrap_or(12_000_000),
+            warmup: env_u64("ASCC_WARMUP").unwrap_or(4_000_000),
+            seed: env_u64("ASCC_SEED").unwrap_or(42),
+        }
+    }
+}
+
+/// The policy zoo: every design evaluated anywhere in the paper.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Policy {
+    /// Private LLCs, no cooperation.
+    Baseline,
+    /// Cooperative Caching (random spill).
+    Cc,
+    /// Dynamic Spill-Receive.
+    Dsr,
+    /// Three-state DSR (Fig. 5).
+    Dsr3s,
+    /// DSR with DIP insertion.
+    DsrDip,
+    /// Standalone DIP (no spilling).
+    Dip,
+    /// Elastic Cooperative Caching.
+    Ecc,
+    /// The paper's ASCC.
+    Ascc,
+    /// Two-state ASCC (Fig. 5).
+    Ascc2s,
+    /// ASCC at a fixed number of counters (Table 1).
+    AsccN(u32),
+    /// Fig. 4 ablation: local random spilling.
+    Lrs,
+    /// Fig. 4 ablation: local minimum spilling.
+    Lms,
+    /// Fig. 4 ablation: global minimum spilling.
+    Gms,
+    /// Fig. 4 ablation: LMS + plain BIP.
+    LmsBip,
+    /// Fig. 4 ablation: GMS + SABIP.
+    GmsSabip,
+    /// The paper's AVGCC.
+    Avgcc,
+    /// AVGCC with a counter cap (§7).
+    AvgccMax(u32),
+    /// QoS-aware AVGCC (§8).
+    QosAvgcc,
+    /// ASCC using the hardware spill-allocator structure (§3.1 ablation).
+    AsccAllocator,
+    /// ASCC without the §3.2 swap (ablation).
+    AsccNoSwap,
+}
+
+impl Policy {
+    /// The designs compared in the headline figures (7, 8, 9, 10).
+    pub const HEADLINE: [Policy; 5] = [
+        Policy::Dsr,
+        Policy::DsrDip,
+        Policy::Ecc,
+        Policy::Ascc,
+        Policy::Avgcc,
+    ];
+
+    /// Builds the policy for a system configuration.
+    pub fn build(&self, cfg: &SystemConfig) -> Box<dyn LlcPolicy> {
+        let (cores, sets, ways) = (cfg.cores, cfg.l2.sets(), cfg.l2.ways());
+        match *self {
+            Policy::Baseline => Box::new(PrivateBaseline::new()),
+            Policy::Cc => Box::new(CcPolicy::new(cores, 0xCC)),
+            Policy::Dsr => Box::new(DsrConfig::dsr(cores, sets).build()),
+            Policy::Dsr3s => Box::new(DsrConfig::dsr_3s(cores, sets).build()),
+            Policy::DsrDip => Box::new(DsrDipPolicy::new(cores, sets)),
+            Policy::Dip => Box::new(DipConfig::dip(cores, sets).build()),
+            Policy::Ecc => Box::new(EccConfig::ecc(cores, ways).build()),
+            Policy::Ascc => Box::new(AsccConfig::ascc(cores, sets, ways).build()),
+            Policy::Ascc2s => Box::new(AsccConfig::ascc_2s(cores, sets, ways).build()),
+            Policy::AsccN(n) => Box::new(AsccConfig::ascc(cores, sets, ways).with_counters(n).build()),
+            Policy::Lrs => Box::new(AsccConfig::lrs(cores, sets, ways).build()),
+            Policy::Lms => Box::new(AsccConfig::lms(cores, sets, ways).build()),
+            Policy::Gms => Box::new(AsccConfig::gms(cores, sets, ways).build()),
+            Policy::LmsBip => Box::new(AsccConfig::lms_bip(cores, sets, ways).build()),
+            Policy::GmsSabip => Box::new(AsccConfig::gms_sabip(cores, sets, ways).build()),
+            Policy::Avgcc => Box::new(AvgccConfig::avgcc(cores, sets, ways).build()),
+            Policy::AvgccMax(n) => {
+                Box::new(AvgccConfig::avgcc(cores, sets, ways).with_max_counters(n).build())
+            }
+            Policy::QosAvgcc => Box::new(AvgccConfig::qos_avgcc(cores, sets, ways).build()),
+            Policy::AsccAllocator => {
+                let mut c = AsccConfig::ascc(cores, sets, ways);
+                c.use_spill_allocator = true;
+                Box::new(c.build())
+            }
+            Policy::AsccNoSwap => {
+                let mut c = AsccConfig::ascc(cores, sets, ways);
+                c.swap = false;
+                Box::new(c.build())
+            }
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> String {
+        match *self {
+            Policy::Baseline => "baseline".into(),
+            Policy::Cc => "CC".into(),
+            Policy::Dsr => "DSR".into(),
+            Policy::Dsr3s => "DSR-3S".into(),
+            Policy::DsrDip => "DSR+DIP".into(),
+            Policy::Dip => "DIP".into(),
+            Policy::Ecc => "ECC".into(),
+            Policy::Ascc => "ASCC".into(),
+            Policy::Ascc2s => "ASCC-2S".into(),
+            Policy::AsccN(n) => format!("ASCC{n}"),
+            Policy::Lrs => "LRS".into(),
+            Policy::Lms => "LMS".into(),
+            Policy::Gms => "GMS".into(),
+            Policy::LmsBip => "LMS+BIP".into(),
+            Policy::GmsSabip => "GMS+SABIP".into(),
+            Policy::Avgcc => "AVGCC".into(),
+            Policy::AvgccMax(n) => format!("AVGCC-c{n}"),
+            Policy::QosAvgcc => "QoS-AVGCC".into(),
+            Policy::AsccAllocator => "ASCC-alloc".into(),
+            Policy::AsccNoSwap => "ASCC-noswap".into(),
+        }
+    }
+}
+
+/// Runs `f` over `items` on all available cores, preserving order.
+pub fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i].lock().expect("unpoisoned").take().expect("taken once");
+                *results[i].lock().expect("unpoisoned") = Some(f(item));
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("unpoisoned").expect("worker filled it"))
+        .collect()
+}
+
+/// Full results of a (mix × policy) grid.
+#[derive(Debug)]
+pub struct GridResult {
+    /// Mix names, row order.
+    pub mixes: Vec<String>,
+    /// Policy labels, column order (baseline excluded).
+    pub policies: Vec<String>,
+    /// Baseline run per mix.
+    pub baselines: Vec<RunResult>,
+    /// Policy runs: `runs[mix][policy]`.
+    pub runs: Vec<Vec<RunResult>>,
+}
+
+impl GridResult {
+    /// Weighted-speedup improvement table `[mix][policy]`.
+    pub fn speedup_improvements(&self) -> Vec<Vec<f64>> {
+        self.runs
+            .iter()
+            .zip(&self.baselines)
+            .map(|(row, base)| {
+                row.iter()
+                    .map(|r| weighted_speedup_improvement(r, base))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Fairness improvement table `[mix][policy]`.
+    pub fn fairness_improvements(&self) -> Vec<Vec<f64>> {
+        self.runs
+            .iter()
+            .zip(&self.baselines)
+            .map(|(row, base)| row.iter().map(|r| fairness_improvement(r, base)).collect())
+            .collect()
+    }
+
+    /// Geomean row for a `[mix][policy]` table.
+    pub fn geomeans(table: &[Vec<f64>]) -> Vec<f64> {
+        if table.is_empty() {
+            return Vec::new();
+        }
+        (0..table[0].len())
+            .map(|p| {
+                let col: Vec<f64> = table.iter().map(|row| row[p]).collect();
+                geomean_improvement(&col)
+            })
+            .collect()
+    }
+}
+
+/// Runs every mix under the baseline plus each policy, in parallel.
+pub fn run_grid(
+    cfg: &SystemConfig,
+    mixes: &[WorkloadMix],
+    policies: &[Policy],
+    scale: Scale,
+) -> GridResult {
+    let jobs: Vec<(usize, Option<Policy>)> = (0..mixes.len())
+        .flat_map(|m| {
+            std::iter::once((m, None))
+                .chain(policies.iter().map(move |&p| (m, Some(p))))
+        })
+        .collect();
+    let results = parallel_map(jobs, |(m, p)| {
+        let policy = p.map_or_else(
+            || Policy::Baseline.build(cfg),
+            |p| p.build(cfg),
+        );
+        run_mix(cfg, &mixes[m], policy, scale.instrs, scale.warmup, scale.seed)
+    });
+    // Unpack in (mix-major) order: baseline then policies.
+    let per_mix = policies.len() + 1;
+    let mut baselines = Vec::with_capacity(mixes.len());
+    let mut runs = Vec::with_capacity(mixes.len());
+    let mut it = results.into_iter();
+    for _ in 0..mixes.len() {
+        baselines.push(it.next().expect("baseline run"));
+        runs.push((0..per_mix - 1).map(|_| it.next().expect("policy run")).collect());
+    }
+    GridResult {
+        mixes: mixes.iter().map(|m| m.name.clone()).collect(),
+        policies: policies.iter().map(|p| p.label()).collect(),
+        baselines,
+        runs,
+    }
+}
+
+/// Formats a fraction as a signed percentage, e.g. `+7.8%`.
+pub fn pct(x: f64) -> String {
+    format!("{:+.1}%", x * 100.0)
+}
+
+/// Prints a fixed-width table.
+pub fn print_table(headers: &[String], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let joined: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect();
+        println!("{}", joined.join("  "));
+    };
+    line(headers);
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Prints an improvement table (`[mix][policy]`) with a geomean row, and
+/// returns the geomeans.
+pub fn print_improvement_table(
+    title: &str,
+    mixes: &[String],
+    policies: &[String],
+    table: &[Vec<f64>],
+) -> Vec<f64> {
+    println!("\n== {title} ==");
+    let mut headers = vec!["workload".to_string()];
+    headers.extend(policies.iter().cloned());
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (m, name) in mixes.iter().enumerate() {
+        let mut row = vec![name.clone()];
+        row.extend(table[m].iter().map(|&x| pct(x)));
+        rows.push(row);
+    }
+    let geo = GridResult::geomeans(table);
+    let mut grow = vec!["geomean".to_string()];
+    grow.extend(geo.iter().map(|&x| pct(x)));
+    rows.push(grow);
+    print_table(&headers, &rows);
+    geo
+}
+
+/// A serialisable record of one experiment, written under `results/`.
+#[derive(Serialize, Debug)]
+pub struct ExperimentRecord {
+    /// Experiment id, e.g. `"fig08"`.
+    pub id: String,
+    /// Human description.
+    pub title: String,
+    /// Column labels.
+    pub columns: Vec<String>,
+    /// Row labels.
+    pub rows: Vec<String>,
+    /// `values[row][column]`.
+    pub values: Vec<Vec<f64>>,
+    /// What the paper reports for the headline number(s), for EXPERIMENTS.md.
+    pub paper_reference: String,
+}
+
+impl ExperimentRecord {
+    /// Writes the record to `results/<id>.json` (under the workspace root
+    /// or the current directory).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written.
+    pub fn save(&self) {
+        let dir = std::path::Path::new("results");
+        std::fs::create_dir_all(dir).expect("create results dir");
+        let path = dir.join(format!("{}.json", self.id));
+        std::fs::write(&path, serde_json::to_string_pretty(self).expect("serialise"))
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        println!("\n[saved {}]", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..100).collect(), |x: i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn policy_labels_and_build() {
+        let cfg = SystemConfig::table2(2);
+        for p in [
+            Policy::Baseline,
+            Policy::Cc,
+            Policy::Dsr,
+            Policy::Dsr3s,
+            Policy::DsrDip,
+            Policy::Dip,
+            Policy::Ecc,
+            Policy::Ascc,
+            Policy::Ascc2s,
+            Policy::AsccN(64),
+            Policy::Lrs,
+            Policy::Lms,
+            Policy::Gms,
+            Policy::LmsBip,
+            Policy::GmsSabip,
+            Policy::Avgcc,
+            Policy::AvgccMax(128),
+            Policy::QosAvgcc,
+            Policy::AsccAllocator,
+            Policy::AsccNoSwap,
+        ] {
+            let built = p.build(&cfg);
+            assert!(!built.name().is_empty(), "{p:?}");
+            assert!(!p.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn geomean_rows() {
+        let table = vec![vec![0.1, 0.2], vec![0.1, 0.0]];
+        let g = GridResult::geomeans(&table);
+        assert!((g[0] - 0.1).abs() < 1e-9);
+        assert!(g[1] > 0.09 && g[1] < 0.11);
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(0.078), "+7.8%");
+        assert_eq!(pct(-0.021), "-2.1%");
+    }
+}

@@ -1,0 +1,328 @@
+//! The set-associative cache model.
+
+use crate::geometry::CacheGeometry;
+use crate::mesi::MesiState;
+use crate::set::{CacheLine, CacheSet};
+use crate::stats::{CacheStats, SetStats};
+use crate::types::{FillKind, InsertPos, LineAddr, SetIdx, WayIdx};
+
+/// A set-associative cache with true-LRU recency tracking and pluggable
+/// insertion positions.
+///
+/// The cache is a *passive* model: it answers lookups, performs fills into a
+/// victim way chosen by the caller (usually through an [`crate::LlcPolicy`])
+/// and reports evictions. All timing, coherence and spill orchestration live
+/// above it in `cmp-sim`.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), cmp_cache::GeometryError> {
+/// use cmp_cache::{CacheGeometry, FillKind, InsertPos, LineAddr, MesiState, SetAssocCache};
+///
+/// let mut l2 = SetAssocCache::new(CacheGeometry::from_capacity(1 << 20, 8, 32)?);
+/// let line = LineAddr::new(0x40);
+/// assert!(l2.access(line).is_none()); // cold miss
+/// let set = l2.geometry().set_of(line);
+/// let victim = l2.set(set).default_victim();
+/// l2.fill(set, victim, cmp_cache::CacheLine::demand(line, MesiState::Exclusive),
+///         InsertPos::Mru, FillKind::Demand);
+/// assert!(l2.access(line).is_some()); // now a hit
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    geometry: CacheGeometry,
+    sets: Vec<CacheSet>,
+    stats: CacheStats,
+    set_stats: Option<Vec<SetStats>>,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache of the given geometry.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        SetAssocCache {
+            geometry,
+            sets: (0..geometry.sets())
+                .map(|_| CacheSet::new(geometry.ways()))
+                .collect(),
+            stats: CacheStats::default(),
+            set_stats: None,
+        }
+    }
+
+    /// Enables per-set hit/miss counters (needed by the Fig. 2 study).
+    pub fn with_set_stats(mut self) -> Self {
+        self.set_stats = Some(vec![SetStats::default(); self.geometry.sets() as usize]);
+        self
+    }
+
+    /// The cache's geometry.
+    #[inline]
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    /// Aggregate statistics.
+    #[inline]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Per-set statistics, if enabled via [`SetAssocCache::with_set_stats`].
+    pub fn set_stats(&self) -> Option<&[SetStats]> {
+        self.set_stats.as_deref()
+    }
+
+    /// Zeroes all statistics (end of warmup).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+        if let Some(ss) = &mut self.set_stats {
+            ss.iter_mut().for_each(|s| *s = SetStats::default());
+        }
+    }
+
+    /// Read-only view of a set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn set(&self, set: SetIdx) -> &CacheSet {
+        &self.sets[set.index()]
+    }
+
+    /// Looks a line up *without* touching recency or statistics — the snoop
+    /// path used by the coherence bus.
+    pub fn probe(&self, line: LineAddr) -> Option<(SetIdx, WayIdx)> {
+        let set = self.geometry.set_of(line);
+        self.sets[set.index()].find(line).map(|w| (set, w))
+    }
+
+    /// Performs a local access: on a hit the line is promoted to MRU and its
+    /// way returned; statistics are updated either way.
+    ///
+    /// Returns the hit way, or `None` on a miss. If the hit line was spilled
+    /// in from a peer the `spilled_line_hits` statistic is bumped and the
+    /// flag cleared (the line now belongs to the local working set).
+    pub fn access(&mut self, line: LineAddr) -> Option<WayIdx> {
+        let set = self.geometry.set_of(line);
+        let s = &mut self.sets[set.index()];
+        match s.find(line) {
+            Some(way) => {
+                s.touch(way);
+                self.stats.hits += 1;
+                if let Some(ss) = &mut self.set_stats {
+                    ss[set.index()].hits += 1;
+                }
+                let l = s.line_mut(way).expect("hit line is valid");
+                if l.spilled {
+                    self.stats.spilled_line_hits += 1;
+                    // The local core reuses the line: it now belongs to the
+                    // local working set, not the shared/spilled region.
+                    l.spilled = false;
+                }
+                Some(way)
+            }
+            None => {
+                self.stats.misses += 1;
+                if let Some(ss) = &mut self.set_stats {
+                    ss[set.index()].misses += 1;
+                }
+                None
+            }
+        }
+    }
+
+    /// MESI state of a resident line.
+    pub fn state_of(&self, line: LineAddr) -> Option<MesiState> {
+        self.probe(line)
+            .and_then(|(s, w)| self.sets[s.index()].line(w))
+            .map(|l| l.state)
+    }
+
+    /// Rewrites the MESI state of a resident line. Returns `false` if the
+    /// line is not present.
+    pub fn set_state(&mut self, line: LineAddr, state: MesiState) -> bool {
+        if let Some((s, w)) = self.probe(line) {
+            if let Some(l) = self.sets[s.index()].line_mut(w) {
+                l.state = state;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Fills `line` into `(set, way)` at recency position `pos`, returning
+    /// the evicted occupant, if the way held a valid line.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `line` does not map to `set`.
+    pub fn fill(
+        &mut self,
+        set: SetIdx,
+        way: WayIdx,
+        line: CacheLine,
+        pos: InsertPos,
+        kind: FillKind,
+    ) -> Option<CacheLine> {
+        debug_assert_eq!(
+            self.geometry.set_of(line.addr),
+            set,
+            "line {:?} does not map to {set}",
+            line.addr
+        );
+        match kind {
+            FillKind::Demand => self.stats.demand_fills += 1,
+            FillKind::Spill => self.stats.spill_fills += 1,
+            FillKind::Prefetch => self.stats.prefetch_fills += 1,
+        }
+        let evicted = self.sets[set.index()].fill(way, line, pos);
+        if evicted.is_some() {
+            self.stats.evictions += 1;
+        }
+        evicted
+    }
+
+    /// Invalidates a resident line, returning it.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<CacheLine> {
+        let (set, way) = self.probe(line)?;
+        self.sets[set.index()].invalidate_way(way)
+    }
+
+    /// Total valid lines in the cache (O(lines); for tests and assertions).
+    pub fn valid_lines(&self) -> u64 {
+        self.sets.iter().map(|s| s.valid_count() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> SetAssocCache {
+        // 4 sets x 2 ways x 32B lines.
+        SetAssocCache::new(CacheGeometry::new(4, 2, 32).unwrap())
+    }
+
+    fn fill_demand(c: &mut SetAssocCache, line: u64) -> Option<CacheLine> {
+        let la = LineAddr::new(line);
+        let set = c.geometry().set_of(la);
+        let v = c.set(set).default_victim();
+        c.fill(
+            set,
+            v,
+            CacheLine::demand(la, MesiState::Exclusive),
+            InsertPos::Mru,
+            FillKind::Demand,
+        )
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small_cache();
+        assert!(c.access(LineAddr::new(1)).is_none());
+        fill_demand(&mut c, 1);
+        assert!(c.access(LineAddr::new(1)).is_some());
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().demand_fills, 1);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = small_cache();
+        // Lines 0, 4, 8 all map to set 0 (4 sets).
+        fill_demand(&mut c, 0);
+        fill_demand(&mut c, 4);
+        let evicted = fill_demand(&mut c, 8).expect("set is full, must evict");
+        assert_eq!(evicted.addr, LineAddr::new(0));
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.probe(LineAddr::new(0)).is_none());
+        assert!(c.probe(LineAddr::new(4)).is_some());
+        assert!(c.probe(LineAddr::new(8)).is_some());
+    }
+
+    #[test]
+    fn probe_does_not_touch() {
+        let mut c = small_cache();
+        fill_demand(&mut c, 0);
+        fill_demand(&mut c, 4);
+        // Probing line 0 must not promote it: filling a third line still
+        // evicts line 0 (the LRU).
+        assert!(c.probe(LineAddr::new(0)).is_some());
+        let evicted = fill_demand(&mut c, 8).unwrap();
+        assert_eq!(evicted.addr, LineAddr::new(0));
+        assert_eq!(c.stats().hits, 0, "probe must not count as a hit");
+    }
+
+    #[test]
+    fn spilled_hit_statistic_and_flag_clearing() {
+        let mut c = small_cache();
+        let la = LineAddr::new(2);
+        let set = c.geometry().set_of(la);
+        let v = c.set(set).default_victim();
+        c.fill(
+            set,
+            v,
+            CacheLine::spilled(la, MesiState::Modified),
+            InsertPos::Mru,
+            FillKind::Spill,
+        );
+        assert_eq!(c.stats().spill_fills, 1);
+        c.access(la);
+        assert_eq!(c.stats().spilled_line_hits, 1);
+        // The flag clears on local reuse: a second hit is an ordinary hit.
+        c.access(la);
+        assert_eq!(c.stats().spilled_line_hits, 1);
+    }
+
+    #[test]
+    fn state_updates() {
+        let mut c = small_cache();
+        fill_demand(&mut c, 3);
+        assert_eq!(c.state_of(LineAddr::new(3)), Some(MesiState::Exclusive));
+        assert!(c.set_state(LineAddr::new(3), MesiState::Shared));
+        assert_eq!(c.state_of(LineAddr::new(3)), Some(MesiState::Shared));
+        assert!(!c.set_state(LineAddr::new(99), MesiState::Shared));
+        assert_eq!(c.state_of(LineAddr::new(99)), None);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = small_cache();
+        fill_demand(&mut c, 5);
+        let gone = c.invalidate(LineAddr::new(5)).unwrap();
+        assert_eq!(gone.addr, LineAddr::new(5));
+        assert!(c.probe(LineAddr::new(5)).is_none());
+        assert_eq!(c.valid_lines(), 0);
+        assert!(c.invalidate(LineAddr::new(5)).is_none());
+    }
+
+    #[test]
+    fn per_set_stats() {
+        let mut c = small_cache().with_set_stats();
+        c.access(LineAddr::new(0)); // miss in set 0
+        fill_demand(&mut c, 0);
+        c.access(LineAddr::new(0)); // hit in set 0
+        c.access(LineAddr::new(1)); // miss in set 1
+        let ss = c.set_stats().unwrap();
+        assert_eq!(ss[0].hits, 1);
+        assert_eq!(ss[0].misses, 1);
+        assert_eq!(ss[1].misses, 1);
+        c.reset_stats();
+        assert_eq!(c.set_stats().unwrap()[0].accesses(), 0);
+        assert_eq!(c.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn valid_lines_counts() {
+        let mut c = small_cache();
+        assert_eq!(c.valid_lines(), 0);
+        fill_demand(&mut c, 0);
+        fill_demand(&mut c, 1);
+        fill_demand(&mut c, 2);
+        assert_eq!(c.valid_lines(), 3);
+    }
+}

@@ -1,0 +1,267 @@
+//! Cache geometry: capacity, associativity, line size and index mapping.
+
+use crate::types::{LineAddr, SetIdx};
+use std::fmt;
+
+/// Error returned when a [`CacheGeometry`] would be malformed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GeometryError {
+    /// The line size is zero or not a power of two.
+    BadLineSize(u64),
+    /// The number of sets is zero or not a power of two.
+    BadSetCount(u64),
+    /// The associativity is zero.
+    BadWays(u64),
+    /// Capacity is not divisible into `sets * ways * line_bytes`.
+    Indivisible {
+        /// Requested capacity in bytes.
+        capacity: u64,
+        /// `ways * line_bytes` for the requested shape.
+        per_set_bytes: u64,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GeometryError::BadLineSize(l) => {
+                write!(f, "line size {l} is not a nonzero power of two")
+            }
+            GeometryError::BadSetCount(s) => {
+                write!(f, "set count {s} is not a nonzero power of two")
+            }
+            GeometryError::BadWays(w) => write!(f, "associativity {w} must be nonzero"),
+            GeometryError::Indivisible {
+                capacity,
+                per_set_bytes,
+            } => write!(
+                f,
+                "capacity {capacity} is not a power-of-two multiple of {per_set_bytes} bytes per set"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+/// Shape of a set-associative cache.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), cmp_cache::GeometryError> {
+/// use cmp_cache::CacheGeometry;
+/// // The paper's baseline L2: 1 MB, 8-way, 32-byte lines -> 4096 sets.
+/// let g = CacheGeometry::from_capacity(1 << 20, 8, 32)?;
+/// assert_eq!(g.sets(), 4096);
+/// assert_eq!(g.ways(), 8);
+/// assert_eq!(g.capacity_bytes(), 1 << 20);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CacheGeometry {
+    sets: u32,
+    ways: u16,
+    line_bytes: u32,
+}
+
+impl CacheGeometry {
+    /// Builds a geometry from an explicit set count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] if `sets` or `line_bytes` is not a nonzero
+    /// power of two, or `ways` is zero.
+    pub fn new(sets: u32, ways: u16, line_bytes: u32) -> Result<Self, GeometryError> {
+        if line_bytes == 0 || !line_bytes.is_power_of_two() {
+            return Err(GeometryError::BadLineSize(line_bytes as u64));
+        }
+        if sets == 0 || !sets.is_power_of_two() {
+            return Err(GeometryError::BadSetCount(sets as u64));
+        }
+        if ways == 0 {
+            return Err(GeometryError::BadWays(ways as u64));
+        }
+        Ok(CacheGeometry {
+            sets,
+            ways,
+            line_bytes,
+        })
+    }
+
+    /// Builds a geometry from a total capacity in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] if the capacity does not divide into a
+    /// power-of-two number of sets of `ways * line_bytes` bytes.
+    pub fn from_capacity(capacity: u64, ways: u16, line_bytes: u32) -> Result<Self, GeometryError> {
+        if line_bytes == 0 || !line_bytes.is_power_of_two() {
+            return Err(GeometryError::BadLineSize(line_bytes as u64));
+        }
+        if ways == 0 {
+            return Err(GeometryError::BadWays(ways as u64));
+        }
+        let per_set = ways as u64 * line_bytes as u64;
+        if per_set == 0 || !capacity.is_multiple_of(per_set) {
+            return Err(GeometryError::Indivisible {
+                capacity,
+                per_set_bytes: per_set,
+            });
+        }
+        let sets = capacity / per_set;
+        if sets == 0 || !sets.is_power_of_two() || sets > u32::MAX as u64 {
+            return Err(GeometryError::BadSetCount(sets));
+        }
+        Ok(CacheGeometry {
+            sets: sets as u32,
+            ways,
+            line_bytes,
+        })
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub const fn sets(&self) -> u32 {
+        self.sets
+    }
+
+    /// Associativity.
+    #[inline]
+    pub const fn ways(&self) -> u16 {
+        self.ways
+    }
+
+    /// Line size in bytes.
+    #[inline]
+    pub const fn line_bytes(&self) -> u32 {
+        self.line_bytes
+    }
+
+    /// log2 of the line size: the number of offset bits.
+    #[inline]
+    pub const fn offset_bits(&self) -> u32 {
+        self.line_bytes.trailing_zeros()
+    }
+
+    /// log2 of the set count: the number of index bits.
+    #[inline]
+    pub const fn index_bits(&self) -> u32 {
+        self.sets.trailing_zeros()
+    }
+
+    /// Total capacity in bytes.
+    #[inline]
+    pub const fn capacity_bytes(&self) -> u64 {
+        self.sets as u64 * self.ways as u64 * self.line_bytes as u64
+    }
+
+    /// Total number of lines.
+    #[inline]
+    pub const fn lines(&self) -> u64 {
+        self.sets as u64 * self.ways as u64
+    }
+
+    /// Maps a line address to its set index (low index bits of the line
+    /// address, the conventional modulo mapping).
+    #[inline]
+    pub const fn set_of(&self, line: LineAddr) -> SetIdx {
+        SetIdx((line.raw() & (self.sets as u64 - 1)) as u32)
+    }
+
+    /// Returns the same geometry with a different associativity, keeping the
+    /// set count. This models the way-masking experiments of Fig. 1/Fig. 2,
+    /// where 2..=16 ways of a 16-way cache are enabled.
+    pub fn with_ways(&self, ways: u16) -> Result<Self, GeometryError> {
+        CacheGeometry::new(self.sets, ways, self.line_bytes)
+    }
+}
+
+impl fmt::Display for CacheGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cap = self.capacity_bytes();
+        if cap >= 1 << 20 && cap.is_multiple_of(1 << 20) {
+            write!(
+                f,
+                "{}MB/{}-way/{}B ({} sets)",
+                cap >> 20,
+                self.ways,
+                self.line_bytes,
+                self.sets
+            )
+        } else {
+            write!(
+                f,
+                "{}kB/{}-way/{}B ({} sets)",
+                cap >> 10,
+                self.ways,
+                self.line_bytes,
+                self.sets
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_l2_shape() {
+        let g = CacheGeometry::from_capacity(1 << 20, 8, 32).unwrap();
+        assert_eq!(g.sets(), 4096);
+        assert_eq!(g.index_bits(), 12);
+        assert_eq!(g.offset_bits(), 5);
+        assert_eq!(g.lines(), 32768);
+        assert_eq!(g.to_string(), "1MB/8-way/32B (4096 sets)");
+    }
+
+    #[test]
+    fn l1_shape() {
+        let g = CacheGeometry::from_capacity(32 << 10, 4, 32).unwrap();
+        assert_eq!(g.sets(), 256);
+        assert_eq!(g.to_string(), "32kB/4-way/32B (256 sets)");
+    }
+
+    #[test]
+    fn set_mapping_uses_low_bits() {
+        let g = CacheGeometry::new(4096, 8, 32).unwrap();
+        assert_eq!(g.set_of(LineAddr::new(0)), SetIdx(0));
+        assert_eq!(g.set_of(LineAddr::new(4095)), SetIdx(4095));
+        assert_eq!(g.set_of(LineAddr::new(4096)), SetIdx(0));
+        assert_eq!(g.set_of(LineAddr::new(4097 + 4096)), SetIdx(1));
+    }
+
+    #[test]
+    fn with_ways_preserves_sets() {
+        let g = CacheGeometry::from_capacity(2 << 20, 16, 32).unwrap();
+        assert_eq!(g.sets(), 4096);
+        let g2 = g.with_ways(2).unwrap();
+        assert_eq!(g2.sets(), 4096);
+        assert_eq!(g2.capacity_bytes(), 256 << 10);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(matches!(
+            CacheGeometry::new(100, 8, 32),
+            Err(GeometryError::BadSetCount(100))
+        ));
+        assert!(matches!(
+            CacheGeometry::new(128, 8, 48),
+            Err(GeometryError::BadLineSize(48))
+        ));
+        assert!(matches!(
+            CacheGeometry::new(128, 0, 32),
+            Err(GeometryError::BadWays(0))
+        ));
+        assert!(CacheGeometry::from_capacity(1000, 8, 32).is_err());
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = CacheGeometry::from_capacity(1000, 8, 32).unwrap_err();
+        assert!(e.to_string().contains("1000"));
+    }
+}

@@ -1,0 +1,275 @@
+//! A fully-associative LRU cache model.
+//!
+//! Fig. 1's last column reports MPKI/CPI under *full associativity* — for a
+//! 2 MB cache that is a 65 536-way set, far too wide for the per-set linear
+//! scans of [`crate::SetAssocCache`]. This model provides O(1) lookups and
+//! evictions with a hash map plus an intrusive doubly-linked list over a
+//! slab, the standard LRU structure.
+
+use crate::types::LineAddr;
+use std::collections::HashMap;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    line: LineAddr,
+    prev: u32,
+    next: u32,
+}
+
+/// Outcome of one access to a [`FullyAssocLru`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LruOutcome {
+    /// The line was resident; it has been promoted to MRU.
+    Hit,
+    /// The line was not resident; it has been inserted at MRU, evicting
+    /// `evicted` if the cache was full.
+    Miss {
+        /// The LRU line displaced to make room, if the cache was at capacity.
+        evicted: Option<LineAddr>,
+    },
+}
+
+impl LruOutcome {
+    /// `true` on a hit.
+    pub fn is_hit(self) -> bool {
+        matches!(self, LruOutcome::Hit)
+    }
+}
+
+/// Fully-associative LRU cache over line addresses.
+///
+/// # Examples
+///
+/// ```
+/// use cmp_cache::{FullyAssocLru, LineAddr, LruOutcome};
+/// let mut c = FullyAssocLru::new(2);
+/// assert!(!c.access(LineAddr::new(1)).is_hit());
+/// assert!(!c.access(LineAddr::new(2)).is_hit());
+/// assert!(c.access(LineAddr::new(1)).is_hit());
+/// // 2 is now LRU; inserting 3 evicts it.
+/// assert_eq!(c.access(LineAddr::new(3)),
+///            LruOutcome::Miss { evicted: Some(LineAddr::new(2)) });
+/// ```
+#[derive(Clone, Debug)]
+pub struct FullyAssocLru {
+    capacity: usize,
+    map: HashMap<LineAddr, u32>,
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
+}
+
+impl FullyAssocLru {
+    /// Creates an empty cache holding at most `capacity_lines` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_lines == 0`.
+    pub fn new(capacity_lines: usize) -> Self {
+        assert!(capacity_lines > 0, "capacity must be nonzero");
+        FullyAssocLru {
+            capacity: capacity_lines,
+            map: HashMap::with_capacity(capacity_lines.min(1 << 20)),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Maximum number of resident lines.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of resident lines.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no lines are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether `line` is resident (no recency update).
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.map.contains_key(&line)
+    }
+
+    /// Accesses `line`: hit promotes to MRU; miss inserts at MRU, evicting
+    /// the LRU line if at capacity.
+    pub fn access(&mut self, line: LineAddr) -> LruOutcome {
+        if let Some(&idx) = self.map.get(&line) {
+            self.unlink(idx);
+            self.push_front(idx);
+            return LruOutcome::Hit;
+        }
+        let evicted = if self.map.len() == self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            let victim = self.nodes[lru as usize].line;
+            self.unlink(lru);
+            self.map.remove(&victim);
+            self.free.push(lru);
+            Some(victim)
+        } else {
+            None
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize].line = line;
+                i
+            }
+            None => {
+                self.nodes.push(Node {
+                    line,
+                    prev: NIL,
+                    next: NIL,
+                });
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        self.push_front(idx);
+        self.map.insert(line, idx);
+        LruOutcome::Miss { evicted }
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let n = &self.nodes[idx as usize];
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: u32) {
+        self.nodes[idx as usize].prev = NIL;
+        self.nodes[idx as usize].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head as usize].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_hit_miss() {
+        let mut c = FullyAssocLru::new(3);
+        assert_eq!(c.access(LineAddr::new(1)), LruOutcome::Miss { evicted: None });
+        assert_eq!(c.access(LineAddr::new(1)), LruOutcome::Hit);
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(LineAddr::new(1)));
+        assert!(!c.contains(LineAddr::new(2)));
+    }
+
+    #[test]
+    fn evicts_lru_in_order() {
+        let mut c = FullyAssocLru::new(2);
+        c.access(LineAddr::new(1));
+        c.access(LineAddr::new(2));
+        c.access(LineAddr::new(1)); // promote 1
+        match c.access(LineAddr::new(3)) {
+            LruOutcome::Miss { evicted } => assert_eq!(evicted, Some(LineAddr::new(2))),
+            o => panic!("expected miss, got {o:?}"),
+        }
+        assert!(c.contains(LineAddr::new(1)));
+        assert!(!c.contains(LineAddr::new(2)));
+    }
+
+    #[test]
+    fn capacity_one() {
+        let mut c = FullyAssocLru::new(1);
+        c.access(LineAddr::new(1));
+        assert_eq!(
+            c.access(LineAddr::new(2)),
+            LruOutcome::Miss {
+                evicted: Some(LineAddr::new(1))
+            }
+        );
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn reuses_freed_slots() {
+        let mut c = FullyAssocLru::new(2);
+        for i in 0..100 {
+            c.access(LineAddr::new(i));
+        }
+        assert_eq!(c.len(), 2);
+        // The slab must not have grown past capacity + small slack.
+        assert!(c.nodes.len() <= 3);
+    }
+
+    #[test]
+    fn is_empty_reports() {
+        let c = FullyAssocLru::new(4);
+        assert!(c.is_empty());
+        assert_eq!(c.capacity(), 4);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference model: Vec ordered MRU-first.
+    struct NaiveLru {
+        cap: usize,
+        order: Vec<LineAddr>,
+    }
+
+    impl NaiveLru {
+        fn access(&mut self, line: LineAddr) -> LruOutcome {
+            if let Some(p) = self.order.iter().position(|&l| l == line) {
+                self.order.remove(p);
+                self.order.insert(0, line);
+                LruOutcome::Hit
+            } else {
+                let evicted = if self.order.len() == self.cap {
+                    self.order.pop()
+                } else {
+                    None
+                };
+                self.order.insert(0, line);
+                LruOutcome::Miss { evicted }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn matches_naive_model(
+            cap in 1usize..8,
+            accesses in prop::collection::vec(0u64..16, 0..200),
+        ) {
+            let mut fast = FullyAssocLru::new(cap);
+            let mut slow = NaiveLru { cap, order: Vec::new() };
+            for a in accesses {
+                let la = LineAddr::new(a);
+                prop_assert_eq!(fast.access(la), slow.access(la));
+                prop_assert_eq!(fast.len(), slow.order.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! MESI coherence states as stored in cache lines.
+//!
+//! Only the *state tag* lives here; the protocol transitions (what a snoop
+//! does to a remote copy, when a fetch returns Exclusive vs Shared) are
+//! implemented by the `cmp-coherence` crate on top of this.
+
+use std::fmt;
+
+/// Coherence state of a valid cache line.
+///
+/// The Invalid state is represented by the absence of a line (an empty way),
+/// so this enum only covers valid lines.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MesiState {
+    /// Modified: the only copy on chip, dirty with respect to memory.
+    Modified,
+    /// Exclusive: the only copy on chip, clean.
+    Exclusive,
+    /// Shared: possibly one of several on-chip copies, clean.
+    Shared,
+}
+
+impl MesiState {
+    /// Whether an eviction of a line in this state must write back to memory.
+    #[inline]
+    pub const fn is_dirty(self) -> bool {
+        matches!(self, MesiState::Modified)
+    }
+
+    /// Whether this state guarantees the line is the only on-chip copy.
+    #[inline]
+    pub const fn is_exclusive_like(self) -> bool {
+        matches!(self, MesiState::Modified | MesiState::Exclusive)
+    }
+
+    /// The state after the local core writes to the line.
+    #[inline]
+    pub const fn after_local_write(self) -> MesiState {
+        MesiState::Modified
+    }
+
+    /// The state after a remote reader snoops this copy (M/E/S -> S).
+    /// A Modified copy is assumed to be written back (or forwarded) on the
+    /// downgrade, as in a MESI broadcast protocol.
+    #[inline]
+    pub const fn after_remote_read(self) -> MesiState {
+        MesiState::Shared
+    }
+
+    /// One-letter mnemonic, `M`, `E` or `S`.
+    pub const fn letter(self) -> char {
+        match self {
+            MesiState::Modified => 'M',
+            MesiState::Exclusive => 'E',
+            MesiState::Shared => 'S',
+        }
+    }
+}
+
+impl fmt::Display for MesiState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirtiness() {
+        assert!(MesiState::Modified.is_dirty());
+        assert!(!MesiState::Exclusive.is_dirty());
+        assert!(!MesiState::Shared.is_dirty());
+    }
+
+    #[test]
+    fn exclusivity() {
+        assert!(MesiState::Modified.is_exclusive_like());
+        assert!(MesiState::Exclusive.is_exclusive_like());
+        assert!(!MesiState::Shared.is_exclusive_like());
+    }
+
+    #[test]
+    fn transitions() {
+        assert_eq!(MesiState::Shared.after_local_write(), MesiState::Modified);
+        assert_eq!(MesiState::Modified.after_remote_read(), MesiState::Shared);
+        assert_eq!(MesiState::Exclusive.after_remote_read(), MesiState::Shared);
+    }
+
+    #[test]
+    fn display_letters() {
+        assert_eq!(MesiState::Modified.to_string(), "M");
+        assert_eq!(MesiState::Exclusive.to_string(), "E");
+        assert_eq!(MesiState::Shared.to_string(), "S");
+    }
+}

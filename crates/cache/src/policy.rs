@@ -1,0 +1,216 @@
+//! The LLC cooperation-policy interface.
+//!
+//! Everything the paper varies between designs — who spills, where to, which
+//! recency position fills use, which way is victimised — is expressed through
+//! [`LlcPolicy`]. The simulator (`cmp-sim`) owns the caches and the event
+//! loop and consults one policy object that observes *all* private LLCs,
+//! which is exactly the vantage point the hardware mechanisms have through
+//! the broadcast coherence network.
+
+use crate::set::CacheSet;
+use crate::types::{CoreId, FillKind, InsertPos, SetIdx, WayIdx};
+
+/// What an L2 access observed, as reported to the policy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessOutcome {
+    /// The line was not resident.
+    Miss,
+    /// The line was resident.
+    Hit {
+        /// The hit line carried the spilled flag (it arrived from a peer).
+        spilled: bool,
+        /// Recency depth of the hit way *before* promotion (0 = MRU).
+        /// Region-partitioned policies (ECC) use this for utility
+        /// estimation.
+        depth: u16,
+    },
+}
+
+impl AccessOutcome {
+    /// `true` for any hit.
+    #[inline]
+    pub fn is_hit(self) -> bool {
+        matches!(self, AccessOutcome::Hit { .. })
+    }
+}
+
+/// Outcome of asking a policy where to spill an evicted last-copy line.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SpillDecision {
+    /// Spill the line into the same-index set of this peer cache.
+    Spill(CoreId),
+    /// The set wanted to spill but no receiver candidate exists
+    /// (ASCC reacts to this by switching the set to SABIP).
+    NoCandidate,
+    /// The set is not operating as a spiller; evict to memory.
+    NotSpiller,
+}
+
+impl SpillDecision {
+    /// The chosen receiver, if any.
+    pub fn target(self) -> Option<CoreId> {
+        match self {
+            SpillDecision::Spill(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// Behavioural interface of an LLC capacity-sharing policy.
+///
+/// One policy instance manages all the private LLCs of the CMP. The
+/// simulator calls:
+///
+/// 1. [`record_access`](LlcPolicy::record_access) for every L2 access
+///    (hit or miss) — this is where SSL counters, PSEL duelling counters and
+///    epoch counters advance;
+/// 2. [`choose_victim`](LlcPolicy::choose_victim) and
+///    [`demand_insert_pos`](LlcPolicy::demand_insert_pos) when filling;
+/// 3. [`spill_decision`](LlcPolicy::spill_decision) when a replacement
+///    evicts the last on-chip copy of a line;
+/// 4. [`spill_insert_pos`](LlcPolicy::spill_insert_pos) and
+///    [`choose_victim`](LlcPolicy::choose_victim) (with
+///    [`FillKind::Spill`]) on the receiving side;
+/// 5. [`on_cycle`](LlcPolicy::on_cycle) periodically with the owning core's
+///    clock, for cycle-based epochs such as the QoS recalculation.
+pub trait LlcPolicy {
+    /// Human-readable policy name, used in experiment tables.
+    fn name(&self) -> &str;
+
+    /// Type-erased view of the policy, for downcasting in tests and tools.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Records the outcome of an L2 access by `core` to `set`.
+    fn record_access(&mut self, core: CoreId, set: SetIdx, outcome: AccessOutcome);
+
+    /// Recency position for a demand fill (miss fill or remote-hit
+    /// migration) into `core`'s `set`.
+    fn demand_insert_pos(&mut self, core: CoreId, set: SetIdx) -> InsertPos {
+        let _ = (core, set);
+        InsertPos::Mru
+    }
+
+    /// Recency position for a fill holding a line spilled in from a peer.
+    ///
+    /// The paper's designs always MRU-insert on the receiving side: the
+    /// receiver restriction (`SSL < K`) plus MRU insertion is what protects
+    /// spilled lines from immediate re-eviction (§3.2).
+    fn spill_insert_pos(&mut self, core: CoreId, set: SetIdx) -> InsertPos {
+        let _ = (core, set);
+        InsertPos::Mru
+    }
+
+    /// Decides the fate of a last-copy line evicted from `from`'s `set`.
+    ///
+    /// `victim_spilled` reports whether the evicted line itself arrived via
+    /// a spill — policies with bounded recirculation (CC's 1-chance
+    /// forwarding) refuse to re-spill such lines.
+    fn spill_decision(&mut self, from: CoreId, set: SetIdx, victim_spilled: bool) -> SpillDecision {
+        let _ = (from, set, victim_spilled);
+        SpillDecision::NotSpiller
+    }
+
+    /// Whether the requested-line/victim swap of §3.2 is enabled.
+    fn swap_enabled(&self) -> bool {
+        false
+    }
+
+    /// Chooses the victim way for a fill of `kind` into `core`'s `set`.
+    ///
+    /// The default picks an invalid way if one exists, else the LRU way.
+    fn choose_victim(
+        &mut self,
+        core: CoreId,
+        set: SetIdx,
+        kind: FillKind,
+        contents: &CacheSet,
+    ) -> WayIdx {
+        let _ = (core, set, kind);
+        contents.default_victim()
+    }
+
+    /// Reports that a remote hit was served out of `owner`'s `set`
+    /// (`was_spilled` = the supplied line had been spilled into `owner`).
+    ///
+    /// Region-partitioned policies (ECC) use this as the utility signal of
+    /// their shared region.
+    fn note_remote_hit(&mut self, owner: CoreId, set: SetIdx, was_spilled: bool) {
+        let _ = (owner, set, was_spilled);
+    }
+
+    /// Periodic hook with `core`'s current cycle count (for cycle-based
+    /// epochs, e.g. the QoS ratio recomputation every 100 000 cycles).
+    fn on_cycle(&mut self, core: CoreId, cycles: u64) {
+        let _ = (core, cycles);
+    }
+}
+
+/// The paper's baseline: plain private LLCs. Never spills, MRU-inserts.
+///
+/// With private L2s and no cooperation, co-scheduled applications cannot
+/// interact, so a multiprogrammed baseline run reproduces each application's
+/// solo behaviour — the property the paper's speedup normalisation relies on.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PrivateBaseline;
+
+impl PrivateBaseline {
+    /// Creates the baseline policy.
+    pub fn new() -> Self {
+        PrivateBaseline
+    }
+}
+
+impl LlcPolicy for PrivateBaseline {
+    fn name(&self) -> &str {
+        "baseline"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn record_access(&mut self, _core: CoreId, _set: SetIdx, _outcome: AccessOutcome) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesi::MesiState;
+    use crate::set::CacheLine;
+    use crate::types::LineAddr;
+
+    #[test]
+    fn baseline_never_spills() {
+        let mut p = PrivateBaseline::new();
+        p.record_access(CoreId(0), SetIdx(3), AccessOutcome::Miss);
+        assert_eq!(
+            p.spill_decision(CoreId(0), SetIdx(3), false),
+            SpillDecision::NotSpiller
+        );
+        assert!(!p.swap_enabled());
+        assert_eq!(p.demand_insert_pos(CoreId(0), SetIdx(3)), InsertPos::Mru);
+        assert_eq!(p.spill_insert_pos(CoreId(1), SetIdx(3)), InsertPos::Mru);
+        assert_eq!(p.name(), "baseline");
+    }
+
+    #[test]
+    fn default_victim_is_invalid_then_lru() {
+        let mut p = PrivateBaseline::new();
+        let mut set = CacheSet::new(2);
+        let v = p.choose_victim(CoreId(0), SetIdx(0), FillKind::Demand, &set);
+        set.fill(
+            v,
+            CacheLine::demand(LineAddr::new(1), MesiState::Exclusive),
+            InsertPos::Mru,
+        );
+        let v2 = p.choose_victim(CoreId(0), SetIdx(0), FillKind::Demand, &set);
+        assert_ne!(v, v2);
+    }
+
+    #[test]
+    fn spill_decision_target_accessor() {
+        assert_eq!(SpillDecision::Spill(CoreId(2)).target(), Some(CoreId(2)));
+        assert_eq!(SpillDecision::NoCandidate.target(), None);
+        assert_eq!(SpillDecision::NotSpiller.target(), None);
+    }
+}

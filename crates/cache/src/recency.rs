@@ -1,0 +1,261 @@
+//! True-LRU recency stack for one cache set.
+//!
+//! The paper's insertion policies (Fig. 3) are all expressed as *positions in
+//! the recency stack*: MRU insertion, LRU insertion (BIP's common case) and
+//! `LRU-1` insertion (SABIP's common case). This module keeps an explicit
+//! MRU-first ordering of way indices so all of them are O(associativity).
+
+use crate::types::{InsertPos, WayIdx};
+
+/// MRU-first ordering of the ways of one set.
+///
+/// The stack always contains each way index exactly once (it is a permutation
+/// of `0..ways`); validity of the lines living in those ways is tracked by
+/// the set itself.
+///
+/// # Examples
+///
+/// ```
+/// use cmp_cache::{InsertPos, RecencyStack, WayIdx};
+/// let mut r = RecencyStack::new(4);
+/// r.touch_mru(WayIdx(2));
+/// assert_eq!(r.mru(), WayIdx(2));
+/// r.insert_at(WayIdx(3), InsertPos::LruMinus1);
+/// assert_eq!(r.depth_of(WayIdx(3)), 2); // one above the LRU position
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RecencyStack {
+    /// Way indices ordered MRU (index 0) to LRU (last).
+    order: Vec<u16>,
+}
+
+impl RecencyStack {
+    /// Creates a stack for `ways` ways; way 0 starts MRU, way `ways-1` LRU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways == 0`.
+    pub fn new(ways: u16) -> Self {
+        assert!(ways > 0, "a set must have at least one way");
+        RecencyStack {
+            order: (0..ways).collect(),
+        }
+    }
+
+    /// Number of ways tracked.
+    #[inline]
+    pub fn ways(&self) -> u16 {
+        self.order.len() as u16
+    }
+
+    /// The most recently used way.
+    #[inline]
+    pub fn mru(&self) -> WayIdx {
+        WayIdx(self.order[0])
+    }
+
+    /// The least recently used way.
+    #[inline]
+    pub fn lru(&self) -> WayIdx {
+        WayIdx(*self.order.last().expect("stack is never empty"))
+    }
+
+    /// MRU-first slice of way indices.
+    #[inline]
+    pub fn order(&self) -> impl Iterator<Item = WayIdx> + '_ {
+        self.order.iter().map(|&w| WayIdx(w))
+    }
+
+    /// Depth of `way` in the stack (0 = MRU).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range for this stack.
+    pub fn depth_of(&self, way: WayIdx) -> usize {
+        self.position(way)
+    }
+
+    /// Promotes `way` to the MRU position (a hit).
+    pub fn touch_mru(&mut self, way: WayIdx) {
+        self.move_to(way, 0);
+    }
+
+    /// Re-inserts `way` at the position selected by an insertion policy.
+    pub fn insert_at(&mut self, way: WayIdx, pos: InsertPos) {
+        let n = self.order.len();
+        let depth = match pos {
+            InsertPos::Mru => 0,
+            InsertPos::Lru => n - 1,
+            InsertPos::LruMinus1 => n.saturating_sub(2),
+            InsertPos::Depth(d) => (d as usize).min(n - 1),
+        };
+        self.move_to(way, depth);
+    }
+
+    /// The deepest (closest to LRU) way satisfying `keep`, if any.
+    ///
+    /// Used by policies that restrict victim selection to a region of the
+    /// set, e.g. ECC's private/shared way partitions.
+    pub fn lru_where<F: FnMut(WayIdx) -> bool>(&self, mut keep: F) -> Option<WayIdx> {
+        self.order
+            .iter()
+            .rev()
+            .map(|&w| WayIdx(w))
+            .find(|&w| keep(w))
+    }
+
+    fn position(&self, way: WayIdx) -> usize {
+        self.order
+            .iter()
+            .position(|&w| w == way.0)
+            .unwrap_or_else(|| panic!("{way} is not part of this {}-way stack", self.order.len()))
+    }
+
+    fn move_to(&mut self, way: WayIdx, depth: usize) {
+        let cur = self.position(way);
+        let w = self.order.remove(cur);
+        self.order.insert(depth.min(self.order.len()), w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn order_vec(r: &RecencyStack) -> Vec<u16> {
+        r.order().map(|w| w.0).collect()
+    }
+
+    #[test]
+    fn initial_order_is_identity() {
+        let r = RecencyStack::new(4);
+        assert_eq!(order_vec(&r), vec![0, 1, 2, 3]);
+        assert_eq!(r.mru(), WayIdx(0));
+        assert_eq!(r.lru(), WayIdx(3));
+    }
+
+    #[test]
+    fn touch_promotes_to_mru() {
+        let mut r = RecencyStack::new(4);
+        r.touch_mru(WayIdx(2));
+        assert_eq!(order_vec(&r), vec![2, 0, 1, 3]);
+        r.touch_mru(WayIdx(3));
+        assert_eq!(order_vec(&r), vec![3, 2, 0, 1]);
+        // Touching the MRU is a no-op.
+        r.touch_mru(WayIdx(3));
+        assert_eq!(order_vec(&r), vec![3, 2, 0, 1]);
+    }
+
+    #[test]
+    fn insert_positions_match_fig3() {
+        // Fig. 3: a 4-way set; the new line E replaces the LRU victim and is
+        // placed according to the insertion policy.
+        let mut r = RecencyStack::new(4);
+        // MRU insertion.
+        let v = r.lru();
+        r.insert_at(v, InsertPos::Mru);
+        assert_eq!(r.mru(), v);
+        // LRU insertion (BIP common case): line stays at the bottom.
+        let v = r.lru();
+        r.insert_at(v, InsertPos::Lru);
+        assert_eq!(r.lru(), v);
+        // LRU-1 insertion (SABIP): one above the bottom.
+        let v = r.lru();
+        r.insert_at(v, InsertPos::LruMinus1);
+        assert_eq!(r.depth_of(v), 2);
+    }
+
+    #[test]
+    fn depth_insertion_clamps() {
+        let mut r = RecencyStack::new(4);
+        r.insert_at(WayIdx(0), InsertPos::Depth(100));
+        assert_eq!(r.lru(), WayIdx(0));
+        r.insert_at(WayIdx(0), InsertPos::Depth(1));
+        assert_eq!(r.depth_of(WayIdx(0)), 1);
+    }
+
+    #[test]
+    fn lru_minus_one_on_tiny_sets() {
+        // With 1 way LRU-1 degenerates to the only position.
+        let mut r = RecencyStack::new(1);
+        r.insert_at(WayIdx(0), InsertPos::LruMinus1);
+        assert_eq!(r.mru(), WayIdx(0));
+        // With 2 ways LRU-1 is the MRU position.
+        let mut r = RecencyStack::new(2);
+        r.insert_at(WayIdx(1), InsertPos::LruMinus1);
+        assert_eq!(r.mru(), WayIdx(1));
+    }
+
+    #[test]
+    fn lru_where_respects_filter() {
+        let mut r = RecencyStack::new(4);
+        r.touch_mru(WayIdx(3)); // order 3,0,1,2
+        assert_eq!(r.lru_where(|w| w.0 % 2 == 1), Some(WayIdx(1)));
+        assert_eq!(r.lru_where(|w| w.0 == 3), Some(WayIdx(3)));
+        assert_eq!(r.lru_where(|_| false), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not part of this")]
+    fn unknown_way_panics() {
+        let r = RecencyStack::new(2);
+        let _ = r.depth_of(WayIdx(9));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Clone, Debug)]
+    enum Op {
+        Touch(u16),
+        Insert(u16, u8),
+    }
+
+    fn op_strategy(ways: u16) -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0..ways).prop_map(Op::Touch),
+            ((0..ways), 0u8..4).prop_map(|(w, p)| Op::Insert(w, p)),
+        ]
+    }
+
+    proptest! {
+        /// The stack is always a permutation of 0..ways, no matter the ops.
+        #[test]
+        fn stack_stays_a_permutation(
+            ways in 1u16..12,
+            ops in prop::collection::vec(op_strategy(8), 0..64),
+        ) {
+            let mut r = RecencyStack::new(ways);
+            for op in ops {
+                match op {
+                    Op::Touch(w) => r.touch_mru(WayIdx(w % ways)),
+                    Op::Insert(w, p) => {
+                        let pos = match p {
+                            0 => InsertPos::Mru,
+                            1 => InsertPos::Lru,
+                            2 => InsertPos::LruMinus1,
+                            _ => InsertPos::Depth((p as u16) % ways),
+                        };
+                        r.insert_at(WayIdx(w % ways), pos);
+                    }
+                }
+                let mut seen: Vec<u16> = r.order().map(|w| w.0).collect();
+                seen.sort_unstable();
+                prop_assert_eq!(seen, (0..ways).collect::<Vec<_>>());
+            }
+        }
+
+        /// After touching a way it is MRU and depths of others shift by at most one.
+        #[test]
+        fn touch_is_mru(ways in 1u16..12, w in 0u16..12) {
+            let w = w % ways;
+            let mut r = RecencyStack::new(ways);
+            r.touch_mru(WayIdx(w));
+            prop_assert_eq!(r.mru(), WayIdx(w));
+            prop_assert_eq!(r.depth_of(WayIdx(w)), 0);
+        }
+    }
+}

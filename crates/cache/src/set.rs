@@ -1,0 +1,278 @@
+//! One set of a set-associative cache: lines plus a recency stack.
+
+use crate::mesi::MesiState;
+use crate::recency::RecencyStack;
+use crate::types::{InsertPos, LineAddr, WayIdx};
+
+/// A valid line resident in a cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheLine {
+    /// Line address (full tag; the simulator never truncates tags).
+    pub addr: LineAddr,
+    /// MESI state of this copy.
+    pub state: MesiState,
+    /// Whether the line arrived by being spilled from a peer cache.
+    ///
+    /// This is both the statistic behind §6.4 (hits per spilled line) and the
+    /// per-block *shared bit* our ECC implementation uses (§5 of the paper).
+    pub spilled: bool,
+}
+
+impl CacheLine {
+    /// Creates a demand-filled (not spilled) line.
+    pub const fn demand(addr: LineAddr, state: MesiState) -> Self {
+        CacheLine {
+            addr,
+            state,
+            spilled: false,
+        }
+    }
+
+    /// Creates a line that arrived via a spill.
+    pub const fn spilled(addr: LineAddr, state: MesiState) -> Self {
+        CacheLine {
+            addr,
+            state,
+            spilled: true,
+        }
+    }
+}
+
+/// One cache set: `ways` optional lines and their recency ordering.
+#[derive(Clone, Debug)]
+pub struct CacheSet {
+    lines: Vec<Option<CacheLine>>,
+    recency: RecencyStack,
+}
+
+impl CacheSet {
+    /// Creates an empty set with the given associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways == 0`.
+    pub fn new(ways: u16) -> Self {
+        CacheSet {
+            lines: vec![None; ways as usize],
+            recency: RecencyStack::new(ways),
+        }
+    }
+
+    /// Associativity of the set.
+    #[inline]
+    pub fn ways(&self) -> u16 {
+        self.lines.len() as u16
+    }
+
+    /// Looks up a line address; returns its way if present.
+    pub fn find(&self, addr: LineAddr) -> Option<WayIdx> {
+        self.lines
+            .iter()
+            .position(|l| l.map(|l| l.addr) == Some(addr))
+            .map(|w| WayIdx(w as u16))
+    }
+
+    /// The line stored in `way`, if valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range.
+    pub fn line(&self, way: WayIdx) -> Option<&CacheLine> {
+        self.lines[way.index()].as_ref()
+    }
+
+    /// Mutable access to the line stored in `way`, if valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range.
+    pub fn line_mut(&mut self, way: WayIdx) -> Option<&mut CacheLine> {
+        self.lines[way.index()].as_mut()
+    }
+
+    /// Number of valid lines.
+    pub fn valid_count(&self) -> u16 {
+        self.lines.iter().filter(|l| l.is_some()).count() as u16
+    }
+
+    /// Number of valid lines satisfying `pred`.
+    pub fn count_where<F: FnMut(&CacheLine) -> bool>(&self, mut pred: F) -> u16 {
+        self.lines
+            .iter()
+            .filter(|l| l.as_ref().is_some_and(&mut pred))
+            .count() as u16
+    }
+
+    /// First invalid way, if any.
+    pub fn invalid_way(&self) -> Option<WayIdx> {
+        self.lines
+            .iter()
+            .position(|l| l.is_none())
+            .map(|w| WayIdx(w as u16))
+    }
+
+    /// Default victim: an invalid way if one exists, otherwise the LRU way.
+    pub fn default_victim(&self) -> WayIdx {
+        self.invalid_way().unwrap_or_else(|| self.recency.lru())
+    }
+
+    /// Deepest valid way whose line satisfies `pred` (for region-constrained
+    /// victim selection, e.g. ECC's private/shared partitions).
+    pub fn lru_valid_where<F: FnMut(&CacheLine) -> bool>(&self, mut pred: F) -> Option<WayIdx> {
+        self.recency
+            .lru_where(|w| self.lines[w.index()].as_ref().is_some_and(&mut pred))
+    }
+
+    /// Promotes `way` to MRU (a hit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range.
+    pub fn touch(&mut self, way: WayIdx) {
+        self.recency.touch_mru(way);
+    }
+
+    /// Replaces the line in `way` with `line`, placing it at `pos` in the
+    /// recency stack, and returns the previous occupant (the eviction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range.
+    pub fn fill(&mut self, way: WayIdx, line: CacheLine, pos: InsertPos) -> Option<CacheLine> {
+        let evicted = self.lines[way.index()].replace(line);
+        self.recency.insert_at(way, pos);
+        evicted
+    }
+
+    /// Invalidates `way`, returning the line that was there.
+    ///
+    /// The freed way is demoted to the LRU position so it is the next victim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range.
+    pub fn invalidate_way(&mut self, way: WayIdx) -> Option<CacheLine> {
+        let line = self.lines[way.index()].take();
+        self.recency.insert_at(way, InsertPos::Lru);
+        line
+    }
+
+    /// Recency depth of `way` (0 = MRU).
+    pub fn depth_of(&self, way: WayIdx) -> usize {
+        self.recency.depth_of(way)
+    }
+
+    /// Read-only view of the recency stack.
+    pub fn recency(&self) -> &RecencyStack {
+        &self.recency
+    }
+
+    /// Iterates over the valid lines of the set (way order, not recency
+    /// order).
+    pub fn iter(&self) -> impl Iterator<Item = (WayIdx, &CacheLine)> {
+        self.lines
+            .iter()
+            .enumerate()
+            .filter_map(|(w, l)| l.as_ref().map(|l| (WayIdx(w as u16), l)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> CacheLine {
+        CacheLine::demand(LineAddr::new(n), MesiState::Exclusive)
+    }
+
+    #[test]
+    fn fill_and_find() {
+        let mut s = CacheSet::new(4);
+        assert_eq!(s.valid_count(), 0);
+        let v = s.default_victim();
+        assert_eq!(s.fill(v, line(10), InsertPos::Mru), None);
+        assert_eq!(s.find(LineAddr::new(10)), Some(v));
+        assert_eq!(s.find(LineAddr::new(11)), None);
+        assert_eq!(s.valid_count(), 1);
+    }
+
+    #[test]
+    fn victim_prefers_invalid_ways() {
+        let mut s = CacheSet::new(2);
+        let v0 = s.default_victim();
+        s.fill(v0, line(1), InsertPos::Mru);
+        let v1 = s.default_victim();
+        assert_ne!(v0, v1, "second fill must use the remaining invalid way");
+        s.fill(v1, line(2), InsertPos::Mru);
+        // Now full: victim is the LRU way, which holds line 1.
+        let v2 = s.default_victim();
+        assert_eq!(s.line(v2).unwrap().addr, LineAddr::new(1));
+    }
+
+    #[test]
+    fn eviction_returns_old_line() {
+        let mut s = CacheSet::new(1);
+        s.fill(WayIdx(0), line(1), InsertPos::Mru);
+        let old = s.fill(WayIdx(0), line(2), InsertPos::Mru);
+        assert_eq!(old.unwrap().addr, LineAddr::new(1));
+    }
+
+    #[test]
+    fn invalidate_demotes_way() {
+        let mut s = CacheSet::new(2);
+        s.fill(WayIdx(0), line(1), InsertPos::Mru);
+        s.fill(WayIdx(1), line(2), InsertPos::Mru);
+        // Way 1 (line 2) is MRU. Invalidate it: it becomes the next victim.
+        let gone = s.invalidate_way(WayIdx(1)).unwrap();
+        assert_eq!(gone.addr, LineAddr::new(2));
+        assert_eq!(s.default_victim(), WayIdx(1));
+        assert_eq!(s.valid_count(), 1);
+    }
+
+    #[test]
+    fn lru_valid_where_filters_by_line() {
+        let mut s = CacheSet::new(3);
+        s.fill(WayIdx(0), line(1), InsertPos::Mru);
+        s.fill(
+            WayIdx(1),
+            CacheLine::spilled(LineAddr::new(2), MesiState::Modified),
+            InsertPos::Mru,
+        );
+        s.fill(WayIdx(2), line(3), InsertPos::Mru);
+        // Deepest spilled line is in way 1.
+        assert_eq!(s.lru_valid_where(|l| l.spilled), Some(WayIdx(1)));
+        // Deepest non-spilled is way 0 (filled first, never touched).
+        assert_eq!(s.lru_valid_where(|l| !l.spilled), Some(WayIdx(0)));
+        assert_eq!(s.lru_valid_where(|l| l.addr.raw() > 100), None);
+    }
+
+    #[test]
+    fn touch_changes_victim() {
+        let mut s = CacheSet::new(2);
+        s.fill(WayIdx(0), line(1), InsertPos::Mru);
+        s.fill(WayIdx(1), line(2), InsertPos::Mru);
+        s.touch(WayIdx(0));
+        assert_eq!(s.default_victim(), WayIdx(1));
+    }
+
+    #[test]
+    fn count_where_sees_flags() {
+        let mut s = CacheSet::new(4);
+        s.fill(WayIdx(0), line(1), InsertPos::Mru);
+        s.fill(
+            WayIdx(1),
+            CacheLine::spilled(LineAddr::new(2), MesiState::Exclusive),
+            InsertPos::Mru,
+        );
+        assert_eq!(s.count_where(|l| l.spilled), 1);
+        assert_eq!(s.count_where(|l| !l.spilled), 1);
+    }
+
+    #[test]
+    fn iter_yields_valid_lines() {
+        let mut s = CacheSet::new(3);
+        s.fill(WayIdx(1), line(5), InsertPos::Mru);
+        let collected: Vec<_> = s.iter().map(|(w, l)| (w, l.addr.raw())).collect();
+        assert_eq!(collected, vec![(WayIdx(1), 5)]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Hit/miss bookkeeping, globally and (optionally) per set.
+
+/// Aggregate statistics of one cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Accesses that found their line locally.
+    pub hits: u64,
+    /// Accesses that did not.
+    pub misses: u64,
+    /// Demand fills performed.
+    pub demand_fills: u64,
+    /// Fills holding a line spilled in from a peer cache.
+    pub spill_fills: u64,
+    /// Fills issued by a prefetcher.
+    pub prefetch_fills: u64,
+    /// Valid lines evicted by replacements.
+    pub evictions: u64,
+    /// Hits on lines whose `spilled` flag was set (remote reuse of a spill).
+    pub spilled_line_hits: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    #[inline]
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; 0 when there were no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            0.0
+        } else {
+            self.misses as f64 / a as f64
+        }
+    }
+}
+
+/// Per-set hit/miss counters, used by the Fig. 2 set-profiling study and by
+/// the QoS estimator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SetStats {
+    /// Hits in this set.
+    pub hits: u64,
+    /// Misses in this set.
+    pub misses: u64,
+}
+
+impl SetStats {
+    /// Total accesses to the set.
+    #[inline]
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_ratio_handles_empty() {
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..CacheStats::default()
+        };
+        assert_eq!(s.accesses(), 4);
+        assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_stats_accumulate() {
+        let mut s = SetStats::default();
+        s.hits += 2;
+        s.misses += 1;
+        assert_eq!(s.accesses(), 3);
+    }
+}

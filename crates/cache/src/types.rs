@@ -1,0 +1,252 @@
+//! Fundamental newtypes shared by every layer of the simulator.
+//!
+//! Addresses, core identifiers and cache coordinates are wrapped in newtypes
+//! so that e.g. a set index can never be passed where a way index is expected
+//! (C-NEWTYPE).
+
+use std::fmt;
+
+/// A byte address in the simulated physical address space.
+///
+/// Multiprogrammed workloads place each core in a disjoint region of this
+/// space (the high bits carry the core id), which makes every line trivially
+/// the *last copy on chip* exactly as in the paper's multiprogrammed setting.
+///
+/// # Examples
+///
+/// ```
+/// use cmp_cache::Addr;
+/// let a = Addr::new(0x1040);
+/// assert_eq!(a.raw(), 0x1040);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Wraps a raw byte address.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw byte address.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Converts the byte address to a line address given `offset_bits`
+    /// (log2 of the line size in bytes).
+    #[inline]
+    pub const fn line(self, offset_bits: u32) -> LineAddr {
+        LineAddr(self.0 >> offset_bits)
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+/// A cache-line address: a byte address with the line offset stripped.
+///
+/// All caches in one simulated system share a line size, so a `LineAddr` is
+/// meaningful across the whole hierarchy.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Wraps a raw line number.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        LineAddr(raw)
+    }
+
+    /// Returns the raw line number.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs the byte address of the first byte of the line.
+    #[inline]
+    pub const fn to_addr(self, offset_bits: u32) -> Addr {
+        Addr(self.0 << offset_bits)
+    }
+}
+
+impl fmt::Debug for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LineAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for LineAddr {
+    fn from(raw: u64) -> Self {
+        LineAddr(raw)
+    }
+}
+
+/// Identifier of a core (and, by extension, of its private caches).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct CoreId(pub u8);
+
+impl CoreId {
+    /// Returns the id as a `usize`, convenient for indexing per-core vectors.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// Index of a set within a cache.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SetIdx(pub u32);
+
+impl SetIdx {
+    /// Returns the index as a `usize`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SetIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "set{}", self.0)
+    }
+}
+
+/// Index of a way within a set.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct WayIdx(pub u16);
+
+impl WayIdx {
+    /// Returns the index as a `usize`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for WayIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "way{}", self.0)
+    }
+}
+
+/// Kind of memory operation issued by a core.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// A load; misses stall the core.
+    Load,
+    /// A store; write-through below L1 and buffered, so it does not stall.
+    Store,
+}
+
+impl AccessKind {
+    /// Returns `true` for [`AccessKind::Store`].
+    #[inline]
+    pub const fn is_store(self) -> bool {
+        matches!(self, AccessKind::Store)
+    }
+}
+
+/// Position in the recency stack where a fill inserts the new line.
+///
+/// These are the positions used by the insertion policies of the paper
+/// (Fig. 3): traditional MRU insertion, LRU insertion (most BIP fills),
+/// and `LRU-1` insertion (most SABIP fills).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum InsertPos {
+    /// Insert at the most-recently-used end (traditional insertion).
+    Mru,
+    /// Insert at the least-recently-used end (BIP's common case).
+    Lru,
+    /// Insert one above LRU, protecting the line from the next eviction
+    /// (SABIP's common case).
+    LruMinus1,
+    /// Insert at an explicit recency depth, `0` being MRU.
+    Depth(u16),
+}
+
+/// Who is performing a fill into an LLC set.
+///
+/// Policies such as ECC constrain victim selection differently for demand
+/// fills and for fills caused by a spilled line arriving from a peer cache.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FillKind {
+    /// A fill on behalf of the local core (demand miss or remote-hit
+    /// migration).
+    Demand,
+    /// A fill holding a line spilled by (or swapped with) a peer cache.
+    Spill,
+    /// A fill issued by a prefetcher.
+    Prefetch,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_line_round_trip() {
+        let a = Addr::new(0xdead_beef);
+        let l = a.line(5);
+        assert_eq!(l.raw(), 0xdead_beef >> 5);
+        assert_eq!(l.to_addr(5).raw(), (0xdead_beef >> 5) << 5);
+    }
+
+    #[test]
+    fn addr_display_is_hex() {
+        assert_eq!(Addr::new(0x20).to_string(), "0x20");
+        assert_eq!(format!("{:?}", Addr::new(0x20)), "Addr(0x20)");
+    }
+
+    #[test]
+    fn line_addr_orders_like_raw() {
+        assert!(LineAddr::new(1) < LineAddr::new(2));
+        assert_eq!(LineAddr::from(7u64).raw(), 7);
+    }
+
+    #[test]
+    fn core_set_way_indices() {
+        assert_eq!(CoreId(3).index(), 3);
+        assert_eq!(SetIdx(41).index(), 41);
+        assert_eq!(WayIdx(7).index(), 7);
+        assert_eq!(CoreId(2).to_string(), "core2");
+        assert_eq!(SetIdx(5).to_string(), "set5");
+        assert_eq!(WayIdx(1).to_string(), "way1");
+    }
+
+    #[test]
+    fn access_kind_store_predicate() {
+        assert!(AccessKind::Store.is_store());
+        assert!(!AccessKind::Load.is_store());
+    }
+}

@@ -1,0 +1,110 @@
+//! Structural properties of the set-associative cache under random
+//! operation sequences: no duplicated residents, consistent statistics,
+//! recency stacks always permutations.
+
+use cmp_cache::{
+    CacheGeometry, CacheLine, FillKind, InsertPos, LineAddr, MesiState, SetAssocCache,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Access(u64),
+    FillIfMissing(u64, u8), // position selector
+    Invalidate(u64),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..64).prop_map(Op::Access),
+        ((0u64..64), 0u8..4).prop_map(|(l, p)| Op::FillIfMissing(l, p)),
+        (0u64..64).prop_map(Op::Invalidate),
+    ]
+}
+
+fn check_no_duplicates(cache: &SetAssocCache) {
+    let mut seen = HashSet::new();
+    for s in 0..cache.geometry().sets() {
+        for (_, line) in cache.set(cmp_cache::SetIdx(s)).iter() {
+            assert!(seen.insert(line.addr), "line {:?} stored twice", line.addr);
+            assert_eq!(
+                cache.geometry().set_of(line.addr),
+                cmp_cache::SetIdx(s),
+                "line stored in the wrong set"
+            );
+        }
+    }
+    assert_eq!(seen.len() as u64, cache.valid_lines());
+}
+
+proptest! {
+    #[test]
+    fn random_ops_never_corrupt_the_cache(
+        ops in prop::collection::vec(op(), 0..400),
+    ) {
+        let mut cache = SetAssocCache::new(CacheGeometry::new(4, 2, 32).unwrap());
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for o in ops {
+            match o {
+                Op::Access(l) => {
+                    if cache.access(LineAddr::new(l)).is_some() {
+                        hits += 1;
+                    } else {
+                        misses += 1;
+                    }
+                }
+                Op::FillIfMissing(l, p) => {
+                    let la = LineAddr::new(l);
+                    if cache.probe(la).is_none() {
+                        let set = cache.geometry().set_of(la);
+                        let way = cache.set(set).default_victim();
+                        let pos = match p {
+                            0 => InsertPos::Mru,
+                            1 => InsertPos::Lru,
+                            2 => InsertPos::LruMinus1,
+                            _ => InsertPos::Depth(1),
+                        };
+                        cache.fill(
+                            set,
+                            way,
+                            CacheLine::demand(la, MesiState::Exclusive),
+                            pos,
+                            FillKind::Demand,
+                        );
+                    }
+                }
+                Op::Invalidate(l) => {
+                    cache.invalidate(LineAddr::new(l));
+                }
+            }
+            check_no_duplicates(&cache);
+        }
+        prop_assert_eq!(cache.stats().hits, hits);
+        prop_assert_eq!(cache.stats().misses, misses);
+        // A 4-set, 2-way cache never holds more than 8 lines.
+        prop_assert!(cache.valid_lines() <= 8);
+    }
+
+    #[test]
+    fn access_after_fill_always_hits(lines in prop::collection::hash_set(0u64..1000, 1..32)) {
+        let mut cache = SetAssocCache::new(CacheGeometry::new(64, 8, 32).unwrap());
+        // 64*8 = 512 ways: 32 distinct lines always fit.
+        for &l in &lines {
+            let la = LineAddr::new(l);
+            let set = cache.geometry().set_of(la);
+            let way = cache.set(set).default_victim();
+            cache.fill(
+                set,
+                way,
+                CacheLine::demand(la, MesiState::Exclusive),
+                InsertPos::Mru,
+                FillKind::Demand,
+            );
+        }
+        for &l in &lines {
+            prop_assert!(cache.access(LineAddr::new(l)).is_some());
+        }
+    }
+}

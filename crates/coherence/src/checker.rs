@@ -1,0 +1,126 @@
+//! MESI invariant checking for tests and debug assertions.
+
+use cmp_cache::{LineAddr, SetAssocCache};
+use std::collections::HashMap;
+
+/// A violation of the MESI single-writer / single-exclusive invariants.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ProtocolViolation {
+    /// A Modified or Exclusive copy coexists with another copy of the line.
+    ExclusiveNotAlone {
+        /// The offending line.
+        line: LineAddr,
+        /// Number of on-chip copies found.
+        copies: usize,
+    },
+}
+
+impl std::fmt::Display for ProtocolViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolViolation::ExclusiveNotAlone { line, copies } => write!(
+                f,
+                "line {line} has an M/E copy but {copies} copies exist on chip"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolViolation {}
+
+/// Sweeps every line of every cache and verifies the MESI invariants:
+///
+/// * a Modified or Exclusive copy is the *only* on-chip copy;
+/// * (Shared copies may coexist in any number.)
+///
+/// Returns all violations found (empty = coherent).
+pub fn check_mesi(caches: &[SetAssocCache]) -> Vec<ProtocolViolation> {
+    // line -> (copies, has_exclusive_like)
+    let mut seen: HashMap<LineAddr, (usize, bool)> = HashMap::new();
+    for cache in caches {
+        let sets = cache.geometry().sets();
+        for s in 0..sets {
+            for (_, line) in cache.set(cmp_cache::SetIdx(s)).iter() {
+                let e = seen.entry(line.addr).or_insert((0, false));
+                e.0 += 1;
+                e.1 |= line.state.is_exclusive_like();
+            }
+        }
+    }
+    seen.into_iter()
+        .filter(|&(_, (copies, excl))| excl && copies > 1)
+        .map(|(line, (copies, _))| ProtocolViolation::ExclusiveNotAlone { line, copies })
+        .collect()
+}
+
+/// Panics with a readable message if the caches violate MESI.
+///
+/// # Panics
+///
+/// Panics when [`check_mesi`] reports any violation.
+pub fn assert_coherent(caches: &[SetAssocCache]) {
+    let violations = check_mesi(caches);
+    assert!(
+        violations.is_empty(),
+        "MESI invariants violated: {}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmp_cache::{CacheGeometry, CacheLine, FillKind, InsertPos, MesiState};
+
+    fn cache() -> SetAssocCache {
+        SetAssocCache::new(CacheGeometry::new(4, 2, 32).unwrap())
+    }
+
+    fn put(c: &mut SetAssocCache, line: u64, state: MesiState) {
+        let la = LineAddr::new(line);
+        let set = c.geometry().set_of(la);
+        let way = c.set(set).default_victim();
+        c.fill(
+            set,
+            way,
+            CacheLine::demand(la, state),
+            InsertPos::Mru,
+            FillKind::Demand,
+        );
+    }
+
+    #[test]
+    fn clean_sharing_is_fine() {
+        let mut a = cache();
+        let mut b = cache();
+        put(&mut a, 1, MesiState::Shared);
+        put(&mut b, 1, MesiState::Shared);
+        put(&mut a, 2, MesiState::Modified);
+        assert!(check_mesi(&[a, b]).is_empty());
+    }
+
+    #[test]
+    fn detects_duplicated_modified() {
+        let mut a = cache();
+        let mut b = cache();
+        put(&mut a, 1, MesiState::Modified);
+        put(&mut b, 1, MesiState::Shared);
+        let v = check_mesi(&[a, b]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].to_string().contains("2 copies"));
+    }
+
+    #[test]
+    #[should_panic(expected = "MESI invariants violated")]
+    fn assert_coherent_panics() {
+        let mut a = cache();
+        let mut b = cache();
+        put(&mut a, 1, MesiState::Exclusive);
+        put(&mut b, 1, MesiState::Exclusive);
+        assert_coherent(&[a, b]);
+    }
+}

@@ -1,0 +1,58 @@
+//! # ascc — Adaptive Set-Granular Cooperative Caching
+//!
+//! The primary contribution of the HPCA 2012 paper *Adaptive Set-Granular
+//! Cooperative Caching* (Rolán, Fraguela, Doallo), implemented against the
+//! [`cmp_cache::LlcPolicy`] interface:
+//!
+//! * [`AsccPolicy`] / [`AsccConfig`] — **ASCC** (§3): per-set Set Saturation
+//!   Level counters classify each set as *spiller*, *neutral* or *receiver*;
+//!   spiller sets spill last-copy victims to the minimum-SSL receiver set of
+//!   a peer cache; when no receiver exists, the set switches to the
+//!   **SABIP** insertion policy (`LRU-1` insertion, ε-MRU) to fight capacity
+//!   thrashing. All the paper's ablations (LRS, LMS, GMS, LMS+BIP,
+//!   GMS+SABIP, ASCC-2S, static granularities) are configurations.
+//! * [`AvgccPolicy`] / [`AvgccConfig`] — **AVGCC** (§4): dynamically adapts
+//!   the granularity (sets per counter) with the `A`/`B`/`D` hardware
+//!   counters, and its **QoS** extension (§8) that throttles the mechanism
+//!   when it performs worse than the estimated baseline.
+//! * [`SpillAllocator`] — the scalable hardware candidate-tracking structure
+//!   sketched in §3.1.
+//! * [`StorageModel`] — the Table 5 / §7 storage-cost accounting.
+//!
+//! ## Example
+//!
+//! ```
+//! use ascc::{AsccConfig, SetRole};
+//! use cmp_cache::{AccessOutcome, CoreId, LlcPolicy, SetIdx, SpillDecision};
+//!
+//! // 2 cores, 64-set 8-way LLCs.
+//! let mut policy = AsccConfig::ascc(2, 64, 8).build();
+//!
+//! // Core 0 hammers set 3 with misses until it saturates...
+//! for _ in 0..16 {
+//!     policy.record_access(CoreId(0), SetIdx(3), AccessOutcome::Miss);
+//! }
+//! assert_eq!(policy.role(CoreId(0), SetIdx(3)), SetRole::Spiller);
+//!
+//! // ...so an evicted last-copy line from that set spills to core 1,
+//! // whose same-index set is underutilized.
+//! assert_eq!(policy.spill_decision(CoreId(0), SetIdx(3), false),
+//!            SpillDecision::Spill(CoreId(1)));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod avgcc;
+mod policy;
+mod spill_alloc;
+mod ssl;
+mod storage;
+mod tuning;
+
+pub use avgcc::{AvgccConfig, AvgccPolicy};
+pub use policy::{AsccConfig, AsccPolicy, CapacityPolicy, ReceiverSelection};
+pub use spill_alloc::SpillAllocator;
+pub use ssl::{SetRole, SslTable};
+pub use storage::{StorageCost, StorageModel};
+pub use tuning::{SslTuning, StressMetric};

@@ -1,0 +1,133 @@
+//! The Spill Allocator — the paper's scalable candidate-tracking structure.
+//!
+//! §3.1: *"In order to scale the design, an intermediate structure per cache
+//! similar to the Spill Allocator proposed in [ECC] can be easily adapted.
+//! It would only require one entry per set and it would store the saturation
+//! counter value, which must be lower than K (or K when there is no valid
+//! candidate), and the index of the current candidate cache. It should be
+//! updated with every miss in the other caches."*
+//!
+//! Unlike the exact minimum search the simulator can afford, the hardware
+//! structure is *approximate*: it only observes peer counter updates, so the
+//! stored candidate can be stale (e.g. after the candidate's SSL drifts up
+//! through hits it never reports). ASCC exposes both modes so the
+//! `ablation_allocator` bench can quantify the difference.
+
+use cmp_cache::CoreId;
+
+/// One cache's spill-allocator: the best-known receiver candidate per set.
+#[derive(Clone, Debug)]
+pub struct SpillAllocator {
+    /// `(candidate_value_fixed, candidate_cache)`; value `>= k_fixed` means
+    /// "no valid candidate".
+    entries: Vec<(u16, CoreId)>,
+    k_fixed: u16,
+}
+
+impl SpillAllocator {
+    /// Creates an allocator for `sets` sets with receiver threshold
+    /// `k_fixed` (fixed-point `K`). All entries start invalid.
+    pub fn new(sets: u32, k_fixed: u16) -> Self {
+        SpillAllocator {
+            entries: vec![(k_fixed, CoreId(0)); sets as usize],
+            k_fixed,
+        }
+    }
+
+    /// Observes that peer `cache`'s counter covering `set` changed to
+    /// `value_fixed` (called on every miss — and, in our implementation,
+    /// every update — in the other caches).
+    pub fn observe(&mut self, cache: CoreId, set: u32, value_fixed: u16) {
+        let e = &mut self.entries[set as usize];
+        if value_fixed < e.0 {
+            *e = (value_fixed, cache);
+        } else if e.1 == cache {
+            // Our candidate got worse; keep it if still valid, else drop.
+            if value_fixed < self.k_fixed {
+                e.0 = value_fixed;
+            } else {
+                *e = (self.k_fixed, cache);
+            }
+        }
+    }
+
+    /// The current candidate receiver for `set`, if any.
+    pub fn candidate(&self, set: u32) -> Option<CoreId> {
+        let (v, c) = self.entries[set as usize];
+        (v < self.k_fixed).then_some(c)
+    }
+
+    /// Invalidate every entry (used when SSL tables are re-initialised).
+    pub fn clear(&mut self) {
+        for e in &mut self.entries {
+            e.0 = self.k_fixed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const K: u16 = 8 << 3;
+
+    #[test]
+    fn starts_with_no_candidate() {
+        let a = SpillAllocator::new(4, K);
+        assert_eq!(a.candidate(0), None);
+    }
+
+    #[test]
+    fn tracks_the_minimum_seen() {
+        let mut a = SpillAllocator::new(4, K);
+        a.observe(CoreId(1), 0, 5 << 3);
+        a.observe(CoreId(2), 0, 3 << 3);
+        a.observe(CoreId(3), 0, 4 << 3);
+        assert_eq!(a.candidate(0), Some(CoreId(2)));
+    }
+
+    #[test]
+    fn ignores_values_at_or_above_k() {
+        let mut a = SpillAllocator::new(4, K);
+        a.observe(CoreId(1), 0, K);
+        assert_eq!(a.candidate(0), None);
+        a.observe(CoreId(1), 0, K + 8);
+        assert_eq!(a.candidate(0), None);
+    }
+
+    #[test]
+    fn candidate_drops_out_when_it_saturates() {
+        let mut a = SpillAllocator::new(4, K);
+        a.observe(CoreId(1), 0, 2 << 3);
+        assert_eq!(a.candidate(0), Some(CoreId(1)));
+        a.observe(CoreId(1), 0, K + 8);
+        assert_eq!(a.candidate(0), None);
+    }
+
+    #[test]
+    fn candidate_value_updates_in_place() {
+        let mut a = SpillAllocator::new(4, K);
+        a.observe(CoreId(1), 0, 2 << 3);
+        a.observe(CoreId(1), 0, 6 << 3); // worse but still valid
+        assert_eq!(a.candidate(0), Some(CoreId(1)));
+        // A better peer now wins.
+        a.observe(CoreId(2), 0, 5 << 3);
+        assert_eq!(a.candidate(0), Some(CoreId(2)));
+    }
+
+    #[test]
+    fn clear_invalidates() {
+        let mut a = SpillAllocator::new(2, K);
+        a.observe(CoreId(1), 1, 0);
+        a.clear();
+        assert_eq!(a.candidate(1), None);
+    }
+
+    #[test]
+    fn entries_are_per_set() {
+        let mut a = SpillAllocator::new(2, K);
+        a.observe(CoreId(1), 0, 0);
+        assert_eq!(a.candidate(0), Some(CoreId(1)));
+        assert_eq!(a.candidate(1), None);
+    }
+}

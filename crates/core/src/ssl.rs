@@ -1,0 +1,461 @@
+//! Set Saturation Level (SSL) counters.
+//!
+//! The SSL is the stress metric of the whole design (§3): a saturating
+//! counter per set (or per group of sets) in the range `0 ..= 2K-1`, where
+//! `K` is the associativity. It is **incremented on a miss and decremented
+//! on a hit**, so a saturated counter means the set cannot hold its working
+//! set and a low counter means the set has underutilized lines.
+//!
+//! Counters are stored in 4.3 fixed point (three fractional bits) because
+//! the QoS extension (§8) adds a fractional `QoSRatio` instead of 1 on each
+//! miss. Plain designs always add/subtract [`SslTable::ONE`].
+
+use crate::tuning::{SslTuning, StressMetric};
+
+/// Role of a set derived from its SSL (§3.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SetRole {
+    /// `SSL < K`: plenty of recent hits — the set can host peers' lines.
+    Receiver,
+    /// `K <= SSL < 2K-1`: under pressure; neither spill nor receive.
+    Neutral,
+    /// `SSL == 2K-1` (saturated): the set cannot hold its working set and
+    /// spills last-copy victims.
+    Spiller,
+}
+
+/// A table of SSL counters covering the sets of one cache at a given
+/// granularity (`sets_per_counter` adjacent sets share one counter).
+///
+/// # Examples
+///
+/// ```
+/// use ascc::{SetRole, SslTable};
+/// // 8-way cache, 16 sets, finest granularity.
+/// let mut t = SslTable::new(16, 8, 1);
+/// assert_eq!(t.role(3), SetRole::Receiver); // starts at K-1 < K
+/// for _ in 0..16 { t.on_miss(3, SslTable::ONE); }
+/// assert_eq!(t.role(3), SetRole::Spiller);  // saturated at 2K-1
+/// t.on_hit(3);
+/// assert_eq!(t.role(3), SetRole::Neutral);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SslTable {
+    counters: Vec<u16>,
+    sets: u32,
+    /// log2 of sets-per-counter (the paper's `D` for this table).
+    gran_log2: u8,
+    /// Receiver threshold in fixed point: `K << 3`.
+    k_fixed: u16,
+    /// Saturation value in fixed point: `(2K - 1) << 3` by default.
+    max_fixed: u16,
+    /// Spiller threshold in fixed point (= `max_fixed` for the paper's
+    /// saturating counters; slightly below it for the EWMA metric, which
+    /// only approaches the maximum asymptotically).
+    spiller_fixed: u16,
+    /// Update rule.
+    metric: StressMetric,
+}
+
+impl SslTable {
+    /// Fixed-point representation of 1.0.
+    pub const ONE: u16 = 1 << 3;
+
+    /// Creates a table for `sets` sets of a `k`-way cache, with
+    /// `sets_per_counter` adjacent sets sharing a counter. Counters start at
+    /// `K - 1` (the AVGCC re-initialisation value, just below the receiver
+    /// threshold).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `sets_per_counter` is not a nonzero power of two,
+    /// `sets_per_counter > sets`, or `k == 0`.
+    pub fn new(sets: u32, k: u16, sets_per_counter: u32) -> Self {
+        Self::with_tuning(sets, k, sets_per_counter, SslTuning::default())
+    }
+
+    /// Like [`SslTable::new`] but with explicit saturation-range tuning
+    /// (the paper's §9 future-work knob).
+    ///
+    /// # Panics
+    ///
+    /// See [`SslTable::new`]; additionally panics if the tuned maximum does
+    /// not exceed `K`.
+    pub fn with_tuning(sets: u32, k: u16, sets_per_counter: u32, tuning: SslTuning) -> Self {
+        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            sets_per_counter > 0 && sets_per_counter.is_power_of_two(),
+            "sets_per_counter must be a power of two"
+        );
+        assert!(sets_per_counter <= sets, "cannot group more sets than exist");
+        assert!(k > 0, "associativity must be nonzero");
+        let max = tuning.max_value(k);
+        assert!(max > k, "saturation maximum must exceed K");
+        if let StressMetric::Ewma { shift } = tuning.metric {
+            assert!(
+                (1..14).contains(&shift),
+                "EWMA shift must be in 1..14 to stay meaningful in 4.3 fixed point"
+            );
+        }
+        let gran_log2 = sets_per_counter.trailing_zeros() as u8;
+        let n = (sets >> gran_log2) as usize;
+        let max_fixed = max << 3;
+        let spiller_fixed = match tuning.metric {
+            StressMetric::Saturating => max_fixed,
+            // The EWMA converges to max without reaching it: classify as
+            // a spiller from 7/8 of the range up.
+            StressMetric::Ewma { .. } => max_fixed - (max_fixed >> 3),
+        };
+        SslTable {
+            counters: vec![(k - 1) << 3; n],
+            sets,
+            gran_log2,
+            k_fixed: k << 3,
+            max_fixed,
+            spiller_fixed,
+            metric: tuning.metric,
+        }
+    }
+
+    /// Number of counters in the table.
+    pub fn counters(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Number of sets covered.
+    pub fn sets(&self) -> u32 {
+        self.sets
+    }
+
+    /// Sets per counter.
+    pub fn sets_per_counter(&self) -> u32 {
+        1 << self.gran_log2
+    }
+
+    /// The receiver threshold `K` in fixed point.
+    pub fn k_fixed(&self) -> u16 {
+        self.k_fixed
+    }
+
+    /// The saturation value in fixed point.
+    pub fn max_fixed(&self) -> u16 {
+        self.max_fixed
+    }
+
+    /// Index of the counter covering `set` (the paper's `I >> D`).
+    #[inline]
+    pub fn counter_of(&self, set: u32) -> usize {
+        debug_assert!(set < self.sets);
+        (set >> self.gran_log2) as usize
+    }
+
+    /// Fixed-point value of the counter covering `set`.
+    #[inline]
+    pub fn value(&self, set: u32) -> u16 {
+        self.counters[self.counter_of(set)]
+    }
+
+    /// Fixed-point value of counter `idx` directly.
+    #[inline]
+    pub fn value_at(&self, idx: usize) -> u16 {
+        self.counters[idx]
+    }
+
+    /// Overwrites counter `idx` (AVGCC re-initialisation). Clamps to the
+    /// saturation range.
+    pub fn set_value_at(&mut self, idx: usize, value_fixed: u16) {
+        self.counters[idx] = value_fixed.min(self.max_fixed);
+    }
+
+    /// Miss update: saturating add of `inc_fixed` (use [`SslTable::ONE`]
+    /// outside QoS mode) under the paper's metric; an upward EWMA step
+    /// scaled by `inc_fixed` under [`StressMetric::Ewma`]. Returns
+    /// `(old, new)` fixed-point values.
+    pub fn on_miss(&mut self, set: u32, inc_fixed: u16) -> (u16, u16) {
+        let idx = self.counter_of(set);
+        let old = self.counters[idx];
+        let new = match self.metric {
+            StressMetric::Saturating => old.saturating_add(inc_fixed).min(self.max_fixed),
+            StressMetric::Ewma { shift } => {
+                // v += (max - v) >> shift, scaled by the (QoS) increment.
+                let step =
+                    ((self.max_fixed - old) as u32 >> shift) * inc_fixed as u32 / Self::ONE as u32;
+                // A nonzero increment always makes progress.
+                let step = if inc_fixed > 0 { step.max(1) } else { step };
+                (old as u32 + step).min(self.max_fixed as u32) as u16
+            }
+        };
+        self.counters[idx] = new;
+        (old, new)
+    }
+
+    /// Hit update: saturating subtract of 1.0 (paper metric) or a downward
+    /// EWMA step. Returns `(old, new)`.
+    pub fn on_hit(&mut self, set: u32) -> (u16, u16) {
+        let idx = self.counter_of(set);
+        let old = self.counters[idx];
+        let new = match self.metric {
+            StressMetric::Saturating => old.saturating_sub(Self::ONE),
+            StressMetric::Ewma { shift } => old - ((old >> shift).max(1)).min(old),
+        };
+        self.counters[idx] = new;
+        (old, new)
+    }
+
+    /// Three-state classification of `set` (§3.1).
+    pub fn role(&self, set: u32) -> SetRole {
+        self.role_of_value(self.value(set))
+    }
+
+    /// Two-state classification (the ASCC-2S ablation of Fig. 5):
+    /// spiller iff `SSL >= K`, receiver otherwise.
+    pub fn role_two_state(&self, set: u32) -> SetRole {
+        if self.value(set) < self.k_fixed {
+            SetRole::Receiver
+        } else {
+            SetRole::Spiller
+        }
+    }
+
+    /// The spiller threshold in fixed point (equals the saturation value
+    /// for the paper's metric).
+    pub fn spiller_fixed(&self) -> u16 {
+        self.spiller_fixed
+    }
+
+    /// Classifies a raw fixed-point value.
+    pub fn role_of_value(&self, v: u16) -> SetRole {
+        if v < self.k_fixed {
+            SetRole::Receiver
+        } else if v >= self.spiller_fixed {
+            SetRole::Spiller
+        } else {
+            SetRole::Neutral
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_just_below_receiver_threshold() {
+        let t = SslTable::new(8, 4, 1);
+        assert_eq!(t.counters(), 8);
+        assert_eq!(t.value(0), 3 << 3);
+        assert_eq!(t.role(0), SetRole::Receiver);
+    }
+
+    #[test]
+    fn saturates_at_2k_minus_1() {
+        let mut t = SslTable::new(4, 4, 1);
+        for _ in 0..100 {
+            t.on_miss(2, SslTable::ONE);
+        }
+        assert_eq!(t.value(2), 7 << 3);
+        assert_eq!(t.role(2), SetRole::Spiller);
+        // One hit drops to neutral.
+        t.on_hit(2);
+        assert_eq!(t.role(2), SetRole::Neutral);
+    }
+
+    #[test]
+    fn floors_at_zero() {
+        let mut t = SslTable::new(4, 4, 1);
+        for _ in 0..100 {
+            t.on_hit(1);
+        }
+        assert_eq!(t.value(1), 0);
+        assert_eq!(t.role(1), SetRole::Receiver);
+    }
+
+    #[test]
+    fn three_state_boundaries() {
+        let t = SslTable::new(4, 8, 1);
+        assert_eq!(t.role_of_value(0), SetRole::Receiver);
+        assert_eq!(t.role_of_value((8 << 3) - 1), SetRole::Receiver);
+        assert_eq!(t.role_of_value(8 << 3), SetRole::Neutral);
+        assert_eq!(t.role_of_value((15 << 3) - 1), SetRole::Neutral);
+        assert_eq!(t.role_of_value(15 << 3), SetRole::Spiller);
+    }
+
+    #[test]
+    fn two_state_boundaries() {
+        let mut t = SslTable::new(4, 8, 1);
+        assert_eq!(t.role_two_state(0), SetRole::Receiver);
+        for _ in 0..2 {
+            t.on_miss(0, SslTable::ONE);
+        }
+        // value = 7+2 = 9 >= 8 -> spiller under two-state, neutral otherwise.
+        assert_eq!(t.role_two_state(0), SetRole::Spiller);
+        assert_eq!(t.role(0), SetRole::Neutral);
+    }
+
+    #[test]
+    fn granularity_groups_adjacent_sets() {
+        let mut t = SslTable::new(16, 4, 4);
+        assert_eq!(t.counters(), 4);
+        assert_eq!(t.counter_of(0), 0);
+        assert_eq!(t.counter_of(3), 0);
+        assert_eq!(t.counter_of(4), 1);
+        t.on_miss(1, SslTable::ONE);
+        // Sets 0..4 share the counter.
+        assert_eq!(t.value(0), t.value(3));
+        assert_ne!(t.value(0), t.value(4));
+    }
+
+    #[test]
+    fn fractional_increments_accumulate() {
+        let mut t = SslTable::new(4, 4, 1);
+        // QoSRatio of 0.5 -> add 4 fixed-point units per miss.
+        let start = t.value(0);
+        t.on_miss(0, 4);
+        t.on_miss(0, 4);
+        assert_eq!(t.value(0), start + 8);
+    }
+
+    #[test]
+    fn set_value_clamps() {
+        let mut t = SslTable::new(4, 4, 1);
+        t.set_value_at(0, u16::MAX);
+        assert_eq!(t.value_at(0), t.max_fixed());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_grouping() {
+        let _ = SslTable::new(16, 4, 3);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Counters always stay inside [0, max] and the role function is
+        /// consistent with the thresholds, under any update sequence.
+        #[test]
+        fn counters_stay_bounded(
+            k in 1u16..16,
+            ops in prop::collection::vec((0u32..8, prop::bool::ANY, 1u16..12), 0..200),
+        ) {
+            let mut t = SslTable::new(8, k, 1);
+            for (set, is_miss, inc) in ops {
+                if is_miss {
+                    t.on_miss(set, inc);
+                } else {
+                    t.on_hit(set);
+                }
+                let v = t.value(set);
+                prop_assert!(v <= t.max_fixed());
+                match t.role(set) {
+                    SetRole::Receiver => prop_assert!(v < t.k_fixed()),
+                    SetRole::Spiller => prop_assert!(v >= t.max_fixed()),
+                    SetRole::Neutral => {
+                        prop_assert!(v >= t.k_fixed() && v < t.max_fixed())
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod ewma_tests {
+    use super::*;
+
+    fn ewma_table(k: u16, shift: u8) -> SslTable {
+        SslTable::with_tuning(8, k, 1, SslTuning::ewma(shift))
+    }
+
+    #[test]
+    fn misses_converge_to_spiller() {
+        let mut t = ewma_table(8, 3);
+        for _ in 0..200 {
+            t.on_miss(0, SslTable::ONE);
+        }
+        assert_eq!(t.role(0), SetRole::Spiller);
+        assert!(t.value(0) >= t.spiller_fixed());
+        assert!(t.value(0) <= t.max_fixed());
+    }
+
+    #[test]
+    fn hits_converge_to_receiver() {
+        let mut t = ewma_table(8, 3);
+        for _ in 0..200 {
+            t.on_miss(0, SslTable::ONE);
+        }
+        for _ in 0..200 {
+            t.on_hit(0);
+        }
+        assert_eq!(t.role(0), SetRole::Receiver);
+        assert_eq!(t.value(0), 0, "EWMA decays fully to zero");
+    }
+
+    #[test]
+    fn reacts_faster_than_saturating_counter() {
+        // After a long all-miss history, a burst of hits turns the EWMA
+        // around in fewer events than the +-1 counter.
+        let mut ewma = ewma_table(8, 2);
+        let mut sat = SslTable::new(8, 8, 1);
+        for _ in 0..200 {
+            ewma.on_miss(0, SslTable::ONE);
+            sat.on_miss(0, SslTable::ONE);
+        }
+        let mut ewma_steps = 0;
+        while ewma.role(0) != SetRole::Receiver {
+            ewma.on_hit(0);
+            ewma_steps += 1;
+        }
+        let mut sat_steps = 0;
+        while sat.role(0) != SetRole::Receiver {
+            sat.on_hit(0);
+            sat_steps += 1;
+        }
+        assert!(
+            ewma_steps < sat_steps,
+            "EWMA ({ewma_steps}) should flip faster than saturating ({sat_steps})"
+        );
+    }
+
+    #[test]
+    fn qos_scaled_increments_still_move() {
+        let mut t = ewma_table(8, 3);
+        // A QoS ratio of 1/8 scales the upward step but must not stall it.
+        let before = t.value(0);
+        t.on_miss(0, 1);
+        assert!(t.value(0) > before);
+        // A zero ratio freezes the counter on misses (full inhibition).
+        let frozen = t.value(0);
+        t.on_miss(0, 0);
+        assert_eq!(t.value(0), frozen);
+    }
+
+    #[test]
+    fn spiller_threshold_below_max_only_for_ewma() {
+        let e = ewma_table(4, 3);
+        assert!(e.spiller_fixed() < e.max_fixed());
+        let s = SslTable::new(8, 4, 1);
+        assert_eq!(s.spiller_fixed(), s.max_fixed());
+    }
+
+    #[test]
+    #[should_panic(expected = "EWMA shift")]
+    fn silly_shift_rejected() {
+        let _ = SslTable::with_tuning(8, 8, 1, SslTuning::ewma(0));
+    }
+
+    #[test]
+    fn metric_is_per_table() {
+        // StressMetric::Ewma never exceeds max even with huge increments.
+        let mut t = ewma_table(4, 1);
+        for _ in 0..100 {
+            t.on_miss(3, u16::MAX);
+        }
+        assert!(t.value(3) <= t.max_fixed());
+        assert_eq!(t.role(3), SetRole::Spiller);
+    }
+}

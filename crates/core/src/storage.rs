@@ -1,0 +1,165 @@
+//! Analytical storage-cost model (Table 5 and the §7 cost study).
+//!
+//! The paper accounts a 1 MB/8-way/32 B baseline cache at 42-bit addresses:
+//! 30-bit tag-store entries (5 bits MESI+LRU state, 25-bit tag), a 1 MB data
+//! store, and for AVGCC 5 extra bits per set (4-bit SSL + insertion policy
+//! bit) plus the `A`/`B`/`D` counters (12+12+4 bits). The QoS extension adds
+//! 3 fractional bits per SSL counter and a few per-core counters.
+
+use cmp_cache::CacheGeometry;
+
+/// Storage accounting for one private LLC under a given design.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StorageCost {
+    /// Tag store, in bits.
+    pub tag_store_bits: u64,
+    /// Data store, in bits.
+    pub data_store_bits: u64,
+    /// Additional structures required by the design, in bits.
+    pub extra_bits: u64,
+}
+
+impl StorageCost {
+    /// Total bits.
+    pub fn total_bits(&self) -> u64 {
+        self.tag_store_bits + self.data_store_bits + self.extra_bits
+    }
+
+    /// Extra storage as a fraction of the baseline (tag + data) storage.
+    pub fn overhead_fraction(&self) -> f64 {
+        self.extra_bits as f64 / (self.tag_store_bits + self.data_store_bits) as f64
+    }
+
+    /// Extra storage in bytes (rounded up).
+    pub fn extra_bytes(&self) -> u64 {
+        self.extra_bits.div_ceil(8)
+    }
+}
+
+/// The storage model of Table 5.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StorageModel {
+    geometry: CacheGeometry,
+    /// Physical address width (the paper assumes 42).
+    pub addr_bits: u32,
+    /// State bits per tag-store entry (MESI + LRU; the paper uses 5).
+    pub state_bits: u32,
+}
+
+impl StorageModel {
+    /// Model for the paper's assumptions (42-bit addresses, 5 state bits).
+    pub fn paper(geometry: CacheGeometry) -> Self {
+        StorageModel {
+            geometry,
+            addr_bits: 42,
+            state_bits: 5,
+        }
+    }
+
+    /// Tag bits per entry: `addr_bits - log2(sets) - log2(line_bytes)`.
+    pub fn tag_bits(&self) -> u32 {
+        self.addr_bits - self.geometry.index_bits() - self.geometry.offset_bits()
+    }
+
+    /// Baseline cost: tag store + data store, no extras.
+    pub fn baseline(&self) -> StorageCost {
+        let entries = self.geometry.lines();
+        StorageCost {
+            tag_store_bits: entries * (self.tag_bits() + self.state_bits) as u64,
+            data_store_bits: entries * self.geometry.line_bytes() as u64 * 8,
+            extra_bits: 0,
+        }
+    }
+
+    /// ASCC at a given counter count: 4-bit SSL + 1 insertion-policy bit per
+    /// counter (§7: 128 counters cost ~83 B, 2048 cost 1284 B with the AVGCC
+    /// counters included).
+    pub fn ascc(&self, counters: u64) -> StorageCost {
+        let mut c = self.baseline();
+        c.extra_bits = counters * 5;
+        c
+    }
+
+    /// AVGCC: ASCC's per-counter bits at the finest granularity in use plus
+    /// the `A` (12), `B` (12) and `D` (4) counters.
+    pub fn avgcc(&self, max_counters: u64) -> StorageCost {
+        let mut c = self.ascc(max_counters);
+        c.extra_bits += 12 + 12 + 4;
+        c
+    }
+
+    /// QoS-aware AVGCC (§8): 3 extra fractional bits per SSL counter, plus
+    /// per-cache 2×8-bit miss counters, a 4-bit ratio and a 12-bit
+    /// sampled-set count.
+    pub fn qos_avgcc(&self, max_counters: u64) -> StorageCost {
+        let mut c = self.avgcc(max_counters);
+        c.extra_bits += max_counters * 3 + 16 + 4 + 12;
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_model() -> StorageModel {
+        StorageModel::paper(CacheGeometry::from_capacity(1 << 20, 8, 32).unwrap())
+    }
+
+    #[test]
+    fn table5_tag_entry_is_30_bits() {
+        let m = paper_model();
+        assert_eq!(m.tag_bits(), 25);
+        assert_eq!(m.tag_bits() + m.state_bits, 30);
+    }
+
+    #[test]
+    fn table5_baseline_sizes() {
+        let b = paper_model().baseline();
+        // 32768 entries * 30 bits = 120 kB tag store.
+        assert_eq!(b.tag_store_bits, 32768 * 30);
+        assert_eq!(b.tag_store_bits / 8 / 1024, 120);
+        assert_eq!(b.data_store_bits / 8, 1 << 20);
+    }
+
+    #[test]
+    fn table5_avgcc_extras() {
+        let c = paper_model().avgcc(4096);
+        // 4096 * 5 bits = 2560 B plus ~4 B of A/B/D counters.
+        assert_eq!(c.extra_bytes(), 2560 + 4);
+        // Small overhead, under half a percent (the paper quotes 0.17%).
+        assert!(c.overhead_fraction() < 0.005);
+        assert!(c.overhead_fraction() > 0.001);
+    }
+
+    #[test]
+    fn section7_limited_counter_costs() {
+        let m = paper_model();
+        // "...from 6.8% when limiting the number of counters to 128 (which
+        // only requires 83B) to 7.1% using 2048 counters at the most (1284B)"
+        assert_eq!(m.avgcc(128).extra_bytes(), 84); // paper rounds to 83 B
+        assert_eq!(m.avgcc(2048).extra_bytes(), 1284);
+    }
+
+    #[test]
+    fn qos_overhead_is_roughly_double() {
+        let m = paper_model();
+        let plain = m.avgcc(4096);
+        let qos = m.qos_avgcc(4096);
+        // 0.35% claimed vs 0.17% for plain AVGCC: about 2x.
+        let ratio = qos.overhead_fraction() / plain.overhead_fraction();
+        assert!((1.5..2.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn overhead_independent_of_cache_size_scaling() {
+        // Table 4: overhead fraction stays ~constant as capacity scales
+        // (counters scale with sets).
+        for cap in [1u64 << 20, 2 << 20, 4 << 20] {
+            let g = CacheGeometry::from_capacity(cap, 8, 32).unwrap();
+            let m = StorageModel::paper(g);
+            let frac = m.avgcc(g.sets() as u64).overhead_fraction();
+            assert!((0.001..0.005).contains(&frac), "cap {cap}: {frac}");
+        }
+    }
+}

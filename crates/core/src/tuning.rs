@@ -1,0 +1,113 @@
+//! Tuning knobs for the SSL stress metric (§9 future work).
+//!
+//! The paper closes by proposing "tuning the size and limits of saturation
+//! counters, as well as exploring other metrics" as future work.
+//! [`SslTuning`] exposes both: the saturation maximum as a multiple of the
+//! associativity `K` (the default reproduces the paper's `2K - 1` range),
+//! and the update rule ([`StressMetric`]) — the paper's saturating ±1
+//! counter or an exponentially-weighted moving average of the miss ratio.
+//! The `ablations` bench sweeps these knobs.
+
+/// How the per-set stress counter reacts to hits and misses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum StressMetric {
+    /// The paper's rule: saturating `+1` on a miss, `-1` on a hit.
+    #[default]
+    Saturating,
+    /// An EWMA of the miss indicator: `v += (max - v) >> shift` on a miss,
+    /// `v -= v >> shift` on a hit. Reacts faster to behaviour changes and
+    /// never forgets a mixed history entirely — one of the "other metrics"
+    /// the paper leaves for future work.
+    Ewma {
+        /// Smoothing shift; larger = slower (3 is a reasonable default).
+        shift: u8,
+    },
+}
+
+/// Stress-metric tuning of the SSL counters.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SslTuning {
+    /// The saturation maximum is `ceil(K * max_multiplier) - 1`.
+    /// The paper uses 2.0, giving `2K - 1`.
+    pub max_multiplier: f64,
+    /// The update rule.
+    pub metric: StressMetric,
+}
+
+impl Default for SslTuning {
+    fn default() -> Self {
+        SslTuning {
+            max_multiplier: 2.0,
+            metric: StressMetric::Saturating,
+        }
+    }
+}
+
+impl SslTuning {
+    /// The paper's configuration (`2K - 1`, saturating counter).
+    pub fn paper() -> Self {
+        SslTuning::default()
+    }
+
+    /// An EWMA variant with the given smoothing shift.
+    pub fn ewma(shift: u8) -> Self {
+        SslTuning {
+            max_multiplier: 2.0,
+            metric: StressMetric::Ewma { shift },
+        }
+    }
+
+    /// Saturation maximum (integer SSL units) for associativity `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the multiplier is not finite and positive.
+    pub fn max_value(&self, k: u16) -> u16 {
+        assert!(
+            self.max_multiplier.is_finite() && self.max_multiplier > 0.0,
+            "max_multiplier must be positive and finite"
+        );
+        let m = (k as f64 * self.max_multiplier).ceil() as u32;
+        (m.max(k as u32 + 2) - 1).min(u16::MAX as u32) as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_2k_minus_1() {
+        let t = SslTuning::default();
+        assert_eq!(t.max_value(8), 15);
+        assert_eq!(t.max_value(4), 7);
+        assert_eq!(t, SslTuning::paper());
+        assert_eq!(t.metric, StressMetric::Saturating);
+    }
+
+    #[test]
+    fn wider_range() {
+        let t = SslTuning {
+            max_multiplier: 4.0,
+            ..SslTuning::default()
+        };
+        assert_eq!(t.max_value(8), 31);
+    }
+
+    #[test]
+    fn never_collapses_below_k_plus_1() {
+        // Even with a tiny multiplier the range keeps a neutral band.
+        let t = SslTuning {
+            max_multiplier: 1.01,
+            ..SslTuning::default()
+        };
+        assert!(t.max_value(8) > 8);
+    }
+
+    #[test]
+    fn ewma_constructor() {
+        let t = SslTuning::ewma(3);
+        assert_eq!(t.metric, StressMetric::Ewma { shift: 3 });
+        assert_eq!(t.max_value(8), 15);
+    }
+}

@@ -1,0 +1,84 @@
+//! The hardware Spill Allocator (§3.1) against the exact minimum search:
+//! when every counter update is a miss (all updates observable on the
+//! broadcast network), the allocator's candidate must be *value-equivalent*
+//! to the exact minimum; with hits in the stream it may go stale, but only
+//! ever conservatively (a stale candidate still satisfied `SSL < K` at its
+//! last observation).
+
+use ascc::{AsccConfig, AsccPolicy};
+use cmp_cache::{AccessOutcome, CoreId, LlcPolicy, SetIdx, SpillDecision};
+use proptest::prelude::*;
+
+const CORES: usize = 4;
+const SETS: u32 = 16;
+const WAYS: u16 = 4;
+
+fn pair() -> (AsccPolicy, AsccPolicy) {
+    let exact = AsccConfig::ascc(CORES, SETS, WAYS).build();
+    let mut acfg = AsccConfig::ascc(CORES, SETS, WAYS);
+    acfg.use_spill_allocator = true;
+    (exact, acfg.build())
+}
+
+proptest! {
+    #[test]
+    fn miss_only_streams_give_value_equivalent_candidates(
+        misses in prop::collection::vec((0u8..CORES as u8, 0u32..SETS), 1..300),
+    ) {
+        let (mut exact, mut alloc) = pair();
+        for &(core, set) in &misses {
+            exact.record_access(CoreId(core), SetIdx(set), AccessOutcome::Miss);
+            alloc.record_access(CoreId(core), SetIdx(set), AccessOutcome::Miss);
+        }
+        for &(core, set) in &misses {
+            let e = exact.spill_decision(CoreId(core), SetIdx(set), false);
+            let a = alloc.spill_decision(CoreId(core), SetIdx(set), false);
+            match (e, a) {
+                (SpillDecision::Spill(ej), SpillDecision::Spill(aj)) => {
+                    // Possibly different caches, but equally good ones —
+                    // modulo the allocator not observing the *first* miss
+                    // of a candidate it already tracks at an equal value.
+                    let ev = exact.ssl_value(ej, SetIdx(set));
+                    let av = exact.ssl_value(aj, SetIdx(set));
+                    prop_assert!(av <= ev + ascc::SslTable::ONE,
+                        "allocator candidate {aj} (v={av}) much worse than exact {ej} (v={ev})");
+                }
+                // The allocator may lack a candidate the exact search sees
+                // (it never observed that cache missing in this set), but
+                // never the other way around.
+                (SpillDecision::NoCandidate, SpillDecision::NoCandidate)
+                | (SpillDecision::NotSpiller, SpillDecision::NotSpiller)
+                | (SpillDecision::Spill(_), SpillDecision::NoCandidate) => {}
+                other => prop_assert!(false, "inconsistent decisions {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn allocator_candidates_always_looked_valid(
+        ops in prop::collection::vec(
+            ((0u8..CORES as u8), (0u32..SETS), prop::bool::ANY),
+            1..400,
+        ),
+    ) {
+        let (_, mut alloc) = pair();
+        for &(core, set, hit) in &ops {
+            let outcome = if hit {
+                AccessOutcome::Hit { spilled: false, depth: 0 }
+            } else {
+                AccessOutcome::Miss
+            };
+            alloc.record_access(CoreId(core), SetIdx(set), outcome);
+        }
+        // Whatever the allocator proposes must at least be a peer.
+        for core in 0..CORES as u8 {
+            for set in 0..SETS {
+                if let SpillDecision::Spill(j) =
+                    alloc.spill_decision(CoreId(core), SetIdx(set), false)
+                {
+                    prop_assert_ne!(j, CoreId(core), "never spill to self");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Long-horizon behavioural properties of AVGCC under randomized traffic.
+
+use ascc::{AvgccConfig, SetRole};
+use cmp_cache::{AccessOutcome, CoreId, LlcPolicy, SetIdx, SpillDecision};
+use proptest::prelude::*;
+
+const SETS: u32 = 64;
+const WAYS: u16 = 8;
+
+fn drive(policy: &mut ascc::AvgccPolicy, ops: &[(u8, u32, bool)], cores: usize) {
+    for &(core, set, hit) in ops {
+        let core = CoreId(core % cores as u8);
+        let set = SetIdx(set % SETS);
+        let outcome = if hit {
+            AccessOutcome::Hit {
+                spilled: false,
+                depth: 0,
+            }
+        } else {
+            AccessOutcome::Miss
+        };
+        policy.record_access(core, set, outcome);
+        // Exercise the spill path as the simulator would.
+        let _ = policy.spill_decision(core, set, false);
+        policy.on_cycle(core, (set.0 as u64) << 8);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn granularity_always_within_bounds(
+        ops in prop::collection::vec((0u8..4, 0u32..SETS, prop::bool::ANY), 1..3000),
+        max_counters in prop_oneof![Just(None), Just(Some(4u32)), Just(Some(16u32))],
+    ) {
+        let mut cfg = AvgccConfig::avgcc(3, SETS, WAYS);
+        cfg.epoch_accesses = 32;
+        if let Some(mc) = max_counters {
+            cfg = cfg.with_max_counters(mc);
+        }
+        let mut p = cfg.build();
+        drive(&mut p, &ops, 3);
+        for c in 0..3u8 {
+            let in_use = p.counters_in_use(CoreId(c));
+            let d = p.granularity_log2(CoreId(c));
+            prop_assert_eq!(in_use, SETS >> d, "counters must equal sets >> D");
+            prop_assert!(in_use >= 1);
+            if let Some(mc) = max_counters {
+                prop_assert!(in_use <= mc, "counter cap violated: {in_use} > {mc}");
+            } else {
+                prop_assert!(in_use <= SETS);
+            }
+        }
+        p.assert_ab_consistent();
+    }
+
+    #[test]
+    fn spill_decisions_match_roles(
+        ops in prop::collection::vec((0u8..2, 0u32..SETS, prop::bool::ANY), 1..1500),
+    ) {
+        let mut cfg = AvgccConfig::avgcc(2, SETS, WAYS);
+        cfg.epoch_accesses = 64;
+        let mut p = cfg.build();
+        drive(&mut p, &ops, 2);
+        for core in 0..2u8 {
+            for set in 0..SETS {
+                let d = p.spill_decision(CoreId(core), SetIdx(set), false);
+                match d {
+                    SpillDecision::NotSpiller => {
+                        prop_assert_ne!(p.role(CoreId(core), SetIdx(set)), SetRole::Spiller);
+                    }
+                    SpillDecision::Spill(to) => {
+                        prop_assert_ne!(to, CoreId(core));
+                        prop_assert_eq!(p.role(CoreId(core), SetIdx(set)), SetRole::Spiller);
+                        prop_assert_eq!(p.role(to, SetIdx(set)), SetRole::Receiver);
+                    }
+                    SpillDecision::NoCandidate => {
+                        prop_assert_eq!(p.role(CoreId(core), SetIdx(set)), SetRole::Spiller);
+                        // Capacity reaction: the set is now in SABIP mode.
+                        prop_assert!(p.in_capacity_mode(CoreId(core), SetIdx(set)));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qos_ratio_stays_in_unit_range(
+        ops in prop::collection::vec((0u8..2, 0u32..SETS, prop::bool::ANY), 1..2000),
+    ) {
+        let mut cfg = AvgccConfig::qos_avgcc(2, SETS, WAYS);
+        cfg.epoch_accesses = 64;
+        cfg.qos_epoch_cycles = 500;
+        let mut p = cfg.build();
+        let mut clock = 0u64;
+        for &(core, set, hit) in &ops {
+            let core = CoreId(core % 2);
+            let set = SetIdx(set % SETS);
+            let outcome = if hit {
+                AccessOutcome::Hit { spilled: false, depth: 0 }
+            } else {
+                AccessOutcome::Miss
+            };
+            p.record_access(core, set, outcome);
+            clock += 97;
+            p.on_cycle(core, clock);
+            let r = p.qos_ratio(core);
+            prop_assert!((0.0..=1.0).contains(&r), "ratio {r} out of range");
+        }
+        p.assert_ab_consistent();
+    }
+}

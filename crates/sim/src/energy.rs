@@ -1,0 +1,119 @@
+//! Memory-hierarchy energy model (§6.2's power-reduction claims).
+//!
+//! A simple event-energy model: every L2 access costs an L2 array access,
+//! remote hits add an interconnect transfer, and off-chip accesses (fetches
+//! and write-backs) cost a DRAM access. Only *relative* energy between
+//! policies matters for reproducing the paper's "25% / 29% power reduction"
+//! statements, so the constants are representative nJ values for a ~45 nm
+//! node rather than a calibrated CACTI model.
+
+use crate::metrics::RunResult;
+
+/// Energy cost constants, in nanojoules per event.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct EnergyModel {
+    /// One L2 tag+data access.
+    pub l2_access_nj: f64,
+    /// One cache-to-cache transfer over the broadcast network.
+    pub transfer_nj: f64,
+    /// One off-chip DRAM access (fetch or write-back).
+    pub dram_nj: f64,
+    /// Static/background energy per core-cycle (pJ scale folded into nJ).
+    pub background_nj_per_kilocycle: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            l2_access_nj: 0.5,
+            transfer_nj: 2.0,
+            dram_nj: 20.0,
+            background_nj_per_kilocycle: 1.0,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Total memory-hierarchy energy of a run, in nanojoules.
+    pub fn energy_nj(&self, run: &RunResult) -> f64 {
+        let mut e = 0.0;
+        for c in &run.cores {
+            e += c.l2_accesses as f64 * self.l2_access_nj;
+            e += c.l2_remote_hits as f64 * self.transfer_nj;
+            e += c.offchip_accesses() as f64 * self.dram_nj;
+            e += c.cycles / 1000.0 * self.background_nj_per_kilocycle;
+        }
+        // Spills are extra transfers the cores never see as latency.
+        e += (run.spills + run.swaps) as f64 * self.transfer_nj;
+        e
+    }
+
+    /// Relative reduction (positive = `run` uses less energy than `base`).
+    pub fn reduction(&self, run: &RunResult, base: &RunResult) -> f64 {
+        1.0 - self.energy_nj(run) / self.energy_nj(base)
+    }
+
+    /// Average power relative to `base`, accounting for the differing run
+    /// times (energy / time, normalised).
+    pub fn power_reduction(&self, run: &RunResult, base: &RunResult) -> f64 {
+        let t_run: f64 = run.cores.iter().map(|c| c.cycles).sum();
+        let t_base: f64 = base.cores.iter().map(|c| c.cycles).sum();
+        1.0 - (self.energy_nj(run) / t_run) / (self.energy_nj(base) / t_base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::CoreResult;
+
+    fn run_with(mem: u64, remote: u64, cycles: f64) -> RunResult {
+        RunResult {
+            policy: "x".to_string(),
+            cores: vec![CoreResult {
+                label: "w".to_string(),
+                instrs: 1000,
+                cycles,
+                l2_accesses: 100,
+                l2_local_hits: 100 - remote - mem,
+                l2_remote_hits: remote,
+                l2_mem: mem,
+                offchip_fetches: mem,
+                writebacks: 0,
+                l1_accesses: 1000,
+                l1_hits: 900,
+            }],
+            spills: 0,
+            swaps: 0,
+            spill_hits: 0,
+        }
+    }
+
+    #[test]
+    fn fewer_dram_accesses_reduce_energy() {
+        let m = EnergyModel::default();
+        let heavy = run_with(50, 0, 10_000.0);
+        let light = run_with(10, 20, 9_000.0);
+        assert!(m.energy_nj(&light) < m.energy_nj(&heavy));
+        assert!(m.reduction(&light, &heavy) > 0.0);
+        assert!(m.power_reduction(&light, &heavy) > 0.0);
+    }
+
+    #[test]
+    fn remote_hits_cost_less_than_dram() {
+        let m = EnergyModel::default();
+        // Same access count; one run converts memory accesses to remote hits.
+        let base = run_with(30, 0, 10_000.0);
+        let coop = run_with(10, 20, 10_000.0);
+        let red = m.reduction(&coop, &base);
+        assert!(red > 0.1, "converting DRAM to transfers saves energy: {red}");
+    }
+
+    #[test]
+    fn identical_runs_zero_reduction() {
+        let m = EnergyModel::default();
+        let a = run_with(30, 5, 10_000.0);
+        let b = run_with(30, 5, 10_000.0);
+        assert!(m.reduction(&a, &b).abs() < 1e-12);
+    }
+}

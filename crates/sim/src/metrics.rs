@@ -1,0 +1,291 @@
+//! Run results and the paper's evaluation metrics.
+//!
+//! §6: performance is the **weighted speedup** (sum of per-application IPC
+//! normalised to the application running alone), fairness is the **harmonic
+//! mean** of the normalised IPCs, and §6.2 analyses the **average memory
+//! latency** assuming sequential (non-overlapped) accesses, broken down by
+//! where L2 accesses are served (local L2, remote L2, memory).
+//!
+//! The private-LLC baseline isolates co-scheduled applications, so a
+//! baseline multiprogrammed run doubles as the "alone" run used for
+//! normalisation.
+
+/// Per-core measurement of one simulation run.
+#[derive(Clone, Debug)]
+pub struct CoreResult {
+    /// Workload label (e.g. `"473.astar"`).
+    pub label: String,
+    /// Instructions committed in the measured window.
+    pub instrs: u64,
+    /// Cycles elapsed in the measured window.
+    pub cycles: f64,
+    /// L2 accesses (L1 misses plus store write-throughs).
+    pub l2_accesses: u64,
+    /// L2 accesses served by the local L2.
+    pub l2_local_hits: u64,
+    /// L2 accesses served by a peer L2 (cache-to-cache transfer).
+    pub l2_remote_hits: u64,
+    /// L2 accesses served by main memory.
+    pub l2_mem: u64,
+    /// Demand + prefetch lines fetched from memory.
+    pub offchip_fetches: u64,
+    /// Dirty lines written back to memory.
+    pub writebacks: u64,
+    /// L1 accesses.
+    pub l1_accesses: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+}
+
+impl CoreResult {
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        self.cycles / self.instrs.max(1) as f64
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.instrs as f64 / self.cycles.max(1.0)
+    }
+
+    /// L2 misses (remote hits count as misses of the local L2, matching the
+    /// paper's L2 MPKI which is per private cache).
+    pub fn l2_misses(&self) -> u64 {
+        self.l2_remote_hits + self.l2_mem
+    }
+
+    /// L2 misses per 1000 instructions.
+    pub fn l2_mpki(&self) -> f64 {
+        self.l2_misses() as f64 * 1000.0 / self.instrs.max(1) as f64
+    }
+
+    /// Off-chip accesses (fetches + writebacks), the Table 4 metric.
+    pub fn offchip_accesses(&self) -> u64 {
+        self.offchip_fetches + self.writebacks
+    }
+}
+
+/// Outcome of one multiprogrammed simulation run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Name of the LLC policy that produced this run.
+    pub policy: String,
+    /// Per-core results, in core order.
+    pub cores: Vec<CoreResult>,
+    /// Lines spilled between caches.
+    pub spills: u64,
+    /// Requested/victim swaps performed (§3.2).
+    pub swaps: u64,
+    /// Hits (local or remote) on lines that had been spilled.
+    pub spill_hits: u64,
+}
+
+impl RunResult {
+    /// Total off-chip accesses across cores.
+    pub fn offchip_accesses(&self) -> u64 {
+        self.cores.iter().map(|c| c.offchip_accesses()).sum()
+    }
+
+    /// Hits per spilled line (§6.4); 0 when nothing was spilled.
+    pub fn hits_per_spill(&self) -> f64 {
+        if self.spills == 0 {
+            0.0
+        } else {
+            self.spill_hits as f64 / self.spills as f64
+        }
+    }
+
+    /// Average memory latency over L2 accesses, sequential assumption
+    /// (§6.2), for the given latencies.
+    pub fn aml(&self, lat_local: u32, lat_remote: u32, lat_mem: u32) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0u64;
+        for c in &self.cores {
+            num += c.l2_local_hits as f64 * lat_local as f64
+                + c.l2_remote_hits as f64 * lat_remote as f64
+                + c.l2_mem as f64 * lat_mem as f64;
+            den += c.l2_accesses;
+        }
+        if den == 0 {
+            0.0
+        } else {
+            num / den as f64
+        }
+    }
+
+    /// Fractions of L2 accesses served locally / remotely / by memory.
+    pub fn access_breakdown(&self) -> (f64, f64, f64) {
+        let total: u64 = self.cores.iter().map(|c| c.l2_accesses).sum();
+        if total == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let local: u64 = self.cores.iter().map(|c| c.l2_local_hits).sum();
+        let remote: u64 = self.cores.iter().map(|c| c.l2_remote_hits).sum();
+        let mem: u64 = self.cores.iter().map(|c| c.l2_mem).sum();
+        (
+            local as f64 / total as f64,
+            remote as f64 / total as f64,
+            mem as f64 / total as f64,
+        )
+    }
+}
+
+/// Weighted-speedup improvement of `run` over `base`:
+/// `(Σ IPC_run,i / IPC_base,i) / N - 1` (§6.1).
+///
+/// The private baseline isolates applications, so its multiprogrammed run
+/// doubles as the "alone" run the weighted speedup normalises against.
+///
+/// # Panics
+///
+/// Panics if the runs have different core counts.
+pub fn weighted_speedup_improvement(run: &RunResult, base: &RunResult) -> f64 {
+    assert_eq!(run.cores.len(), base.cores.len(), "core count mismatch");
+    let n = run.cores.len() as f64;
+    let sum: f64 = run
+        .cores
+        .iter()
+        .zip(&base.cores)
+        .map(|(r, b)| r.ipc() / b.ipc())
+        .sum();
+    sum / n - 1.0
+}
+
+/// Fairness improvement of `run` over `base`: the harmonic mean of the
+/// normalised IPCs, minus 1 (§6.1, after Luo et al.).
+///
+/// # Panics
+///
+/// Panics if the runs have different core counts.
+pub fn fairness_improvement(run: &RunResult, base: &RunResult) -> f64 {
+    assert_eq!(run.cores.len(), base.cores.len(), "core count mismatch");
+    let n = run.cores.len() as f64;
+    let inv_sum: f64 = run
+        .cores
+        .iter()
+        .zip(&base.cores)
+        .map(|(r, b)| b.ipc() / r.ipc())
+        .sum();
+    n / inv_sum - 1.0
+}
+
+/// Geometric mean of `1 + x` over the slice, minus 1 — how the paper
+/// aggregates per-workload improvement percentages into its "geomean"
+/// columns.
+///
+/// # Examples
+///
+/// ```
+/// use cmp_sim::geomean_improvement;
+/// let g = geomean_improvement(&[0.10, 0.10]);
+/// assert!((g - 0.10).abs() < 1e-12);
+/// ```
+pub fn geomean_improvement(improvements: &[f64]) -> f64 {
+    if improvements.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = improvements.iter().map(|&x| (1.0 + x).max(1e-9).ln()).sum();
+    (log_sum / improvements.len() as f64).exp() - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core(label: &str, instrs: u64, cycles: f64) -> CoreResult {
+        CoreResult {
+            label: label.to_string(),
+            instrs,
+            cycles,
+            l2_accesses: 100,
+            l2_local_hits: 60,
+            l2_remote_hits: 10,
+            l2_mem: 30,
+            offchip_fetches: 30,
+            writebacks: 5,
+            l1_accesses: 1000,
+            l1_hits: 900,
+        }
+    }
+
+    fn run(policy: &str, cpis: &[f64]) -> RunResult {
+        RunResult {
+            policy: policy.to_string(),
+            cores: cpis
+                .iter()
+                .enumerate()
+                .map(|(i, &cpi)| core(&format!("b{i}"), 1_000_000, cpi * 1_000_000.0))
+                .collect(),
+            spills: 10,
+            swaps: 1,
+            spill_hits: 5,
+        }
+    }
+
+    #[test]
+    fn cpi_ipc_mpki() {
+        let c = core("x", 1000, 2000.0);
+        assert!((c.cpi() - 2.0).abs() < 1e-12);
+        assert!((c.ipc() - 0.5).abs() < 1e-12);
+        assert_eq!(c.l2_misses(), 40);
+        assert!((c.l2_mpki() - 40.0).abs() < 1e-12);
+        assert_eq!(c.offchip_accesses(), 35);
+    }
+
+    #[test]
+    fn identical_runs_have_zero_improvement() {
+        let a = run("base", &[1.0, 2.0]);
+        let b = run("base", &[1.0, 2.0]);
+        assert!(weighted_speedup_improvement(&a, &b).abs() < 1e-12);
+        assert!(fairness_improvement(&a, &b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faster_run_improves() {
+        let base = run("base", &[2.0, 2.0]);
+        let fast = run("p", &[1.0, 2.0]); // core 0 twice as fast
+        let ws = weighted_speedup_improvement(&fast, &base);
+        assert!((ws - 0.5).abs() < 1e-12, "ws {ws}");
+        // Harmonic mean rewards balance less: improvement below arithmetic.
+        let f = fairness_improvement(&fast, &base);
+        assert!(f > 0.0 && f < ws, "fairness {f} vs ws {ws}");
+    }
+
+    #[test]
+    fn slowdowns_show_as_negative() {
+        let base = run("base", &[1.0]);
+        let slow = run("p", &[2.0]);
+        assert!(weighted_speedup_improvement(&slow, &base) < 0.0);
+        assert!(fairness_improvement(&slow, &base) < 0.0);
+    }
+
+    #[test]
+    fn aml_weights_latencies() {
+        let r = run("p", &[1.0]);
+        // 60*9 + 10*25 + 30*460 = 540 + 250 + 13800 = 14590 over 100.
+        assert!((r.aml(9, 25, 460) - 145.9).abs() < 1e-9);
+        let (l, rm, m) = r.access_breakdown();
+        assert!((l - 0.6).abs() < 1e-12);
+        assert!((rm - 0.1).abs() < 1e-12);
+        assert!((m - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hits_per_spill() {
+        let r = run("p", &[1.0]);
+        assert!((r.hits_per_spill() - 0.5).abs() < 1e-12);
+        let mut r2 = r.clone();
+        r2.spills = 0;
+        assert_eq!(r2.hits_per_spill(), 0.0);
+    }
+
+    #[test]
+    fn geomean_of_improvements() {
+        assert_eq!(geomean_improvement(&[]), 0.0);
+        let g = geomean_improvement(&[0.1, 0.1]);
+        assert!((g - 0.1).abs() < 1e-9);
+        // Mixes of gains and losses.
+        let g = geomean_improvement(&[0.5, -0.25]);
+        assert!((g - ((1.5f64 * 0.75).sqrt() - 1.0)).abs() < 1e-12);
+    }
+}

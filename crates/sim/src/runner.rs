@@ -1,0 +1,215 @@
+//! Convenience runners: mixes → systems, solo runs, and the
+//! fully-associative single-core run used by Fig. 1's last column.
+
+use crate::config::SystemConfig;
+use crate::metrics::{CoreResult, RunResult};
+use crate::system::CmpSystem;
+use cmp_cache::{
+    AccessKind, CacheGeometry, CacheLine, FillKind, FullyAssocLru, InsertPos, LlcPolicy,
+    MesiState, PrivateBaseline, SetAssocCache,
+};
+use cmp_trace::{CoreWorkload, SpecBench, WorkloadMix};
+
+/// Each core owns a disjoint `2^40`-byte region of the physical address
+/// space (multiprogrammed isolation; DESIGN.md §5).
+pub const CORE_SPACE_BITS: u32 = 40;
+
+/// Builds the per-core workloads of a mix, placing core `i` at
+/// `i << CORE_SPACE_BITS`.
+pub fn mix_workloads(mix: &WorkloadMix, seed: u64) -> Vec<CoreWorkload> {
+    mix.benches
+        .iter()
+        .enumerate()
+        .map(|(i, b)| b.workload((i as u64) << CORE_SPACE_BITS, seed ^ ((i as u64) << 8)))
+        .collect()
+}
+
+/// Runs `mix` under `policy` on `cfg`, measuring `instr_target`
+/// instructions per core after `warmup` instructions.
+pub fn run_mix(
+    cfg: &SystemConfig,
+    mix: &WorkloadMix,
+    policy: Box<dyn LlcPolicy>,
+    instr_target: u64,
+    warmup: u64,
+    seed: u64,
+) -> RunResult {
+    assert_eq!(cfg.cores, mix.cores(), "config/mix core count mismatch");
+    let mut sys = CmpSystem::new(cfg.clone(), policy, mix_workloads(mix, seed));
+    sys.run(instr_target, warmup)
+}
+
+/// Runs one benchmark alone on a single-core system (Table 3 / Fig. 1
+/// characterisation). The L2 geometry comes from `cfg`.
+pub fn run_solo(
+    cfg: &SystemConfig,
+    bench: SpecBench,
+    instr_target: u64,
+    warmup: u64,
+    seed: u64,
+) -> CoreResult {
+    assert_eq!(cfg.cores, 1, "solo runs use a single core");
+    let w = bench.workload(0, seed);
+    let mut sys = CmpSystem::new(cfg.clone(), Box::new(PrivateBaseline::new()), vec![w]);
+    let mut r = sys.run(instr_target, warmup);
+    r.cores.remove(0)
+}
+
+/// Runs one benchmark alone against a *fully associative* LLC of
+/// `l2_lines` lines — Fig. 1's "full associativity" column.
+#[allow(clippy::too_many_arguments)] // mirrors run_solo + explicit FA shape
+pub fn run_solo_fully_assoc(
+    l1: CacheGeometry,
+    l2_lines: usize,
+    lat_l2: u32,
+    lat_mem: u32,
+    bench: SpecBench,
+    instr_target: u64,
+    warmup: u64,
+    seed: u64,
+) -> CoreResult {
+    let mut w = bench.workload(0, seed);
+    let mut l1c = SetAssocCache::new(l1);
+    let mut l2 = FullyAssocLru::new(l2_lines);
+    let mut instrs = 0u64;
+    let mut cycles = 0.0f64;
+    let mut carry = 0.0f64;
+    let mut cnt = CoreResult {
+        label: w.label.clone(),
+        instrs: 0,
+        cycles: 0.0,
+        l2_accesses: 0,
+        l2_local_hits: 0,
+        l2_remote_hits: 0,
+        l2_mem: 0,
+        offchip_fetches: 0,
+        writebacks: 0,
+        l1_accesses: 0,
+        l1_hits: 0,
+    };
+    let mut measuring = false;
+    let mut start = (0u64, 0.0f64, 0u64, 0u64, 0u64, 0u64, 0u64);
+    loop {
+        let acc = w.stream.next_access();
+        carry += 1.0 / w.cpu.mem_fraction;
+        let n = (carry as u64).max(1);
+        carry -= n as f64;
+        instrs += n;
+        cycles += n as f64 * w.cpu.base_cpi;
+        cnt.l1_accesses += 1;
+        let line = acc.addr.line(l1.offset_bits());
+        let latency = if l1c.access(line).is_some() {
+            cnt.l1_hits += 1;
+            if acc.kind == AccessKind::Store {
+                cnt.l2_accesses += 1;
+                l2.access(line); // write-through touch
+                cnt.l2_local_hits += 1;
+            }
+            0
+        } else {
+            cnt.l2_accesses += 1;
+            let lat = if l2.access(line).is_hit() {
+                cnt.l2_local_hits += 1;
+                lat_l2
+            } else {
+                cnt.l2_mem += 1;
+                cnt.offchip_fetches += 1;
+                lat_mem
+            };
+            let set = l1.set_of(line);
+            let way = l1c.set(set).default_victim();
+            l1c.fill(
+                set,
+                way,
+                CacheLine::demand(line, MesiState::Exclusive),
+                InsertPos::Mru,
+                FillKind::Demand,
+            );
+            lat
+        };
+        if acc.kind == AccessKind::Load && latency > 0 {
+            cycles += latency as f64 * w.cpu.overlap;
+        }
+        if !measuring && instrs >= warmup {
+            measuring = true;
+            start = (
+                instrs,
+                cycles,
+                cnt.l2_accesses,
+                cnt.l2_local_hits,
+                cnt.l2_mem,
+                cnt.l1_accesses,
+                cnt.l1_hits,
+            );
+        }
+        if measuring && instrs - start.0 >= instr_target {
+            break;
+        }
+    }
+    CoreResult {
+        label: cnt.label,
+        instrs: instrs - start.0,
+        cycles: cycles - start.1,
+        l2_accesses: cnt.l2_accesses - start.2,
+        l2_local_hits: cnt.l2_local_hits - start.3,
+        l2_remote_hits: 0,
+        l2_mem: cnt.l2_mem - start.4,
+        offchip_fetches: cnt.l2_mem - start.4,
+        writebacks: 0,
+        l1_accesses: cnt.l1_accesses - start.5,
+        l1_hits: cnt.l1_hits - start.6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmp_trace::two_app_mixes;
+
+    #[test]
+    fn mix_workloads_are_disjoint() {
+        let mix = &two_app_mixes()[0];
+        let mut ws = mix_workloads(mix, 1);
+        assert_eq!(ws.len(), 2);
+        let a0 = ws[0].stream.next_access().addr.raw() >> CORE_SPACE_BITS;
+        let a1 = ws[1].stream.next_access().addr.raw() >> CORE_SPACE_BITS;
+        assert_eq!(a0, 0);
+        assert_eq!(a1, 1);
+    }
+
+    #[test]
+    fn solo_run_produces_stats() {
+        let mut cfg = SystemConfig::table2(1);
+        cfg.l2 = CacheGeometry::from_capacity(64 << 10, 8, 32).unwrap();
+        let r = run_solo(&cfg, SpecBench::Namd, 200_000, 50_000, 3);
+        assert!(r.instrs >= 200_000);
+        // namd's 160 kB hot loop cannot fit this shrunken 64 kB L2, so the
+        // CPI is memory-bound here; just check it is finite and sensible.
+        assert!(r.cpi() > 0.3 && r.cpi() < 30.0, "cpi {}", r.cpi());
+    }
+
+    #[test]
+    fn fully_assoc_beats_set_assoc_for_same_capacity() {
+        // A benchmark with conflict-prone reuse: FA removes conflict misses,
+        // so FA MPKI <= set-associative MPKI at equal capacity.
+        let mut cfg = SystemConfig::table2(1);
+        cfg.l2 = CacheGeometry::from_capacity(256 << 10, 2, 32).unwrap();
+        let sa = run_solo(&cfg, SpecBench::Astar, 300_000, 50_000, 3);
+        let fa = run_solo_fully_assoc(
+            cfg.l1,
+            (256 << 10) / 32,
+            cfg.lat_l2_local,
+            cfg.lat_mem,
+            SpecBench::Astar,
+            300_000,
+            50_000,
+            3,
+        );
+        assert!(
+            fa.l2_mpki() <= sa.l2_mpki() + 0.5,
+            "FA {} vs SA {}",
+            fa.l2_mpki(),
+            sa.l2_mpki()
+        );
+    }
+}

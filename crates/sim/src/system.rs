@@ -1,0 +1,659 @@
+//! The CMP simulator: private two-level hierarchies over a snoop bus, an
+//! analytical core timing model, and the spill/swap orchestration that the
+//! LLC policies steer.
+//!
+//! ## Timing model
+//!
+//! Cores are modelled analytically (DESIGN.md substitution #2): committing
+//! `n` instructions costs `n * base_cpi` cycles, and a load that misses in
+//! L1 additionally stalls the core for the hierarchy latency scaled by the
+//! benchmark's `overlap` factor (its memory-level parallelism). Stores are
+//! buffered (write-through L1, write-back L2) and never stall. The
+//! simulation interleaves cores at access granularity by always advancing
+//! the core with the smallest clock, so caches observe a realistic global
+//! interleaving of the competing access streams.
+//!
+//! ## Memory-system behaviour per L2 access
+//!
+//! 1. local hit (9 cycles): recency promoted, SSL/PSEL counters informed;
+//! 2. remote hit (25 cycles): found by the MESI broadcast in a peer LLC;
+//!    migrated home (multiprogrammed) or replicated (multithreaded). If the
+//!    policy enables §3.2 swapping and both the requested line and the
+//!    local victim are last copies, they exchange places;
+//! 3. memory (460 cycles): fetched; the victim, if it was the last on-chip
+//!    copy, is offered to the policy for spilling into a peer's same-index
+//!    set.
+
+use crate::config::SystemConfig;
+use crate::metrics::{CoreResult, RunResult};
+use cmp_cache::{
+    AccessKind, AccessOutcome, CacheLine, CoreId, FillKind, InsertPos, LineAddr, LlcPolicy,
+    MesiState, SetAssocCache, SetIdx, SpillDecision, StridePrefetcher,
+};
+use cmp_coherence::{ReadPolicy, SnoopBus};
+use cmp_trace::CoreWorkload;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Counters {
+    instrs: u64,
+    cycles: f64,
+    l1_accesses: u64,
+    l1_hits: u64,
+    l2_accesses: u64,
+    l2_local_hits: u64,
+    l2_remote_hits: u64,
+    l2_mem: u64,
+    offchip_fetches: u64,
+    writebacks: u64,
+}
+
+struct CoreState {
+    workload: CoreWorkload,
+    clock: f64,
+    carry: f64,
+    counters: Counters,
+    warm_snap: Option<Counters>,
+    end_snap: Option<Counters>,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct GlobalCounters {
+    spills: u64,
+    swaps: u64,
+    spill_hits: u64,
+}
+
+/// The multiprogrammed/multithreaded CMP simulator.
+pub struct CmpSystem {
+    cfg: SystemConfig,
+    l1s: Vec<SetAssocCache>,
+    l2s: Vec<SetAssocCache>,
+    bus: SnoopBus,
+    policy: Box<dyn LlcPolicy>,
+    prefetchers: Vec<StridePrefetcher>,
+    pf_buf: Vec<LineAddr>,
+    cores: Vec<CoreState>,
+    global: GlobalCounters,
+    global_warm: Option<GlobalCounters>,
+}
+
+impl std::fmt::Debug for CmpSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CmpSystem")
+            .field("cores", &self.cores.len())
+            .field("policy", &self.policy.name())
+            .finish()
+    }
+}
+
+impl CmpSystem {
+    /// Builds a system running `workloads` (one per core) under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workloads.len() != cfg.cores`.
+    pub fn new(cfg: SystemConfig, policy: Box<dyn LlcPolicy>, workloads: Vec<CoreWorkload>) -> Self {
+        assert_eq!(
+            workloads.len(),
+            cfg.cores,
+            "need exactly one workload per core"
+        );
+        let l2_builder = || {
+            let c = SetAssocCache::new(cfg.l2);
+            if cfg.track_set_stats {
+                c.with_set_stats()
+            } else {
+                c
+            }
+        };
+        CmpSystem {
+            l1s: (0..cfg.cores).map(|_| SetAssocCache::new(cfg.l1)).collect(),
+            l2s: (0..cfg.cores).map(|_| l2_builder()).collect(),
+            bus: SnoopBus::new(),
+            prefetchers: cfg
+                .prefetch
+                .map(|p| (0..cfg.cores).map(|_| StridePrefetcher::new(p)).collect())
+                .unwrap_or_default(),
+            pf_buf: Vec::with_capacity(8),
+            cores: workloads
+                .into_iter()
+                .map(|w| CoreState {
+                    workload: w,
+                    clock: 0.0,
+                    carry: 0.0,
+                    counters: Counters::default(),
+                    warm_snap: None,
+                    end_snap: None,
+                })
+                .collect(),
+            policy,
+            global: GlobalCounters::default(),
+            global_warm: None,
+            cfg,
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &dyn LlcPolicy {
+        &*self.policy
+    }
+
+    /// A core's private L2 (e.g. for per-set statistics).
+    pub fn l2(&self, core: CoreId) -> &SetAssocCache {
+        &self.l2s[core.index()]
+    }
+
+    /// All private L2s, core order (e.g. for coherence checking).
+    pub fn l2s(&self) -> &[SetAssocCache] {
+        &self.l2s
+    }
+
+    /// The snoop bus statistics.
+    pub fn bus(&self) -> &SnoopBus {
+        &self.bus
+    }
+
+    /// Verifies L1 ⊆ L2 inclusion for every core (test helper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any L1 holds a line its own L2 does not.
+    pub fn assert_inclusive(&self) {
+        for (i, l1) in self.l1s.iter().enumerate() {
+            for s in 0..l1.geometry().sets() {
+                for (_, line) in l1.set(SetIdx(s)).iter() {
+                    assert!(
+                        self.l2s[i].probe(line.addr).is_some(),
+                        "core {i}: L1 line {:?} missing from L2 (inclusion)",
+                        line.addr
+                    );
+                }
+            }
+        }
+    }
+
+    /// Runs the workloads: each core first commits `warmup_instrs` (not
+    /// measured), then `instr_target` measured instructions. Cores that
+    /// finish keep executing — competing for cache space — until the last
+    /// one is done, as in the paper's methodology (§5).
+    pub fn run(&mut self, instr_target: u64, warmup_instrs: u64) -> RunResult {
+        assert!(instr_target > 0, "need a nonzero instruction target");
+        loop {
+            // Advance the globally-oldest core by one memory access.
+            let i = self
+                .cores
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.clock.total_cmp(&b.1.clock))
+                .map(|(i, _)| i)
+                .expect("at least one core");
+            self.step(i);
+
+            let c = &mut self.cores[i];
+            if c.warm_snap.is_none() && c.counters.instrs >= warmup_instrs {
+                c.warm_snap = Some(c.counters);
+                if self.global_warm.is_none() && self.cores.iter().all(|c| c.warm_snap.is_some())
+                {
+                    self.global_warm = Some(self.global);
+                }
+            }
+            let c = &mut self.cores[i];
+            if let Some(w) = c.warm_snap {
+                if c.end_snap.is_none() && c.counters.instrs - w.instrs >= instr_target {
+                    c.end_snap = Some(c.counters);
+                }
+            }
+            if self.cores.iter().all(|c| c.end_snap.is_some()) {
+                break;
+            }
+        }
+        self.result()
+    }
+
+    fn result(&self) -> RunResult {
+        let cores = self
+            .cores
+            .iter()
+            .map(|c| {
+                let w = c.warm_snap.expect("run() sets snapshots");
+                let e = c.end_snap.expect("run() sets snapshots");
+                CoreResult {
+                    label: c.workload.label.clone(),
+                    instrs: e.instrs - w.instrs,
+                    cycles: e.cycles - w.cycles,
+                    l2_accesses: e.l2_accesses - w.l2_accesses,
+                    l2_local_hits: e.l2_local_hits - w.l2_local_hits,
+                    l2_remote_hits: e.l2_remote_hits - w.l2_remote_hits,
+                    l2_mem: e.l2_mem - w.l2_mem,
+                    offchip_fetches: e.offchip_fetches - w.offchip_fetches,
+                    writebacks: e.writebacks - w.writebacks,
+                    l1_accesses: e.l1_accesses - w.l1_accesses,
+                    l1_hits: e.l1_hits - w.l1_hits,
+                }
+            })
+            .collect();
+        let gw = self.global_warm.unwrap_or_default();
+        RunResult {
+            policy: self.policy.name().to_string(),
+            cores,
+            spills: self.global.spills - gw.spills,
+            swaps: self.global.swaps - gw.swaps,
+            spill_hits: self.global.spill_hits - gw.spill_hits,
+        }
+    }
+
+    /// Advances core `i` by one memory access (public for fine-grained
+    /// tests).
+    pub fn step(&mut self, i: usize) {
+        let acc = self.cores[i].workload.stream.next_access();
+        let cpu = self.cores[i].workload.cpu;
+        {
+            let c = &mut self.cores[i];
+            c.carry += 1.0 / cpu.mem_fraction;
+            let n = (c.carry as u64).max(1);
+            c.carry -= n as f64;
+            c.counters.instrs += n;
+            c.cycles_add(n as f64 * cpu.base_cpi);
+            c.counters.l1_accesses += 1;
+        }
+        let line = acc.addr.line(self.cfg.l1.offset_bits());
+        let l1_hit = self.l1s[i].access(line).is_some();
+        let latency = if l1_hit {
+            self.cores[i].counters.l1_hits += 1;
+            if acc.kind.is_store() {
+                // Write-through below L1 with a coalescing write buffer:
+                // the L2 copy's state is updated (dirtiness, coherence
+                // upgrade) but the buffered write does not occupy the L2 —
+                // no recency promotion, no statistics, no policy event.
+                self.upgrade_for_store(i, line);
+            }
+            0
+        } else {
+            let lat = self.l2_access(i, line, acc.kind, acc.stream);
+            // Fill L1 (evictions are silent: write-through keeps L1 clean).
+            let set = self.cfg.l1.set_of(line);
+            let way = self.l1s[i].set(set).default_victim();
+            self.l1s[i].fill(
+                set,
+                way,
+                CacheLine::demand(line, MesiState::Exclusive),
+                InsertPos::Mru,
+                FillKind::Demand,
+            );
+            lat
+        };
+        let c = &mut self.cores[i];
+        if !acc.kind.is_store() && latency > 0 {
+            c.cycles_add(latency as f64 * cpu.overlap);
+        }
+        let clock = c.clock as u64;
+        self.policy.on_cycle(CoreId(i as u8), clock);
+    }
+
+    /// One L2 access; returns its full (unoverlapped) latency in cycles.
+    fn l2_access(&mut self, i: usize, line: LineAddr, kind: AccessKind, stream: u16) -> u32 {
+        let set = self.cfg.l2.set_of(line);
+        self.cores[i].counters.l2_accesses += 1;
+        let core = CoreId(i as u8);
+
+        // Hit path: compute the pre-promotion outcome for the policy.
+        if let Some((s, w)) = self.l2s[i].probe(line) {
+            let (depth, spilled) = {
+                let cs = self.l2s[i].set(s);
+                (cs.depth_of(w) as u16, cs.line(w).expect("valid").spilled)
+            };
+            self.l2s[i].access(line);
+            if spilled {
+                self.global.spill_hits += 1;
+            }
+            self.policy
+                .record_access(core, set, AccessOutcome::Hit { spilled, depth });
+            if kind.is_store() {
+                self.upgrade_for_store(i, line);
+            }
+            self.cores[i].counters.l2_local_hits += 1;
+            self.train_prefetcher(i, stream, line);
+            return self.cfg.lat_l2_local;
+        }
+
+        // Miss path.
+        self.l2s[i].access(line);
+        self.policy.record_access(core, set, AccessOutcome::Miss);
+        let requested_last_copy = self.bus.holders(&self.l2s, line).len() == 1;
+
+        let remote = if kind.is_store() {
+            let hit = self.bus.write_miss(&mut self.l2s, core, line);
+            if hit.is_some() {
+                // Every remote copy vanished: keep the L1s inclusive.
+                for (j, l1) in self.l1s.iter_mut().enumerate() {
+                    if j != i {
+                        l1.invalidate(line);
+                    }
+                }
+            }
+            hit
+        } else {
+            let hit = self
+                .bus
+                .read_miss(&mut self.l2s, core, line, self.cfg.read_policy);
+            if let Some(h) = hit {
+                if self.cfg.read_policy == ReadPolicy::Migrate {
+                    self.l1s[h.from.index()].invalidate(line);
+                }
+            }
+            hit
+        };
+
+        let latency = match remote {
+            Some(hit) => {
+                self.cores[i].counters.l2_remote_hits += 1;
+                let was_spilled = hit.line.spilled;
+                if was_spilled {
+                    self.global.spill_hits += 1;
+                }
+                self.policy.note_remote_hit(hit.from, set, was_spilled);
+                let state = if kind.is_store() {
+                    MesiState::Modified
+                } else {
+                    hit.granted
+                };
+                let evicted = self.fill_l2(i, set, line, state, false, FillKind::Demand);
+                if let Some(v) = evicted {
+                    // §3.2 swap: the supplier's slot is free; if both lines
+                    // are last copies, the victim moves into it.
+                    let moved_out = kind.is_store() || self.cfg.read_policy == ReadPolicy::Migrate;
+                    let victim_last = self.bus.holders(&self.l2s, v.addr).is_empty();
+                    if self.policy.swap_enabled()
+                        && moved_out
+                        && requested_last_copy
+                        && victim_last
+                    {
+                        self.l1s[i].invalidate(v.addr);
+                        let evicted2 = self.fill_l2(
+                            hit.from.index(),
+                            set,
+                            v.addr,
+                            v.state,
+                            true,
+                            FillKind::Spill,
+                        );
+                        self.global.swaps += 1;
+                        if let Some(v2) = evicted2 {
+                            self.l1s[hit.from.index()].invalidate(v2.addr);
+                            self.retire(hit.from.index(), v2);
+                        }
+                    } else {
+                        self.dispose(i, set, v);
+                    }
+                }
+                self.cfg.lat_l2_remote
+            }
+            None => {
+                self.cores[i].counters.l2_mem += 1;
+                self.cores[i].counters.offchip_fetches += 1;
+                let state = if kind.is_store() {
+                    MesiState::Modified
+                } else {
+                    self.bus.fetch_state(&self.l2s, core, line)
+                };
+                let evicted = self.fill_l2(i, set, line, state, false, FillKind::Demand);
+                if let Some(v) = evicted {
+                    self.dispose(i, set, v);
+                }
+                self.cfg.lat_mem
+            }
+        };
+        self.train_prefetcher(i, stream, line);
+        latency
+    }
+
+    /// A store hitting a line that is not Modified: invalidate any remote
+    /// copies (upgrade) and mark Modified.
+    fn upgrade_for_store(&mut self, i: usize, line: LineAddr) {
+        match self.l2s[i].state_of(line) {
+            Some(MesiState::Modified) => {}
+            Some(MesiState::Exclusive) => {
+                self.l2s[i].set_state(line, MesiState::Modified);
+            }
+            Some(MesiState::Shared) => {
+                self.bus.write_miss(&mut self.l2s, CoreId(i as u8), line);
+                for (j, l1) in self.l1s.iter_mut().enumerate() {
+                    if j != i {
+                        l1.invalidate(line);
+                    }
+                }
+                self.l2s[i].set_state(line, MesiState::Modified);
+            }
+            // Inclusion guarantees the line is resident when called from a
+            // hit path; a missing line means the write buffer drained after
+            // an eviction raced it — the write simply goes to memory.
+            None => {}
+        }
+    }
+
+    fn fill_l2(
+        &mut self,
+        core: usize,
+        set: SetIdx,
+        addr: LineAddr,
+        state: MesiState,
+        spilled: bool,
+        kind: FillKind,
+    ) -> Option<CacheLine> {
+        let id = CoreId(core as u8);
+        let way = self
+            .policy
+            .choose_victim(id, set, kind, self.l2s[core].set(set));
+        let pos = match kind {
+            FillKind::Spill => self.policy.spill_insert_pos(id, set),
+            FillKind::Demand => self.policy.demand_insert_pos(id, set),
+            // Prefetched lines have unproven locality: insert deep so a
+            // wrong guess costs little.
+            FillKind::Prefetch => InsertPos::LruMinus1,
+        };
+        let line = CacheLine {
+            addr,
+            state,
+            spilled,
+        };
+        self.l2s[core].fill(set, way, line, pos, kind)
+    }
+
+    /// Handles a line evicted from `core`'s L2: back-invalidates the L1,
+    /// and either spills it (policy decision on last copies) or retires it
+    /// to memory.
+    fn dispose(&mut self, core: usize, set: SetIdx, v: CacheLine) {
+        self.l1s[core].invalidate(v.addr);
+        let last_copy = self.bus.holders(&self.l2s, v.addr).is_empty();
+        if !last_copy {
+            // Another cache still holds the line; dropping a clean replica
+            // is free (Modified implies sole ownership, so it cannot
+            // happen here).
+            debug_assert!(!v.state.is_dirty(), "dirty line with live replicas");
+            return;
+        }
+        match self
+            .policy
+            .spill_decision(CoreId(core as u8), set, v.spilled)
+        {
+            SpillDecision::Spill(to) => {
+                debug_assert_ne!(to.index(), core, "cannot spill to self");
+                let evicted =
+                    self.fill_l2(to.index(), set, v.addr, v.state, true, FillKind::Spill);
+                self.global.spills += 1;
+                if let Some(v2) = evicted {
+                    self.l1s[to.index()].invalidate(v2.addr);
+                    // No cascaded spills: the displaced line retires.
+                    self.retire(to.index(), v2);
+                }
+            }
+            SpillDecision::NoCandidate | SpillDecision::NotSpiller => {
+                self.retire(core, v);
+            }
+        }
+    }
+
+    /// The line leaves the chip: count the write-back if dirty.
+    fn retire(&mut self, core: usize, v: CacheLine) {
+        if v.state.is_dirty() {
+            self.cores[core].counters.writebacks += 1;
+        }
+    }
+
+    fn train_prefetcher(&mut self, i: usize, stream: u16, line: LineAddr) {
+        if self.prefetchers.is_empty() {
+            return;
+        }
+        self.pf_buf.clear();
+        let mut buf = std::mem::take(&mut self.pf_buf);
+        self.prefetchers[i].train(stream, line, &mut buf);
+        for &pl in &buf {
+            // Prefetch from memory only; skip lines already on chip.
+            if !self.bus.holders(&self.l2s, pl).is_empty() || self.l2s[i].probe(pl).is_some() {
+                continue;
+            }
+            let set = self.cfg.l2.set_of(pl);
+            self.cores[i].counters.offchip_fetches += 1;
+            let evicted = self.fill_l2(i, set, pl, MesiState::Exclusive, false, FillKind::Prefetch);
+            if let Some(v) = evicted {
+                self.dispose(i, set, v);
+            }
+        }
+        self.pf_buf = buf;
+    }
+}
+
+impl CoreState {
+    fn cycles_add(&mut self, dc: f64) {
+        self.clock += dc;
+        self.counters.cycles += dc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmp_cache::PrivateBaseline;
+    use cmp_trace::{CoreWorkload, CpuModel, CyclicStream};
+
+    fn workload(base: u64, region: u64) -> CoreWorkload {
+        CoreWorkload {
+            label: format!("loop@{base:#x}"),
+            cpu: CpuModel {
+                mem_fraction: 0.25,
+                base_cpi: 1.0,
+                overlap: 1.0,
+                store_fraction: 0.0,
+            },
+            stream: Box::new(CyclicStream::words(base, region, 0)),
+        }
+    }
+
+    fn tiny_cfg(cores: usize) -> SystemConfig {
+        let mut cfg = SystemConfig::table2(cores);
+        cfg.l1 = cmp_cache::CacheGeometry::from_capacity(1 << 10, 2, 32).unwrap();
+        cfg.l2 = cmp_cache::CacheGeometry::from_capacity(16 << 10, 4, 32).unwrap();
+        cfg
+    }
+
+    #[test]
+    fn small_loop_hits_l1_after_warmup() {
+        // 512 B loop fits the 1 kB L1 entirely.
+        let mut sys = CmpSystem::new(
+            tiny_cfg(1),
+            Box::new(PrivateBaseline::new()),
+            vec![workload(0, 512)],
+        );
+        let r = sys.run(50_000, 10_000);
+        assert_eq!(r.cores.len(), 1);
+        let c = &r.cores[0];
+        assert!(c.l1_hits as f64 / c.l1_accesses as f64 > 0.99, "l1 {c:?}");
+        // CPI = base (1.0): no stalls.
+        assert!((c.cpi() - 1.0).abs() < 0.05, "cpi {}", c.cpi());
+        sys.assert_inclusive();
+    }
+
+    #[test]
+    fn l2_sized_loop_misses_l1_hits_l2() {
+        // 4 kB loop: thrashes the 1 kB L1, fits the 16 kB L2.
+        let mut sys = CmpSystem::new(
+            tiny_cfg(1),
+            Box::new(PrivateBaseline::new()),
+            vec![workload(0, 4 << 10)],
+        );
+        let r = sys.run(50_000, 10_000);
+        let c = &r.cores[0];
+        assert!(c.l2_accesses > 0);
+        assert_eq!(c.l2_mem, 0, "everything must hit the L2 after warmup");
+        assert_eq!(c.l2_remote_hits, 0);
+        // CPI = base + f * (1/8 line miss rate) * 9 cycles.
+        let expect = 1.0 + 0.25 * 0.125 * 9.0;
+        assert!((c.cpi() - expect).abs() < 0.1, "cpi {}", c.cpi());
+    }
+
+    #[test]
+    fn giant_loop_misses_to_memory() {
+        let mut sys = CmpSystem::new(
+            tiny_cfg(1),
+            Box::new(PrivateBaseline::new()),
+            vec![workload(0, 1 << 20)],
+        );
+        let r = sys.run(50_000, 10_000);
+        let c = &r.cores[0];
+        assert!(c.l2_mem > 0);
+        assert!(c.l2_mpki() > 20.0, "mpki {}", c.l2_mpki());
+        assert!(c.cpi() > 10.0, "memory-bound cpi {}", c.cpi());
+        assert_eq!(c.offchip_fetches, c.l2_mem);
+    }
+
+    #[test]
+    fn baseline_cores_are_isolated() {
+        // Two cores in disjoint regions under the baseline: identical
+        // workloads produce identical measured CPIs.
+        let mut sys = CmpSystem::new(
+            tiny_cfg(2),
+            Box::new(PrivateBaseline::new()),
+            vec![workload(0, 4 << 10), workload(1 << 30, 4 << 10)],
+        );
+        let r = sys.run(30_000, 5_000);
+        assert!((r.cores[0].cpi() - r.cores[1].cpi()).abs() < 0.05);
+        assert_eq!(r.spills, 0);
+        assert_eq!(r.cores[0].l2_remote_hits, 0);
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let go = || {
+            let mut sys = CmpSystem::new(
+                tiny_cfg(2),
+                Box::new(PrivateBaseline::new()),
+                vec![workload(0, 8 << 10), workload(1 << 30, 64 << 10)],
+            );
+            let r = sys.run(20_000, 5_000);
+            (r.cores[0].cycles, r.cores[1].cycles, r.offchip_accesses())
+        };
+        assert_eq!(go(), go());
+    }
+
+    #[test]
+    fn writebacks_counted_for_dirty_evictions() {
+        let mut w = workload(0, 1 << 20);
+        w.cpu.store_fraction = 0.0;
+        // All-store stream over a huge region: every line is dirtied and
+        // eventually evicted dirty.
+        let mut stores = workload(0, 1 << 20);
+        stores.stream = Box::new(StoreEverything(CyclicStream::words(0, 1 << 20, 0)));
+        let mut sys = CmpSystem::new(tiny_cfg(1), Box::new(PrivateBaseline::new()), vec![stores]);
+        let r = sys.run(50_000, 10_000);
+        assert!(r.cores[0].writebacks > 0, "{:?}", r.cores[0]);
+    }
+
+    struct StoreEverything(CyclicStream);
+    impl cmp_trace::AccessStream for StoreEverything {
+        fn next_access(&mut self) -> cmp_trace::Access {
+            let mut a = self.0.next_access();
+            a.kind = AccessKind::Store;
+            a
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! The access-stream abstraction produced by all workload generators.
+
+use cmp_cache::{AccessKind, Addr};
+
+/// One memory operation emitted by a workload.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Access {
+    /// Byte address touched.
+    pub addr: Addr,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Stream id — a PC surrogate identifying the generator component that
+    /// produced the access; used to index the stride prefetcher.
+    pub stream: u16,
+}
+
+impl Access {
+    /// Convenience constructor for a load.
+    pub fn load(addr: Addr, stream: u16) -> Self {
+        Access {
+            addr,
+            kind: AccessKind::Load,
+            stream,
+        }
+    }
+
+    /// Convenience constructor for a store.
+    pub fn store(addr: Addr, stream: u16) -> Self {
+        Access {
+            addr,
+            kind: AccessKind::Store,
+            stream,
+        }
+    }
+}
+
+/// An infinite stream of memory accesses.
+///
+/// Streams are deterministic given their construction seed; they own any
+/// randomness they need. They are `Send` so experiment harnesses can run
+/// independent simulations on worker threads.
+pub trait AccessStream: Send {
+    /// Produces the next access. Streams never end; simulation length is
+    /// controlled by the caller.
+    fn next_access(&mut self) -> Access;
+}
+
+impl AccessStream for Box<dyn AccessStream> {
+    fn next_access(&mut self) -> Access {
+        (**self).next_access()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        let l = Access::load(Addr::new(4), 1);
+        assert_eq!(l.kind, AccessKind::Load);
+        let s = Access::store(Addr::new(8), 2);
+        assert_eq!(s.kind, AccessKind::Store);
+        assert_eq!(s.stream, 2);
+    }
+}

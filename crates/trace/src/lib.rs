@@ -1,0 +1,53 @@
+//! # cmp-trace — synthetic workloads for the ASCC/AVGCC reproduction
+//!
+//! The paper evaluates on SPEC CPU2006 reference runs (multiprogrammed) and
+//! SPLASH2/PARSEC (multithreaded). Neither binaries nor traces are
+//! available here, so this crate provides *calibrated synthetic
+//! equivalents*:
+//!
+//! * [`SpecBench`] — models of the 13 Table 3 benchmarks as weighted
+//!   mixtures of archetypal reference streams, calibrated to Table 3's
+//!   L2 MPKI/CPI and Fig. 1's way-sensitivity split;
+//! * [`ParallelBench`] — shared-address-space models of eight
+//!   SPLASH2/PARSEC benchmarks for the §6.3 study;
+//! * [`two_app_mixes`] / [`four_app_mixes`] — the multiprogrammed mixes of
+//!   the evaluation (Table 1 names the four-app ones);
+//! * the generator toolbox ([`CyclicStream`], [`ZipfStream`],
+//!   [`ChaseStream`], [`Mixture`], [`Phased`]) for building custom
+//!   workloads;
+//! * [`RecordedTrace`] — capture a stream once and replay it exactly
+//!   (regression pinning, sharing problematic patterns, external traces).
+//!
+//! Spill-receive policies only observe the per-set hit/miss stream, so
+//! matching per-set pressure statistics — not instruction semantics — is
+//! what preserves the behaviour under study (DESIGN.md §2).
+//!
+//! ## Example
+//!
+//! ```
+//! use cmp_trace::{AccessStream, SpecBench};
+//!
+//! let mut astar = SpecBench::Astar.workload(/*base=*/0, /*seed=*/42);
+//! let a = astar.stream.next_access();
+//! assert!(a.addr.raw() < 1 << 40);
+//! assert!(astar.cpu.mem_fraction > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod access;
+mod gen;
+mod mixes;
+mod parallel;
+mod replay;
+mod spec;
+mod zipf;
+
+pub use access::{Access, AccessStream};
+pub use gen::{ChaseStream, CyclicStream, Mixture, Phased, ZipfStream};
+pub use mixes::{four_app_mixes, two_app_mixes, WorkloadMix};
+pub use parallel::ParallelBench;
+pub use replay::{RecordedTrace, ReplayStream, TraceError};
+pub use spec::{CoreWorkload, CpuModel, SpecBench, LINE_BYTES};
+pub use zipf::Zipf;

@@ -1,0 +1,122 @@
+//! The multiprogrammed workload mixes of the evaluation.
+//!
+//! The paper builds 14 two-application and 6 four-application mixes from the
+//! 13 benchmarks of Table 3, covering combinations of capacity-hungry
+//! applications and capacity providers (§5). The four-app mixes are named
+//! explicitly in Table 1; the two-app list is not given (only `429+401`
+//! appears, in Fig. 10), so we construct 14 mixes spanning the same four
+//! categories — see DESIGN.md substitution #5.
+
+use crate::spec::SpecBench;
+
+/// A named multiprogrammed mix: one benchmark per core.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WorkloadMix {
+    /// Paper-style name, e.g. `"445+401+444+456"`.
+    pub name: String,
+    /// The benchmark run by each core, in core order.
+    pub benches: Vec<SpecBench>,
+}
+
+impl WorkloadMix {
+    /// Builds a mix from benchmarks, deriving the paper-style name.
+    pub fn new(benches: Vec<SpecBench>) -> Self {
+        let name = benches
+            .iter()
+            .map(|b| b.id().to_string())
+            .collect::<Vec<_>>()
+            .join("+");
+        WorkloadMix { name, benches }
+    }
+
+    /// Number of cores this mix occupies.
+    pub fn cores(&self) -> usize {
+        self.benches.len()
+    }
+}
+
+impl std::fmt::Display for WorkloadMix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+fn mix(ids: &[u16]) -> WorkloadMix {
+    WorkloadMix::new(
+        ids.iter()
+            .map(|&id| SpecBench::from_id(id).unwrap_or_else(|| panic!("unknown SPEC id {id}")))
+            .collect(),
+    )
+}
+
+/// The six four-application mixes of Table 1 / Figs. 4, 5, 8, 9.
+pub fn four_app_mixes() -> Vec<WorkloadMix> {
+    vec![
+        mix(&[445, 401, 444, 456]),
+        mix(&[445, 444, 456, 471]),
+        mix(&[433, 462, 450, 401]),
+        mix(&[433, 471, 473, 482]),
+        mix(&[458, 444, 401, 471]),
+        mix(&[458, 444, 471, 462]),
+    ]
+}
+
+/// Fourteen two-application mixes (Figs. 7, 10, 11), covering:
+/// hungry+provider, hungry+hungry, provider+provider and streaming+hungry
+/// combinations. `429+401` is the one mix the paper names (Fig. 10).
+pub fn two_app_mixes() -> Vec<WorkloadMix> {
+    vec![
+        mix(&[429, 401]), // named in Fig. 10 (mcf + bzip2)
+        mix(&[433, 473]), // streaming + hungry
+        mix(&[482, 450]),
+        mix(&[462, 471]),
+        mix(&[445, 456]), // provider + provider
+        mix(&[444, 473]), // provider + hungry
+        mix(&[471, 444]), // hungry + provider (the quickstart pair)
+        mix(&[470, 401]),
+        mix(&[429, 444]),
+        mix(&[473, 482]), // hungry + streaming-ish
+        mix(&[458, 450]),
+        mix(&[458, 471]), // provider + hungry
+        mix(&[471, 473]), // hungry + hungry
+        mix(&[433, 445]), // nobody benefits
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_app_mixes_match_table1() {
+        let mixes = four_app_mixes();
+        assert_eq!(mixes.len(), 6);
+        assert_eq!(mixes[0].name, "445+401+444+456");
+        assert_eq!(mixes[5].name, "458+444+471+462");
+        assert!(mixes.iter().all(|m| m.cores() == 4));
+    }
+
+    #[test]
+    fn two_app_mixes_count_and_shape() {
+        let mixes = two_app_mixes();
+        assert_eq!(mixes.len(), 14);
+        assert!(mixes.iter().all(|m| m.cores() == 2));
+        assert_eq!(mixes[0].name, "429+401", "the Fig. 10 mix comes first");
+    }
+
+    #[test]
+    fn mixes_are_unique() {
+        let mut names: Vec<String> = two_app_mixes().into_iter().map(|m| m.name).collect();
+        names.extend(four_app_mixes().into_iter().map(|m| m.name));
+        let n = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), n, "duplicate mixes");
+    }
+
+    #[test]
+    fn display_matches_name() {
+        let m = mix(&[429, 401]);
+        assert_eq!(m.to_string(), "429+401");
+    }
+}

@@ -1,0 +1,354 @@
+//! Multithreaded shared-memory workload models (§6.3 sensitivity study).
+//!
+//! The paper runs SPLASH2 and PARSEC benchmarks with 4 threads on a reduced
+//! 512 kB LLC. We model eight of them as per-thread mixtures over a *shared*
+//! address space: a shared data region touched by every thread (read-mostly
+//! or read-write), per-thread private regions, and for some workloads a
+//! partitioned streaming sweep. Shared regions exercise MESI replication,
+//! invalidation and genuine last-copy detection — the parts of the
+//! coherence/spill machinery that multiprogrammed runs cannot reach.
+
+use crate::access::AccessStream;
+use crate::gen::{ChaseStream, CyclicStream, Mixture, ZipfStream};
+use crate::spec::{CoreWorkload, CpuModel, LINE_BYTES};
+
+const KB: u64 = 1 << 10;
+const MB: u64 = 1 << 20;
+
+/// Base of the shared heap; every thread addresses the same region.
+const SHARED_BASE: u64 = 0x1000_0000;
+/// Base of the per-thread private regions.
+const PRIVATE_BASE: u64 = 0x10_0000_0000;
+
+/// The multithreaded benchmarks modelled for the §6.3 study.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ParallelBench {
+    /// SPLASH2 barnes: skewed shared octree + private bodies.
+    Barnes,
+    /// SPLASH2 fft: partitioned streaming over a shared array.
+    Fft,
+    /// SPLASH2 lu: blocked shared matrix, medium reuse.
+    Lu,
+    /// SPLASH2 ocean: large streaming grids, little reuse.
+    Ocean,
+    /// SPLASH2 radix: streaming keys + scattered histogram stores.
+    Radix,
+    /// PARSEC blackscholes: mostly private option data.
+    Blackscholes,
+    /// PARSEC canneal: pointer chasing over a large shared netlist.
+    Canneal,
+    /// PARSEC streamcluster: repeated sweeps over a shared block of points.
+    Streamcluster,
+}
+
+impl ParallelBench {
+    /// All modelled benchmarks.
+    pub const ALL: [ParallelBench; 8] = [
+        ParallelBench::Barnes,
+        ParallelBench::Fft,
+        ParallelBench::Lu,
+        ParallelBench::Ocean,
+        ParallelBench::Radix,
+        ParallelBench::Blackscholes,
+        ParallelBench::Canneal,
+        ParallelBench::Streamcluster,
+    ];
+
+    /// Benchmark name as used in result tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ParallelBench::Barnes => "barnes",
+            ParallelBench::Fft => "fft",
+            ParallelBench::Lu => "lu",
+            ParallelBench::Ocean => "ocean",
+            ParallelBench::Radix => "radix",
+            ParallelBench::Blackscholes => "blackscholes",
+            ParallelBench::Canneal => "canneal",
+            ParallelBench::Streamcluster => "streamcluster",
+        }
+    }
+
+    /// Builds the workload of thread `tid` out of `threads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid >= threads` or `threads == 0`.
+    pub fn thread_workload(self, tid: usize, threads: usize, seed: u64) -> CoreWorkload {
+        assert!(threads > 0 && tid < threads, "bad thread index");
+        let tseed = seed ^ ((tid as u64 + 1) << 20);
+        let private = PRIVATE_BASE + (tid as u64) * (1 << 32);
+        let sid = |i: u16| i; // stream ids are per-thread
+        let mk = |comps: Vec<(f64, Box<dyn AccessStream>)>,
+                  cpu: CpuModel,
+                  label: &str|
+         -> CoreWorkload {
+            CoreWorkload {
+                label: format!("{label}.t{tid}"),
+                cpu,
+                stream: Box::new(Mixture::new(comps, cpu.store_fraction, tseed ^ 0xBEEF)),
+            }
+        };
+        let cpu = |f: f64, b: f64, o: f64, st: f64| CpuModel {
+            mem_fraction: f,
+            base_cpi: b,
+            overlap: o,
+            store_fraction: st,
+        };
+        match self {
+            ParallelBench::Barnes => mk(
+                vec![
+                    (
+                        0.55,
+                        Box::new(ZipfStream::new(
+                            SHARED_BASE,
+                            32768, // 1 MB shared octree
+                            LINE_BYTES,
+                            0.90,
+                            tseed ^ 1,
+                            sid(0),
+                        )),
+                    ),
+                    (0.45, Box::new(CyclicStream::words(private, 48 * KB, sid(1)))),
+                ],
+                cpu(0.28, 1.0, 0.5, 0.15),
+                "barnes",
+            ),
+            ParallelBench::Fft => {
+                // Each thread sweeps its own partition of the shared array,
+                // with occasional reads into other partitions (transpose).
+                let part = 2 * MB / threads as u64;
+                mk(
+                    vec![
+                        (
+                            0.62,
+                            Box::new(CyclicStream::words(
+                                SHARED_BASE + tid as u64 * part,
+                                part,
+                                sid(0),
+                            )),
+                        ),
+                        (
+                            0.13,
+                            Box::new(ChaseStream::new(
+                                SHARED_BASE,
+                                (2 * MB) / LINE_BYTES,
+                                LINE_BYTES,
+                                tseed ^ 2,
+                                sid(1),
+                            )),
+                        ),
+                        (0.25, Box::new(CyclicStream::words(private, 24 * KB, sid(2)))),
+                    ],
+                    cpu(0.30, 0.9, 0.35, 0.30),
+                    "fft",
+                )
+            }
+            ParallelBench::Lu => mk(
+                vec![
+                    (
+                        0.50,
+                        Box::new(ZipfStream::new(
+                            SHARED_BASE,
+                            16384, // 512 kB shared matrix blocks
+                            LINE_BYTES,
+                            0.70,
+                            tseed ^ 3,
+                            sid(0),
+                        )),
+                    ),
+                    (0.50, Box::new(CyclicStream::words(private, 64 * KB, sid(1)))),
+                ],
+                cpu(0.30, 0.8, 0.5, 0.25),
+                "lu",
+            ),
+            ParallelBench::Ocean => {
+                let part = 8 * MB / threads as u64;
+                mk(
+                    vec![
+                        (
+                            0.70,
+                            Box::new(CyclicStream::words(
+                                SHARED_BASE + tid as u64 * part,
+                                part,
+                                sid(0),
+                            )),
+                        ),
+                        (0.30, Box::new(CyclicStream::words(private, 16 * KB, sid(1)))),
+                    ],
+                    cpu(0.33, 0.85, 0.2, 0.35),
+                    "ocean",
+                )
+            }
+            ParallelBench::Radix => {
+                let part = 4 * MB / threads as u64;
+                mk(
+                    vec![
+                        (
+                            0.45,
+                            Box::new(CyclicStream::words(
+                                SHARED_BASE + tid as u64 * part,
+                                part,
+                                sid(0),
+                            )),
+                        ),
+                        (
+                            0.20,
+                            Box::new(ChaseStream::new(
+                                SHARED_BASE + 32 * MB,
+                                MB / LINE_BYTES,
+                                LINE_BYTES,
+                                tseed ^ 4,
+                                sid(1),
+                            )),
+                        ),
+                        (0.35, Box::new(CyclicStream::words(private, 16 * KB, sid(2)))),
+                    ],
+                    cpu(0.30, 0.9, 0.3, 0.40),
+                    "radix",
+                )
+            }
+            ParallelBench::Blackscholes => mk(
+                vec![
+                    (0.85, Box::new(CyclicStream::words(private, 96 * KB, sid(0)))),
+                    (
+                        0.15,
+                        Box::new(ZipfStream::new(
+                            SHARED_BASE,
+                            8192, // 256 kB shared parameters
+                            LINE_BYTES,
+                            1.10,
+                            tseed ^ 5,
+                            sid(1),
+                        )),
+                    ),
+                ],
+                cpu(0.25, 0.7, 0.55, 0.15),
+                "blackscholes",
+            ),
+            ParallelBench::Canneal => mk(
+                vec![
+                    (
+                        0.40,
+                        Box::new(ChaseStream::new(
+                            SHARED_BASE,
+                            (16 * MB) / LINE_BYTES,
+                            LINE_BYTES,
+                            tseed ^ 6,
+                            sid(0),
+                        )),
+                    ),
+                    (0.60, Box::new(CyclicStream::words(private, 32 * KB, sid(1)))),
+                ],
+                cpu(0.30, 0.9, 0.55, 0.20),
+                "canneal",
+            ),
+            ParallelBench::Streamcluster => mk(
+                vec![
+                    (
+                        0.65,
+                        Box::new(CyclicStream::words(SHARED_BASE, 1536 * KB, sid(0))),
+                    ),
+                    (0.35, Box::new(CyclicStream::words(private, 16 * KB, sid(1)))),
+                ],
+                cpu(0.32, 0.8, 0.3, 0.10),
+                "streamcluster",
+            ),
+        }
+    }
+
+    /// Builds all `threads` workloads of this benchmark.
+    pub fn workloads(self, threads: usize, seed: u64) -> Vec<CoreWorkload> {
+        (0..threads)
+            .map(|t| self.thread_workload(t, threads, seed))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for ParallelBench {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_models_build_for_four_threads() {
+        for b in ParallelBench::ALL {
+            let ws = b.workloads(4, 99);
+            assert_eq!(ws.len(), 4);
+            for w in &ws {
+                assert!(w.label.starts_with(b.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn threads_share_addresses() {
+        // Two threads of streamcluster must touch overlapping shared lines.
+        let mut w0 = ParallelBench::Streamcluster.thread_workload(0, 4, 1);
+        let mut w1 = ParallelBench::Streamcluster.thread_workload(1, 4, 1);
+        let lines = |w: &mut CoreWorkload| -> HashSet<u64> {
+            (0..20_000)
+                .map(|_| w.stream.next_access().addr.raw() / LINE_BYTES)
+                .collect()
+        };
+        let l0 = lines(&mut w0);
+        let l1 = lines(&mut w1);
+        assert!(
+            l0.intersection(&l1).count() > 100,
+            "threads never share lines"
+        );
+    }
+
+    #[test]
+    fn private_regions_are_disjoint() {
+        let mut w0 = ParallelBench::Blackscholes.thread_workload(0, 2, 1);
+        let mut w1 = ParallelBench::Blackscholes.thread_workload(1, 2, 1);
+        let privates = |w: &mut CoreWorkload| -> HashSet<u64> {
+            (0..20_000)
+                .map(|_| w.stream.next_access().addr.raw())
+                .filter(|&a| a >= PRIVATE_BASE)
+                .map(|a| a / LINE_BYTES)
+                .collect()
+        };
+        let p0 = privates(&mut w0);
+        let p1 = privates(&mut w1);
+        assert!(!p0.is_empty() && !p1.is_empty());
+        assert_eq!(p0.intersection(&p1).count(), 0);
+    }
+
+    #[test]
+    fn partitioned_benches_split_the_shared_sweep() {
+        let mut w0 = ParallelBench::Fft.thread_workload(0, 4, 1);
+        let mut addrs = HashSet::new();
+        for _ in 0..10_000 {
+            let a = w0.stream.next_access().addr.raw();
+            if (SHARED_BASE..SHARED_BASE + 2 * MB).contains(&a) {
+                addrs.insert(a);
+            }
+        }
+        // Thread 0's sweep stays in the first partition except for the
+        // transpose chase, which can reach anywhere in the shared array.
+        let part = 2 * MB / 4;
+        let in_own = addrs
+            .iter()
+            .filter(|&&a| a < SHARED_BASE + part)
+            .count();
+        assert!(in_own * 2 > addrs.len(), "most shared touches in own partition");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad thread index")]
+    fn bad_tid_panics() {
+        let _ = ParallelBench::Lu.thread_workload(4, 4, 0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ParallelBench::Canneal.to_string(), "canneal");
+    }
+}

@@ -1,0 +1,183 @@
+//! End-to-end behaviour of the policies under simulation: the mechanisms
+//! the paper describes must be visible in the measured numbers.
+
+use ascc::{AsccConfig, AvgccConfig, AvgccPolicy};
+use ascc_integration::small_config;
+use cmp_cache::{CoreId, PrivateBaseline};
+use cmp_sim::{run_mix, weighted_speedup_improvement, CmpSystem, SystemConfig};
+use cmp_trace::{CoreWorkload, CpuModel, CyclicStream, WorkloadMix};
+
+/// A hungry core (loop slightly bigger than its L2) beside an idle-ish one
+/// (tiny loop): the canonical spill-receive scenario, downscaled.
+fn hungry_plus_idle(cfg: &SystemConfig) -> Vec<CoreWorkload> {
+    let cpu = CpuModel {
+        mem_fraction: 0.25,
+        base_cpi: 1.0,
+        overlap: 1.0,
+        store_fraction: 0.0,
+    };
+    // L2 is 64 kB: a 72 kB line-granular loop thrashes it completely.
+    let hungry = CoreWorkload {
+        label: "hungry".into(),
+        cpu,
+        stream: Box::new(CyclicStream::new(0, 72 << 10, 32, 0)),
+    };
+    let idle = CoreWorkload {
+        label: "idle".into(),
+        cpu,
+        stream: Box::new(CyclicStream::new(1 << 40, 4 << 10, 32, 1)),
+    };
+    let _ = cfg;
+    vec![hungry, idle]
+}
+
+#[test]
+fn ascc_converts_memory_misses_into_remote_hits() {
+    let cfg = small_config(2);
+    let run = |policy: Box<dyn cmp_cache::LlcPolicy>| {
+        let mut sys = CmpSystem::new(cfg.clone(), policy, hungry_plus_idle(&cfg));
+        sys.run(400_000, 100_000)
+    };
+    let base = run(Box::new(PrivateBaseline::new()));
+    let ascc = run(Box::new(AsccConfig::ascc(2, cfg.l2.sets(), cfg.l2.ways()).build()));
+    assert_eq!(base.cores[0].l2_remote_hits, 0);
+    assert!(ascc.spills + ascc.swaps > 0, "hungry core must spill");
+    assert!(
+        ascc.cores[0].l2_remote_hits > 1000,
+        "spilled loop lines must be re-referenced remotely: {:?}",
+        ascc.cores[0]
+    );
+    assert!(
+        ascc.cores[0].l2_mem < base.cores[0].l2_mem,
+        "memory misses must drop"
+    );
+    let ws = weighted_speedup_improvement(&ascc, &base);
+    assert!(ws > 0.02, "spilling should pay off clearly, got {ws}");
+    // The idle neighbour must not be wrecked.
+    assert!(ascc.cores[1].cpi() < base.cores[1].cpi() * 1.1);
+}
+
+#[test]
+fn sabip_fights_capacity_thrashing_without_receivers() {
+    // Two hungry cores: nobody can receive, so ASCC's SABIP retains part of
+    // each loop locally, while the plain baseline thrashes everything.
+    let cfg = small_config(2);
+    let cpu = CpuModel {
+        mem_fraction: 0.25,
+        base_cpi: 1.0,
+        overlap: 1.0,
+        store_fraction: 0.0,
+    };
+    let mk = || {
+        vec![
+            CoreWorkload {
+                label: "hungry0".into(),
+                cpu,
+                stream: Box::new(CyclicStream::new(0, 72 << 10, 32, 0)),
+            },
+            CoreWorkload {
+                label: "hungry1".into(),
+                cpu,
+                stream: Box::new(CyclicStream::new(1 << 40, 72 << 10, 32, 1)),
+            },
+        ]
+    };
+    let mut base_sys = CmpSystem::new(cfg.clone(), Box::new(PrivateBaseline::new()), mk());
+    let base = base_sys.run(400_000, 100_000);
+    let mut ascc_sys = CmpSystem::new(
+        cfg.clone(),
+        Box::new(AsccConfig::ascc(2, cfg.l2.sets(), cfg.l2.ways()).build()),
+        mk(),
+    );
+    let ascc = ascc_sys.run(400_000, 100_000);
+    let base_hits: u64 = base.cores.iter().map(|c| c.l2_local_hits).sum();
+    let ascc_hits: u64 = ascc.cores.iter().map(|c| c.l2_local_hits).sum();
+    assert!(
+        ascc_hits > base_hits + 1000,
+        "SABIP must retain part of the loops locally: {base_hits} -> {ascc_hits}"
+    );
+    assert!(weighted_speedup_improvement(&ascc, &base) > 0.05);
+}
+
+#[test]
+fn avgcc_adapts_granularity_during_a_real_run() {
+    let cfg = small_config(2);
+    let mut avgcc = AvgccConfig::avgcc(2, cfg.l2.sets(), cfg.l2.ways());
+    avgcc.epoch_accesses = 5_000; // downscaled epochs for a downscaled run
+    let mut sys = CmpSystem::new(cfg.clone(), Box::new(avgcc.build()), hungry_plus_idle(&cfg));
+    sys.run(400_000, 100_000);
+    let policy = sys
+        .policy()
+        .as_any()
+        .downcast_ref::<AvgccPolicy>()
+        .expect("AVGCC");
+    policy.assert_ab_consistent();
+    assert!(
+        policy.granularity_changes() > 0,
+        "granularity should adapt at least once"
+    );
+    // The idle receiver has spare capacity everywhere: it should have
+    // refined towards fine-grain tracking.
+    assert!(policy.counters_in_use(CoreId(1)) > 1);
+}
+
+#[test]
+fn qos_avgcc_limits_degradation_on_hostile_mixes() {
+    // Two streaming cores: spilling is pure overhead. QoS-AVGCC must stay
+    // within a tight band of the baseline and not do worse than AVGCC.
+    let cfg = small_config(2);
+    let cpu = CpuModel {
+        mem_fraction: 0.3,
+        base_cpi: 1.0,
+        overlap: 0.5,
+        store_fraction: 0.1,
+    };
+    let mk = || {
+        vec![
+            CoreWorkload {
+                label: "stream0".into(),
+                cpu,
+                stream: Box::new(CyclicStream::new(0, 8 << 20, 32, 0)),
+            },
+            CoreWorkload {
+                label: "stream1".into(),
+                cpu,
+                stream: Box::new(CyclicStream::new(1 << 40, 8 << 20, 32, 1)),
+            },
+        ]
+    };
+    let sets = cfg.l2.sets();
+    let ways = cfg.l2.ways();
+    let run = |policy: Box<dyn cmp_cache::LlcPolicy>| {
+        let mut sys = CmpSystem::new(cfg.clone(), policy, mk());
+        sys.run(300_000, 80_000)
+    };
+    let base = run(Box::new(PrivateBaseline::new()));
+    let mut qcfg = AvgccConfig::qos_avgcc(2, sets, ways);
+    qcfg.epoch_accesses = 5_000;
+    qcfg.qos_epoch_cycles = 20_000;
+    let qos = run(Box::new(qcfg.build()));
+    let ws = weighted_speedup_improvement(&qos, &base);
+    assert!(ws > -0.02, "QoS must bound the damage, got {ws}");
+}
+
+#[test]
+fn two_app_mix_improvements_are_reproducible() {
+    let cfg = small_config(2);
+    let mix = WorkloadMix::new(vec![cmp_trace::SpecBench::Omnetpp, cmp_trace::SpecBench::Namd]);
+    let go = || {
+        let base = run_mix(&cfg, &mix, Box::new(PrivateBaseline::new()), 200_000, 50_000, 1);
+        let ascc = run_mix(
+            &cfg,
+            &mix,
+            Box::new(AsccConfig::ascc(2, cfg.l2.sets(), cfg.l2.ways()).build()),
+            200_000,
+            50_000,
+            1,
+        );
+        weighted_speedup_improvement(&ascc, &base)
+    };
+    let a = go();
+    let b = go();
+    assert_eq!(a, b, "identical seeds must give identical improvements");
+}
