@@ -7,7 +7,7 @@
 //! criticises in §2. We implement 1-chance forwarding: a line that already
 //! arrived via a spill is not recirculated when evicted again.
 
-use cmp_cache::{AccessOutcome, CoreId, LlcPolicy, SetIdx, SpillDecision};
+use cmp_cache::{AccessOutcome, CoreId, LlcPolicy, PolicySnapshot, SetIdx, SpillDecision};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -51,7 +51,12 @@ impl LlcPolicy for CcPolicy {
 
     fn record_access(&mut self, _core: CoreId, _set: SetIdx, _outcome: AccessOutcome) {}
 
-    fn spill_decision(&mut self, from: CoreId, _set: SetIdx, victim_spilled: bool) -> SpillDecision {
+    fn spill_decision(
+        &mut self,
+        from: CoreId,
+        _set: SetIdx,
+        victim_spilled: bool,
+    ) -> SpillDecision {
         if self.cores < 2 {
             return SpillDecision::NoCandidate;
         }
@@ -66,6 +71,12 @@ impl LlcPolicy for CcPolicy {
             target += 1;
         }
         SpillDecision::Spill(CoreId(target as u8))
+    }
+
+    fn snapshot(&self) -> PolicySnapshot {
+        let mut snap = PolicySnapshot::new("CC");
+        snap.spills_refused = Some(self.spills_refused);
+        snap
     }
 }
 

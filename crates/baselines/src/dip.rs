@@ -10,7 +10,9 @@
 //! monitors built by [`crate::DsrConfig`] (which occupy the low residues
 //! `0 .. 2*cores` of the stride), so the two duelling mechanisms compose.
 
-use cmp_cache::{AccessOutcome, CoreId, InsertPos, LlcPolicy, SetIdx};
+use cmp_cache::{
+    AccessOutcome, CoreId, CoreSnapshot, InsertPos, LlcPolicy, PolicySnapshot, SetIdx,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -84,7 +86,9 @@ pub struct DipPolicy {
 
 impl std::fmt::Debug for DipPolicy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DipPolicy").field("psel", &self.psel).finish()
+        f.debug_struct("DipPolicy")
+            .field("psel", &self.psel)
+            .finish()
     }
 }
 
@@ -197,6 +201,23 @@ impl LlcPolicy for DipPolicy {
             DipMode::Bip => self.bip_pos(),
         }
     }
+
+    fn snapshot(&self) -> PolicySnapshot {
+        let mut snap = PolicySnapshot::new("DIP");
+        snap.per_core = (0..self.cfg.cores)
+            .map(|i| {
+                let id = CoreId(i as u8);
+                let mut cs = CoreSnapshot::new(id);
+                cs.psel = Some(self.psel[i]);
+                cs.follower_mode = Some(match self.follower_mode(id) {
+                    DipMode::Lru => "lru",
+                    DipMode::Bip => "bip",
+                });
+                cs
+            })
+            .collect();
+        snap
+    }
 }
 
 #[cfg(test)]
@@ -252,7 +273,10 @@ mod tests {
         let lru_fills = (0..200)
             .filter(|_| p.demand_insert_pos(CoreId(0), SetIdx(127)) == InsertPos::Lru)
             .count();
-        assert!(lru_fills > 150, "BIP monitor fills deep only {lru_fills}/200");
+        assert!(
+            lru_fills > 150,
+            "BIP monitor fills deep only {lru_fills}/200"
+        );
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //! The paper's evaluation uses 32 sets per Set Dueling Monitor and 1 SDM per
 //! policy (§6).
 
-use cmp_cache::{AccessOutcome, CoreId, LlcPolicy, SetIdx, SpillDecision};
+use cmp_cache::{
+    AccessOutcome, CoreId, CoreSnapshot, LlcPolicy, PolicySnapshot, RoleHistogram, SetIdx,
+    SpillDecision,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -238,7 +241,12 @@ impl LlcPolicy for DsrPolicy {
         }
     }
 
-    fn spill_decision(&mut self, from: CoreId, set: SetIdx, _victim_spilled: bool) -> SpillDecision {
+    fn spill_decision(
+        &mut self,
+        from: CoreId,
+        set: SetIdx,
+        _victim_spilled: bool,
+    ) -> SpillDecision {
         if self.role(from, set) != DsrRole::Spiller {
             return SpillDecision::NotSpiller;
         }
@@ -252,6 +260,33 @@ impl LlcPolicy for DsrPolicy {
             1 => SpillDecision::Spill(candidates[0]),
             n => SpillDecision::Spill(candidates[self.rng.gen_range(0..n)]),
         }
+    }
+
+    fn snapshot(&self) -> PolicySnapshot {
+        let mut snap = PolicySnapshot::new(self.name);
+        snap.per_core = (0..self.cfg.cores)
+            .map(|i| {
+                let id = CoreId(i as u8);
+                let mut cs = CoreSnapshot::new(id);
+                let mut h = RoleHistogram::default();
+                for set in 0..self.cfg.sets {
+                    match self.role(id, SetIdx(set)) {
+                        DsrRole::Receiver => h.receiver += 1,
+                        DsrRole::Neutral => h.neutral += 1,
+                        DsrRole::Spiller => h.spiller += 1,
+                    }
+                }
+                cs.roles = Some(h);
+                cs.psel = Some(self.psel[i]);
+                cs.follower_mode = Some(match self.follower_role(id) {
+                    DsrRole::Spiller => "spiller",
+                    DsrRole::Receiver => "receiver",
+                    DsrRole::Neutral => "neutral",
+                });
+                cs
+            })
+            .collect();
+        snap
     }
 }
 
@@ -275,7 +310,9 @@ mod tests {
         // Indices beyond 2*cores are followers.
         assert_eq!(p.monitor_of(100), None);
         // Each monitor has exactly sdm_sets members.
-        let members = (0..SETS).filter(|&s| p.monitor_of(s) == Some((0, true))).count();
+        let members = (0..SETS)
+            .filter(|&s| p.monitor_of(s) == Some((0, true)))
+            .count();
         assert_eq!(members, 32);
     }
 

@@ -11,7 +11,9 @@
 
 use crate::dip::{DipConfig, DipPolicy};
 use crate::dsr::{DsrConfig, DsrPolicy};
-use cmp_cache::{AccessOutcome, CoreId, InsertPos, LlcPolicy, SetIdx, SpillDecision};
+use cmp_cache::{
+    AccessOutcome, CoreId, InsertPos, LlcPolicy, PolicySnapshot, SetIdx, SpillDecision,
+};
 
 /// The combined DSR+DIP policy.
 #[derive(Debug)]
@@ -69,6 +71,36 @@ impl LlcPolicy for DsrDipPolicy {
 
     fn spill_decision(&mut self, from: CoreId, set: SetIdx, victim_spilled: bool) -> SpillDecision {
         self.dsr.spill_decision(from, set, victim_spilled)
+    }
+
+    fn snapshot(&self) -> PolicySnapshot {
+        // Merge the halves: DSR supplies roles and the spill duel, DIP the
+        // insertion duel. Per-core PSELs come from DSR (the spill decision
+        // is what the combined policy is compared on); DIP's follower mode
+        // is appended so neither duel is hidden.
+        let dsr = self.dsr.snapshot();
+        let dip = self.dip.snapshot();
+        let mut snap = PolicySnapshot::new("DSR+DIP");
+        snap.per_core = dsr
+            .per_core
+            .into_iter()
+            .zip(dip.per_core)
+            .map(|(mut d, i)| {
+                d.follower_mode = match (d.follower_mode, i.follower_mode) {
+                    (Some(role), Some(mode)) => match (role, mode) {
+                        ("spiller", "lru") => Some("spiller+lru"),
+                        ("spiller", "bip") => Some("spiller+bip"),
+                        ("receiver", "lru") => Some("receiver+lru"),
+                        ("receiver", "bip") => Some("receiver+bip"),
+                        ("neutral", "lru") => Some("neutral+lru"),
+                        _ => Some("neutral+bip"),
+                    },
+                    (r, _) => r,
+                };
+                d
+            })
+            .collect();
+        snap
     }
 }
 

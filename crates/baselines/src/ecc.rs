@@ -17,7 +17,8 @@
 //! floor the ASCC paper criticises in §2.
 
 use cmp_cache::{
-    AccessOutcome, CacheSet, CoreId, FillKind, LlcPolicy, SetIdx, SpillDecision, WayIdx,
+    AccessOutcome, CacheSet, CoreId, CoreSnapshot, FillKind, LlcPolicy, PolicySnapshot, SetIdx,
+    SpillDecision, WayIdx,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -76,7 +77,11 @@ impl std::fmt::Debug for EccPolicy {
         f.debug_struct("EccPolicy")
             .field(
                 "private_quotas",
-                &self.caches.iter().map(|c| c.private_quota).collect::<Vec<_>>(),
+                &self
+                    .caches
+                    .iter()
+                    .map(|c| c.private_quota)
+                    .collect::<Vec<_>>(),
             )
             .finish()
     }
@@ -209,7 +214,12 @@ impl LlcPolicy for EccPolicy {
         }
     }
 
-    fn spill_decision(&mut self, from: CoreId, _set: SetIdx, victim_spilled: bool) -> SpillDecision {
+    fn spill_decision(
+        &mut self,
+        from: CoreId,
+        _set: SetIdx,
+        victim_spilled: bool,
+    ) -> SpillDecision {
         if victim_spilled || self.cfg.cores < 2 {
             // Shared lines die on eviction; no recirculation.
             return SpillDecision::NotSpiller;
@@ -237,6 +247,23 @@ impl LlcPolicy for EccPolicy {
             1 => SpillDecision::Spill(candidates[0]),
             n => SpillDecision::Spill(candidates[self.rng.gen_range(0..n)]),
         }
+    }
+
+    fn snapshot(&self) -> PolicySnapshot {
+        let mut snap = PolicySnapshot::new("ECC");
+        snap.repartitions = Some(self.repartitions);
+        snap.per_core = self
+            .caches
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let mut cs = CoreSnapshot::new(CoreId(i as u8));
+                cs.private_quota = Some(c.private_quota);
+                cs.shared_quota = Some(self.cfg.ways - c.private_quota);
+                cs
+            })
+            .collect();
+        snap
     }
 }
 
@@ -296,7 +323,10 @@ mod tests {
         let mut p = policy(2);
         let s = set_with(&[0, 4], &[8, 12]);
         let v = p.choose_victim(CoreId(0), SetIdx(0), FillKind::Spill, &s);
-        assert!(s.line(v).unwrap().spilled, "spill must displace a shared line");
+        assert!(
+            s.line(v).unwrap().spilled,
+            "spill must displace a shared line"
+        );
         assert_eq!(s.line(v).unwrap().addr, LineAddr::new(8));
     }
 

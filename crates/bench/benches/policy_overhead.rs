@@ -35,7 +35,10 @@ fn bench_policies(c: &mut Criterion) {
         ("ECC", Box::new(EccConfig::ecc(4, 8).build())),
         ("ASCC", Box::new(AsccConfig::ascc(4, 4096, 8).build())),
         ("AVGCC", Box::new(AvgccConfig::avgcc(4, 4096, 8).build())),
-        ("QoS-AVGCC", Box::new(AvgccConfig::qos_avgcc(4, 4096, 8).build())),
+        (
+            "QoS-AVGCC",
+            Box::new(AvgccConfig::qos_avgcc(4, 4096, 8).build()),
+        ),
     ];
     for (name, policy) in &mut cases {
         let mut i = 0u32;

@@ -18,7 +18,10 @@ fn main() {
 
     type Variant = (&'static str, Box<dyn Fn() -> ascc::AsccPolicy + Sync>);
     let variants: Vec<Variant> = vec![
-        ("ASCC", Box::new(move || AsccConfig::ascc(cores, sets, ways).build())),
+        (
+            "ASCC",
+            Box::new(move || AsccConfig::ascc(cores, sets, ways).build()),
+        ),
         (
             "no-swap",
             Box::new(move || {
@@ -84,7 +87,14 @@ fn main() {
         } else {
             Box::new(variants[v - 1].1())
         };
-        run_mix(&cfg, &mixes[m], policy, scale.instrs, scale.warmup, scale.seed)
+        run_mix(
+            &cfg,
+            &mixes[m],
+            policy,
+            scale.instrs,
+            scale.warmup,
+            scale.seed,
+        )
     });
 
     let per = variants.len() + 1;
@@ -106,7 +116,8 @@ fn main() {
         columns: vec!["geomean_speedup".into()],
         rows: variants.iter().map(|(n, _)| n.to_string()).collect(),
         values,
-        paper_reference: "extensions beyond the paper: swap, allocator accuracy, eps, SSL range".into(),
+        paper_reference: "extensions beyond the paper: swap, allocator accuracy, eps, SSL range"
+            .into(),
     }
     .save();
 }

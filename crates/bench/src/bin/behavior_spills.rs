@@ -5,8 +5,10 @@
 //! second-best approach (DSR+DIP) and 60% fewer than the worst (ECC), with
 //! 28% more hits per spill; (4 cores): 28% / 70% fewer, 36% more.
 
-use ascc_bench::{print_table, run_grid, ExperimentRecord, Policy, Scale};
-use cmp_sim::SystemConfig;
+use ascc_bench::{
+    parallel_map, print_table, run_grid, snapshot_summary, ExperimentRecord, Policy, Scale,
+};
+use cmp_sim::{mix_workloads, CmpSystem, SystemConfig};
 use cmp_trace::{four_app_mixes, two_app_mixes};
 
 fn main() {
@@ -21,7 +23,11 @@ fn main() {
         for (p, label) in grid.policies.iter().enumerate() {
             let spills: u64 = grid.runs.iter().map(|r| r[p].spills + r[p].swaps).sum();
             let hits: u64 = grid.runs.iter().map(|r| r[p].spill_hits).sum();
-            let hps = if spills > 0 { hits as f64 / spills as f64 } else { 0.0 };
+            let hps = if spills > 0 {
+                hits as f64 / spills as f64
+            } else {
+                0.0
+            };
             rows.push(vec![
                 label.clone(),
                 spills.to_string(),
@@ -40,6 +46,24 @@ fn main() {
             ],
             &rows,
         );
+        // Each policy's internal state on the first mix, via the typed
+        // snapshot API (what the spill counts above look like from inside).
+        let snaps = parallel_map(Policy::HEADLINE.to_vec(), |p| {
+            let mut sys = CmpSystem::new(
+                cfg.clone(),
+                p.build(&cfg),
+                mix_workloads(&mixes[0], scale.seed),
+            );
+            sys.run(scale.instrs, scale.warmup);
+            (p.label(), sys.policy().snapshot())
+        });
+        println!(
+            "\npolicy state after mix {} ({cores} cores):",
+            mixes[0].name
+        );
+        for (label, snap) in &snaps {
+            println!("  {label:8} {}", snapshot_summary(snap));
+        }
     }
     ExperimentRecord {
         id: "behavior_spills".into(),

@@ -23,7 +23,10 @@ fn main() {
             format!("{:.2}", b.table3_mpki()),
             format!("{:.2}", r.cpi()),
             format!("{:.2}", b.table3_cpi()),
-            format!("{:.1}%", 100.0 * (1.0 - r.l1_hits as f64 / r.l1_accesses as f64)),
+            format!(
+                "{:.1}%",
+                100.0 * (1.0 - r.l1_hits as f64 / r.l1_accesses as f64)
+            ),
             format!("{}", r.l2_accesses),
         ]
     });

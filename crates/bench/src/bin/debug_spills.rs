@@ -1,7 +1,9 @@
-//! Diagnostic: per-core behaviour of one mix under several policies.
+//! Diagnostic: per-core behaviour of one mix under several policies,
+//! including each policy's typed snapshot (SSL roles, adaptation
+//! counters) — the introspection that used to require downcasting.
 
-use ascc_bench::{parallel_map, Policy, Scale};
-use cmp_sim::{run_mix, weighted_speedup_improvement, SystemConfig};
+use ascc_bench::{parallel_map, snapshot_summary, Policy, Scale};
+use cmp_sim::{mix_workloads, weighted_speedup_improvement, CmpSystem, SystemConfig};
 use cmp_trace::four_app_mixes;
 
 fn main() {
@@ -22,10 +24,12 @@ fn main() {
         Policy::Avgcc,
     ];
     let runs = parallel_map(policies.clone(), |p| {
-        run_mix(&cfg, &mix, p.build(&cfg), scale.instrs, scale.warmup, scale.seed)
+        let mut sys = CmpSystem::new(cfg.clone(), p.build(&cfg), mix_workloads(&mix, scale.seed));
+        let r = sys.run(scale.instrs, scale.warmup);
+        (r, sys.policy().snapshot())
     });
-    let base = runs[0].clone();
-    for (p, r) in policies.iter().zip(&runs) {
+    let base = runs[0].0.clone();
+    for (p, (r, snap)) in policies.iter().zip(&runs) {
         println!(
             "\n{:10} ws={:+.2}% spills={} swaps={} spill_hits={} hits/spill={:.2}",
             p.label(),
@@ -35,6 +39,7 @@ fn main() {
             r.spill_hits,
             r.hits_per_spill()
         );
+        println!("  snapshot: {}", snapshot_summary(snap));
         for c in &r.cores {
             println!(
                 "  {:16} cpi={:.3} mpki={:6.2} l2acc={:8} local={:8} remote={:7} mem={:7}",

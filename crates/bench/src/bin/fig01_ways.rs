@@ -8,7 +8,7 @@
 
 use ascc_bench::{parallel_map, print_table, ExperimentRecord, Scale};
 use cmp_cache::CacheGeometry;
-use cmp_sim::{run_solo, run_solo_fully_assoc, SystemConfig};
+use cmp_sim::{SoloRun, SystemConfig};
 use cmp_trace::SpecBench;
 
 /// The eight benchmarks of Fig. 1 (upper row then lower row).
@@ -36,27 +36,19 @@ fn main() {
         .collect();
     let results = parallel_map(jobs.clone(), |(b, w)| {
         let mut cfg = SystemConfig::table2(1);
-        match w {
+        let spec = SoloRun::new(b)
+            .instructions(scale.instrs)
+            .warmup(scale.warmup)
+            .seed(scale.seed);
+        let r = match w {
             Some(w) => {
                 // 2 MB/16-way has 4096 sets; enabling w ways keeps the sets.
                 cfg.l2 = CacheGeometry::new(4096, w, 32).expect("valid");
-                let r = run_solo(&cfg, b, scale.instrs, scale.warmup, scale.seed);
-                (r.l2_mpki(), r.cpi())
+                spec.run(&cfg)
             }
-            None => {
-                let r = run_solo_fully_assoc(
-                    cfg.l1,
-                    (2 << 20) / 32,
-                    cfg.lat_l2_local,
-                    cfg.lat_mem,
-                    b,
-                    scale.instrs,
-                    scale.warmup,
-                    scale.seed,
-                );
-                (r.l2_mpki(), r.cpi())
-            }
-        }
+            None => spec.run_fully_assoc(&cfg, (2 << 20) / 32),
+        };
+        (r.l2_mpki(), r.cpi())
     });
 
     let cols: Vec<String> = ways

@@ -30,7 +30,10 @@ fn main() {
     let ways: Vec<u16> = (1..=8).map(|w| 2 * w).collect();
     for bench in [SpecBench::Astar, SpecBench::Milc] {
         let missvecs = parallel_map(ways.clone(), |w| per_set_misses(bench, w, scale));
-        println!("\n== Fig. 2 ({}) — favored vs constant sets ==", bench.name());
+        println!(
+            "\n== Fig. 2 ({}) — favored vs constant sets ==",
+            bench.name()
+        );
         let mut rows = Vec::new();
         let mut favored_col = Vec::new();
         for i in 1..ways.len() {

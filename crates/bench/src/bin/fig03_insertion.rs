@@ -19,7 +19,11 @@ fn show(set: &CacheSet, names: &[(u64, char)]) -> String {
     }
     format!(
         "MRU [{}] LRU",
-        order.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(" ")
+        order
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
     )
 }
 

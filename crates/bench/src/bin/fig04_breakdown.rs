@@ -39,7 +39,8 @@ fn main() {
         columns: grid.policies.clone(),
         rows,
         values,
-        paper_reference: "LMS>LRS, LMS>GMS, ASCC>LMS+BIP, GMS+SABIP ~30% more speedup than DSR".into(),
+        paper_reference: "LMS>LRS, LMS>GMS, ASCC>LMS+BIP, GMS+SABIP ~30% more speedup than DSR"
+            .into(),
     }
     .save();
 }

@@ -39,7 +39,14 @@ fn main() {
 
     // Plenty of hits: most counters stay below K -> B high -> refine.
     for i in 0..512u32 {
-        p.record_access(core, SetIdx(i % 16), AccessOutcome::Hit { spilled: false, depth: 0 });
+        p.record_access(
+            core,
+            SetIdx(i % 16),
+            AccessOutcome::Hit {
+                spilled: false,
+                depth: 0,
+            },
+        );
     }
     println!(
         "after a hit-rich phase:  D={} ({} counters) — spare capacity, finer tracking",

@@ -30,8 +30,8 @@ fn main() {
         columns: grid.policies.clone(),
         rows,
         values,
-        paper_reference: "geomean: DSR < DSR+DIP(< DSR at 4 cores) < ECC < ASCC +5.7% < AVGCC +7.8%"
-            .into(),
+        paper_reference:
+            "geomean: DSR < DSR+DIP(< DSR at 4 cores) < ECC < ASCC +5.7% < AVGCC +7.8%".into(),
     }
     .save();
 }

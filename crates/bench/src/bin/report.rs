@@ -4,9 +4,8 @@
 //!
 //! Usage: `report [results-dir]` (prints to stdout).
 
-use serde::Deserialize;
+use cmp_json::Value;
 
-#[derive(Deserialize)]
 struct Record {
     id: String,
     title: String,
@@ -14,6 +13,49 @@ struct Record {
     rows: Vec<String>,
     values: Vec<Vec<f64>>,
     paper_reference: String,
+}
+
+impl Record {
+    fn from_json(v: &Value) -> Result<Record, String> {
+        let string = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field `{key}`"))
+        };
+        let strings = |key: &str| -> Result<Vec<String>, String> {
+            v.get(key)
+                .and_then(Value::as_array)
+                .map(|items| {
+                    items
+                        .iter()
+                        .filter_map(|s| s.as_str().map(str::to_string))
+                        .collect()
+                })
+                .ok_or_else(|| format!("missing array field `{key}`"))
+        };
+        let values = v
+            .get("values")
+            .and_then(Value::as_array)
+            .map(|rows| {
+                rows.iter()
+                    .map(|row| {
+                        row.as_array()
+                            .map(|xs| xs.iter().filter_map(Value::as_f64).collect())
+                            .unwrap_or_default()
+                    })
+                    .collect()
+            })
+            .ok_or("missing array field `values`")?;
+        Ok(Record {
+            id: string("id")?,
+            title: string("title")?,
+            columns: strings("columns")?,
+            rows: strings("rows")?,
+            values,
+            paper_reference: string("paper_reference")?,
+        })
+    }
 }
 
 /// Experiment ids whose values are fractions to print as percentages.
@@ -45,7 +87,11 @@ fn main() {
     paths.sort();
     for path in paths {
         let data = std::fs::read_to_string(&path).expect("readable record");
-        let r: Record = match serde_json::from_str(&data) {
+        let r: Record = match Value::parse(&data)
+            .map_err(|e| e.to_string())
+            .and_then(|v| {
+                Record::from_json(&v).map_err(|e| format!("not an experiment record: {e}"))
+            }) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("skipping {}: {e}", path.display());
@@ -54,7 +100,7 @@ fn main() {
         };
         println!("### {} — {}\n", r.id, r.title);
         println!("*Paper:* {}\n", r.paper_reference);
-        println!("| {} | {} |", "", r.columns.join(" | "));
+        println!("|  | {} |", r.columns.join(" | "));
         println!("|{}", "---|".repeat(r.columns.len() + 1));
         for (name, vals) in r.rows.iter().zip(&r.values) {
             let cells: Vec<String> = vals

@@ -38,14 +38,18 @@ fn main() {
         ]);
         values.push(vec![geo[i], cost.extra_bytes() as f64]);
     }
-    print_table(&["design".into(), "speedup".into(), "extra storage".into()], &rows);
+    print_table(
+        &["design".into(), "speedup".into(), "extra storage".into()],
+        &rows,
+    );
     ExperimentRecord {
         id: "sect7_limited".into(),
         title: "AVGCC performance with capped counter counts".into(),
         columns: vec!["geomean_speedup".into(), "extra_bytes".into()],
         rows: policies.iter().map(|p| p.label()).collect(),
         values,
-        paper_reference: "128 counters: +6.8% (83B); 2048: +7.1% (1284B); 4096: +7.8% (2564B)".into(),
+        paper_reference: "128 counters: +6.8% (83B); 2048: +7.1% (1284B); 4096: +7.8% (2564B)"
+            .into(),
     }
     .save();
 }

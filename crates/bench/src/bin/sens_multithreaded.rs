@@ -54,7 +54,10 @@ fn main() {
 
     let mut values = table;
     values.push(geo);
-    let mut row_names: Vec<String> = ParallelBench::ALL.iter().map(|b| b.name().to_string()).collect();
+    let mut row_names: Vec<String> = ParallelBench::ALL
+        .iter()
+        .map(|b| b.name().to_string())
+        .collect();
     row_names.push("geomean".into());
     ExperimentRecord {
         id: "sens_multithreaded".into(),

@@ -23,7 +23,11 @@ fn main() {
             let grid = run_grid(&cfg, &mixes, &policies, scale);
             let geo = GridResult::geomeans(&grid.speedup_improvements());
             rows.push(vec![
-                format!("{} cores{}", cores, if prefetch { " + prefetch" } else { "" }),
+                format!(
+                    "{} cores{}",
+                    cores,
+                    if prefetch { " + prefetch" } else { "" }
+                ),
                 pct(geo[0]),
                 pct(geo[1]),
             ]);

@@ -17,13 +17,27 @@ fn eval(cores: usize, mixes: &[WorkloadMix], scale: Scale) -> (f64, f64, f64) {
         .flat_map(|m| [(m, 0), (m, 1), (m, 2)])
         .collect();
     let runs = parallel_map(jobs, |(m, kind)| match kind {
-        0 => run_mix(&cfg, &mixes[m], Policy::Baseline.build(&cfg), scale.instrs, scale.warmup, scale.seed),
+        0 => run_mix(
+            &cfg,
+            &mixes[m],
+            Policy::Baseline.build(&cfg),
+            scale.instrs,
+            scale.warmup,
+            scale.seed,
+        ),
         1 => {
             let shared = SharedConfig::from_private(&cfg);
             let mut sys = SharedLlcSystem::new(shared, mix_workloads(&mixes[m], scale.seed));
             sys.run(scale.instrs, scale.warmup)
         }
-        _ => run_mix(&cfg, &mixes[m], Policy::Avgcc.build(&cfg), scale.instrs, scale.warmup, scale.seed),
+        _ => run_mix(
+            &cfg,
+            &mixes[m],
+            Policy::Avgcc.build(&cfg),
+            scale.instrs,
+            scale.warmup,
+            scale.seed,
+        ),
     });
     let mut ws = Vec::new();
     let mut fair = Vec::new();
@@ -64,7 +78,8 @@ fn main() {
         columns: vec!["shared_ws".into(), "shared_fair".into(), "avgcc_ws".into()],
         rows: vec!["2core".into(), "4core".into()],
         values: vec![vec![s2, f2, a2], vec![s4, f4, a4]],
-        paper_reference: "shared: +1.8%/+1.7% (2 cores), +3%/+3% (4 cores) — well below AVGCC".into(),
+        paper_reference: "shared: +1.8%/+1.7% (2 cores), +3%/+3% (4 cores) — well below AVGCC"
+            .into(),
     }
     .save();
 }

@@ -10,9 +10,15 @@ fn main() {
         &["parameter".into(), "value".into()],
         &[
             vec!["Frequency".into(), "4 GHz (latencies in cycles)".into()],
-            vec!["Cores".into(), format!("{} (analytical timing model)", cfg.cores)],
+            vec![
+                "Cores".into(),
+                format!("{} (analytical timing model)", cfg.cores),
+            ],
             vec!["L1 d-cache".into(), format!("{} / LRU / WT", cfg.l1)],
-            vec!["L2 (unified, inclusive)".into(), format!("{} / LRU / WB", cfg.l2)],
+            vec![
+                "L2 (unified, inclusive)".into(),
+                format!("{} / LRU / WB", cfg.l2),
+            ],
             vec![
                 "L2 latency".into(),
                 format!(
@@ -24,7 +30,10 @@ fn main() {
                 "Main memory latency".into(),
                 format!("{} cycles (115 ns at 4 GHz)", cfg.lat_mem),
             ],
-            vec!["Coherence protocol".into(), "MESI-based broadcasting".into()],
+            vec![
+                "Coherence protocol".into(),
+                "MESI-based broadcasting".into(),
+            ],
         ],
     );
     let shared = SharedConfig::from_private(&cfg);

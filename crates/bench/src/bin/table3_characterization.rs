@@ -44,7 +44,10 @@ fn main() {
             "cpi".into(),
             "paper_cpi".into(),
         ],
-        rows: results.iter().map(|(b, _, _)| b.name().to_string()).collect(),
+        rows: results
+            .iter()
+            .map(|(b, _, _)| b.name().to_string())
+            .collect(),
         values: results
             .iter()
             .map(|(b, m, c)| vec![*m, b.table3_mpki(), *c, b.table3_cpi()])

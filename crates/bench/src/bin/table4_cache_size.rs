@@ -17,9 +17,20 @@ fn offchip_reduction(cap: u64, mixes: &[WorkloadMix], cores: usize, scale: Scale
         .flat_map(|m| [(m, false), (m, true)])
         .collect();
     let runs = parallel_map(jobs, |(m, avgcc)| {
-        let p = if avgcc { Policy::Avgcc } else { Policy::Baseline };
-        run_mix(&cfg, &mixes[m], p.build(&cfg), scale.instrs, scale.warmup, scale.seed)
-            .offchip_accesses()
+        let p = if avgcc {
+            Policy::Avgcc
+        } else {
+            Policy::Baseline
+        };
+        run_mix(
+            &cfg,
+            &mixes[m],
+            p.build(&cfg),
+            scale.instrs,
+            scale.warmup,
+            scale.seed,
+        )
+        .offchip_accesses()
     });
     let mut reductions = Vec::new();
     for m in 0..mixes.len() {
@@ -65,7 +76,11 @@ fn main() {
     ExperimentRecord {
         id: "table4".into(),
         title: "Off-chip access reduction and overhead vs LLC capacity".into(),
-        columns: vec!["reduction_4core".into(), "reduction_2core".into(), "overhead".into()],
+        columns: vec![
+            "reduction_4core".into(),
+            "reduction_2core".into(),
+            "overhead".into(),
+        ],
         rows: caps.iter().map(|c| format!("{}MB", c >> 20)).collect(),
         values,
         paper_reference: "1MB: 27%/14%, 2MB: 12%/9%, 4MB: 12%/9%; overhead 0.17%".into(),

@@ -37,7 +37,11 @@ fn main() {
             vec![
                 "total extra".into(),
                 "0".into(),
-                format!("{} B ({:.2}%)", avgcc.extra_bytes(), avgcc.overhead_fraction() * 100.0),
+                format!(
+                    "{} B ({:.2}%)",
+                    avgcc.extra_bytes(),
+                    avgcc.overhead_fraction() * 100.0
+                ),
             ],
         ],
     );
@@ -52,7 +56,10 @@ fn main() {
             format!("{:.3}%", c.overhead_fraction() * 100.0),
         ]);
     }
-    print_table(&["variant".into(), "extra storage".into(), "overhead".into()], &rows);
+    print_table(
+        &["variant".into(), "extra storage".into(), "overhead".into()],
+        &rows,
+    );
 
     println!("\n== §8: QoS-aware AVGCC ==\n");
     print_table(
@@ -75,14 +82,27 @@ fn main() {
         id: "table5".into(),
         title: "Storage cost model (bytes of extra storage, overhead fraction)".into(),
         columns: vec!["extra_bytes".into(), "overhead_fraction".into()],
-        rows: vec!["AVGCC-4096".into(), "AVGCC-2048".into(), "AVGCC-128".into(), "QoS-AVGCC".into()],
+        rows: vec![
+            "AVGCC-4096".into(),
+            "AVGCC-2048".into(),
+            "AVGCC-128".into(),
+            "QoS-AVGCC".into(),
+        ],
         values: vec![
             vec![avgcc.extra_bytes() as f64, avgcc.overhead_fraction()],
-            vec![m.avgcc(2048).extra_bytes() as f64, m.avgcc(2048).overhead_fraction()],
-            vec![m.avgcc(128).extra_bytes() as f64, m.avgcc(128).overhead_fraction()],
+            vec![
+                m.avgcc(2048).extra_bytes() as f64,
+                m.avgcc(2048).overhead_fraction(),
+            ],
+            vec![
+                m.avgcc(128).extra_bytes() as f64,
+                m.avgcc(128).overhead_fraction(),
+            ],
             vec![qos.extra_bytes() as f64, qos.overhead_fraction()],
         ],
-        paper_reference: "2560B+~4B extra (paper: 0.17%); 2048 counters 1284B; 128 counters ~83B; QoS 0.35%".into(),
+        paper_reference:
+            "2560B+~4B extra (paper: 0.17%); 2048 counters 1284B; 128 counters ~83B; QoS 0.35%"
+                .into(),
     }
     .save();
 }

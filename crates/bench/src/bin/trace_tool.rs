@@ -47,13 +47,29 @@ fn main() {
             let lines: HashSet<u64> = accesses.iter().map(|a| a.addr.raw() >> 5).collect();
             let sets_4096: HashSet<u64> = lines.iter().map(|l| l & 4095).collect();
             println!("accesses:       {}", trace.len());
-            println!("stores:         {} ({:.1}%)", stores, 100.0 * stores as f64 / trace.len() as f64);
-            println!("distinct lines: {} ({} kB footprint at 32 B)", lines.len(), lines.len() * 32 / 1024);
+            println!(
+                "stores:         {} ({:.1}%)",
+                stores,
+                100.0 * stores as f64 / trace.len() as f64
+            );
+            println!(
+                "distinct lines: {} ({} kB footprint at 32 B)",
+                lines.len(),
+                lines.len() * 32 / 1024
+            );
             println!("4096-set cover: {} sets touched", sets_4096.len());
             println!(
                 "address range:  {:#x} ..= {:#x}",
-                accesses.iter().map(|a| a.addr.raw()).min().expect("nonempty"),
-                accesses.iter().map(|a| a.addr.raw()).max().expect("nonempty"),
+                accesses
+                    .iter()
+                    .map(|a| a.addr.raw())
+                    .min()
+                    .expect("nonempty"),
+                accesses
+                    .iter()
+                    .map(|a| a.addr.raw())
+                    .max()
+                    .expect("nonempty"),
             );
         }
         _ => usage(),

@@ -8,12 +8,12 @@
 
 use ascc::{AsccConfig, AvgccConfig};
 use cmp_cache::{LlcPolicy, PrivateBaseline};
+use cmp_json::Value;
 use cmp_sim::{
     fairness_improvement, geomean_improvement, run_mix, weighted_speedup_improvement, RunResult,
     SystemConfig,
 };
 use cmp_trace::WorkloadMix;
-use serde::Serialize;
 use spill_baselines::{CcPolicy, DipConfig, DsrConfig, DsrDipPolicy, EccConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -120,16 +120,20 @@ impl Policy {
             Policy::Ecc => Box::new(EccConfig::ecc(cores, ways).build()),
             Policy::Ascc => Box::new(AsccConfig::ascc(cores, sets, ways).build()),
             Policy::Ascc2s => Box::new(AsccConfig::ascc_2s(cores, sets, ways).build()),
-            Policy::AsccN(n) => Box::new(AsccConfig::ascc(cores, sets, ways).with_counters(n).build()),
+            Policy::AsccN(n) => {
+                Box::new(AsccConfig::ascc(cores, sets, ways).with_counters(n).build())
+            }
             Policy::Lrs => Box::new(AsccConfig::lrs(cores, sets, ways).build()),
             Policy::Lms => Box::new(AsccConfig::lms(cores, sets, ways).build()),
             Policy::Gms => Box::new(AsccConfig::gms(cores, sets, ways).build()),
             Policy::LmsBip => Box::new(AsccConfig::lms_bip(cores, sets, ways).build()),
             Policy::GmsSabip => Box::new(AsccConfig::gms_sabip(cores, sets, ways).build()),
             Policy::Avgcc => Box::new(AvgccConfig::avgcc(cores, sets, ways).build()),
-            Policy::AvgccMax(n) => {
-                Box::new(AvgccConfig::avgcc(cores, sets, ways).with_max_counters(n).build())
-            }
+            Policy::AvgccMax(n) => Box::new(
+                AvgccConfig::avgcc(cores, sets, ways)
+                    .with_max_counters(n)
+                    .build(),
+            ),
             Policy::QosAvgcc => Box::new(AvgccConfig::qos_avgcc(cores, sets, ways).build()),
             Policy::AsccAllocator => {
                 let mut c = AsccConfig::ascc(cores, sets, ways);
@@ -188,14 +192,22 @@ pub fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) 
                 if i >= n {
                     break;
                 }
-                let item = work[i].lock().expect("unpoisoned").take().expect("taken once");
+                let item = work[i]
+                    .lock()
+                    .expect("unpoisoned")
+                    .take()
+                    .expect("taken once");
                 *results[i].lock().expect("unpoisoned") = Some(f(item));
             });
         }
     });
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("unpoisoned").expect("worker filled it"))
+        .map(|m| {
+            m.into_inner()
+                .expect("unpoisoned")
+                .expect("worker filled it")
+        })
         .collect()
 }
 
@@ -257,17 +269,18 @@ pub fn run_grid(
     scale: Scale,
 ) -> GridResult {
     let jobs: Vec<(usize, Option<Policy>)> = (0..mixes.len())
-        .flat_map(|m| {
-            std::iter::once((m, None))
-                .chain(policies.iter().map(move |&p| (m, Some(p))))
-        })
+        .flat_map(|m| std::iter::once((m, None)).chain(policies.iter().map(move |&p| (m, Some(p)))))
         .collect();
     let results = parallel_map(jobs, |(m, p)| {
-        let policy = p.map_or_else(
-            || Policy::Baseline.build(cfg),
-            |p| p.build(cfg),
-        );
-        run_mix(cfg, &mixes[m], policy, scale.instrs, scale.warmup, scale.seed)
+        let policy = p.map_or_else(|| Policy::Baseline.build(cfg), |p| p.build(cfg));
+        run_mix(
+            cfg,
+            &mixes[m],
+            policy,
+            scale.instrs,
+            scale.warmup,
+            scale.seed,
+        )
     });
     // Unpack in (mix-major) order: baseline then policies.
     let per_mix = policies.len() + 1;
@@ -276,7 +289,11 @@ pub fn run_grid(
     let mut it = results.into_iter();
     for _ in 0..mixes.len() {
         baselines.push(it.next().expect("baseline run"));
-        runs.push((0..per_mix - 1).map(|_| it.next().expect("policy run")).collect());
+        runs.push(
+            (0..per_mix - 1)
+                .map(|_| it.next().expect("policy run"))
+                .collect(),
+        );
     }
     GridResult {
         mixes: mixes.iter().map(|m| m.name.clone()).collect(),
@@ -284,6 +301,42 @@ pub fn run_grid(
         baselines,
         runs,
     }
+}
+
+/// One-line summary of the counters a policy exposes through its
+/// [`cmp_cache::PolicySnapshot`], omitting fields the policy leaves unset.
+pub fn snapshot_summary(s: &cmp_cache::PolicySnapshot) -> String {
+    let mut parts = Vec::new();
+    if let Some(h) = s.role_totals() {
+        parts.push(format!(
+            "roles r/n/s={}/{}/{}",
+            h.receiver, h.neutral, h.spiller
+        ));
+    }
+    if let Some(x) = s.capacity_activations {
+        parts.push(format!("capacity_activations={x}"));
+    }
+    if let Some(x) = s.granularity_changes {
+        parts.push(format!("granularity_changes={x}"));
+    }
+    if let Some(x) = s.repartitions {
+        parts.push(format!("repartitions={x}"));
+    }
+    if let Some(x) = s.spills_refused {
+        parts.push(format!("spills_refused={x}"));
+    }
+    let modes: Vec<String> = s
+        .per_core
+        .iter()
+        .filter_map(|c| c.follower_mode.map(|m| format!("c{}:{m}", c.core.index())))
+        .collect();
+    if !modes.is_empty() {
+        parts.push(format!("modes[{}]", modes.join(" ")));
+    }
+    if parts.is_empty() {
+        parts.push("(no snapshot fields)".into());
+    }
+    parts.join(" ")
 }
 
 /// Formats a fraction as a signed percentage, e.g. `+7.8%`.
@@ -310,7 +363,10 @@ pub fn print_table(headers: &[String], rows: &[Vec<String>]) {
         println!("{}", joined.join("  "));
     };
     line(headers);
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         line(row);
     }
@@ -342,7 +398,7 @@ pub fn print_improvement_table(
 }
 
 /// A serialisable record of one experiment, written under `results/`.
-#[derive(Serialize, Debug)]
+#[derive(Debug)]
 pub struct ExperimentRecord {
     /// Experiment id, e.g. `"fig08"`.
     pub id: String,
@@ -359,6 +415,20 @@ pub struct ExperimentRecord {
 }
 
 impl ExperimentRecord {
+    /// The record as a JSON document.
+    pub fn to_json(&self) -> Value {
+        Value::object()
+            .insert("id", self.id.clone())
+            .insert("title", self.title.clone())
+            .insert("columns", self.columns.clone())
+            .insert("rows", self.rows.clone())
+            .insert(
+                "values",
+                Value::Array(self.values.iter().map(|row| row.clone().into()).collect()),
+            )
+            .insert("paper_reference", self.paper_reference.clone())
+    }
+
     /// Writes the record to `results/<id>.json` (under the workspace root
     /// or the current directory).
     ///
@@ -369,7 +439,7 @@ impl ExperimentRecord {
         let dir = std::path::Path::new("results");
         std::fs::create_dir_all(dir).expect("create results dir");
         let path = dir.join(format!("{}.json", self.id));
-        std::fs::write(&path, serde_json::to_string_pretty(self).expect("serialise"))
+        std::fs::write(&path, self.to_json().pretty())
             .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
         println!("\n[saved {}]", path.display());
     }
@@ -428,6 +498,21 @@ mod tests {
         let g = GridResult::geomeans(&table);
         assert!((g[0] - 0.1).abs() < 1e-9);
         assert!(g[1] > 0.09 && g[1] < 0.11);
+    }
+
+    #[test]
+    fn snapshot_summary_renders_present_fields_only() {
+        let empty = cmp_cache::PolicySnapshot::new("p");
+        assert_eq!(snapshot_summary(&empty), "(no snapshot fields)");
+        let mut s = cmp_cache::PolicySnapshot::new("ASCC");
+        s.capacity_activations = Some(3);
+        let mut c = cmp_cache::CoreSnapshot::new(cmp_cache::CoreId(0));
+        c.follower_mode = Some("bip");
+        s.per_core.push(c);
+        let line = snapshot_summary(&s);
+        assert!(line.contains("capacity_activations=3"), "{line}");
+        assert!(line.contains("c0:bip"), "{line}");
+        assert!(!line.contains("repartitions"), "{line}");
     }
 
     #[test]

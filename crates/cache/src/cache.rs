@@ -2,9 +2,10 @@
 
 use crate::geometry::CacheGeometry;
 use crate::mesi::MesiState;
+use crate::obs::{ObsEvent, ObsProbe};
 use crate::set::{CacheLine, CacheSet};
 use crate::stats::{CacheStats, SetStats};
-use crate::types::{FillKind, InsertPos, LineAddr, SetIdx, WayIdx};
+use crate::types::{CoreId, FillKind, InsertPos, LineAddr, SetIdx, WayIdx};
 
 /// A set-associative cache with true-LRU recency tracking and pluggable
 /// insertion positions.
@@ -185,6 +186,42 @@ impl SetAssocCache {
         evicted
     }
 
+    /// [`fill`](SetAssocCache::fill), additionally reporting the fill (and
+    /// any displacement) to `probe` on behalf of `owner` — the core whose
+    /// private cache this is.
+    ///
+    /// With [`NullProbe`](crate::NullProbe) this monomorphizes to exactly
+    /// [`fill`](SetAssocCache::fill): the event construction is gated on
+    /// [`ObsProbe::ACTIVE`] and compiles away.
+    #[allow(clippy::too_many_arguments)] // fill()'s five operands + the (owner, probe) observation pair
+    pub fn fill_probed<P: ObsProbe>(
+        &mut self,
+        owner: CoreId,
+        set: SetIdx,
+        way: WayIdx,
+        line: CacheLine,
+        pos: InsertPos,
+        kind: FillKind,
+        probe: &mut P,
+    ) -> Option<CacheLine> {
+        let evicted = self.fill(set, way, line, pos, kind);
+        if P::ACTIVE {
+            probe.record(ObsEvent::Fill {
+                core: owner,
+                set,
+                kind,
+            });
+            if let Some(ref old) = evicted {
+                probe.record(ObsEvent::Eviction {
+                    core: owner,
+                    set,
+                    dirty: old.state.is_dirty(),
+                });
+            }
+        }
+        evicted
+    }
+
     /// Invalidates a resident line, returning it.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<CacheLine> {
         let (set, way) = self.probe(line)?;
@@ -314,6 +351,66 @@ mod tests {
         c.reset_stats();
         assert_eq!(c.set_stats().unwrap()[0].accesses(), 0);
         assert_eq!(c.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn fill_probed_reports_fill_and_eviction() {
+        use crate::obs::{NullProbe, VecProbe};
+        use crate::types::CoreId;
+
+        let mut c = small_cache();
+        let mut probe = VecProbe::default();
+        for line in [0u64, 4, 8] {
+            let la = LineAddr::new(line);
+            let set = c.geometry().set_of(la);
+            let v = c.set(set).default_victim();
+            c.fill_probed(
+                CoreId(1),
+                set,
+                v,
+                CacheLine::demand(la, MesiState::Modified),
+                InsertPos::Mru,
+                FillKind::Demand,
+                &mut probe,
+            );
+        }
+        let fills = probe
+            .events
+            .iter()
+            .filter(|e| matches!(e, ObsEvent::Fill { .. }))
+            .count();
+        assert_eq!(fills, 3);
+        let evictions: Vec<_> = probe
+            .events
+            .iter()
+            .filter(|e| matches!(e, ObsEvent::Eviction { .. }))
+            .collect();
+        assert_eq!(evictions.len(), 1);
+        assert_eq!(
+            *evictions[0],
+            ObsEvent::Eviction {
+                core: CoreId(1),
+                set: SetIdx(0),
+                dirty: true
+            }
+        );
+
+        // The NullProbe path behaves identically to plain fill().
+        let mut c2 = small_cache();
+        let la = LineAddr::new(12);
+        let set = c2.geometry().set_of(la);
+        let v = c2.set(set).default_victim();
+        let evicted = c2.fill_probed(
+            CoreId(0),
+            set,
+            v,
+            CacheLine::demand(la, MesiState::Exclusive),
+            InsertPos::Mru,
+            FillKind::Demand,
+            &mut NullProbe,
+        );
+        assert!(evicted.is_none());
+        assert_eq!(c2.stats().demand_fills, 1);
     }
 
     #[test]

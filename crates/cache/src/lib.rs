@@ -50,6 +50,7 @@ mod cache;
 mod geometry;
 mod lru_model;
 mod mesi;
+mod obs;
 mod policy;
 mod prefetch;
 mod recency;
@@ -61,9 +62,12 @@ pub use cache::SetAssocCache;
 pub use geometry::{CacheGeometry, GeometryError};
 pub use lru_model::{FullyAssocLru, LruOutcome};
 pub use mesi::MesiState;
+pub use obs::{
+    CoreSnapshot, NullProbe, ObsEvent, ObsProbe, PolicySnapshot, RoleHistogram, VecProbe,
+};
 pub use policy::{AccessOutcome, LlcPolicy, PrivateBaseline, SpillDecision};
 pub use prefetch::{PrefetchConfig, StridePrefetcher};
 pub use recency::RecencyStack;
 pub use set::{CacheLine, CacheSet};
 pub use stats::{CacheStats, SetStats};
-pub use types::{Addr, AccessKind, CoreId, FillKind, InsertPos, LineAddr, SetIdx, WayIdx};
+pub use types::{AccessKind, Addr, CoreId, FillKind, InsertPos, LineAddr, SetIdx, WayIdx};

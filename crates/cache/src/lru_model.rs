@@ -175,7 +175,10 @@ mod tests {
     #[test]
     fn basic_hit_miss() {
         let mut c = FullyAssocLru::new(3);
-        assert_eq!(c.access(LineAddr::new(1)), LruOutcome::Miss { evicted: None });
+        assert_eq!(
+            c.access(LineAddr::new(1)),
+            LruOutcome::Miss { evicted: None }
+        );
         assert_eq!(c.access(LineAddr::new(1)), LruOutcome::Hit);
         assert_eq!(c.len(), 1);
         assert!(c.contains(LineAddr::new(1)));

@@ -7,6 +7,7 @@
 //! which is exactly the vantage point the hardware mechanisms have through
 //! the broadcast coherence network.
 
+use crate::obs::{ObsEvent, PolicySnapshot};
 use crate::set::CacheSet;
 use crate::types::{CoreId, FillKind, InsertPos, SetIdx, WayIdx};
 
@@ -77,8 +78,41 @@ pub trait LlcPolicy {
     /// Human-readable policy name, used in experiment tables.
     fn name(&self) -> &str;
 
-    /// Type-erased view of the policy, for downcasting in tests and tools.
+    /// Type-erased view of the policy.
+    ///
+    /// **Deprecated for introspection**: downcasting to scrape internal
+    /// state is superseded by the typed [`snapshot`](LlcPolicy::snapshot)
+    /// and [`drain_events`](LlcPolicy::drain_events) APIs, which work
+    /// through `dyn LlcPolicy` without naming the concrete type. `as_any`
+    /// remains only as an escape hatch for policy-specific *configuration*
+    /// access in bespoke tools.
     fn as_any(&self) -> &dyn std::any::Any;
+
+    /// A typed, policy-agnostic view of the current internal state:
+    /// per-core role histograms, SABIP set counts, AVGCC granularity,
+    /// duelling counters, quotas — whatever this policy actually tracks
+    /// (absent fields stay `None`).
+    ///
+    /// The default reports only the policy's name.
+    fn snapshot(&self) -> PolicySnapshot {
+        PolicySnapshot::new(self.name())
+    }
+
+    /// Tells the policy whether an active probe is attached.
+    ///
+    /// Policies that can emit [`ObsEvent`]s buffer them internally only
+    /// while observed; the default (and unobserved state) is to track
+    /// nothing, so unprobed runs pay no cost.
+    fn set_observed(&mut self, observed: bool) {
+        let _ = observed;
+    }
+
+    /// Moves any internally buffered events into `out` (in emission
+    /// order). Only yields events while observation is enabled via
+    /// [`set_observed`](LlcPolicy::set_observed).
+    fn drain_events(&mut self, out: &mut Vec<ObsEvent>) {
+        let _ = out;
+    }
 
     /// Records the outcome of an L2 access by `core` to `set`.
     fn record_access(&mut self, core: CoreId, set: SetIdx, outcome: AccessOutcome);
@@ -205,6 +239,19 @@ mod tests {
         );
         let v2 = p.choose_victim(CoreId(0), SetIdx(0), FillKind::Demand, &set);
         assert_ne!(v, v2);
+    }
+
+    #[test]
+    fn default_snapshot_and_events_are_empty() {
+        let mut p = PrivateBaseline::new();
+        let snap = p.snapshot();
+        assert_eq!(snap.policy, "baseline");
+        assert!(snap.per_core.is_empty());
+        assert!(snap.role_totals().is_none());
+        p.set_observed(true);
+        let mut out = Vec::new();
+        p.drain_events(&mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -190,11 +190,7 @@ mod tests {
         p.train(0, LineAddr::new(10), &mut out);
         p.train(0, LineAddr::new(12), &mut out);
         p.train(0, LineAddr::new(14), &mut out);
-        assert!(out.ends_with(&[
-            LineAddr::new(16),
-            LineAddr::new(18),
-            LineAddr::new(20)
-        ]));
+        assert!(out.ends_with(&[LineAddr::new(16), LineAddr::new(18), LineAddr::new(20)]));
     }
 
     #[test]

@@ -189,7 +189,12 @@ impl SnoopBus {
     /// peer holds the line, Shared otherwise (callers normally only fetch
     /// from memory after [`SnoopBus::read_miss`] returned `None`, in which
     /// case Exclusive is the answer).
-    pub fn fetch_state(&self, caches: &[SetAssocCache], requester: CoreId, line: LineAddr) -> MesiState {
+    pub fn fetch_state(
+        &self,
+        caches: &[SetAssocCache],
+        requester: CoreId,
+        line: LineAddr,
+    ) -> MesiState {
         let shared_elsewhere = caches
             .iter()
             .enumerate()
@@ -249,7 +254,10 @@ mod tests {
             .unwrap();
         assert_eq!(hit.from, CoreId(1));
         assert_eq!(hit.granted, MesiState::Modified);
-        assert!(cs[1].probe(LineAddr::new(5)).is_none(), "copy migrated away");
+        assert!(
+            cs[1].probe(LineAddr::new(5)).is_none(),
+            "copy migrated away"
+        );
         assert_eq!(bus.stats().transfers, 1);
     }
 
@@ -263,7 +271,10 @@ mod tests {
             .unwrap();
         assert_eq!(hit.granted, MesiState::Shared);
         assert_eq!(cs[1].state_of(LineAddr::new(5)), Some(MesiState::Shared));
-        assert!(cs[1].probe(LineAddr::new(5)).is_some(), "peer keeps its copy");
+        assert!(
+            cs[1].probe(LineAddr::new(5)).is_some(),
+            "peer keeps its copy"
+        );
     }
 
     #[test]
@@ -272,7 +283,9 @@ mod tests {
         put(&mut cs[1], 5, MesiState::Shared);
         put(&mut cs[2], 5, MesiState::Shared);
         let mut bus = SnoopBus::new();
-        let hit = bus.write_miss(&mut cs, CoreId(0), LineAddr::new(5)).unwrap();
+        let hit = bus
+            .write_miss(&mut cs, CoreId(0), LineAddr::new(5))
+            .unwrap();
         assert_eq!(hit.granted, MesiState::Modified);
         assert!(cs[1].probe(LineAddr::new(5)).is_none());
         assert!(cs[2].probe(LineAddr::new(5)).is_none());
@@ -284,7 +297,9 @@ mod tests {
     fn write_miss_with_no_copies() {
         let mut cs = caches(2);
         let mut bus = SnoopBus::new();
-        assert!(bus.write_miss(&mut cs, CoreId(0), LineAddr::new(7)).is_none());
+        assert!(bus
+            .write_miss(&mut cs, CoreId(0), LineAddr::new(7))
+            .is_none());
         assert_eq!(bus.stats().invalidations, 0);
     }
 

@@ -43,7 +43,10 @@ impl World {
         if self.caches[core.index()].access(line).is_some() {
             return; // local hit
         }
-        match self.bus.read_miss(&mut self.caches, core, line, self.policy) {
+        match self
+            .bus
+            .read_miss(&mut self.caches, core, line, self.policy)
+        {
             Some(hit) => self.fill(core, line, hit.granted),
             None => {
                 let st = self.bus.fetch_state(&self.caches, core, line);

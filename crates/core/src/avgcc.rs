@@ -28,7 +28,10 @@
 
 use crate::ssl::{SetRole, SslTable};
 use crate::tuning::SslTuning;
-use cmp_cache::{AccessOutcome, CoreId, InsertPos, LlcPolicy, SetIdx, SpillDecision};
+use cmp_cache::{
+    AccessOutcome, CoreId, CoreSnapshot, InsertPos, LlcPolicy, ObsEvent, PolicySnapshot,
+    RoleHistogram, SetIdx, SpillDecision,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -209,6 +212,9 @@ pub struct AvgccPolicy {
     d_min: u8,
     d_max: u8,
     granularity_changes: u64,
+    /// Event buffering is enabled only while a probe observes the run.
+    observed: bool,
+    events: Vec<ObsEvent>,
 }
 
 impl std::fmt::Debug for AvgccPolicy {
@@ -273,6 +279,8 @@ impl AvgccPolicy {
             d_min,
             d_max,
             granularity_changes: 0,
+            observed: false,
+            events: Vec::new(),
             cfg,
         }
     }
@@ -337,11 +345,25 @@ impl AvgccPolicy {
         if c.b > in_use / 2 && c.d > self.d_min {
             c.d -= 1;
             c.reinit(sets, ways, tuning);
+            let (d, n) = (c.d, c.in_use());
             self.granularity_changes += 1;
+            self.note_regranularized(core, d, n);
         } else if in_use >= 2 && c.a == in_use / 2 && c.d < self.d_max {
             c.d += 1;
             c.reinit(sets, ways, tuning);
+            let (d, n) = (c.d, c.in_use());
             self.granularity_changes += 1;
+            self.note_regranularized(core, d, n);
+        }
+    }
+
+    fn note_regranularized(&mut self, core: usize, d: u8, counters: u32) {
+        if self.observed {
+            self.events.push(ObsEvent::Regranularized {
+                core: CoreId(core as u8),
+                granularity_log2: d,
+                counters,
+            });
         }
     }
 
@@ -370,10 +392,11 @@ impl LlcPolicy for AvgccPolicy {
         let idx = c.ssl.counter_of(set.0);
         let old = c.ssl.value_at(idx);
         let k = c.ssl.k_fixed();
-        if hit {
+        let reverted = if hit {
             let new = old.saturating_sub(SslTable::ONE);
             let revert = new < k && c.bip[idx];
             c.mutate(idx, Some(new), revert.then_some(false));
+            revert
         } else {
             if qos_on {
                 c.qos.misses_with += 1;
@@ -390,9 +413,18 @@ impl LlcPolicy for AvgccPolicy {
             let new = old.saturating_add(inc).min(c.ssl.max_fixed());
             let revert = new < k && c.bip[idx];
             c.mutate(idx, Some(new), revert.then_some(false));
-        }
+            revert
+        };
         c.accesses += 1;
-        if c.accesses.is_multiple_of(self.cfg.epoch_accesses) {
+        let epoch_due = c.accesses.is_multiple_of(self.cfg.epoch_accesses);
+        if reverted && self.observed {
+            self.events.push(ObsEvent::InsertionModeSwitch {
+                core,
+                counter: idx as u32,
+                deep: false,
+            });
+        }
+        if epoch_due {
             self.epoch(core.index());
         }
     }
@@ -405,7 +437,12 @@ impl LlcPolicy for AvgccPolicy {
         }
     }
 
-    fn spill_decision(&mut self, from: CoreId, set: SetIdx, _victim_spilled: bool) -> SpillDecision {
+    fn spill_decision(
+        &mut self,
+        from: CoreId,
+        set: SetIdx,
+        _victim_spilled: bool,
+    ) -> SpillDecision {
         if self.cfg.qos && self.caches[from.index()].qos.ratio_fixed == 0 {
             // Fully inhibited: behave like the baseline (no spilling).
             return SpillDecision::NotSpiller;
@@ -444,6 +481,13 @@ impl LlcPolicy for AvgccPolicy {
                 let idx = c.ssl.counter_of(set.0);
                 if !c.bip[idx] {
                     c.mutate(idx, None, Some(true));
+                    if self.observed {
+                        self.events.push(ObsEvent::InsertionModeSwitch {
+                            core: from,
+                            counter: idx as u32,
+                            deep: true,
+                        });
+                    }
                 }
                 SpillDecision::NoCandidate
             }
@@ -482,6 +526,56 @@ impl LlcPolicy for AvgccPolicy {
         c.qos.ratio_fixed = ((ratio * QOS_ONE as f64).round() as u16).min(QOS_ONE);
         c.qos.misses_with = 0;
         c.qos.sampled_misses = 0;
+        let ratio = c.qos.ratio_fixed as f64 / QOS_ONE as f64;
+        if self.observed {
+            self.events.push(ObsEvent::QosRatioUpdate { core, ratio });
+        }
+    }
+
+    fn snapshot(&self) -> PolicySnapshot {
+        let mut snap = PolicySnapshot::new(&self.name);
+        snap.granularity_changes = Some(self.granularity_changes);
+        snap.ab_consistent = Some(self.caches.iter().all(|c| c.recount_ab() == (c.a, c.b)));
+        snap.per_core = self
+            .caches
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let mut cs = CoreSnapshot::new(CoreId(i as u8));
+                let mut h = RoleHistogram::default();
+                for set in 0..self.cfg.sets {
+                    match c.ssl.role(set) {
+                        SetRole::Receiver => h.receiver += 1,
+                        SetRole::Neutral => h.neutral += 1,
+                        SetRole::Spiller => h.spiller += 1,
+                    }
+                }
+                cs.roles = Some(h);
+                cs.sabip_sets = Some(
+                    (0..self.cfg.sets)
+                        .filter(|&s| c.bip[c.ssl.counter_of(s)])
+                        .count() as u32,
+                );
+                cs.granularity_log2 = Some(c.d);
+                cs.counters_in_use = Some(c.in_use());
+                if self.cfg.qos {
+                    cs.qos_ratio = Some(c.qos.ratio_fixed as f64 / QOS_ONE as f64);
+                }
+                cs
+            })
+            .collect();
+        snap
+    }
+
+    fn set_observed(&mut self, observed: bool) {
+        self.observed = observed;
+        if !observed {
+            self.events.clear();
+        }
+    }
+
+    fn drain_events(&mut self, out: &mut Vec<ObsEvent>) {
+        out.append(&mut self.events);
     }
 }
 
@@ -511,7 +605,14 @@ mod tests {
         let mut p = quick(2).build();
         // All hits: the single counter drops below K; B = 1 > 1/2 = 0 -> refine.
         for i in 0..200u32 {
-            p.record_access(CoreId(0), SetIdx(i % SETS), AccessOutcome::Hit { spilled: false, depth: 0 });
+            p.record_access(
+                CoreId(0),
+                SetIdx(i % SETS),
+                AccessOutcome::Hit {
+                    spilled: false,
+                    depth: 0,
+                },
+            );
         }
         assert!(
             p.counters_in_use(CoreId(0)) > 1,
@@ -528,7 +629,14 @@ mod tests {
         let mut p = cfg.build();
         // Refine a few times first.
         for i in 0..200u32 {
-            p.record_access(CoreId(0), SetIdx(i % SETS), AccessOutcome::Hit { spilled: false, depth: 0 });
+            p.record_access(
+                CoreId(0),
+                SetIdx(i % SETS),
+                AccessOutcome::Hit {
+                    spilled: false,
+                    depth: 0,
+                },
+            );
         }
         let fine = p.counters_in_use(CoreId(0));
         assert!(fine > 1);
@@ -553,7 +661,18 @@ mod tests {
         let mut p = quick(1).build();
         for i in 0..10_000u32 {
             let hit = (i / 32) % 3 != 0;
-            p.record_access(CoreId(0), SetIdx(i % SETS), if hit { AccessOutcome::Hit { spilled: false, depth: 0 } } else { AccessOutcome::Miss });
+            p.record_access(
+                CoreId(0),
+                SetIdx(i % SETS),
+                if hit {
+                    AccessOutcome::Hit {
+                        spilled: false,
+                        depth: 0,
+                    }
+                } else {
+                    AccessOutcome::Miss
+                },
+            );
             let d = p.granularity_log2(CoreId(0));
             assert!(d <= 4, "d={d} exceeded log2(sets)");
         }
@@ -567,7 +686,14 @@ mod tests {
         let mut p = cfg.build();
         assert_eq!(p.name(), "AVGCC-c4");
         for i in 0..5_000u32 {
-            p.record_access(CoreId(0), SetIdx(i % SETS), AccessOutcome::Hit { spilled: false, depth: 0 });
+            p.record_access(
+                CoreId(0),
+                SetIdx(i % SETS),
+                AccessOutcome::Hit {
+                    spilled: false,
+                    depth: 0,
+                },
+            );
         }
         assert!(p.counters_in_use(CoreId(0)) <= 4);
     }
@@ -581,7 +707,18 @@ mod tests {
             let core = (x >> 60) as usize % 3;
             let set = ((x >> 20) % SETS as u64) as u32;
             let hit = (x >> 40) % 5 < 3;
-            p.record_access(CoreId(core as u8), SetIdx(set), if hit { AccessOutcome::Hit { spilled: false, depth: 0 } } else { AccessOutcome::Miss });
+            p.record_access(
+                CoreId(core as u8),
+                SetIdx(set),
+                if hit {
+                    AccessOutcome::Hit {
+                        spilled: false,
+                        depth: 0,
+                    }
+                } else {
+                    AccessOutcome::Miss
+                },
+            );
             let _ = p.spill_decision(CoreId(core as u8), SetIdx(set), false);
         }
         p.assert_ab_consistent();
@@ -600,7 +737,10 @@ mod tests {
             p.spill_decision(CoreId(0), SetIdx(0), false),
             SpillDecision::NoCandidate
         );
-        assert!(p.in_capacity_mode(CoreId(0), SetIdx(5)), "global counter: every set");
+        assert!(
+            p.in_capacity_mode(CoreId(0), SetIdx(5)),
+            "global counter: every set"
+        );
         assert_ne!(p.demand_insert_pos(CoreId(0), SetIdx(0)), InsertPos::Mru);
         p.assert_ab_consistent();
     }
@@ -612,7 +752,14 @@ mod tests {
             p.record_access(CoreId(0), SetIdx(0), AccessOutcome::Miss);
         }
         for _ in 0..10 {
-            p.record_access(CoreId(2), SetIdx(0), AccessOutcome::Hit { spilled: false, depth: 0 });
+            p.record_access(
+                CoreId(2),
+                SetIdx(0),
+                AccessOutcome::Hit {
+                    spilled: false,
+                    depth: 0,
+                },
+            );
         }
         // Cache 1 sits at K-1; cache 2 is lower.
         match p.spill_decision(CoreId(0), SetIdx(0), false) {
@@ -633,7 +780,14 @@ mod tests {
         // see. Oscillate miss/hit so every miss lands below K.
         for _ in 0..50 {
             p.record_access(CoreId(0), SetIdx(0), AccessOutcome::Miss);
-            p.record_access(CoreId(0), SetIdx(0), AccessOutcome::Hit { spilled: false, depth: 0 });
+            p.record_access(
+                CoreId(0),
+                SetIdx(0),
+                AccessOutcome::Hit {
+                    spilled: false,
+                    depth: 0,
+                },
+            );
         }
         // Leave the counter at K in MRU mode so it *is* sampled at the
         // epoch, with zero sampled misses against 51 total misses.
@@ -665,10 +819,96 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_and_events_track_adaptation() {
+        let mut p = quick(2).build();
+        p.set_observed(true);
+        // All hits: spare capacity refines the granularity.
+        for i in 0..200u32 {
+            p.record_access(
+                CoreId(0),
+                SetIdx(i % SETS),
+                AccessOutcome::Hit {
+                    spilled: false,
+                    depth: 0,
+                },
+            );
+        }
+        let mut events = Vec::new();
+        p.drain_events(&mut events);
+        let regrans: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, ObsEvent::Regranularized { .. }))
+            .collect();
+        assert!(!regrans.is_empty(), "refinement must emit events");
+        if let ObsEvent::Regranularized {
+            core,
+            granularity_log2,
+            counters,
+        } = regrans[0]
+        {
+            assert_eq!(*core, CoreId(0));
+            assert!(*granularity_log2 < 4);
+            assert!(*counters > 1);
+        }
+
+        let snap = p.snapshot();
+        assert_eq!(snap.policy, "AVGCC");
+        assert_eq!(snap.granularity_changes, Some(p.granularity_changes()));
+        assert_eq!(snap.ab_consistent, Some(true));
+        let c0 = &snap.per_core[0];
+        assert_eq!(c0.granularity_log2, Some(p.granularity_log2(CoreId(0))));
+        assert_eq!(c0.counters_in_use, Some(p.counters_in_use(CoreId(0))));
+        assert_eq!(c0.roles.unwrap().total(), SETS);
+        assert!(c0.qos_ratio.is_none(), "plain AVGCC has no QoS ratio");
+    }
+
+    #[test]
+    fn qos_snapshot_and_ratio_events() {
+        let mut cfg = AvgccConfig::qos_avgcc(1, SETS, K);
+        cfg.qos_epoch_cycles = 100;
+        let mut p = cfg.build();
+        p.set_observed(true);
+        for _ in 0..50 {
+            p.record_access(CoreId(0), SetIdx(0), AccessOutcome::Miss);
+            p.record_access(
+                CoreId(0),
+                SetIdx(0),
+                AccessOutcome::Hit {
+                    spilled: false,
+                    depth: 0,
+                },
+            );
+        }
+        p.record_access(CoreId(0), SetIdx(0), AccessOutcome::Miss);
+        p.on_cycle(CoreId(0), 1_000);
+        let mut events = Vec::new();
+        p.drain_events(&mut events);
+        let ratios: Vec<f64> = events
+            .iter()
+            .filter_map(|e| match e {
+                ObsEvent::QosRatioUpdate { ratio, .. } => Some(*ratio),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ratios.len(), 1);
+        assert!(ratios[0] < 1.0);
+        let snap = p.snapshot();
+        assert_eq!(snap.policy, "QoS-AVGCC");
+        assert_eq!(snap.per_core[0].qos_ratio, Some(ratios[0]));
+    }
+
+    #[test]
     fn different_caches_adapt_independently() {
         let mut p = quick(2).build();
         for i in 0..2_000u32 {
-            p.record_access(CoreId(0), SetIdx(i % SETS), AccessOutcome::Hit { spilled: false, depth: 0 }); // spare
+            p.record_access(
+                CoreId(0),
+                SetIdx(i % SETS),
+                AccessOutcome::Hit {
+                    spilled: false,
+                    depth: 0,
+                },
+            ); // spare
             p.record_access(CoreId(1), SetIdx(i % SETS), AccessOutcome::Miss); // pressured
         }
         assert!(p.counters_in_use(CoreId(0)) > p.counters_in_use(CoreId(1)));

@@ -20,7 +20,10 @@
 use crate::spill_alloc::SpillAllocator;
 use crate::ssl::{SetRole, SslTable};
 use crate::tuning::SslTuning;
-use cmp_cache::{AccessOutcome, CoreId, InsertPos, LlcPolicy, SetIdx, SpillDecision};
+use cmp_cache::{
+    AccessOutcome, CoreId, CoreSnapshot, InsertPos, LlcPolicy, ObsEvent, PolicySnapshot,
+    RoleHistogram, SetIdx, SpillDecision,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -201,6 +204,9 @@ pub struct AsccPolicy {
     rng: SmallRng,
     /// Capacity-mode activations (spiller found no candidate), for stats.
     capacity_activations: u64,
+    /// Event buffering is enabled only while a probe observes the run.
+    observed: bool,
+    events: Vec<ObsEvent>,
 }
 
 impl std::fmt::Debug for AsccPolicy {
@@ -228,7 +234,8 @@ impl AsccPolicy {
         let name = cfg.derived_name();
         let caches = (0..cfg.cores)
             .map(|_| {
-                let ssl = SslTable::with_tuning(cfg.sets, cfg.ways, cfg.sets_per_counter, cfg.tuning);
+                let ssl =
+                    SslTable::with_tuning(cfg.sets, cfg.ways, cfg.sets_per_counter, cfg.tuning);
                 let n = ssl.counters();
                 CacheState {
                     ssl,
@@ -246,6 +253,8 @@ impl AsccPolicy {
             allocators,
             cfg,
             capacity_activations: 0,
+            observed: false,
+            events: Vec::new(),
         }
     }
 
@@ -279,6 +288,19 @@ impl AsccPolicy {
     /// the insertion policy.
     pub fn capacity_activations(&self) -> u64 {
         self.capacity_activations
+    }
+
+    /// Role class counts over all of `core`'s sets.
+    fn role_histogram(&self, core: usize) -> RoleHistogram {
+        let mut h = RoleHistogram::default();
+        for set in 0..self.cfg.sets {
+            match self.role(CoreId(core as u8), SetIdx(set)) {
+                SetRole::Receiver => h.receiver += 1,
+                SetRole::Neutral => h.neutral += 1,
+                SetRole::Spiller => h.spiller += 1,
+            }
+        }
+        h
     }
 
     fn find_receiver(&mut self, from: CoreId, set: u32) -> Option<CoreId> {
@@ -349,8 +371,9 @@ impl LlcPolicy for AsccPolicy {
             c.ssl.on_miss(set.0, SslTable::ONE)
         };
         // §3.2: revert to MRU insertion once the capacity problem is gone.
+        let mut reverted = false;
         if new < c.ssl.k_fixed() {
-            c.bip[idx] = false;
+            reverted = std::mem::replace(&mut c.bip[idx], false);
         }
         if self.cfg.use_spill_allocator && !hit {
             // Peers' allocators observe this cache's miss updates.
@@ -359,6 +382,13 @@ impl LlcPolicy for AsccPolicy {
                     alloc.observe(core, set.0, new);
                 }
             }
+        }
+        if reverted && self.observed {
+            self.events.push(ObsEvent::InsertionModeSwitch {
+                core,
+                counter: idx as u32,
+                deep: false,
+            });
         }
     }
 
@@ -370,7 +400,12 @@ impl LlcPolicy for AsccPolicy {
         }
     }
 
-    fn spill_decision(&mut self, from: CoreId, set: SetIdx, _victim_spilled: bool) -> SpillDecision {
+    fn spill_decision(
+        &mut self,
+        from: CoreId,
+        set: SetIdx,
+        _victim_spilled: bool,
+    ) -> SpillDecision {
         if self.role(from, set) != SetRole::Spiller {
             return SpillDecision::NotSpiller;
         }
@@ -383,6 +418,13 @@ impl LlcPolicy for AsccPolicy {
                     if !c.bip[idx] {
                         c.bip[idx] = true;
                         self.capacity_activations += 1;
+                        if self.observed {
+                            self.events.push(ObsEvent::InsertionModeSwitch {
+                                core: from,
+                                counter: idx as u32,
+                                deep: true,
+                            });
+                        }
                     }
                 }
                 SpillDecision::NoCandidate
@@ -392,6 +434,38 @@ impl LlcPolicy for AsccPolicy {
 
     fn swap_enabled(&self) -> bool {
         self.cfg.swap
+    }
+
+    fn snapshot(&self) -> PolicySnapshot {
+        let mut snap = PolicySnapshot::new(&self.name);
+        snap.capacity_activations = Some(self.capacity_activations);
+        snap.per_core = (0..self.cfg.cores)
+            .map(|i| {
+                let mut cs = CoreSnapshot::new(CoreId(i as u8));
+                cs.roles = Some(self.role_histogram(i));
+                let c = &self.caches[i];
+                cs.sabip_sets = Some(
+                    (0..self.cfg.sets)
+                        .filter(|&s| c.bip[c.ssl.counter_of(s)])
+                        .count() as u32,
+                );
+                cs.granularity_log2 = Some(self.cfg.sets_per_counter.trailing_zeros() as u8);
+                cs.counters_in_use = Some(c.ssl.counters() as u32);
+                cs
+            })
+            .collect();
+        snap
+    }
+
+    fn set_observed(&mut self, observed: bool) {
+        self.observed = observed;
+        if !observed {
+            self.events.clear();
+        }
+    }
+
+    fn drain_events(&mut self, out: &mut Vec<ObsEvent>) {
+        out.append(&mut self.events);
     }
 }
 
@@ -410,7 +484,14 @@ mod tests {
 
     fn drain(p: &mut AsccPolicy, core: u8, set: u32) {
         for _ in 0..2 * K as u32 {
-            p.record_access(CoreId(core), SetIdx(set), AccessOutcome::Hit { spilled: false, depth: 0 });
+            p.record_access(
+                CoreId(core),
+                SetIdx(set),
+                AccessOutcome::Hit {
+                    spilled: false,
+                    depth: 0,
+                },
+            );
         }
     }
 
@@ -421,7 +502,10 @@ mod tests {
         assert_eq!(AsccConfig::lms(4, SETS, K).build().name(), "LMS");
         assert_eq!(AsccConfig::gms(4, SETS, K).build().name(), "GMS");
         assert_eq!(AsccConfig::lms_bip(4, SETS, K).build().name(), "LMS+BIP");
-        assert_eq!(AsccConfig::gms_sabip(4, SETS, K).build().name(), "GMS+SABIP");
+        assert_eq!(
+            AsccConfig::gms_sabip(4, SETS, K).build().name(),
+            "GMS+SABIP"
+        );
         assert_eq!(AsccConfig::ascc_2s(4, SETS, K).build().name(), "ASCC-2S");
         assert_eq!(
             AsccConfig::ascc(4, SETS, K).with_counters(4).build().name(),
@@ -435,7 +519,14 @@ mod tests {
         assert_eq!(p.role(CoreId(0), SetIdx(0)), SetRole::Receiver);
         saturate(&mut p, 0, 0);
         assert_eq!(p.role(CoreId(0), SetIdx(0)), SetRole::Spiller);
-        p.record_access(CoreId(0), SetIdx(0), AccessOutcome::Hit { spilled: false, depth: 0 });
+        p.record_access(
+            CoreId(0),
+            SetIdx(0),
+            AccessOutcome::Hit {
+                spilled: false,
+                depth: 0,
+            },
+        );
         assert_eq!(p.role(CoreId(0), SetIdx(0)), SetRole::Neutral);
     }
 
@@ -506,15 +597,67 @@ mod tests {
         assert_eq!(p.capacity_activations(), 1);
         // Insertion is now deep (LRU-1) most of the time.
         let deep = (0..200)
-            .filter(|_| {
-                p.demand_insert_pos(CoreId(0), SetIdx(3)) == InsertPos::LruMinus1
-            })
+            .filter(|_| p.demand_insert_pos(CoreId(0), SetIdx(3)) == InsertPos::LruMinus1)
             .count();
         assert!(deep > 150, "only {deep}/200 deep insertions");
         // Hits bring SSL below K: reverts to MRU.
         drain(&mut p, 0, 3);
         assert!(!p.in_capacity_mode(CoreId(0), SetIdx(3)));
         assert_eq!(p.demand_insert_pos(CoreId(0), SetIdx(3)), InsertPos::Mru);
+    }
+
+    #[test]
+    fn snapshot_and_events_reflect_capacity_mode() {
+        let mut p = AsccConfig::ascc(2, SETS, K).build();
+        p.set_observed(true);
+        saturate(&mut p, 0, 3);
+        saturate(&mut p, 1, 3);
+        p.spill_decision(CoreId(0), SetIdx(3), false);
+
+        let snap = p.snapshot();
+        assert_eq!(snap.policy, "ASCC");
+        assert_eq!(snap.capacity_activations, Some(1));
+        assert_eq!(snap.per_core.len(), 2);
+        let c0 = &snap.per_core[0];
+        assert_eq!(c0.sabip_sets, Some(1));
+        assert_eq!(c0.granularity_log2, Some(0));
+        assert_eq!(c0.counters_in_use, Some(SETS));
+        let roles = c0.roles.unwrap();
+        assert_eq!(roles.total(), SETS);
+        assert_eq!(roles.spiller, 1);
+
+        let mut events = Vec::new();
+        p.drain_events(&mut events);
+        assert_eq!(
+            events,
+            vec![ObsEvent::InsertionModeSwitch {
+                core: CoreId(0),
+                counter: 3,
+                deep: true
+            }]
+        );
+        // Draining empties the buffer.
+        events.clear();
+        p.drain_events(&mut events);
+        assert!(events.is_empty());
+
+        // Hits revert the set to MRU: a deep=false switch is emitted.
+        drain(&mut p, 0, 3);
+        p.drain_events(&mut events);
+        assert!(events.contains(&ObsEvent::InsertionModeSwitch {
+            core: CoreId(0),
+            counter: 3,
+            deep: false
+        }));
+
+        // Unobserved policies buffer nothing.
+        p.set_observed(false);
+        saturate(&mut p, 0, 3);
+        saturate(&mut p, 1, 3);
+        p.spill_decision(CoreId(0), SetIdx(3), false);
+        events.clear();
+        p.drain_events(&mut events);
+        assert!(events.is_empty());
     }
 
     #[test]
@@ -546,7 +689,7 @@ mod tests {
     fn gms_uses_one_counter_per_cache() {
         let mut p = AsccConfig::gms(2, SETS, K).build();
         saturate(&mut p, 0, 0); // saturate via set 0
-        // Any other set of cache 0 is now also a spiller.
+                                // Any other set of cache 0 is now also a spiller.
         assert_eq!(p.role(CoreId(0), SetIdx(9)), SetRole::Spiller);
         assert!(matches!(
             p.spill_decision(CoreId(0), SetIdx(9), false),

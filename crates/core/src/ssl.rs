@@ -82,12 +82,18 @@ impl SslTable {
     /// See [`SslTable::new`]; additionally panics if the tuned maximum does
     /// not exceed `K`.
     pub fn with_tuning(sets: u32, k: u16, sets_per_counter: u32, tuning: SslTuning) -> Self {
-        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "sets must be a power of two"
+        );
         assert!(
             sets_per_counter > 0 && sets_per_counter.is_power_of_two(),
             "sets_per_counter must be a power of two"
         );
-        assert!(sets_per_counter <= sets, "cannot group more sets than exist");
+        assert!(
+            sets_per_counter <= sets,
+            "cannot group more sets than exist"
+        );
         assert!(k > 0, "associativity must be nonzero");
         let max = tuning.max_value(k);
         assert!(max > k, "saturation maximum must exceed K");

@@ -106,7 +106,10 @@ mod tests {
         let base = run_with(30, 0, 10_000.0);
         let coop = run_with(10, 20, 10_000.0);
         let red = m.reduction(&coop, &base);
-        assert!(red > 0.1, "converting DRAM to transfers saves energy: {red}");
+        assert!(
+            red > 0.1,
+            "converting DRAM to transfers saves energy: {red}"
+        );
     }
 
     #[test]

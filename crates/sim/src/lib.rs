@@ -38,6 +38,7 @@
 mod config;
 mod energy;
 mod metrics;
+mod obs;
 mod runner;
 mod shared;
 mod system;
@@ -47,8 +48,7 @@ pub use energy::EnergyModel;
 pub use metrics::{
     fairness_improvement, geomean_improvement, weighted_speedup_improvement, CoreResult, RunResult,
 };
-pub use runner::{
-    mix_workloads, run_mix, run_solo, run_solo_fully_assoc, CORE_SPACE_BITS,
-};
+pub use obs::{snapshot_json, Epoch, EpochCounts, EpochRecorder};
+pub use runner::{mix_workloads, run_mix, run_solo, SoloRun, CORE_SPACE_BITS};
 pub use shared::{SharedConfig, SharedLlcSystem};
 pub use system::CmpSystem;

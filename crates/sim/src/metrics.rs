@@ -11,7 +11,7 @@
 //! normalisation.
 
 /// Per-core measurement of one simulation run.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct CoreResult {
     /// Workload label (e.g. `"473.astar"`).
     pub label: String,
@@ -66,7 +66,7 @@ impl CoreResult {
 }
 
 /// Outcome of one multiprogrammed simulation run.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct RunResult {
     /// Name of the LLC policy that produced this run.
     pub policy: String,

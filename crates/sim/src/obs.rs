@@ -1,0 +1,391 @@
+//! [`EpochRecorder`] — an [`ObsProbe`] that aggregates the event stream
+//! into per-epoch time series and serializes them to JSON.
+//!
+//! The recorder answers the questions end-of-run aggregates cannot: how the
+//! SSL class populations drift, which core spills into which, when AVGCC
+//! regranularizes and where the QoS ratio throttles the mechanism. Attach
+//! it with [`CmpSystem::with_probe`](crate::CmpSystem::with_probe) (pass
+//! `&mut recorder` to keep ownership), run, then call
+//! [`finish`](EpochRecorder::finish) and [`to_json`](EpochRecorder::to_json).
+
+use cmp_cache::{ObsEvent, ObsProbe, PolicySnapshot};
+use cmp_json::Value;
+
+/// Per-epoch aggregated event counts (everything indexed by core).
+#[derive(Clone, PartialEq, Debug)]
+pub struct EpochCounts {
+    /// Local L2 hits.
+    pub local_hits: Vec<u64>,
+    /// Local L2 misses (before the chip-wide lookup).
+    pub misses: Vec<u64>,
+    /// Misses served by a peer cache.
+    pub remote_hits: Vec<u64>,
+    /// Misses served by memory.
+    pub mem_fetches: Vec<u64>,
+    /// L2 fills of any kind.
+    pub fills: Vec<u64>,
+    /// Valid lines displaced by fills.
+    pub evictions: Vec<u64>,
+    /// Dirty lines written back to memory.
+    pub writebacks: Vec<u64>,
+    /// `spill_matrix[from][to]` — spills from core `from` into core `to`.
+    pub spill_matrix: Vec<Vec<u64>>,
+    /// Spiller sets that found no receiver (capacity-problem signals).
+    pub spills_no_candidate: Vec<u64>,
+    /// §3.2 swaps, attributed to the requester.
+    pub swaps: Vec<u64>,
+    /// Insertion-policy switches (MRU ↔ BIP/SABIP), either direction.
+    pub insertion_switches: Vec<u64>,
+    /// AVGCC regranularizations.
+    pub regranularizations: Vec<u64>,
+    /// QoS ratio recomputations.
+    pub qos_updates: Vec<u64>,
+}
+
+impl EpochCounts {
+    fn new(cores: usize) -> Self {
+        EpochCounts {
+            local_hits: vec![0; cores],
+            misses: vec![0; cores],
+            remote_hits: vec![0; cores],
+            mem_fetches: vec![0; cores],
+            fills: vec![0; cores],
+            evictions: vec![0; cores],
+            writebacks: vec![0; cores],
+            spill_matrix: vec![vec![0; cores]; cores],
+            spills_no_candidate: vec![0; cores],
+            swaps: vec![0; cores],
+            insertion_switches: vec![0; cores],
+            regranularizations: vec![0; cores],
+            qos_updates: vec![0; cores],
+        }
+    }
+
+    fn add(&mut self, ev: ObsEvent) {
+        match ev {
+            ObsEvent::LocalHit { core, .. } => self.local_hits[core.index()] += 1,
+            ObsEvent::Miss { core, .. } => self.misses[core.index()] += 1,
+            ObsEvent::RemoteHit { requester, .. } => self.remote_hits[requester.index()] += 1,
+            ObsEvent::MemFetch { core, .. } => self.mem_fetches[core.index()] += 1,
+            ObsEvent::Fill { core, .. } => self.fills[core.index()] += 1,
+            ObsEvent::Eviction { core, .. } => self.evictions[core.index()] += 1,
+            ObsEvent::Writeback { core } => self.writebacks[core.index()] += 1,
+            ObsEvent::Spill { from, to, .. } => self.spill_matrix[from.index()][to.index()] += 1,
+            ObsEvent::SpillNoCandidate { from, .. } => self.spills_no_candidate[from.index()] += 1,
+            ObsEvent::Swap { requester, .. } => self.swaps[requester.index()] += 1,
+            ObsEvent::InsertionModeSwitch { core, .. } => {
+                self.insertion_switches[core.index()] += 1
+            }
+            ObsEvent::Regranularized { core, .. } => self.regranularizations[core.index()] += 1,
+            ObsEvent::QosRatioUpdate { core, .. } => self.qos_updates[core.index()] += 1,
+        }
+    }
+
+    /// Total spills out of all cores in this epoch.
+    pub fn spills(&self) -> u64 {
+        self.spill_matrix.iter().flatten().sum()
+    }
+
+    /// Adds every counter of `self` into `total` (for aggregating epochs
+    /// into coarser windows).
+    pub fn merge_into(&self, total: &mut EpochCounts) {
+        let zip_add = |a: &mut Vec<u64>, b: &[u64]| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        };
+        zip_add(&mut total.local_hits, &self.local_hits);
+        zip_add(&mut total.misses, &self.misses);
+        zip_add(&mut total.remote_hits, &self.remote_hits);
+        zip_add(&mut total.mem_fetches, &self.mem_fetches);
+        zip_add(&mut total.fills, &self.fills);
+        zip_add(&mut total.evictions, &self.evictions);
+        zip_add(&mut total.writebacks, &self.writebacks);
+        zip_add(&mut total.spills_no_candidate, &self.spills_no_candidate);
+        zip_add(&mut total.swaps, &self.swaps);
+        zip_add(&mut total.insertion_switches, &self.insertion_switches);
+        zip_add(&mut total.regranularizations, &self.regranularizations);
+        zip_add(&mut total.qos_updates, &self.qos_updates);
+        for (row, trow) in self.spill_matrix.iter().zip(&mut total.spill_matrix) {
+            zip_add(trow, row);
+        }
+    }
+}
+
+/// One closed observation epoch.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Epoch {
+    /// Epoch index (0-based). The trailing partial epoch flushed by
+    /// [`EpochRecorder::finish`] reuses the next index with no snapshot.
+    pub index: u64,
+    /// Events aggregated over this epoch.
+    pub counts: EpochCounts,
+    /// Policy snapshot taken at the epoch boundary (`None` for the final
+    /// partial epoch).
+    pub snapshot: Option<PolicySnapshot>,
+}
+
+/// A probe that folds the event stream into per-epoch time series.
+#[derive(Clone, PartialEq, Debug)]
+pub struct EpochRecorder {
+    cores: usize,
+    current: EpochCounts,
+    current_index: u64,
+    current_events: u64,
+    epochs: Vec<Epoch>,
+    totals: EpochCounts,
+    finished: bool,
+}
+
+impl EpochRecorder {
+    /// A recorder for a `cores`-core system.
+    pub fn new(cores: usize) -> Self {
+        EpochRecorder {
+            cores,
+            current: EpochCounts::new(cores),
+            current_index: 0,
+            current_events: 0,
+            epochs: Vec::new(),
+            totals: EpochCounts::new(cores),
+            finished: false,
+        }
+    }
+
+    /// Closes the trailing partial epoch, if it saw any events. Call after
+    /// the run completes and before serializing.
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        if self.current_events > 0 {
+            let counts = std::mem::replace(&mut self.current, EpochCounts::new(self.cores));
+            self.epochs.push(Epoch {
+                index: self.current_index,
+                counts,
+                snapshot: None,
+            });
+            self.current_events = 0;
+        }
+    }
+
+    /// The closed epochs, in order.
+    pub fn epochs(&self) -> &[Epoch] {
+        &self.epochs
+    }
+
+    /// Event counts summed over the whole run (closed epochs plus the
+    /// still-open one) — the side that reconciles against
+    /// [`CmpSystem::lifetime_result`](crate::CmpSystem::lifetime_result).
+    pub fn totals(&self) -> &EpochCounts {
+        &self.totals
+    }
+
+    /// Serializes the recording: run-level totals plus the per-epoch time
+    /// series (counts and, where taken, the policy snapshot).
+    pub fn to_json(&self) -> Value {
+        let epochs: Vec<Value> = self.epochs.iter().map(epoch_json).collect();
+        Value::object()
+            .insert("cores", self.cores as f64)
+            .insert("epochs_recorded", self.epochs.len() as f64)
+            .insert("totals", counts_json(&self.totals))
+            .insert("epochs", epochs)
+    }
+}
+
+impl ObsProbe for EpochRecorder {
+    fn record(&mut self, event: ObsEvent) {
+        self.current.add(event);
+        self.totals.add(event);
+        self.current_events += 1;
+    }
+
+    fn on_epoch(&mut self, index: u64, snapshot: &PolicySnapshot) {
+        let counts = std::mem::replace(&mut self.current, EpochCounts::new(self.cores));
+        self.epochs.push(Epoch {
+            index,
+            counts,
+            snapshot: Some(snapshot.clone()),
+        });
+        self.current_index = index + 1;
+        self.current_events = 0;
+    }
+}
+
+fn u64s(xs: &[u64]) -> Value {
+    Value::Array(xs.iter().map(|&x| Value::Number(x as f64)).collect())
+}
+
+fn counts_json(c: &EpochCounts) -> Value {
+    let matrix: Vec<Value> = c.spill_matrix.iter().map(|row| u64s(row)).collect();
+    Value::object()
+        .insert("local_hits", u64s(&c.local_hits))
+        .insert("misses", u64s(&c.misses))
+        .insert("remote_hits", u64s(&c.remote_hits))
+        .insert("mem_fetches", u64s(&c.mem_fetches))
+        .insert("fills", u64s(&c.fills))
+        .insert("evictions", u64s(&c.evictions))
+        .insert("writebacks", u64s(&c.writebacks))
+        .insert("spill_matrix", matrix)
+        .insert("spills_no_candidate", u64s(&c.spills_no_candidate))
+        .insert("swaps", u64s(&c.swaps))
+        .insert("insertion_switches", u64s(&c.insertion_switches))
+        .insert("regranularizations", u64s(&c.regranularizations))
+        .insert("qos_updates", u64s(&c.qos_updates))
+}
+
+/// Serializes a [`PolicySnapshot`], writing only the fields the policy
+/// filled in.
+pub fn snapshot_json(s: &PolicySnapshot) -> Value {
+    let mut v = Value::object().insert("policy", s.policy.as_str());
+    let opt = |v: Value, key: &str, x: Option<u64>| match x {
+        Some(x) => v.insert(key, x as f64),
+        None => v,
+    };
+    v = opt(v, "capacity_activations", s.capacity_activations);
+    v = opt(v, "granularity_changes", s.granularity_changes);
+    v = opt(v, "repartitions", s.repartitions);
+    v = opt(v, "spills_refused", s.spills_refused);
+    if let Some(ok) = s.ab_consistent {
+        v = v.insert("ab_consistent", ok);
+    }
+    let per_core: Vec<Value> = s
+        .per_core
+        .iter()
+        .map(|c| {
+            let mut cv = Value::object().insert("core", c.core.index() as f64);
+            if let Some(h) = c.roles {
+                cv = cv.insert(
+                    "roles",
+                    Value::object()
+                        .insert("receiver", h.receiver as f64)
+                        .insert("neutral", h.neutral as f64)
+                        .insert("spiller", h.spiller as f64),
+                );
+            }
+            if let Some(x) = c.sabip_sets {
+                cv = cv.insert("sabip_sets", x as f64);
+            }
+            if let Some(x) = c.granularity_log2 {
+                cv = cv.insert("granularity_log2", x as f64);
+            }
+            if let Some(x) = c.counters_in_use {
+                cv = cv.insert("counters_in_use", x as f64);
+            }
+            if let Some(x) = c.qos_ratio {
+                cv = cv.insert("qos_ratio", x);
+            }
+            if let Some(x) = c.psel {
+                cv = cv.insert("psel", x as f64);
+            }
+            if let Some(m) = c.follower_mode {
+                cv = cv.insert("follower_mode", m);
+            }
+            if let Some(x) = c.private_quota {
+                cv = cv.insert("private_quota", x as f64);
+            }
+            if let Some(x) = c.shared_quota {
+                cv = cv.insert("shared_quota", x as f64);
+            }
+            cv
+        })
+        .collect();
+    v.insert("per_core", per_core)
+}
+
+fn epoch_json(e: &Epoch) -> Value {
+    let mut v = Value::object()
+        .insert("index", e.index as f64)
+        .insert("counts", counts_json(&e.counts));
+    if let Some(ref s) = e.snapshot {
+        v = v.insert("snapshot", snapshot_json(s));
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmp_cache::{CoreId, SetIdx};
+
+    fn spill(from: u8, to: u8) -> ObsEvent {
+        ObsEvent::Spill {
+            from: CoreId(from),
+            to: CoreId(to),
+            set: SetIdx(0),
+        }
+    }
+
+    #[test]
+    fn epochs_partition_the_event_stream() {
+        let mut r = EpochRecorder::new(2);
+        r.record(spill(0, 1));
+        r.record(spill(0, 1));
+        r.on_epoch(0, &PolicySnapshot::new("p"));
+        r.record(spill(1, 0));
+        r.finish();
+        assert_eq!(r.epochs().len(), 2);
+        assert_eq!(r.epochs()[0].counts.spill_matrix[0][1], 2);
+        assert!(r.epochs()[0].snapshot.is_some());
+        assert_eq!(r.epochs()[1].counts.spill_matrix[1][0], 1);
+        assert!(r.epochs()[1].snapshot.is_none());
+        assert_eq!(r.totals().spills(), 3);
+        // finish() is idempotent and empty tails are dropped.
+        r.finish();
+        assert_eq!(r.epochs().len(), 2);
+    }
+
+    #[test]
+    fn totals_cover_the_open_epoch() {
+        let mut r = EpochRecorder::new(1);
+        r.record(ObsEvent::Writeback { core: CoreId(0) });
+        assert_eq!(r.totals().writebacks[0], 1);
+        assert!(r.epochs().is_empty(), "nothing closed yet");
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut r = EpochRecorder::new(2);
+        r.record(spill(0, 1));
+        let mut snap = PolicySnapshot::new("ASCC");
+        snap.capacity_activations = Some(4);
+        r.on_epoch(0, &snap);
+        r.finish();
+        let v = r.to_json();
+        assert_eq!(v.get("cores").and_then(Value::as_u64), Some(2));
+        let epochs = v.get("epochs").and_then(Value::as_array).unwrap();
+        assert_eq!(epochs.len(), 1);
+        let snap_v = epochs[0].get("snapshot").unwrap();
+        assert_eq!(snap_v.get("policy").and_then(Value::as_str), Some("ASCC"));
+        assert_eq!(
+            snap_v.get("capacity_activations").and_then(Value::as_u64),
+            Some(4)
+        );
+        // Round-trips through the parser.
+        let text = v.pretty();
+        let parsed = Value::parse(&text).unwrap();
+        assert_eq!(
+            parsed
+                .get("totals")
+                .and_then(|t| t.get("spill_matrix"))
+                .and_then(Value::as_array)
+                .map(|rows| rows.len()),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn epoch_counts_merge() {
+        let mut a = EpochCounts::new(2);
+        let mut b = EpochCounts::new(2);
+        a.add(spill(0, 1));
+        b.add(spill(0, 1));
+        b.add(ObsEvent::Writeback { core: CoreId(1) });
+        let mut total = EpochCounts::new(2);
+        a.merge_into(&mut total);
+        b.merge_into(&mut total);
+        assert_eq!(total.spill_matrix[0][1], 2);
+        assert_eq!(total.writebacks[1], 1);
+        assert_eq!(total.spills(), 2);
+    }
+}

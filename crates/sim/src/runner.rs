@@ -5,8 +5,8 @@ use crate::config::SystemConfig;
 use crate::metrics::{CoreResult, RunResult};
 use crate::system::CmpSystem;
 use cmp_cache::{
-    AccessKind, CacheGeometry, CacheLine, FillKind, FullyAssocLru, InsertPos, LlcPolicy,
-    MesiState, PrivateBaseline, SetAssocCache,
+    AccessKind, CacheGeometry, CacheLine, FillKind, FullyAssocLru, InsertPos, LlcPolicy, MesiState,
+    PrivateBaseline, SetAssocCache,
 };
 use cmp_trace::{CoreWorkload, SpecBench, WorkloadMix};
 
@@ -39,8 +39,104 @@ pub fn run_mix(
     sys.run(instr_target, warmup)
 }
 
+/// Specification of a single-benchmark characterisation run (Table 3 /
+/// Fig. 1): which benchmark, how long to measure, warmup and seed.
+///
+/// Replaces the former 8-argument `run_solo_fully_assoc` free function:
+/// build the spec once, then dispatch it against a set-associative system
+/// ([`SoloRun::run`]) or a fully associative LLC of the same capacity
+/// ([`SoloRun::run_fully_assoc`]).
+///
+/// ```
+/// use cmp_cache::CacheGeometry;
+/// use cmp_sim::{SoloRun, SystemConfig};
+/// use cmp_trace::SpecBench;
+///
+/// let mut cfg = SystemConfig::table2(1);
+/// cfg.l2 = CacheGeometry::from_capacity(64 << 10, 8, 32).unwrap();
+/// let spec = SoloRun::new(SpecBench::Namd).instructions(100_000).warmup(20_000);
+/// let sa = spec.run(&cfg);
+/// let fa = spec.run_fully_assoc(&cfg, (64 << 10) / 32);
+/// assert!(sa.instrs >= 100_000 && fa.instrs >= 100_000);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct SoloRun {
+    /// Benchmark to characterise.
+    pub bench: SpecBench,
+    /// Instructions measured after warmup.
+    pub instr_target: u64,
+    /// Warmup instructions excluded from the measurement.
+    pub warmup: u64,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+impl SoloRun {
+    /// Spec for `bench` with the default scale (1 M measured instructions
+    /// after 200 k warmup, seed 42).
+    pub fn new(bench: SpecBench) -> Self {
+        Self {
+            bench,
+            instr_target: 1_000_000,
+            warmup: 200_000,
+            seed: 42,
+        }
+    }
+
+    /// Sets the measured instruction count.
+    pub fn instructions(mut self, n: u64) -> Self {
+        self.instr_target = n;
+        self
+    }
+
+    /// Sets the warmup instruction count.
+    pub fn warmup(mut self, n: u64) -> Self {
+        self.warmup = n;
+        self
+    }
+
+    /// Sets the workload seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Runs the benchmark alone on a single-core system with `cfg`'s
+    /// set-associative L2 (Table 3 / Fig. 1 characterisation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.cores != 1`.
+    pub fn run(&self, cfg: &SystemConfig) -> CoreResult {
+        assert_eq!(cfg.cores, 1, "solo runs use a single core");
+        let w = self.bench.workload(0, self.seed);
+        let mut sys = CmpSystem::new(cfg.clone(), Box::new(PrivateBaseline::new()), vec![w]);
+        let mut r = sys.run(self.instr_target, self.warmup);
+        r.cores.remove(0)
+    }
+
+    /// Runs the benchmark alone against a *fully associative* LLC of
+    /// `l2_lines` lines — Fig. 1's "full associativity" column. The L1
+    /// geometry and L2/memory latencies come from `cfg`; its L2 geometry
+    /// is ignored.
+    pub fn run_fully_assoc(&self, cfg: &SystemConfig, l2_lines: usize) -> CoreResult {
+        solo_fully_assoc(
+            cfg.l1,
+            l2_lines,
+            cfg.lat_l2_local,
+            cfg.lat_mem,
+            self.bench,
+            self.instr_target,
+            self.warmup,
+            self.seed,
+        )
+    }
+}
+
 /// Runs one benchmark alone on a single-core system (Table 3 / Fig. 1
 /// characterisation). The L2 geometry comes from `cfg`.
+///
+/// Convenience wrapper over [`SoloRun`].
 pub fn run_solo(
     cfg: &SystemConfig,
     bench: SpecBench,
@@ -48,17 +144,15 @@ pub fn run_solo(
     warmup: u64,
     seed: u64,
 ) -> CoreResult {
-    assert_eq!(cfg.cores, 1, "solo runs use a single core");
-    let w = bench.workload(0, seed);
-    let mut sys = CmpSystem::new(cfg.clone(), Box::new(PrivateBaseline::new()), vec![w]);
-    let mut r = sys.run(instr_target, warmup);
-    r.cores.remove(0)
+    SoloRun::new(bench)
+        .instructions(instr_target)
+        .warmup(warmup)
+        .seed(seed)
+        .run(cfg)
 }
 
-/// Runs one benchmark alone against a *fully associative* LLC of
-/// `l2_lines` lines — Fig. 1's "full associativity" column.
-#[allow(clippy::too_many_arguments)] // mirrors run_solo + explicit FA shape
-pub fn run_solo_fully_assoc(
+#[allow(clippy::too_many_arguments)] // private engine; the public API is SoloRun
+fn solo_fully_assoc(
     l1: CacheGeometry,
     l2_lines: usize,
     lat_l2: u32,
@@ -194,17 +288,12 @@ mod tests {
         // so FA MPKI <= set-associative MPKI at equal capacity.
         let mut cfg = SystemConfig::table2(1);
         cfg.l2 = CacheGeometry::from_capacity(256 << 10, 2, 32).unwrap();
-        let sa = run_solo(&cfg, SpecBench::Astar, 300_000, 50_000, 3);
-        let fa = run_solo_fully_assoc(
-            cfg.l1,
-            (256 << 10) / 32,
-            cfg.lat_l2_local,
-            cfg.lat_mem,
-            SpecBench::Astar,
-            300_000,
-            50_000,
-            3,
-        );
+        let spec = SoloRun::new(SpecBench::Astar)
+            .instructions(300_000)
+            .warmup(50_000)
+            .seed(3);
+        let sa = spec.run(&cfg);
+        let fa = spec.run_fully_assoc(&cfg, (256 << 10) / 32);
         assert!(
             fa.l2_mpki() <= sa.l2_mpki() + 0.5,
             "FA {} vs SA {}",

@@ -300,7 +300,8 @@ mod tests {
 
     #[test]
     fn shared_hits_cost_the_interleaved_latency() {
-        let mut sys = SharedLlcSystem::new(cfg(2), vec![workload(0, 4 << 10), workload(1 << 30, 512)]);
+        let mut sys =
+            SharedLlcSystem::new(cfg(2), vec![workload(0, 4 << 10), workload(1 << 30, 512)]);
         let r = sys.run(40_000, 10_000);
         let c = &r.cores[0];
         // CPI = base + f * (1/8) * lat_llc (17 cycles).

@@ -28,7 +28,8 @@ use crate::config::SystemConfig;
 use crate::metrics::{CoreResult, RunResult};
 use cmp_cache::{
     AccessKind, AccessOutcome, CacheLine, CoreId, FillKind, InsertPos, LineAddr, LlcPolicy,
-    MesiState, SetAssocCache, SetIdx, SpillDecision, StridePrefetcher,
+    MesiState, NullProbe, ObsEvent, ObsProbe, SetAssocCache, SetIdx, SpillDecision,
+    StridePrefetcher,
 };
 use cmp_coherence::{ReadPolicy, SnoopBus};
 use cmp_trace::CoreWorkload;
@@ -64,7 +65,15 @@ struct GlobalCounters {
 }
 
 /// The multiprogrammed/multithreaded CMP simulator.
-pub struct CmpSystem {
+///
+/// `CmpSystem` is generic over an [`ObsProbe`]: the default [`NullProbe`]
+/// observes nothing and costs nothing (every emission site is gated on the
+/// compile-time constant [`ObsProbe::ACTIVE`]), while an active probe —
+/// e.g. [`EpochRecorder`](crate::EpochRecorder) — receives a typed
+/// [`ObsEvent`] for every fill, eviction, spill, swap, remote hit and
+/// policy adaptation, plus a [`PolicySnapshot`](cmp_cache::PolicySnapshot)
+/// at every observation-epoch boundary.
+pub struct CmpSystem<P: ObsProbe = NullProbe> {
     cfg: SystemConfig,
     l1s: Vec<SetAssocCache>,
     l2s: Vec<SetAssocCache>,
@@ -75,29 +84,65 @@ pub struct CmpSystem {
     cores: Vec<CoreState>,
     global: GlobalCounters,
     global_warm: Option<GlobalCounters>,
+    probe: P,
+    /// Global L2 accesses per observation epoch; 0 disables epochs.
+    epoch_accesses: u64,
+    epoch_counter: u64,
+    epoch_index: u64,
+    drain_buf: Vec<ObsEvent>,
 }
 
-impl std::fmt::Debug for CmpSystem {
+impl<P: ObsProbe> std::fmt::Debug for CmpSystem<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CmpSystem")
             .field("cores", &self.cores.len())
             .field("policy", &self.policy.name())
+            .field("observed", &P::ACTIVE)
             .finish()
     }
 }
 
-impl CmpSystem {
-    /// Builds a system running `workloads` (one per core) under `policy`.
+impl CmpSystem<NullProbe> {
+    /// Builds an unobserved system running `workloads` (one per core)
+    /// under `policy`.
     ///
     /// # Panics
     ///
     /// Panics if `workloads.len() != cfg.cores`.
-    pub fn new(cfg: SystemConfig, policy: Box<dyn LlcPolicy>, workloads: Vec<CoreWorkload>) -> Self {
+    pub fn new(
+        cfg: SystemConfig,
+        policy: Box<dyn LlcPolicy>,
+        workloads: Vec<CoreWorkload>,
+    ) -> Self {
+        Self::with_probe(cfg, policy, workloads, NullProbe, 0)
+    }
+}
+
+impl<P: ObsProbe> CmpSystem<P> {
+    /// Builds a system with an attached observation probe.
+    ///
+    /// `epoch_accesses` sets the observation-epoch length in *global* L2
+    /// accesses: every `epoch_accesses` accesses the probe receives
+    /// [`ObsProbe::on_epoch`] with a fresh policy snapshot (0 disables
+    /// epoch callbacks; events still flow). Pass `&mut probe` to keep
+    /// ownership of the probe at the call site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workloads.len() != cfg.cores`.
+    pub fn with_probe(
+        cfg: SystemConfig,
+        mut policy: Box<dyn LlcPolicy>,
+        workloads: Vec<CoreWorkload>,
+        probe: P,
+        epoch_accesses: u64,
+    ) -> Self {
         assert_eq!(
             workloads.len(),
             cfg.cores,
             "need exactly one workload per core"
         );
+        policy.set_observed(P::ACTIVE);
         let l2_builder = || {
             let c = SetAssocCache::new(cfg.l2);
             if cfg.track_set_stats {
@@ -130,7 +175,17 @@ impl CmpSystem {
             global: GlobalCounters::default(),
             global_warm: None,
             cfg,
+            probe,
+            epoch_accesses,
+            epoch_counter: 0,
+            epoch_index: 0,
+            drain_buf: Vec::new(),
         }
+    }
+
+    /// The attached probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
     }
 
     /// The active policy.
@@ -192,8 +247,7 @@ impl CmpSystem {
             let c = &mut self.cores[i];
             if c.warm_snap.is_none() && c.counters.instrs >= warmup_instrs {
                 c.warm_snap = Some(c.counters);
-                if self.global_warm.is_none() && self.cores.iter().all(|c| c.warm_snap.is_some())
-                {
+                if self.global_warm.is_none() && self.cores.iter().all(|c| c.warm_snap.is_some()) {
                     self.global_warm = Some(self.global);
                 }
             }
@@ -239,6 +293,43 @@ impl CmpSystem {
             spills: self.global.spills - gw.spills,
             swaps: self.global.swaps - gw.swaps,
             spill_hits: self.global.spill_hits - gw.spill_hits,
+        }
+    }
+
+    /// Counters accumulated since construction, with *no* warm-up
+    /// subtraction — the whole-lifetime view, usable at any point.
+    ///
+    /// This is the aggregate an event stream reconciles against: probes
+    /// observe every event from cycle zero, so their totals match
+    /// `lifetime_result()`, not the warm-up-windowed [`run`](CmpSystem::run)
+    /// result.
+    pub fn lifetime_result(&self) -> RunResult {
+        let cores = self
+            .cores
+            .iter()
+            .map(|c| {
+                let e = c.counters;
+                CoreResult {
+                    label: c.workload.label.clone(),
+                    instrs: e.instrs,
+                    cycles: e.cycles,
+                    l2_accesses: e.l2_accesses,
+                    l2_local_hits: e.l2_local_hits,
+                    l2_remote_hits: e.l2_remote_hits,
+                    l2_mem: e.l2_mem,
+                    offchip_fetches: e.offchip_fetches,
+                    writebacks: e.writebacks,
+                    l1_accesses: e.l1_accesses,
+                    l1_hits: e.l1_hits,
+                }
+            })
+            .collect();
+        RunResult {
+            policy: self.policy.name().to_string(),
+            cores,
+            spills: self.global.spills,
+            swaps: self.global.swaps,
+            spill_hits: self.global.spill_hits,
         }
     }
 
@@ -288,12 +379,36 @@ impl CmpSystem {
         }
         let clock = c.clock as u64;
         self.policy.on_cycle(CoreId(i as u8), clock);
+        if P::ACTIVE {
+            self.forward_policy_events();
+            if self.epoch_accesses > 0 && self.epoch_counter >= self.epoch_accesses {
+                self.epoch_counter -= self.epoch_accesses;
+                let snap = self.policy.snapshot();
+                self.probe.on_epoch(self.epoch_index, &snap);
+                self.epoch_index += 1;
+            }
+        }
+    }
+
+    /// Moves any events the policy buffered during this step into the
+    /// probe (policy events interleave with the simulator's own in
+    /// emission order within a step).
+    fn forward_policy_events(&mut self) {
+        let mut buf = std::mem::take(&mut self.drain_buf);
+        self.policy.drain_events(&mut buf);
+        for ev in buf.drain(..) {
+            self.probe.record(ev);
+        }
+        self.drain_buf = buf;
     }
 
     /// One L2 access; returns its full (unoverlapped) latency in cycles.
     fn l2_access(&mut self, i: usize, line: LineAddr, kind: AccessKind, stream: u16) -> u32 {
         let set = self.cfg.l2.set_of(line);
         self.cores[i].counters.l2_accesses += 1;
+        if P::ACTIVE {
+            self.epoch_counter += 1;
+        }
         let core = CoreId(i as u8);
 
         // Hit path: compute the pre-promotion outcome for the policy.
@@ -305,6 +420,9 @@ impl CmpSystem {
             self.l2s[i].access(line);
             if spilled {
                 self.global.spill_hits += 1;
+            }
+            if P::ACTIVE {
+                self.probe.record(ObsEvent::LocalHit { core, set, spilled });
             }
             self.policy
                 .record_access(core, set, AccessOutcome::Hit { spilled, depth });
@@ -318,6 +436,9 @@ impl CmpSystem {
 
         // Miss path.
         self.l2s[i].access(line);
+        if P::ACTIVE {
+            self.probe.record(ObsEvent::Miss { core, set });
+        }
         self.policy.record_access(core, set, AccessOutcome::Miss);
         let requested_last_copy = self.bus.holders(&self.l2s, line).len() == 1;
 
@@ -351,6 +472,14 @@ impl CmpSystem {
                 if was_spilled {
                     self.global.spill_hits += 1;
                 }
+                if P::ACTIVE {
+                    self.probe.record(ObsEvent::RemoteHit {
+                        requester: core,
+                        owner: hit.from,
+                        set,
+                        was_spilled,
+                    });
+                }
                 self.policy.note_remote_hit(hit.from, set, was_spilled);
                 let state = if kind.is_store() {
                     MesiState::Modified
@@ -363,10 +492,7 @@ impl CmpSystem {
                     // are last copies, the victim moves into it.
                     let moved_out = kind.is_store() || self.cfg.read_policy == ReadPolicy::Migrate;
                     let victim_last = self.bus.holders(&self.l2s, v.addr).is_empty();
-                    if self.policy.swap_enabled()
-                        && moved_out
-                        && requested_last_copy
-                        && victim_last
+                    if self.policy.swap_enabled() && moved_out && requested_last_copy && victim_last
                     {
                         self.l1s[i].invalidate(v.addr);
                         let evicted2 = self.fill_l2(
@@ -378,6 +504,13 @@ impl CmpSystem {
                             FillKind::Spill,
                         );
                         self.global.swaps += 1;
+                        if P::ACTIVE {
+                            self.probe.record(ObsEvent::Swap {
+                                requester: core,
+                                supplier: hit.from,
+                                set,
+                            });
+                        }
                         if let Some(v2) = evicted2 {
                             self.l1s[hit.from.index()].invalidate(v2.addr);
                             self.retire(hit.from.index(), v2);
@@ -391,6 +524,9 @@ impl CmpSystem {
             None => {
                 self.cores[i].counters.l2_mem += 1;
                 self.cores[i].counters.offchip_fetches += 1;
+                if P::ACTIVE {
+                    self.probe.record(ObsEvent::MemFetch { core, set });
+                }
                 let state = if kind.is_store() {
                     MesiState::Modified
                 } else {
@@ -456,7 +592,7 @@ impl CmpSystem {
             state,
             spilled,
         };
-        self.l2s[core].fill(set, way, line, pos, kind)
+        self.l2s[core].fill_probed(id, set, way, line, pos, kind, &mut self.probe)
     }
 
     /// Handles a line evicted from `core`'s L2: back-invalidates the L1,
@@ -478,16 +614,31 @@ impl CmpSystem {
         {
             SpillDecision::Spill(to) => {
                 debug_assert_ne!(to.index(), core, "cannot spill to self");
-                let evicted =
-                    self.fill_l2(to.index(), set, v.addr, v.state, true, FillKind::Spill);
+                let evicted = self.fill_l2(to.index(), set, v.addr, v.state, true, FillKind::Spill);
                 self.global.spills += 1;
+                if P::ACTIVE {
+                    self.probe.record(ObsEvent::Spill {
+                        from: CoreId(core as u8),
+                        to,
+                        set,
+                    });
+                }
                 if let Some(v2) = evicted {
                     self.l1s[to.index()].invalidate(v2.addr);
                     // No cascaded spills: the displaced line retires.
                     self.retire(to.index(), v2);
                 }
             }
-            SpillDecision::NoCandidate | SpillDecision::NotSpiller => {
+            SpillDecision::NoCandidate => {
+                if P::ACTIVE {
+                    self.probe.record(ObsEvent::SpillNoCandidate {
+                        from: CoreId(core as u8),
+                        set,
+                    });
+                }
+                self.retire(core, v);
+            }
+            SpillDecision::NotSpiller => {
                 self.retire(core, v);
             }
         }
@@ -497,6 +648,11 @@ impl CmpSystem {
     fn retire(&mut self, core: usize, v: CacheLine) {
         if v.state.is_dirty() {
             self.cores[core].counters.writebacks += 1;
+            if P::ACTIVE {
+                self.probe.record(ObsEvent::Writeback {
+                    core: CoreId(core as u8),
+                });
+            }
         }
     }
 

@@ -341,7 +341,10 @@ mod tests {
         let a = CyclicStream::new(0, 4, 4, 0); // always addr 0 region
         let b = CyclicStream::new(1 << 30, 4, 4, 1);
         let mut m = Mixture::new(
-            vec![(0.9, Box::new(a) as Box<dyn AccessStream>), (0.1, Box::new(b))],
+            vec![
+                (0.9, Box::new(a) as Box<dyn AccessStream>),
+                (0.1, Box::new(b)),
+            ],
             0.0,
             5,
         );
@@ -382,7 +385,10 @@ mod tests {
             let z = ZipfStream::new(0, 128, 32, 0.8, 11, 0);
             let c = ChaseStream::new(1 << 24, 64, 32, 12, 1);
             Mixture::new(
-                vec![(0.5, Box::new(z) as Box<dyn AccessStream>), (0.5, Box::new(c))],
+                vec![
+                    (0.5, Box::new(z) as Box<dyn AccessStream>),
+                    (0.5, Box::new(c)),
+                ],
                 0.2,
                 13,
             )

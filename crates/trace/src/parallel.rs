@@ -108,7 +108,10 @@ impl ParallelBench {
                             sid(0),
                         )),
                     ),
-                    (0.45, Box::new(CyclicStream::words(private, 48 * KB, sid(1)))),
+                    (
+                        0.45,
+                        Box::new(CyclicStream::words(private, 48 * KB, sid(1))),
+                    ),
                 ],
                 cpu(0.28, 1.0, 0.5, 0.15),
                 "barnes",
@@ -137,7 +140,10 @@ impl ParallelBench {
                                 sid(1),
                             )),
                         ),
-                        (0.25, Box::new(CyclicStream::words(private, 24 * KB, sid(2)))),
+                        (
+                            0.25,
+                            Box::new(CyclicStream::words(private, 24 * KB, sid(2))),
+                        ),
                     ],
                     cpu(0.30, 0.9, 0.35, 0.30),
                     "fft",
@@ -156,7 +162,10 @@ impl ParallelBench {
                             sid(0),
                         )),
                     ),
-                    (0.50, Box::new(CyclicStream::words(private, 64 * KB, sid(1)))),
+                    (
+                        0.50,
+                        Box::new(CyclicStream::words(private, 64 * KB, sid(1))),
+                    ),
                 ],
                 cpu(0.30, 0.8, 0.5, 0.25),
                 "lu",
@@ -173,7 +182,10 @@ impl ParallelBench {
                                 sid(0),
                             )),
                         ),
-                        (0.30, Box::new(CyclicStream::words(private, 16 * KB, sid(1)))),
+                        (
+                            0.30,
+                            Box::new(CyclicStream::words(private, 16 * KB, sid(1))),
+                        ),
                     ],
                     cpu(0.33, 0.85, 0.2, 0.35),
                     "ocean",
@@ -201,7 +213,10 @@ impl ParallelBench {
                                 sid(1),
                             )),
                         ),
-                        (0.35, Box::new(CyclicStream::words(private, 16 * KB, sid(2)))),
+                        (
+                            0.35,
+                            Box::new(CyclicStream::words(private, 16 * KB, sid(2))),
+                        ),
                     ],
                     cpu(0.30, 0.9, 0.3, 0.40),
                     "radix",
@@ -209,7 +224,10 @@ impl ParallelBench {
             }
             ParallelBench::Blackscholes => mk(
                 vec![
-                    (0.85, Box::new(CyclicStream::words(private, 96 * KB, sid(0)))),
+                    (
+                        0.85,
+                        Box::new(CyclicStream::words(private, 96 * KB, sid(0))),
+                    ),
                     (
                         0.15,
                         Box::new(ZipfStream::new(
@@ -237,7 +255,10 @@ impl ParallelBench {
                             sid(0),
                         )),
                     ),
-                    (0.60, Box::new(CyclicStream::words(private, 32 * KB, sid(1)))),
+                    (
+                        0.60,
+                        Box::new(CyclicStream::words(private, 32 * KB, sid(1))),
+                    ),
                 ],
                 cpu(0.30, 0.9, 0.55, 0.20),
                 "canneal",
@@ -248,7 +269,10 @@ impl ParallelBench {
                         0.65,
                         Box::new(CyclicStream::words(SHARED_BASE, 1536 * KB, sid(0))),
                     ),
-                    (0.35, Box::new(CyclicStream::words(private, 16 * KB, sid(1)))),
+                    (
+                        0.35,
+                        Box::new(CyclicStream::words(private, 16 * KB, sid(1))),
+                    ),
                 ],
                 cpu(0.32, 0.8, 0.3, 0.10),
                 "streamcluster",
@@ -334,11 +358,11 @@ mod tests {
         // Thread 0's sweep stays in the first partition except for the
         // transpose chase, which can reach anywhere in the shared array.
         let part = 2 * MB / 4;
-        let in_own = addrs
-            .iter()
-            .filter(|&&a| a < SHARED_BASE + part)
-            .count();
-        assert!(in_own * 2 > addrs.len(), "most shared touches in own partition");
+        let in_own = addrs.iter().filter(|&&a| a < SHARED_BASE + part).count();
+        assert!(
+            in_own * 2 > addrs.len(),
+            "most shared touches in own partition"
+        );
     }
 
     #[test]

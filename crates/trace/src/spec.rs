@@ -444,9 +444,7 @@ impl SpecBench {
                 let slot = base + (i as u64) * (128 * MB);
                 let s: Box<dyn AccessStream> = match c {
                     Comp::Hot(bytes) => Box::new(CyclicStream::words(slot, bytes, stream_id)),
-                    Comp::Stream => {
-                        Box::new(CyclicStream::words(slot, STREAM_REGION, stream_id))
-                    }
+                    Comp::Stream => Box::new(CyclicStream::words(slot, STREAM_REGION, stream_id)),
                     Comp::Zipf(lines, alpha) => Box::new(ZipfStream::new(
                         slot,
                         lines,
@@ -475,8 +473,11 @@ impl SpecBench {
         let spec = self.spec();
         let comps = Self::build_comps(spec, base, seed);
 
-        let quiet: Box<dyn AccessStream> =
-            Box::new(Mixture::new(comps, spec.cpu.store_fraction, seed ^ 0xC0FFEE));
+        let quiet: Box<dyn AccessStream> = Box::new(Mixture::new(
+            comps,
+            spec.cpu.store_fraction,
+            seed ^ 0xC0FFEE,
+        ));
         let stream: Box<dyn AccessStream> = match spec.burst {
             None => quiet,
             Some(ref b) => {
@@ -513,7 +514,11 @@ impl SpecBench {
     fn quiet_mixture(self, base: u64, seed: u64) -> Box<dyn AccessStream> {
         let spec = self.spec();
         let comps = Self::build_comps(spec, base, seed);
-        Box::new(Mixture::new(comps, spec.cpu.store_fraction, seed ^ 0xC0FFEE))
+        Box::new(Mixture::new(
+            comps,
+            spec.cpu.store_fraction,
+            seed ^ 0xC0FFEE,
+        ))
     }
 }
 

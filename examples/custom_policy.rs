@@ -37,7 +37,12 @@ impl LlcPolicy for EagerSpill {
 
     fn record_access(&mut self, _core: CoreId, _set: SetIdx, _outcome: AccessOutcome) {}
 
-    fn spill_decision(&mut self, from: CoreId, _set: SetIdx, victim_spilled: bool) -> SpillDecision {
+    fn spill_decision(
+        &mut self,
+        from: CoreId,
+        _set: SetIdx,
+        victim_spilled: bool,
+    ) -> SpillDecision {
         if self.cores < 2 || victim_spilled {
             return SpillDecision::NotSpiller;
         }
@@ -55,8 +60,22 @@ fn main() {
     let mix = four_app_mixes().remove(4); // 458+444+401+471
     let (instrs, warmup, seed) = (12_000_000, 4_000_000, 42);
 
-    let base = run_mix(&cfg, &mix, Box::new(PrivateBaseline::new()), instrs, warmup, seed);
-    let eager = run_mix(&cfg, &mix, Box::new(EagerSpill::new(cfg.cores)), instrs, warmup, seed);
+    let base = run_mix(
+        &cfg,
+        &mix,
+        Box::new(PrivateBaseline::new()),
+        instrs,
+        warmup,
+        seed,
+    );
+    let eager = run_mix(
+        &cfg,
+        &mix,
+        Box::new(EagerSpill::new(cfg.cores)),
+        instrs,
+        warmup,
+        seed,
+    );
     let ascc = run_mix(
         &cfg,
         &mix,

@@ -30,7 +30,10 @@ fn main() {
         Box::new(AvgccConfig::avgcc(cores, sets, ways).build()),
         Box::new(AvgccConfig::qos_avgcc(cores, sets, ways).build()),
     ];
-    println!("{:12} {:>9} {:>10} {:>12}", "policy", "speedup", "spills", "hits/spill");
+    println!(
+        "{:12} {:>9} {:>10} {:>12}",
+        "policy", "speedup", "spills", "hits/spill"
+    );
     for p in policies {
         let name = p.name().to_string();
         let r = run(p);

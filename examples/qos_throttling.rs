@@ -20,14 +20,35 @@ fn main() {
     let mix = WorkloadMix::new(vec![SpecBench::Milc, SpecBench::Lbm]);
     let (instrs, warmup, seed) = (4_000_000, 1_500_000, 7);
 
-    let base = run_mix(&cfg, &mix, Box::new(PrivateBaseline::new()), instrs, warmup, seed);
+    let base = run_mix(
+        &cfg,
+        &mix,
+        Box::new(PrivateBaseline::new()),
+        instrs,
+        warmup,
+        seed,
+    );
     let shape = |qos: bool| {
         let mut c = AvgccConfig::avgcc(cfg.cores, cfg.l2.sets(), cfg.l2.ways());
         c.qos = qos;
         c
     };
-    let plain = run_mix(&cfg, &mix, Box::new(shape(false).build()), instrs, warmup, seed);
-    let qos = run_mix(&cfg, &mix, Box::new(shape(true).build()), instrs, warmup, seed);
+    let plain = run_mix(
+        &cfg,
+        &mix,
+        Box::new(shape(false).build()),
+        instrs,
+        warmup,
+        seed,
+    );
+    let qos = run_mix(
+        &cfg,
+        &mix,
+        Box::new(shape(true).build()),
+        instrs,
+        warmup,
+        seed,
+    );
 
     println!("mix {mix}:");
     println!(
@@ -41,22 +62,20 @@ fn main() {
         qos.spills + qos.swaps
     );
 
-    // Peek at the live ratio: drive a fresh system a while and inspect it.
+    // Peek at the live ratio: drive a fresh system a while, then read the
+    // typed policy snapshot (no downcasting needed).
     let mut sys = CmpSystem::new(
         cfg.clone(),
         Box::new(shape(true).build()),
         mix_workloads(&mix, seed),
     );
     sys.run(1_000_000, 200_000);
-    let policy = sys
-        .policy()
-        .as_any()
-        .downcast_ref::<ascc::AvgccPolicy>()
-        .expect("QoS policy");
+    let snap = sys.policy().snapshot();
     for core in 0..cfg.cores {
-        println!(
-            "  core {core}: QoSRatio = {:.3} (1.0 = uninhibited)",
-            policy.qos_ratio(CoreId(core as u8))
-        );
+        let ratio = snap
+            .core(CoreId(core as u8))
+            .and_then(|c| c.qos_ratio)
+            .expect("QoS-AVGCC exposes its ratio");
+        println!("  core {core}: QoSRatio = {ratio:.3} (1.0 = uninhibited)");
     }
 }

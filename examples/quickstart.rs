@@ -20,7 +20,14 @@ fn main() {
     println!("mix {mix} on {} + private L1s", cfg.l2);
 
     // 1. Private baseline: the two applications cannot interact.
-    let base = run_mix(&cfg, &mix, Box::new(PrivateBaseline::new()), instrs, warmup, seed);
+    let base = run_mix(
+        &cfg,
+        &mix,
+        Box::new(PrivateBaseline::new()),
+        instrs,
+        warmup,
+        seed,
+    );
 
     // 2. AVGCC: omnetpp's saturated sets spill last-copy victims into
     //    namd's underutilized same-index sets; reuse becomes 25-cycle

@@ -24,22 +24,37 @@ fn shape() -> impl Strategy<Value = WorkloadShape> {
         0.0f64..0.5,
         0.1f64..0.6,
     )
-        .prop_map(|(hot_kb, tail_lines, tail_zipf, store_frac, mem_frac)| WorkloadShape {
-            hot_kb,
-            tail_lines,
-            tail_zipf,
-            store_frac,
-            mem_frac,
-        })
+        .prop_map(
+            |(hot_kb, tail_lines, tail_zipf, store_frac, mem_frac)| WorkloadShape {
+                hot_kb,
+                tail_lines,
+                tail_zipf,
+                store_frac,
+                mem_frac,
+            },
+        )
 }
 
 fn build(core: usize, s: &WorkloadShape, seed: u64) -> CoreWorkload {
     let base = (core as u64) << 40;
     let hot = CyclicStream::words(base, s.hot_kb << 10, 0);
     let tail: Box<dyn cmp_trace::AccessStream> = if s.tail_zipf {
-        Box::new(ZipfStream::new(base + (1 << 30), s.tail_lines, 32, 0.9, seed, 1))
+        Box::new(ZipfStream::new(
+            base + (1 << 30),
+            s.tail_lines,
+            32,
+            0.9,
+            seed,
+            1,
+        ))
     } else {
-        Box::new(ChaseStream::new(base + (1 << 30), s.tail_lines, 32, seed, 1))
+        Box::new(ChaseStream::new(
+            base + (1 << 30),
+            s.tail_lines,
+            32,
+            seed,
+            1,
+        ))
     };
     CoreWorkload {
         label: format!("w{core}"),
@@ -50,7 +65,10 @@ fn build(core: usize, s: &WorkloadShape, seed: u64) -> CoreWorkload {
             store_fraction: s.store_frac,
         },
         stream: Box::new(Mixture::new(
-            vec![(0.7, Box::new(hot) as Box<dyn cmp_trace::AccessStream>), (0.3, tail)],
+            vec![
+                (0.7, Box::new(hot) as Box<dyn cmp_trace::AccessStream>),
+                (0.3, tail),
+            ],
             s.store_frac,
             seed ^ 0xF00,
         )),

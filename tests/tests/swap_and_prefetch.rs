@@ -3,7 +3,7 @@
 
 use ascc::AsccConfig;
 use ascc_integration::small_config;
-use cmp_cache::{CoreId, PrefetchConfig, PrivateBaseline};
+use cmp_cache::{PrefetchConfig, PrivateBaseline};
 use cmp_sim::CmpSystem;
 use cmp_trace::{CoreWorkload, CpuModel, CyclicStream};
 

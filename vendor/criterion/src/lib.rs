@@ -1,0 +1,247 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this local crate
+//! implements the subset of criterion's API the workspace's benches use:
+//! [`Criterion::benchmark_group`], group configuration
+//! (`sample_size` / `measurement_time` / `throughput`),
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`], [`black_box`] and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is warmed up briefly, then run for
+//! `sample_size` samples within roughly `measurement_time`; the mean,
+//! minimum and maximum per-iteration wall-clock times are printed, plus
+//! element throughput when configured. There is no statistical analysis,
+//! HTML report or baseline comparison.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Units for reporting throughput alongside per-iteration times.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-benchmark timing driver handed to `bench_function` closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iteration batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target wall-clock budget for the whole sampling phase.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Reports throughput (per iteration) alongside timings.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Calibration pass: find how many iterations fit one sample.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let warm = b.elapsed.max(Duration::from_nanos(1));
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        let iters = (per_sample.as_nanos() / warm.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut times_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            times_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        let mean = times_ns.iter().sum::<f64>() / times_ns.len() as f64;
+        let min = times_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = times_ns.iter().cloned().fold(0.0f64, f64::max);
+        print!(
+            "{}/{:<24} time: [{} {} {}]",
+            self.name,
+            id,
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max)
+        );
+        if let Some(tp) = self.throughput {
+            let (count, unit) = match tp {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            let per_sec = count as f64 / (mean * 1e-9);
+            print!("  thrpt: {} {unit}/s", fmt_count(per_sec));
+        }
+        println!();
+        self
+    }
+
+    /// Ends the group (upstream writes reports here; this prints nothing).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.4} ns")
+    }
+}
+
+fn fmt_count(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.3}G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.3}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.3}K", x / 1e3)
+    } else {
+        format!("{x:.1}")
+    }
+}
+
+/// Top-level benchmark harness state.
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            default_measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let (sample_size, measurement_time) =
+            (self.default_sample_size, self.default_measurement_time);
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+            measurement_time,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// True when the binary was invoked by `cargo test` rather than
+/// `cargo bench` — benches then run a single no-op pass so the test
+/// harness stays fast.
+pub fn invoked_as_test() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups (skipped under `--test`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if $crate::invoked_as_test() {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_work() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .throughput(Throughput::Elements(64));
+        group.bench_function("sum", |b| b.iter(|| (0..64u64).map(black_box).sum::<u64>()));
+        group.finish();
+    }
+
+    #[test]
+    fn format_helpers() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_count(5e6).ends_with('M'));
+    }
+}

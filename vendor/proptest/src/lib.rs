@@ -1,0 +1,529 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this local crate
+//! implements the subset of proptest's API the workspace uses: the
+//! [`Strategy`] trait (with `prop_map` and `boxed`), range / tuple /
+//! [`Just`] / boolean strategies, `prop::collection::{vec, hash_set}`, the
+//! [`proptest!`] macro with `#![proptest_config]`, `prop_oneof!` and the
+//! `prop_assert*` macros.
+//!
+//! Semantics: each `proptest!` test runs `ProptestConfig::cases` random
+//! cases drawn from a deterministic per-test RNG (seeded from the test
+//! name, overridable via `PROPTEST_SEED`; case count overridable via
+//! `PROPTEST_CASES`). There is **no shrinking** — a failing case panics
+//! with the values visible in the assertion message.
+
+use std::collections::HashSet;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator behind all strategies (xoshiro256++).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Creates a generator seeded from a test name (and `PROPTEST_SEED`,
+    /// if set, so failures can be varied or pinned externally).
+    pub fn from_name(name: &str) -> Self {
+        let env: u64 = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let mut h: u64 = 0xcbf29ce484222325 ^ env;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        Self::from_seed(h)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "cannot sample an empty range");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Derives a strategy that post-processes every drawn value.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (needed by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// Object-safe view of [`Strategy`], for heterogeneous collections.
+pub trait DynStrategy<V> {
+    /// Draws one value.
+    fn sample_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn DynStrategy<V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        self.as_ref().sample_dyn(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                (self.start as u64).wrapping_add(rng.below(span)) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as u64) - (start as u64) + 1;
+                (start as u64).wrapping_add(rng.below(span)) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add(rng.below(span) as i64) as $t
+            }
+        }
+    )*};
+}
+impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Uniform choice among type-erased alternatives (`prop_oneof!`).
+pub struct OneOf<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> OneOf<V> {
+    /// Builds the union; panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].sample(rng)
+    }
+}
+
+impl<V> std::fmt::Debug for OneOf<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "OneOf({} arms)", self.arms.len())
+    }
+}
+
+/// Boolean strategies (`prop::bool::ANY`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// A uniformly random boolean.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = core::primitive::bool;
+        fn sample(&self, rng: &mut TestRng) -> core::primitive::bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::{vec, hash_set}`).
+pub mod collection {
+    use super::{HashSet, Range, Strategy, TestRng};
+
+    /// Inclusive-exclusive size bounds for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below((self.hi - self.lo) as u64) as usize
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from `element`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `HashSet`s of values drawn from `element`.
+    #[derive(Clone, Debug)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates hash sets with target sizes in `size`. If the element
+    /// domain is too small the set may come out smaller than requested.
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: core::hash::Hash + Eq,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: core::hash::Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let n = self.size.sample(rng);
+            let mut out = HashSet::with_capacity(n);
+            // Bounded attempts so tiny domains cannot loop forever.
+            for _ in 0..n.saturating_mul(20).max(64) {
+                if out.len() >= n {
+                    break;
+                }
+                out.insert(self.element.sample(rng));
+            }
+            out
+        }
+    }
+}
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The case count, after applying the `PROPTEST_CASES` override.
+    pub fn resolved_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the offline suite fast while
+        // still exploring the space. Override with PROPTEST_CASES.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ...)`
+/// runs `cases` times over freshly drawn values.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __case in 0..config.resolved_cases() {
+                    let _ = __case;
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        OneOf, ProptestConfig, Strategy, TestRng,
+    };
+
+    /// Namespace mirror of upstream's `prop::` module tree.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Copy, PartialEq, Debug)]
+    enum Op {
+        Touch(u16),
+        Insert(u16, u8),
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_and_vecs(
+            ways in 1u16..12,
+            ops in prop::collection::vec((0u64..64, prop::bool::ANY), 0..50),
+        ) {
+            prop_assert!((1..12).contains(&ways));
+            prop_assert!(ops.len() < 50);
+            for (v, _b) in ops {
+                prop_assert!(v < 64);
+            }
+        }
+
+        #[test]
+        fn oneof_and_map(
+            op in prop_oneof![
+                (0u16..8).prop_map(Op::Touch),
+                ((0u16..8), 0u8..4).prop_map(|(w, p)| Op::Insert(w, p)),
+            ],
+            pick in prop_oneof![Just(64u64), Just(1024), Just(4096)],
+        ) {
+            match op {
+                Op::Touch(w) => prop_assert!(w < 8),
+                Op::Insert(w, p) => { prop_assert!(w < 8); prop_assert!(p < 4); }
+            }
+            prop_assert!(pick == 64 || pick == 1024 || pick == 4096);
+        }
+
+        #[test]
+        fn hash_sets_respect_bounds(lines in prop::collection::hash_set(0u64..1000, 1..32)) {
+            prop_assert!(!lines.is_empty() && lines.len() < 32);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_ranges_sample_inside() {
+        let mut rng = TestRng::from_seed(9);
+        for _ in 0..1000 {
+            let x = Strategy::sample(&(0.1f64..0.6), &mut rng);
+            assert!((0.1..0.6).contains(&x));
+        }
+    }
+}
