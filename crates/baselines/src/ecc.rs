@@ -17,7 +17,7 @@
 //! floor the ASCC paper criticises in §2.
 
 use cmp_cache::{
-    AccessOutcome, CacheSet, CoreId, CoreSnapshot, FillKind, LlcPolicy, PolicySnapshot, SetIdx,
+    AccessOutcome, CoreId, CoreSnapshot, FillKind, LlcPolicy, PolicySnapshot, SetIdx, SetRef,
     SpillDecision, WayIdx,
 };
 use rand::rngs::SmallRng;
@@ -178,7 +178,7 @@ impl LlcPolicy for EccPolicy {
         core: CoreId,
         _set: SetIdx,
         kind: FillKind,
-        contents: &CacheSet,
+        contents: SetRef<'_>,
     ) -> WayIdx {
         if let Some(w) = contents.invalid_way() {
             return w;
@@ -270,7 +270,7 @@ impl LlcPolicy for EccPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cmp_cache::{CacheLine, InsertPos, LineAddr, MesiState};
+    use cmp_cache::{CacheLine, CacheSet, InsertPos, LineAddr, MesiState};
 
     fn policy(cores: usize) -> EccPolicy {
         let mut cfg = EccConfig::ecc(cores, 4);
@@ -313,7 +313,7 @@ mod tests {
         let mut p = policy(2);
         let s = set_with(&[0, 4], &[8, 12]);
         // Shared count (2) == quota (2): demand fill takes the LRU private.
-        let v = p.choose_victim(CoreId(0), SetIdx(0), FillKind::Demand, &s);
+        let v = p.choose_victim(CoreId(0), SetIdx(0), FillKind::Demand, s.view());
         assert_eq!(s.line(v).unwrap().addr, LineAddr::new(0));
         assert!(!s.line(v).unwrap().spilled);
     }
@@ -322,7 +322,7 @@ mod tests {
     fn spill_fills_stay_in_shared_region() {
         let mut p = policy(2);
         let s = set_with(&[0, 4], &[8, 12]);
-        let v = p.choose_victim(CoreId(0), SetIdx(0), FillKind::Spill, &s);
+        let v = p.choose_victim(CoreId(0), SetIdx(0), FillKind::Spill, s.view());
         assert!(
             s.line(v).unwrap().spilled,
             "spill must displace a shared line"
@@ -335,7 +335,7 @@ mod tests {
         let mut p = policy(2);
         // No shared lines yet: a spill may take a private way (quota is 2).
         let s = set_with(&[0, 4, 8, 12], &[]);
-        let v = p.choose_victim(CoreId(0), SetIdx(0), FillKind::Spill, &s);
+        let v = p.choose_victim(CoreId(0), SetIdx(0), FillKind::Spill, s.view());
         assert!(!s.line(v).unwrap().spilled);
     }
 
@@ -343,7 +343,7 @@ mod tests {
     fn invalid_ways_win() {
         let mut p = policy(2);
         let s = set_with(&[0], &[]);
-        let v = p.choose_victim(CoreId(0), SetIdx(0), FillKind::Demand, &s);
+        let v = p.choose_victim(CoreId(0), SetIdx(0), FillKind::Demand, s.view());
         assert!(s.line(v).is_none());
     }
 

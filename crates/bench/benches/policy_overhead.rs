@@ -1,8 +1,14 @@
 //! Per-access cost of each LLC policy's bookkeeping: `record_access` plus a
-//! periodic `spill_decision`, the two hooks on the simulator's hot path.
+//! periodic `spill_decision`, the two hooks on the simulator's hot path —
+//! and, in `system_per_access`, the full per-access cost of a real 2-core
+//! [`CmpSystem`] (workload generation, L1/L2 arena lookups, snoop bus,
+//! policy hooks) so layout changes in the cache crate show up end to end.
 
 use ascc::{AsccConfig, AvgccConfig};
+use ascc_bench::Policy;
 use cmp_cache::{AccessOutcome, CoreId, LlcPolicy, PrivateBaseline, SetIdx};
+use cmp_sim::{mix_workloads, CmpSystem, SystemConfig};
+use cmp_trace::two_app_mixes;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use spill_baselines::{DsrConfig, EccConfig};
 
@@ -47,5 +53,36 @@ fn bench_policies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_policies);
+fn bench_system(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system_per_access");
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2));
+    let cfg = SystemConfig::table2(2);
+    let mix = &two_app_mixes()[0];
+    for policy in [
+        Policy::Baseline,
+        Policy::Ascc,
+        Policy::Avgcc,
+        Policy::QosAvgcc,
+    ] {
+        let mut sys = CmpSystem::new(cfg.clone(), policy.build(&cfg), mix_workloads(mix, 7));
+        // Fill the hierarchy so the measurement sees the steady-state mix
+        // of hits, spills and evictions rather than cold compulsory misses.
+        for i in 0..200_000 {
+            sys.step(i & 1);
+        }
+        let mut i = 0usize;
+        group.bench_function(policy.label(), |b| {
+            b.iter(|| {
+                sys.step(i & 1);
+                i = i.wrapping_add(1);
+            })
+        });
+        black_box(sys.lifetime_result());
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_system);
 criterion_main!(benches);

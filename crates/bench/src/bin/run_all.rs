@@ -1,8 +1,13 @@
 //! Runs every experiment binary in paper order and rebuilds EXPERIMENTS.md
 //! from the JSON records the binaries drop under `results/`.
 //!
-//! Usage: `cargo run --release -p ascc-bench --bin run_all` (set
-//! `ASCC_QUICK=1` or `ASCC_INSTRS=...` to change the scale).
+//! Usage: `cargo run --release -p ascc-bench --bin run_all [-- --only <substring>]`
+//! (set `ASCC_QUICK=1` or `ASCC_INSTRS=...` to change the scale, `ASCC_JOBS`
+//! to bound the per-experiment sweep parallelism).
+//!
+//! `--only <substring>` keeps just the experiments whose name contains the
+//! substring (`--only fig08`, `--only table`); may be repeated. Per-binary
+//! wall-clock is printed in a summary table so perf regressions are visible.
 
 use std::process::Command;
 
@@ -31,23 +36,73 @@ const EXPERIMENTS: &[&str] = &[
     "ablations",
 ];
 
+/// Parses `--only <substring>` filters from the command line.
+///
+/// Returns the list of substrings; empty means "run everything".
+fn parse_filters(args: &[String]) -> Vec<String> {
+    let mut filters = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.strip_prefix("--only") {
+            Some("") => match it.next() {
+                Some(v) => filters.push(v.clone()),
+                None => die("--only needs a substring argument"),
+            },
+            Some(eq) => match eq.strip_prefix('=') {
+                Some(v) if !v.is_empty() => filters.push(v.to_string()),
+                _ => die("--only needs a substring argument"),
+            },
+            None => die(&format!(
+                "unknown argument {arg:?} (expected --only <substring>)"
+            )),
+        }
+    }
+    filters
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("run_all: {msg}");
+    eprintln!("usage: run_all [--only <substring>]...");
+    std::process::exit(2);
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let filters = parse_filters(&args);
+    let selected: Vec<&str> = EXPERIMENTS
+        .iter()
+        .copied()
+        .filter(|e| filters.is_empty() || filters.iter().any(|f| e.contains(f.as_str())))
+        .collect();
+    if selected.is_empty() {
+        die(&format!("no experiment matches {filters:?}"));
+    }
+
     let self_path = std::env::current_exe().expect("own path");
     let bin_dir = self_path.parent().expect("bin dir").to_path_buf();
     let started = std::time::Instant::now();
     let mut failures = Vec::new();
-    for exp in EXPERIMENTS {
+    let mut timings: Vec<(&str, f64)> = Vec::new();
+    for exp in &selected {
         println!("\n############ {exp} ############");
+        let t0 = std::time::Instant::now();
         let status = Command::new(bin_dir.join(exp))
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
+        timings.push((exp, t0.elapsed().as_secs_f64()));
         if !status.success() {
             eprintln!("!! {exp} failed with {status}");
             failures.push(*exp);
         }
     }
+
+    println!("\n== per-experiment wall-clock ==");
+    for (exp, secs) in &timings {
+        println!("  {exp:<24} {secs:8.2} s");
+    }
     println!(
-        "\nall experiments done in {:.1} min; {} failures {:?}",
+        "\n{} experiment(s) done in {:.1} min; {} failures {:?}",
+        selected.len(),
         started.elapsed().as_secs_f64() / 60.0,
         failures.len(),
         failures

@@ -1,0 +1,140 @@
+//! End-to-end simulator throughput: simulated L1 accesses per wall-clock
+//! second, per policy, at one worker and at the machine's worker count.
+//!
+//! This is the engine-level benchmark the cache-arena layout and the
+//! [`cmp_sim::SweepPool`] fan-out are aimed at: each row sweeps the same
+//! four 2-app mixes under one policy and divides the simulated accesses of
+//! the measured windows by the wall-clock of the whole sweep (warmup
+//! included, identically in every row). Results go to stdout and to
+//! `BENCH_throughput.json` in the current directory.
+//!
+//! `ASCC_QUICK=1` gives a fast smoke run; `ASCC_INSTRS`/`ASCC_WARMUP`
+//! rescale as usual. `ASCC_JOBS` sets the "many workers" worker count
+//! (default: available parallelism); the one-worker rows are always
+//! measured with an explicit single-worker pool.
+
+use ascc_bench::{print_table, Policy, Scale};
+use cmp_json::Value;
+use cmp_sim::{run_mix, RunResult, SweepPool, SystemConfig};
+use cmp_trace::two_app_mixes;
+
+const POLICIES: [Policy; 4] = [
+    Policy::Baseline,
+    Policy::Ascc,
+    Policy::Avgcc,
+    Policy::QosAvgcc,
+];
+const MIXES: usize = 4;
+
+struct Row {
+    policy: String,
+    jobs: usize,
+    wall_s: f64,
+    accesses: u64,
+}
+
+impl Row {
+    fn per_sec(&self) -> f64 {
+        self.accesses as f64 / self.wall_s.max(1e-9)
+    }
+}
+
+fn simulated_accesses(runs: &[RunResult]) -> u64 {
+    runs.iter()
+        .flat_map(|r| &r.cores)
+        .map(|c| c.l1_accesses)
+        .sum()
+}
+
+fn sweep(cfg: &SystemConfig, policy: Policy, scale: Scale, pool: SweepPool) -> Row {
+    let mixes = two_app_mixes();
+    let t0 = std::time::Instant::now();
+    let runs = pool.map((0..MIXES).collect(), |m| {
+        run_mix(
+            cfg,
+            &mixes[m],
+            policy.build(cfg),
+            scale.instrs,
+            scale.warmup,
+            scale.seed,
+        )
+    });
+    Row {
+        policy: policy.label(),
+        jobs: pool.jobs(),
+        wall_s: t0.elapsed().as_secs_f64(),
+        accesses: simulated_accesses(&runs),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let cfg = SystemConfig::table2(2);
+    let many = SweepPool::from_env();
+    println!(
+        "sim_throughput: {} mixes x {} policies, {} + {} worker(s), {} instrs/core",
+        MIXES,
+        POLICIES.len(),
+        1,
+        many.jobs(),
+        scale.instrs
+    );
+
+    let mut rows = Vec::new();
+    for policy in POLICIES {
+        rows.push(sweep(&cfg, policy, scale, SweepPool::with_jobs(1)));
+        if many.jobs() > 1 {
+            rows.push(sweep(&cfg, policy, scale, many));
+        }
+    }
+    if many.jobs() == 1 {
+        println!("(single-core host: skipping the many-worker rows)");
+    }
+
+    let headers = ["policy", "jobs", "wall s", "accesses", "acc/s"]
+        .map(String::from)
+        .to_vec();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.clone(),
+                r.jobs.to_string(),
+                format!("{:.2}", r.wall_s),
+                r.accesses.to_string(),
+                format!("{:.0}", r.per_sec()),
+            ]
+        })
+        .collect();
+    println!();
+    print_table(&headers, &table);
+
+    let json = Value::object()
+        .insert("bench", "sim_throughput")
+        .insert(
+            "scale",
+            Value::object()
+                .insert("instrs", scale.instrs as f64)
+                .insert("warmup", scale.warmup as f64)
+                .insert("seed", scale.seed as f64),
+        )
+        .insert("mixes", MIXES as f64)
+        .insert(
+            "rows",
+            Value::Array(
+                rows.iter()
+                    .map(|r| {
+                        Value::object()
+                            .insert("policy", r.policy.clone())
+                            .insert("jobs", r.jobs as f64)
+                            .insert("wall_s", r.wall_s)
+                            .insert("accesses", r.accesses as f64)
+                            .insert("accesses_per_sec", r.per_sec())
+                    })
+                    .collect(),
+            ),
+        );
+    let path = "BENCH_throughput.json";
+    std::fs::write(path, json.pretty()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("\n[saved {path}]");
+}

@@ -1,22 +1,20 @@
 //! Shared harness for the experiment binaries (one per paper table/figure).
 //!
 //! Everything here is plumbing: the policy zoo ([`Policy`]), scaled run
-//! lengths ([`Scale`]), a simple thread-pool [`parallel_map`] over
-//! independent simulations, the (mix × policy) [`run_grid`] driver, table
-//! printing, and JSON result dumps under `results/` that `run_all` collects
-//! into EXPERIMENTS.md.
+//! lengths ([`Scale`]), the [`parallel_map`] fan-out over independent
+//! simulations (a [`cmp_sim::SweepPool`] honouring `ASCC_JOBS`), the
+//! (mix × policy) [`run_grid`] driver, table printing, and JSON result
+//! dumps under `results/` that `run_all` collects into EXPERIMENTS.md.
 
 use ascc::{AsccConfig, AvgccConfig};
 use cmp_cache::{LlcPolicy, PrivateBaseline};
 use cmp_json::Value;
 use cmp_sim::{
     fairness_improvement, geomean_improvement, run_mix, weighted_speedup_improvement, RunResult,
-    SystemConfig,
+    SweepPool, SystemConfig,
 };
 use cmp_trace::WorkloadMix;
 use spill_baselines::{CcPolicy, DipConfig, DsrConfig, DsrDipPolicy, EccConfig};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Simulation lengths, overridable via environment:
 /// `ASCC_INSTRS` (measured instructions per core), `ASCC_WARMUP`, and
@@ -175,40 +173,10 @@ impl Policy {
     }
 }
 
-/// Runs `f` over `items` on all available cores, preserving order.
+/// Runs `f` over `items` on a [`SweepPool`] sized by `ASCC_JOBS` (default:
+/// all available cores), preserving submission order.
 pub fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
-    let n = items.len();
-    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n.max(1));
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = work[i]
-                    .lock()
-                    .expect("unpoisoned")
-                    .take()
-                    .expect("taken once");
-                *results[i].lock().expect("unpoisoned") = Some(f(item));
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("unpoisoned")
-                .expect("worker filled it")
-        })
-        .collect()
+    SweepPool::from_env().map(items, f)
 }
 
 /// Full results of a (mix × policy) grid.

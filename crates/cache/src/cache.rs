@@ -1,9 +1,31 @@
-//! The set-associative cache model.
+//! The set-associative cache model, stored as a contiguous SoA arena.
+//!
+//! # Arena layout
+//!
+//! A cache of `S` sets × `W` ways owns exactly three flat allocations:
+//!
+//! ```text
+//! tags:    [u64; S*W]   line address per way, u64::MAX = invalid
+//! meta:    [u8;  S*W]   bits 0-1 MESI state (M=0/E=1/S=2), bit 2 spilled
+//! recency: [u64; S]     packed LRU permutation, 4 bits per way (nibble 0 = MRU)
+//! ```
+//!
+//! Set `s` occupies `tags[s*W .. (s+1)*W]` / `meta[s*W .. (s+1)*W]` and
+//! `recency[s]`. Compared to the seed layout (a `Vec` of per-set structs,
+//! each owning a `Vec<Option<CacheLine>>` and a `Vec<u16>` recency stack —
+//! two heap allocations per set), a lookup now touches one contiguous tag
+//! row plus a single byte and word, and a whole 32 Ki-set L2's replacement
+//! state fits in 256 KiB of tags instead of ~65 K scattered allocations.
+//!
+//! The set-granular API is preserved through the [`SetRef`]/[`SetMut`] view
+//! types; behaviour is bit-identical to the seed layout (asserted by the
+//! `engine_golden` integration test).
 
 use crate::geometry::CacheGeometry;
 use crate::mesi::MesiState;
 use crate::obs::{ObsEvent, ObsProbe};
-use crate::set::{CacheLine, CacheSet};
+use crate::recency::{identity_word, RecencyStack};
+use crate::set::{decode_line, encode_meta, CacheLine, SetMut, SetRef, TAG_INVALID};
 use crate::stats::{CacheStats, SetStats};
 use crate::types::{CoreId, FillKind, InsertPos, LineAddr, SetIdx, WayIdx};
 
@@ -13,7 +35,7 @@ use crate::types::{CoreId, FillKind, InsertPos, LineAddr, SetIdx, WayIdx};
 /// The cache is a *passive* model: it answers lookups, performs fills into a
 /// victim way chosen by the caller (usually through an [`crate::LlcPolicy`])
 /// and reports evictions. All timing, coherence and spill orchestration live
-/// above it in `cmp-sim`.
+/// above it in `cmp-sim`. See the [module docs](self) for the storage layout.
 ///
 /// # Examples
 ///
@@ -35,7 +57,12 @@ use crate::types::{CoreId, FillKind, InsertPos, LineAddr, SetIdx, WayIdx};
 #[derive(Clone, Debug)]
 pub struct SetAssocCache {
     geometry: CacheGeometry,
-    sets: Vec<CacheSet>,
+    /// Line address per way, `S*W` entries, [`TAG_INVALID`] = empty way.
+    tags: Box<[u64]>,
+    /// Packed state/spilled byte per way, `S*W` entries.
+    meta: Box<[u8]>,
+    /// Packed recency permutation per set, `S` entries.
+    recency: Box<[u64]>,
     stats: CacheStats,
     set_stats: Option<Vec<SetStats>>,
 }
@@ -43,11 +70,13 @@ pub struct SetAssocCache {
 impl SetAssocCache {
     /// Creates an empty cache of the given geometry.
     pub fn new(geometry: CacheGeometry) -> Self {
+        let lines = geometry.lines() as usize;
+        let sets = geometry.sets() as usize;
         SetAssocCache {
             geometry,
-            sets: (0..geometry.sets())
-                .map(|_| CacheSet::new(geometry.ways()))
-                .collect(),
+            tags: vec![TAG_INVALID; lines].into_boxed_slice(),
+            meta: vec![0; lines].into_boxed_slice(),
+            recency: vec![identity_word(geometry.ways()); sets].into_boxed_slice(),
             stats: CacheStats::default(),
             set_stats: None,
         }
@@ -84,20 +113,59 @@ impl SetAssocCache {
         }
     }
 
+    /// Byte range of `set`'s ways within the tag/meta arrays.
+    #[inline]
+    fn row(&self, set: SetIdx) -> std::ops::Range<usize> {
+        let w = self.geometry.ways() as usize;
+        let base = set.index() * w;
+        base..base + w
+    }
+
     /// Read-only view of a set.
     ///
     /// # Panics
     ///
     /// Panics if `set` is out of range.
-    pub fn set(&self, set: SetIdx) -> &CacheSet {
-        &self.sets[set.index()]
+    #[inline]
+    pub fn set(&self, set: SetIdx) -> SetRef<'_> {
+        let r = self.row(set);
+        SetRef::new(
+            &self.tags[r.clone()],
+            &self.meta[r],
+            RecencyStack::from_word(self.recency[set.index()], self.geometry.ways()),
+        )
+    }
+
+    /// Mutable view of a set.
+    ///
+    /// Set-level mutation does not maintain the aggregate statistics — use
+    /// the cache-level [`access`](SetAssocCache::access) /
+    /// [`fill`](SetAssocCache::fill) /
+    /// [`invalidate`](SetAssocCache::invalidate) entry points in simulation
+    /// code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    #[inline]
+    pub fn set_mut(&mut self, set: SetIdx) -> SetMut<'_> {
+        let r = self.row(set);
+        SetMut::new(
+            &mut self.tags[r.clone()],
+            &mut self.meta[r],
+            &mut self.recency[set.index()],
+        )
     }
 
     /// Looks a line up *without* touching recency or statistics — the snoop
     /// path used by the coherence bus.
     pub fn probe(&self, line: LineAddr) -> Option<(SetIdx, WayIdx)> {
         let set = self.geometry.set_of(line);
-        self.sets[set.index()].find(line).map(|w| (set, w))
+        let raw = line.raw();
+        self.tags[self.row(set)]
+            .iter()
+            .position(|&t| t == raw)
+            .map(|w| (set, WayIdx(w as u16)))
     }
 
     /// Performs a local access: on a hit the line is promoted to MRU and its
@@ -108,20 +176,23 @@ impl SetAssocCache {
     /// flag cleared (the line now belongs to the local working set).
     pub fn access(&mut self, line: LineAddr) -> Option<WayIdx> {
         let set = self.geometry.set_of(line);
-        let s = &mut self.sets[set.index()];
-        match s.find(line) {
-            Some(way) => {
-                s.touch(way);
+        let row = self.row(set);
+        let raw = line.raw();
+        match self.tags[row.clone()].iter().position(|&t| t == raw) {
+            Some(w) => {
+                let way = WayIdx(w as u16);
+                let rw = &mut self.recency[set.index()];
+                *rw = crate::recency::touch_mru_word(*rw, self.geometry.ways(), way);
                 self.stats.hits += 1;
                 if let Some(ss) = &mut self.set_stats {
                     ss[set.index()].hits += 1;
                 }
-                let l = s.line_mut(way).expect("hit line is valid");
-                if l.spilled {
+                let m = &mut self.meta[row.start + w];
+                if *m & 0b100 != 0 {
                     self.stats.spilled_line_hits += 1;
                     // The local core reuses the line: it now belongs to the
                     // local working set, not the shared/spilled region.
-                    l.spilled = false;
+                    *m &= !0b100;
                 }
                 Some(way)
             }
@@ -138,7 +209,7 @@ impl SetAssocCache {
     /// MESI state of a resident line.
     pub fn state_of(&self, line: LineAddr) -> Option<MesiState> {
         self.probe(line)
-            .and_then(|(s, w)| self.sets[s.index()].line(w))
+            .and_then(|(s, w)| self.set(s).line(w))
             .map(|l| l.state)
     }
 
@@ -146,10 +217,9 @@ impl SetAssocCache {
     /// line is not present.
     pub fn set_state(&mut self, line: LineAddr, state: MesiState) -> bool {
         if let Some((s, w)) = self.probe(line) {
-            if let Some(l) = self.sets[s.index()].line_mut(w) {
-                l.state = state;
-                return true;
-            }
+            let i = s.index() * self.geometry.ways() as usize + w.index();
+            self.meta[i] = encode_meta(state, self.meta[i] & 0b100 != 0);
+            return true;
         }
         false
     }
@@ -179,7 +249,7 @@ impl SetAssocCache {
             FillKind::Spill => self.stats.spill_fills += 1,
             FillKind::Prefetch => self.stats.prefetch_fills += 1,
         }
-        let evicted = self.sets[set.index()].fill(way, line, pos);
+        let evicted = self.set_mut(set).fill(way, line, pos);
         if evicted.is_some() {
             self.stats.evictions += 1;
         }
@@ -225,12 +295,23 @@ impl SetAssocCache {
     /// Invalidates a resident line, returning it.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<CacheLine> {
         let (set, way) = self.probe(line)?;
-        self.sets[set.index()].invalidate_way(way)
+        self.set_mut(set).invalidate_way(way)
     }
 
     /// Total valid lines in the cache (O(lines); for tests and assertions).
     pub fn valid_lines(&self) -> u64 {
-        self.sets.iter().map(|s| s.valid_count() as u64).sum()
+        self.tags.iter().filter(|&&t| t != TAG_INVALID).count() as u64
+    }
+
+    /// The line stored at `(set, way)`, if valid — a direct arena read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` or `way` is out of range.
+    #[inline]
+    pub fn line_at(&self, set: SetIdx, way: WayIdx) -> Option<CacheLine> {
+        let i = set.index() * self.geometry.ways() as usize + way.index();
+        decode_line(self.tags[i], self.meta[i])
     }
 }
 
@@ -324,6 +405,25 @@ mod tests {
         assert_eq!(c.state_of(LineAddr::new(3)), Some(MesiState::Shared));
         assert!(!c.set_state(LineAddr::new(99), MesiState::Shared));
         assert_eq!(c.state_of(LineAddr::new(99)), None);
+    }
+
+    #[test]
+    fn set_state_preserves_spilled_flag() {
+        let mut c = small_cache();
+        let la = LineAddr::new(2);
+        let set = c.geometry().set_of(la);
+        let v = c.set(set).default_victim();
+        c.fill(
+            set,
+            v,
+            CacheLine::spilled(la, MesiState::Exclusive),
+            InsertPos::Mru,
+            FillKind::Spill,
+        );
+        assert!(c.set_state(la, MesiState::Shared));
+        let l = c.line_at(set, v).unwrap();
+        assert_eq!(l.state, MesiState::Shared);
+        assert!(l.spilled, "state rewrite must not clear the spilled bit");
     }
 
     #[test]
@@ -421,5 +521,19 @@ mod tests {
         fill_demand(&mut c, 1);
         fill_demand(&mut c, 2);
         assert_eq!(c.valid_lines(), 3);
+    }
+
+    #[test]
+    fn set_mut_round_trips_through_views() {
+        let mut c = small_cache();
+        fill_demand(&mut c, 0);
+        let set = SetIdx(0);
+        let way = c.set(set).find(LineAddr::new(0)).unwrap();
+        c.set_mut(set).set_state(way, MesiState::Shared);
+        assert_eq!(c.state_of(LineAddr::new(0)), Some(MesiState::Shared));
+        assert_eq!(c.set(set).valid_count(), 1);
+        let gone = c.set_mut(set).invalidate_way(way).unwrap();
+        assert_eq!(gone.addr, LineAddr::new(0));
+        assert_eq!(c.set(set).valid_count(), 0);
     }
 }

@@ -10,7 +10,7 @@ pub enum GeometryError {
     BadLineSize(u64),
     /// The number of sets is zero or not a power of two.
     BadSetCount(u64),
-    /// The associativity is zero.
+    /// The associativity is zero or exceeds 16 (the packed-recency limit).
     BadWays(u64),
     /// Capacity is not divisible into `sets * ways * line_bytes`.
     Indivisible {
@@ -30,7 +30,9 @@ impl fmt::Display for GeometryError {
             GeometryError::BadSetCount(s) => {
                 write!(f, "set count {s} is not a nonzero power of two")
             }
-            GeometryError::BadWays(w) => write!(f, "associativity {w} must be nonzero"),
+            GeometryError::BadWays(w) => {
+                write!(f, "associativity {w} must be nonzero and at most 16")
+            }
             GeometryError::Indivisible {
                 capacity,
                 per_set_bytes,
@@ -72,7 +74,9 @@ impl CacheGeometry {
     /// # Errors
     ///
     /// Returns [`GeometryError`] if `sets` or `line_bytes` is not a nonzero
-    /// power of two, or `ways` is zero.
+    /// power of two, or `ways` is zero or exceeds 16 (the cache arena packs
+    /// a set's recency order into a single `u64`, 4 bits per way; the paper
+    /// never models more than 16 ways).
     pub fn new(sets: u32, ways: u16, line_bytes: u32) -> Result<Self, GeometryError> {
         if line_bytes == 0 || !line_bytes.is_power_of_two() {
             return Err(GeometryError::BadLineSize(line_bytes as u64));
@@ -80,7 +84,7 @@ impl CacheGeometry {
         if sets == 0 || !sets.is_power_of_two() {
             return Err(GeometryError::BadSetCount(sets as u64));
         }
-        if ways == 0 {
+        if ways == 0 || ways > crate::recency::MAX_WAYS {
             return Err(GeometryError::BadWays(ways as u64));
         }
         Ok(CacheGeometry {
@@ -100,7 +104,7 @@ impl CacheGeometry {
         if line_bytes == 0 || !line_bytes.is_power_of_two() {
             return Err(GeometryError::BadLineSize(line_bytes as u64));
         }
-        if ways == 0 {
+        if ways == 0 || ways > crate::recency::MAX_WAYS {
             return Err(GeometryError::BadWays(ways as u64));
         }
         let per_set = ways as u64 * line_bytes as u64;
@@ -255,6 +259,14 @@ mod tests {
         assert!(matches!(
             CacheGeometry::new(128, 0, 32),
             Err(GeometryError::BadWays(0))
+        ));
+        assert!(matches!(
+            CacheGeometry::new(128, 17, 32),
+            Err(GeometryError::BadWays(17))
+        ));
+        assert!(matches!(
+            CacheGeometry::from_capacity(1 << 20, 32, 32),
+            Err(GeometryError::BadWays(32))
         ));
         assert!(CacheGeometry::from_capacity(1000, 8, 32).is_err());
     }

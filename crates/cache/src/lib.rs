@@ -68,6 +68,6 @@ pub use obs::{
 pub use policy::{AccessOutcome, LlcPolicy, PrivateBaseline, SpillDecision};
 pub use prefetch::{PrefetchConfig, StridePrefetcher};
 pub use recency::RecencyStack;
-pub use set::{CacheLine, CacheSet};
+pub use set::{CacheLine, CacheSet, SetMut, SetRef};
 pub use stats::{CacheStats, SetStats};
 pub use types::{AccessKind, Addr, CoreId, FillKind, InsertPos, LineAddr, SetIdx, WayIdx};

@@ -8,7 +8,7 @@
 //! the broadcast coherence network.
 
 use crate::obs::{ObsEvent, PolicySnapshot};
-use crate::set::CacheSet;
+use crate::set::SetRef;
 use crate::types::{CoreId, FillKind, InsertPos, SetIdx, WayIdx};
 
 /// What an L2 access observed, as reported to the policy.
@@ -157,7 +157,7 @@ pub trait LlcPolicy {
         core: CoreId,
         set: SetIdx,
         kind: FillKind,
-        contents: &CacheSet,
+        contents: SetRef<'_>,
     ) -> WayIdx {
         let _ = (core, set, kind);
         contents.default_victim()
@@ -230,14 +230,14 @@ mod tests {
     #[test]
     fn default_victim_is_invalid_then_lru() {
         let mut p = PrivateBaseline::new();
-        let mut set = CacheSet::new(2);
-        let v = p.choose_victim(CoreId(0), SetIdx(0), FillKind::Demand, &set);
+        let mut set = crate::set::CacheSet::new(2);
+        let v = p.choose_victim(CoreId(0), SetIdx(0), FillKind::Demand, set.view());
         set.fill(
             v,
             CacheLine::demand(LineAddr::new(1), MesiState::Exclusive),
             InsertPos::Mru,
         );
-        let v2 = p.choose_victim(CoreId(0), SetIdx(0), FillKind::Demand, &set);
+        let v2 = p.choose_victim(CoreId(0), SetIdx(0), FillKind::Demand, set.view());
         assert_ne!(v, v2);
     }
 

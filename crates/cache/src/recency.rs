@@ -1,17 +1,39 @@
-//! True-LRU recency stack for one cache set.
+//! True-LRU recency tracking for one cache set, packed into a single word.
 //!
 //! The paper's insertion policies (Fig. 3) are all expressed as *positions in
 //! the recency stack*: MRU insertion, LRU insertion (BIP's common case) and
-//! `LRU-1` insertion (SABIP's common case). This module keeps an explicit
-//! MRU-first ordering of way indices so all of them are O(associativity).
+//! `LRU-1` insertion (SABIP's common case). The stack is a permutation of the
+//! way indices; with associativity capped at 16 (the paper's maximum, see
+//! [`crate::CacheGeometry`]) the whole permutation packs into one `u64` —
+//! nibble `d` holds the way index at recency depth `d` (nibble 0 = MRU) — so
+//! a set's complete replacement state costs 8 bytes in the cache arena and
+//! every operation is a handful of shifts and masks instead of a `Vec`
+//! splice.
 
 use crate::types::{InsertPos, WayIdx};
 
-/// MRU-first ordering of the ways of one set.
+/// Maximum associativity a packed recency word can track.
+pub const MAX_WAYS: u16 = 16;
+
+/// Identity permutation: nibble `i` holds value `i`.
+const IDENTITY: u64 = 0xFEDC_BA98_7654_3210;
+
+/// Mask selecting the low `bits` bits (`bits <= 64`).
+#[inline]
+const fn low_mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// MRU-first ordering of the ways of one set, packed 4 bits per way.
 ///
 /// The stack always contains each way index exactly once (it is a permutation
 /// of `0..ways`); validity of the lines living in those ways is tracked by
-/// the set itself.
+/// the set itself. Nibbles at depths `>= ways` are zero, so equal stacks are
+/// bitwise equal.
 ///
 /// # Examples
 ///
@@ -23,10 +45,12 @@ use crate::types::{InsertPos, WayIdx};
 /// r.insert_at(WayIdx(3), InsertPos::LruMinus1);
 /// assert_eq!(r.depth_of(WayIdx(3)), 2); // one above the LRU position
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct RecencyStack {
-    /// Way indices ordered MRU (index 0) to LRU (last).
-    order: Vec<u16>,
+    /// Way indices, 4 bits per recency depth: nibble 0 = MRU, nibble
+    /// `ways-1` = LRU.
+    word: u64,
+    ways: u16,
 }
 
 impl RecencyStack {
@@ -34,36 +58,55 @@ impl RecencyStack {
     ///
     /// # Panics
     ///
-    /// Panics if `ways == 0`.
+    /// Panics if `ways == 0` or `ways > 16`.
     pub fn new(ways: u16) -> Self {
-        assert!(ways > 0, "a set must have at least one way");
         RecencyStack {
-            order: (0..ways).collect(),
+            word: identity_word(ways),
+            ways,
         }
+    }
+
+    /// Rebuilds a stack from a raw packed word (arena storage).
+    #[inline]
+    pub(crate) const fn from_word(word: u64, ways: u16) -> Self {
+        RecencyStack { word, ways }
+    }
+
+    /// The raw packed word (arena storage).
+    #[inline]
+    pub(crate) const fn word(self) -> u64 {
+        self.word
+    }
+
+    /// Mutable access to the raw packed word (arena storage).
+    #[inline]
+    pub(crate) fn word_mut(&mut self) -> &mut u64 {
+        &mut self.word
     }
 
     /// Number of ways tracked.
     #[inline]
     pub fn ways(&self) -> u16 {
-        self.order.len() as u16
+        self.ways
     }
 
     /// The most recently used way.
     #[inline]
     pub fn mru(&self) -> WayIdx {
-        WayIdx(self.order[0])
+        WayIdx((self.word & 0xF) as u16)
     }
 
     /// The least recently used way.
     #[inline]
     pub fn lru(&self) -> WayIdx {
-        WayIdx(*self.order.last().expect("stack is never empty"))
+        WayIdx(((self.word >> (4 * (self.ways as u32 - 1))) & 0xF) as u16)
     }
 
-    /// MRU-first slice of way indices.
+    /// MRU-first iterator of way indices.
     #[inline]
     pub fn order(&self) -> impl Iterator<Item = WayIdx> + '_ {
-        self.order.iter().map(|&w| WayIdx(w))
+        let word = self.word;
+        (0..self.ways as u32).map(move |d| WayIdx(((word >> (4 * d)) & 0xF) as u16))
     }
 
     /// Depth of `way` in the stack (0 = MRU).
@@ -76,20 +119,14 @@ impl RecencyStack {
     }
 
     /// Promotes `way` to the MRU position (a hit).
+    #[inline]
     pub fn touch_mru(&mut self, way: WayIdx) {
-        self.move_to(way, 0);
+        self.word = touch_mru_word(self.word, self.ways, way);
     }
 
     /// Re-inserts `way` at the position selected by an insertion policy.
     pub fn insert_at(&mut self, way: WayIdx, pos: InsertPos) {
-        let n = self.order.len();
-        let depth = match pos {
-            InsertPos::Mru => 0,
-            InsertPos::Lru => n - 1,
-            InsertPos::LruMinus1 => n.saturating_sub(2),
-            InsertPos::Depth(d) => (d as usize).min(n - 1),
-        };
-        self.move_to(way, depth);
+        self.word = insert_at_word(self.word, self.ways, way, pos);
     }
 
     /// The deepest (closest to LRU) way satisfying `keep`, if any.
@@ -97,25 +134,98 @@ impl RecencyStack {
     /// Used by policies that restrict victim selection to a region of the
     /// set, e.g. ECC's private/shared way partitions.
     pub fn lru_where<F: FnMut(WayIdx) -> bool>(&self, mut keep: F) -> Option<WayIdx> {
-        self.order
-            .iter()
+        (0..self.ways as u32)
             .rev()
-            .map(|&w| WayIdx(w))
+            .map(|d| WayIdx(((self.word >> (4 * d)) & 0xF) as u16))
             .find(|&w| keep(w))
     }
 
     fn position(&self, way: WayIdx) -> usize {
-        self.order
-            .iter()
-            .position(|&w| w == way.0)
-            .unwrap_or_else(|| panic!("{way} is not part of this {}-way stack", self.order.len()))
+        position_in_word(self.word, self.ways, way)
+            .unwrap_or_else(|| panic!("{way} is not part of this {}-way stack", self.ways))
     }
+}
 
-    fn move_to(&mut self, way: WayIdx, depth: usize) {
-        let cur = self.position(way);
-        let w = self.order.remove(cur);
-        self.order.insert(depth.min(self.order.len()), w);
+/// Identity permutation word for `ways` ways.
+///
+/// # Panics
+///
+/// Panics if `ways == 0` or `ways > 16`.
+#[inline]
+pub(crate) fn identity_word(ways: u16) -> u64 {
+    assert!(ways > 0, "a set must have at least one way");
+    assert!(
+        ways <= MAX_WAYS,
+        "packed recency supports at most {MAX_WAYS} ways, got {ways}"
+    );
+    IDENTITY & low_mask(4 * ways as u32)
+}
+
+/// Depth of `way` in `word`, or `None` if absent from the low `ways` nibbles.
+#[inline]
+pub(crate) fn position_in_word(word: u64, ways: u16, way: WayIdx) -> Option<usize> {
+    let target = way.0 as u64;
+    let mut w = word;
+    for d in 0..ways as usize {
+        if w & 0xF == target {
+            return Some(d);
+        }
+        w >>= 4;
     }
+    None
+}
+
+/// `word` with `way` promoted to depth 0; nibbles above its old depth are
+/// untouched.
+#[inline]
+pub(crate) fn touch_mru_word(word: u64, ways: u16, way: WayIdx) -> u64 {
+    let p = position_in_word(word, ways, way)
+        .unwrap_or_else(|| panic!("{way} is not part of this {ways}-way stack")) as u32;
+    if p == 0 {
+        return word;
+    }
+    // Shift depths 0..p one nibble deeper and drop the way in at nibble 0.
+    let below = word & low_mask(4 * p);
+    (word & !low_mask(4 * (p + 1))) | (below << 4) | way.0 as u64
+}
+
+/// `word` with `way` moved to depth `depth` (same remove-then-insert
+/// semantics as a `Vec` splice: intervening entries shift by one).
+#[inline]
+pub(crate) fn move_to_word(word: u64, ways: u16, way: WayIdx, depth: usize) -> u64 {
+    let p = position_in_word(word, ways, way)
+        .unwrap_or_else(|| panic!("{way} is not part of this {ways}-way stack")) as u32;
+    let d = depth.min(ways as usize - 1) as u32;
+    let nib = (way.0 as u64) << (4 * d);
+    use std::cmp::Ordering;
+    match d.cmp(&p) {
+        Ordering::Equal => word,
+        Ordering::Less => {
+            // Depths d..p-1 sink one deeper; `way` surfaces at d.
+            let span = low_mask(4 * (p + 1)) & !low_mask(4 * d);
+            let shifted = (word << 4) & span & !(0xF << (4 * d));
+            (word & !span) | shifted | nib
+        }
+        Ordering::Greater => {
+            // Depths p+1..d rise one shallower; `way` sinks to d.
+            let span = low_mask(4 * (d + 1)) & !low_mask(4 * p);
+            let shifted = (word >> 4) & span & !(0xF << (4 * d));
+            (word & !span) | shifted | nib
+        }
+    }
+}
+
+/// `word` with `way` re-inserted at the depth selected by `pos`.
+#[inline]
+pub(crate) fn insert_at_word(word: u64, ways: u16, way: WayIdx, pos: InsertPos) -> u64 {
+    let n = ways as usize;
+    let depth = match pos {
+        InsertPos::Mru => 0,
+        InsertPos::Lru => n - 1,
+        InsertPos::LruMinus1 => n.saturating_sub(2),
+        InsertPos::Depth(d) => (d as usize).min(n - 1),
+    };
+    move_to_word(word, ways, way, depth)
 }
 
 #[cfg(test)]
@@ -196,10 +306,27 @@ mod tests {
     }
 
     #[test]
+    fn sixteen_way_full_word() {
+        let mut r = RecencyStack::new(16);
+        assert_eq!(r.mru(), WayIdx(0));
+        assert_eq!(r.lru(), WayIdx(15));
+        r.touch_mru(WayIdx(15));
+        assert_eq!(r.mru(), WayIdx(15));
+        assert_eq!(r.lru(), WayIdx(14));
+        assert_eq!(r.depth_of(WayIdx(0)), 1);
+    }
+
+    #[test]
     #[should_panic(expected = "not part of this")]
     fn unknown_way_panics() {
         let r = RecencyStack::new(2);
         let _ = r.depth_of(WayIdx(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 16 ways")]
+    fn too_many_ways_panics() {
+        let _ = RecencyStack::new(17);
     }
 }
 
@@ -221,11 +348,47 @@ mod proptests {
         ]
     }
 
+    /// The seed implementation: an explicit MRU-first `Vec` of way indices.
+    /// The packed word must follow it exactly, operation for operation.
+    struct VecModel {
+        order: Vec<u16>,
+    }
+
+    impl VecModel {
+        fn new(ways: u16) -> Self {
+            VecModel {
+                order: (0..ways).collect(),
+            }
+        }
+
+        fn move_to(&mut self, way: WayIdx, depth: usize) {
+            let cur = self.order.iter().position(|&w| w == way.0).unwrap();
+            let w = self.order.remove(cur);
+            self.order.insert(depth.min(self.order.len()), w);
+        }
+
+        fn apply(&mut self, op: &Op, ways: u16) {
+            match *op {
+                Op::Touch(w) => self.move_to(WayIdx(w % ways), 0),
+                Op::Insert(w, p) => {
+                    let n = self.order.len();
+                    let depth = match p {
+                        0 => 0,
+                        1 => n - 1,
+                        2 => n.saturating_sub(2),
+                        _ => ((p as u16) % ways) as usize,
+                    };
+                    self.move_to(WayIdx(w % ways), depth);
+                }
+            }
+        }
+    }
+
     proptest! {
         /// The stack is always a permutation of 0..ways, no matter the ops.
         #[test]
         fn stack_stays_a_permutation(
-            ways in 1u16..12,
+            ways in 1u16..=16,
             ops in prop::collection::vec(op_strategy(8), 0..64),
         ) {
             let mut r = RecencyStack::new(ways);
@@ -250,12 +413,43 @@ mod proptests {
 
         /// After touching a way it is MRU and depths of others shift by at most one.
         #[test]
-        fn touch_is_mru(ways in 1u16..12, w in 0u16..12) {
+        fn touch_is_mru(ways in 1u16..=16, w in 0u16..16) {
             let w = w % ways;
             let mut r = RecencyStack::new(ways);
             r.touch_mru(WayIdx(w));
             prop_assert_eq!(r.mru(), WayIdx(w));
             prop_assert_eq!(r.depth_of(WayIdx(w)), 0);
+        }
+
+        /// The packed word tracks the seed's Vec-splice model bit for bit
+        /// across arbitrary operation sequences — the recency half of the
+        /// SoA arena's bit-identity contract.
+        #[test]
+        fn packed_matches_vec_model(
+            ways in 1u16..=16,
+            ops in prop::collection::vec(op_strategy(16), 0..128),
+        ) {
+            let mut r = RecencyStack::new(ways);
+            let mut m = VecModel::new(ways);
+            for op in ops {
+                match op {
+                    Op::Touch(w) => r.touch_mru(WayIdx(w % ways)),
+                    Op::Insert(w, p) => {
+                        let pos = match p {
+                            0 => InsertPos::Mru,
+                            1 => InsertPos::Lru,
+                            2 => InsertPos::LruMinus1,
+                            _ => InsertPos::Depth((p as u16) % ways),
+                        };
+                        r.insert_at(WayIdx(w % ways), pos);
+                    }
+                }
+                m.apply(&op, ways);
+                let packed: Vec<u16> = r.order().map(|w| w.0).collect();
+                prop_assert_eq!(&packed, &m.order);
+                prop_assert_eq!(r.lru(), WayIdx(*m.order.last().unwrap()));
+                prop_assert_eq!(r.mru(), WayIdx(m.order[0]));
+            }
         }
     }
 }

@@ -1,8 +1,69 @@
-//! One set of a set-associative cache: lines plus a recency stack.
+//! Set-level views over the packed cache arena, plus an owned single set.
+//!
+//! Since the SoA refactor the lines of a cache live in flat arrays owned by
+//! [`crate::SetAssocCache`] (see its module docs for the layout): a tag word,
+//! a metadata byte and one packed recency word per set. The types here are
+//! the *set-granular* API over that storage — the granularity at which the
+//! paper's policies reason:
+//!
+//! - [`SetRef`] — a read-only view of one set (what victim-selection hooks
+//!   receive),
+//! - [`SetMut`] — a mutable view (fills, invalidations, state rewrites),
+//! - [`CacheSet`] — a self-contained owned set using the same encoding, for
+//!   policy unit tests and the Fig. 3 insertion demo.
+//!
+//! A [`CacheLine`] is *materialized* from the arrays on demand; it is a value,
+//! not a reference into the cache.
 
 use crate::mesi::MesiState;
 use crate::recency::RecencyStack;
 use crate::types::{InsertPos, LineAddr, WayIdx};
+
+/// Tag sentinel marking an invalid (empty) way.
+///
+/// Line addresses are byte addresses shifted right by the line-offset bits,
+/// so a real line can never occupy the all-ones pattern.
+pub(crate) const TAG_INVALID: u64 = u64::MAX;
+
+/// Metadata bits 0–1: MESI state (M=0, E=1, S=2).
+const META_STATE_MASK: u8 = 0b011;
+/// Metadata bit 2: the line arrived by being spilled from a peer cache.
+const META_SPILLED: u8 = 0b100;
+
+/// Packs a line's state and spilled flag into a metadata byte.
+#[inline]
+pub(crate) const fn encode_meta(state: MesiState, spilled: bool) -> u8 {
+    let s = match state {
+        MesiState::Modified => 0,
+        MesiState::Exclusive => 1,
+        MesiState::Shared => 2,
+    };
+    s | if spilled { META_SPILLED } else { 0 }
+}
+
+/// Recovers the MESI state from a metadata byte.
+#[inline]
+pub(crate) const fn decode_state(meta: u8) -> MesiState {
+    match meta & META_STATE_MASK {
+        0 => MesiState::Modified,
+        1 => MesiState::Exclusive,
+        _ => MesiState::Shared,
+    }
+}
+
+/// Materializes the line stored as `(tag, meta)`, if the way is valid.
+#[inline]
+pub(crate) const fn decode_line(tag: u64, meta: u8) -> Option<CacheLine> {
+    if tag == TAG_INVALID {
+        None
+    } else {
+        Some(CacheLine {
+            addr: LineAddr::new(tag),
+            state: decode_state(meta),
+            spilled: meta & META_SPILLED != 0,
+        })
+    }
+}
 
 /// A valid line resident in a cache.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -36,78 +97,78 @@ impl CacheLine {
             spilled: true,
         }
     }
+
+    /// The arena metadata byte for this line.
+    #[inline]
+    pub(crate) const fn meta(&self) -> u8 {
+        encode_meta(self.state, self.spilled)
+    }
 }
 
-/// One cache set: `ways` optional lines and their recency ordering.
-#[derive(Clone, Debug)]
-pub struct CacheSet {
-    lines: Vec<Option<CacheLine>>,
+/// Read-only view of one cache set: its tags, metadata and recency order.
+///
+/// `SetRef` is `Copy` (three words); methods materialize [`CacheLine`] values
+/// on demand rather than handing out references into the arena.
+#[derive(Clone, Copy, Debug)]
+pub struct SetRef<'a> {
+    tags: &'a [u64],
+    meta: &'a [u8],
     recency: RecencyStack,
 }
 
-impl CacheSet {
-    /// Creates an empty set with the given associativity.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `ways == 0`.
-    pub fn new(ways: u16) -> Self {
-        CacheSet {
-            lines: vec![None; ways as usize],
-            recency: RecencyStack::new(ways),
+impl<'a> SetRef<'a> {
+    #[inline]
+    pub(crate) fn new(tags: &'a [u64], meta: &'a [u8], recency: RecencyStack) -> Self {
+        debug_assert_eq!(tags.len(), meta.len());
+        debug_assert_eq!(tags.len(), recency.ways() as usize);
+        SetRef {
+            tags,
+            meta,
+            recency,
         }
     }
 
     /// Associativity of the set.
     #[inline]
     pub fn ways(&self) -> u16 {
-        self.lines.len() as u16
+        self.tags.len() as u16
     }
 
     /// Looks up a line address; returns its way if present.
+    #[inline]
     pub fn find(&self, addr: LineAddr) -> Option<WayIdx> {
-        self.lines
+        let raw = addr.raw();
+        self.tags
             .iter()
-            .position(|l| l.map(|l| l.addr) == Some(addr))
+            .position(|&t| t == raw)
             .map(|w| WayIdx(w as u16))
     }
 
-    /// The line stored in `way`, if valid.
+    /// The line stored in `way`, if valid (materialized by value).
     ///
     /// # Panics
     ///
     /// Panics if `way` is out of range.
-    pub fn line(&self, way: WayIdx) -> Option<&CacheLine> {
-        self.lines[way.index()].as_ref()
-    }
-
-    /// Mutable access to the line stored in `way`, if valid.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `way` is out of range.
-    pub fn line_mut(&mut self, way: WayIdx) -> Option<&mut CacheLine> {
-        self.lines[way.index()].as_mut()
+    #[inline]
+    pub fn line(&self, way: WayIdx) -> Option<CacheLine> {
+        decode_line(self.tags[way.index()], self.meta[way.index()])
     }
 
     /// Number of valid lines.
     pub fn valid_count(&self) -> u16 {
-        self.lines.iter().filter(|l| l.is_some()).count() as u16
+        self.tags.iter().filter(|&&t| t != TAG_INVALID).count() as u16
     }
 
     /// Number of valid lines satisfying `pred`.
     pub fn count_where<F: FnMut(&CacheLine) -> bool>(&self, mut pred: F) -> u16 {
-        self.lines
-            .iter()
-            .filter(|l| l.as_ref().is_some_and(&mut pred))
-            .count() as u16
+        self.iter().filter(|(_, l)| pred(l)).count() as u16
     }
 
     /// First invalid way, if any.
     pub fn invalid_way(&self) -> Option<WayIdx> {
-        self.lines
+        self.tags
             .iter()
-            .position(|l| l.is_none())
+            .position(|&t| t == TAG_INVALID)
             .map(|w| WayIdx(w as u16))
     }
 
@@ -120,7 +181,233 @@ impl CacheSet {
     /// victim selection, e.g. ECC's private/shared partitions).
     pub fn lru_valid_where<F: FnMut(&CacheLine) -> bool>(&self, mut pred: F) -> Option<WayIdx> {
         self.recency
-            .lru_where(|w| self.lines[w.index()].as_ref().is_some_and(&mut pred))
+            .lru_where(|w| self.line(w).is_some_and(|l| pred(&l)))
+    }
+
+    /// Recency depth of `way` (0 = MRU).
+    pub fn depth_of(&self, way: WayIdx) -> usize {
+        self.recency.depth_of(way)
+    }
+
+    /// The set's recency stack (a copy; 8 bytes).
+    #[inline]
+    pub fn recency(&self) -> RecencyStack {
+        self.recency
+    }
+
+    /// Iterates over the valid lines of the set (way order, not recency
+    /// order), materializing each line by value.
+    pub fn iter(&self) -> impl Iterator<Item = (WayIdx, CacheLine)> + 'a {
+        self.tags
+            .iter()
+            .zip(self.meta)
+            .enumerate()
+            .filter_map(|(w, (&t, &m))| decode_line(t, m).map(|l| (WayIdx(w as u16), l)))
+    }
+}
+
+/// Mutable view of one cache set.
+///
+/// Mutations keep the arena encoding and the recency permutation consistent;
+/// reads go through [`SetMut::as_ref`].
+#[derive(Debug)]
+pub struct SetMut<'a> {
+    tags: &'a mut [u64],
+    meta: &'a mut [u8],
+    recency: &'a mut u64,
+}
+
+impl<'a> SetMut<'a> {
+    #[inline]
+    pub(crate) fn new(tags: &'a mut [u64], meta: &'a mut [u8], recency: &'a mut u64) -> Self {
+        debug_assert_eq!(tags.len(), meta.len());
+        SetMut {
+            tags,
+            meta,
+            recency,
+        }
+    }
+
+    /// Associativity of the set.
+    #[inline]
+    pub fn ways(&self) -> u16 {
+        self.tags.len() as u16
+    }
+
+    /// Read-only view of the same set (reborrows this view).
+    #[inline]
+    pub fn as_ref(&self) -> SetRef<'_> {
+        SetRef::new(
+            self.tags,
+            self.meta,
+            RecencyStack::from_word(*self.recency, self.tags.len() as u16),
+        )
+    }
+
+    #[inline]
+    fn stack(&self) -> RecencyStack {
+        RecencyStack::from_word(*self.recency, self.tags.len() as u16)
+    }
+
+    /// Promotes `way` to MRU (a hit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range.
+    #[inline]
+    pub fn touch(&mut self, way: WayIdx) {
+        let mut r = self.stack();
+        r.touch_mru(way);
+        *self.recency = r.word();
+    }
+
+    /// Replaces the line in `way` with `line`, placing it at `pos` in the
+    /// recency stack, and returns the previous occupant (the eviction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range.
+    pub fn fill(&mut self, way: WayIdx, line: CacheLine, pos: InsertPos) -> Option<CacheLine> {
+        debug_assert_ne!(
+            line.addr.raw(),
+            TAG_INVALID,
+            "line address collides with the invalid-tag sentinel"
+        );
+        let i = way.index();
+        let evicted = decode_line(self.tags[i], self.meta[i]);
+        self.tags[i] = line.addr.raw();
+        self.meta[i] = line.meta();
+        let mut r = self.stack();
+        r.insert_at(way, pos);
+        *self.recency = r.word();
+        evicted
+    }
+
+    /// Invalidates `way`, returning the line that was there.
+    ///
+    /// The freed way is demoted to the LRU position so it is the next victim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range.
+    pub fn invalidate_way(&mut self, way: WayIdx) -> Option<CacheLine> {
+        let i = way.index();
+        let line = decode_line(self.tags[i], self.meta[i]);
+        self.tags[i] = TAG_INVALID;
+        self.meta[i] = 0;
+        let mut r = self.stack();
+        r.insert_at(way, InsertPos::Lru);
+        *self.recency = r.word();
+        line
+    }
+
+    /// Rewrites the MESI state of the valid line in `way`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range or invalid.
+    pub fn set_state(&mut self, way: WayIdx, state: MesiState) {
+        let i = way.index();
+        assert_ne!(self.tags[i], TAG_INVALID, "{way} holds no valid line");
+        self.meta[i] = encode_meta(state, self.meta[i] & META_SPILLED != 0);
+    }
+
+    /// Clears the spilled flag of the valid line in `way` (local reuse).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range or invalid.
+    pub fn clear_spilled(&mut self, way: WayIdx) {
+        let i = way.index();
+        assert_ne!(self.tags[i], TAG_INVALID, "{way} holds no valid line");
+        self.meta[i] &= !META_SPILLED;
+    }
+}
+
+/// One self-contained cache set: `ways` encoded lines and their recency
+/// ordering, stored exactly as a set of the arena would be.
+///
+/// The simulated caches do not contain `CacheSet`s — their sets live in the
+/// [`crate::SetAssocCache`] arena and are accessed through [`SetRef`] /
+/// [`SetMut`]. This owned type serves standalone uses (policy unit tests,
+/// the Fig. 3 insertion walkthrough) and mirrors the full set API.
+#[derive(Clone, Debug)]
+pub struct CacheSet {
+    tags: Box<[u64]>,
+    meta: Box<[u8]>,
+    recency: RecencyStack,
+}
+
+impl CacheSet {
+    /// Creates an empty set with the given associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways == 0` or `ways > 16`.
+    pub fn new(ways: u16) -> Self {
+        CacheSet {
+            tags: vec![TAG_INVALID; ways as usize].into_boxed_slice(),
+            meta: vec![0; ways as usize].into_boxed_slice(),
+            recency: RecencyStack::new(ways),
+        }
+    }
+
+    /// Read-only view of this set, as a policy hook would receive it.
+    #[inline]
+    pub fn view(&self) -> SetRef<'_> {
+        SetRef::new(&self.tags, &self.meta, self.recency)
+    }
+
+    /// Mutable view of this set.
+    #[inline]
+    pub fn view_mut(&mut self) -> SetMut<'_> {
+        SetMut::new(&mut self.tags, &mut self.meta, self.recency.word_mut())
+    }
+
+    /// Associativity of the set.
+    #[inline]
+    pub fn ways(&self) -> u16 {
+        self.tags.len() as u16
+    }
+
+    /// Looks up a line address; returns its way if present.
+    pub fn find(&self, addr: LineAddr) -> Option<WayIdx> {
+        self.view().find(addr)
+    }
+
+    /// The line stored in `way`, if valid (materialized by value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range.
+    pub fn line(&self, way: WayIdx) -> Option<CacheLine> {
+        self.view().line(way)
+    }
+
+    /// Number of valid lines.
+    pub fn valid_count(&self) -> u16 {
+        self.view().valid_count()
+    }
+
+    /// Number of valid lines satisfying `pred`.
+    pub fn count_where<F: FnMut(&CacheLine) -> bool>(&self, pred: F) -> u16 {
+        self.view().count_where(pred)
+    }
+
+    /// First invalid way, if any.
+    pub fn invalid_way(&self) -> Option<WayIdx> {
+        self.view().invalid_way()
+    }
+
+    /// Default victim: an invalid way if one exists, otherwise the LRU way.
+    pub fn default_victim(&self) -> WayIdx {
+        self.view().default_victim()
+    }
+
+    /// Deepest valid way whose line satisfies `pred` (for region-constrained
+    /// victim selection, e.g. ECC's private/shared partitions).
+    pub fn lru_valid_where<F: FnMut(&CacheLine) -> bool>(&self, pred: F) -> Option<WayIdx> {
+        self.view().lru_valid_where(pred)
     }
 
     /// Promotes `way` to MRU (a hit).
@@ -139,9 +426,7 @@ impl CacheSet {
     ///
     /// Panics if `way` is out of range.
     pub fn fill(&mut self, way: WayIdx, line: CacheLine, pos: InsertPos) -> Option<CacheLine> {
-        let evicted = self.lines[way.index()].replace(line);
-        self.recency.insert_at(way, pos);
-        evicted
+        self.view_mut().fill(way, line, pos)
     }
 
     /// Invalidates `way`, returning the line that was there.
@@ -152,9 +437,7 @@ impl CacheSet {
     ///
     /// Panics if `way` is out of range.
     pub fn invalidate_way(&mut self, way: WayIdx) -> Option<CacheLine> {
-        let line = self.lines[way.index()].take();
-        self.recency.insert_at(way, InsertPos::Lru);
-        line
+        self.view_mut().invalidate_way(way)
     }
 
     /// Recency depth of `way` (0 = MRU).
@@ -169,11 +452,8 @@ impl CacheSet {
 
     /// Iterates over the valid lines of the set (way order, not recency
     /// order).
-    pub fn iter(&self) -> impl Iterator<Item = (WayIdx, &CacheLine)> {
-        self.lines
-            .iter()
-            .enumerate()
-            .filter_map(|(w, l)| l.as_ref().map(|l| (WayIdx(w as u16), l)))
+    pub fn iter(&self) -> impl Iterator<Item = (WayIdx, CacheLine)> + '_ {
+        self.view().iter()
     }
 }
 
@@ -274,5 +554,36 @@ mod tests {
         s.fill(WayIdx(1), line(5), InsertPos::Mru);
         let collected: Vec<_> = s.iter().map(|(w, l)| (w, l.addr.raw())).collect();
         assert_eq!(collected, vec![(WayIdx(1), 5)]);
+    }
+
+    #[test]
+    fn meta_round_trips_every_state() {
+        for state in [MesiState::Modified, MesiState::Exclusive, MesiState::Shared] {
+            for spilled in [false, true] {
+                let l = CacheLine {
+                    addr: LineAddr::new(42),
+                    state,
+                    spilled,
+                };
+                assert_eq!(decode_line(42, l.meta()), Some(l));
+            }
+        }
+        assert_eq!(decode_line(TAG_INVALID, 0), None);
+    }
+
+    #[test]
+    fn set_mut_state_edits() {
+        let mut s = CacheSet::new(2);
+        s.fill(
+            WayIdx(0),
+            CacheLine::spilled(LineAddr::new(7), MesiState::Shared),
+            InsertPos::Mru,
+        );
+        let mut m = s.view_mut();
+        m.set_state(WayIdx(0), MesiState::Modified);
+        m.clear_spilled(WayIdx(0));
+        let l = s.line(WayIdx(0)).unwrap();
+        assert_eq!(l.state, MesiState::Modified);
+        assert!(!l.spilled);
     }
 }

@@ -141,7 +141,7 @@ impl SnoopBus {
             ReadPolicy::Replicate => {
                 let observed = {
                     let (s, w) = caches[owner].probe(line).expect("probed above");
-                    *caches[owner].set(s).line(w).expect("valid way")
+                    caches[owner].set(s).line(w).expect("valid way")
                 };
                 // M/E copies downgrade to S on a remote read (a Modified copy
                 // is written back as part of the downgrade in MESI).

@@ -12,6 +12,8 @@
 //! * [`RunResult`] + metric functions — weighted speedup, fairness,
 //!   average memory latency, access breakdowns (§6);
 //! * [`EnergyModel`] — the §6.2 power-reduction accounting;
+//! * [`SweepPool`] — deterministic parallel fan-out of independent runs
+//!   (the `ASCC_JOBS` knob);
 //! * runner helpers — mixes, solo characterisation runs and Fig. 1's
 //!   fully-associative column.
 //!
@@ -41,6 +43,7 @@ mod metrics;
 mod obs;
 mod runner;
 mod shared;
+mod sweep;
 mod system;
 
 pub use config::SystemConfig;
@@ -51,4 +54,5 @@ pub use metrics::{
 pub use obs::{snapshot_json, Epoch, EpochCounts, EpochRecorder};
 pub use runner::{mix_workloads, run_mix, run_solo, SoloRun, CORE_SPACE_BITS};
 pub use shared::{SharedConfig, SharedLlcSystem};
+pub use sweep::SweepPool;
 pub use system::CmpSystem;

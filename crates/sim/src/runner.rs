@@ -219,6 +219,15 @@ fn solo_fully_assoc(
                 InsertPos::Mru,
                 FillKind::Demand,
             );
+            if acc.kind == AccessKind::Store {
+                // The store itself still writes through to L2, exactly as
+                // on the L1-hit path (the refill above only fetched the
+                // line); without this, store-heavy runs undercount L2
+                // accesses whenever stores miss L1.
+                cnt.l2_accesses += 1;
+                l2.access(line);
+                cnt.l2_local_hits += 1;
+            }
             lat
         };
         if acc.kind == AccessKind::Load && latency > 0 {
@@ -280,6 +289,67 @@ mod tests {
         // namd's 160 kB hot loop cannot fit this shrunken 64 kB L2, so the
         // CPI is memory-bound here; just check it is finite and sensible.
         assert!(r.cpi() > 0.3 && r.cpi() < 30.0, "cpi {}", r.cpi());
+    }
+
+    #[test]
+    fn fully_assoc_counts_store_write_throughs_on_l1_misses() {
+        // A 1-line L1 makes nearly every access an L1 miss. Every store
+        // still writes through to L2, so the run's L2 access count must be
+        // exactly "L1 refills + stores" — which an independent replay of
+        // the same deterministic stream computes below. Before the store
+        // accounting fix, stores that missed L1 skipped the write-through
+        // touch and this equality did not hold.
+        let l1 = CacheGeometry::new(1, 1, 32).unwrap();
+        let (bench, instr_target, warmup, seed) = (SpecBench::Bzip2, 100_000u64, 10_000u64, 9u64);
+        let fa = solo_fully_assoc(l1, 64, 10, 100, bench, instr_target, warmup, seed);
+
+        let mut w = bench.workload(0, seed);
+        let mut l1c = SetAssocCache::new(l1);
+        let (mut instrs, mut carry) = (0u64, 0.0f64);
+        let (mut l2_accesses, mut l1_misses) = (0u64, 0u64);
+        let mut measuring = false;
+        let mut start = (0u64, 0u64, 0u64);
+        loop {
+            let acc = w.stream.next_access();
+            carry += 1.0 / w.cpu.mem_fraction;
+            let n = (carry as u64).max(1);
+            carry -= n as f64;
+            instrs += n;
+            let line = acc.addr.line(l1.offset_bits());
+            if l1c.access(line).is_some() {
+                if acc.kind == AccessKind::Store {
+                    l2_accesses += 1;
+                }
+            } else {
+                l1_misses += 1;
+                l2_accesses += 1; // the refill fetch
+                if acc.kind == AccessKind::Store {
+                    l2_accesses += 1; // the write-through of the store itself
+                }
+                let set = l1.set_of(line);
+                let way = l1c.set(set).default_victim();
+                l1c.fill(
+                    set,
+                    way,
+                    CacheLine::demand(line, MesiState::Exclusive),
+                    InsertPos::Mru,
+                    FillKind::Demand,
+                );
+            }
+            if !measuring && instrs >= warmup {
+                measuring = true;
+                start = (instrs, l2_accesses, l1_misses);
+            }
+            if measuring && instrs - start.0 >= instr_target {
+                break;
+            }
+        }
+        assert_eq!(fa.l2_accesses, l2_accesses - start.1);
+        let refills = fa.l1_accesses - fa.l1_hits;
+        assert!(
+            fa.l2_accesses > refills,
+            "store write-throughs must be counted beyond the {refills} refills"
+        );
     }
 
     #[test]

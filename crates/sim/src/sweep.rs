@@ -1,0 +1,157 @@
+//! Deterministic fan-out of independent simulation jobs across cores.
+//!
+//! The whole evaluation is a sweep of independent `(mix × policy × config)`
+//! simulations: every job is a pure function of its inputs (the simulator
+//! has no hidden randomness — each run builds its own seeded RNGs), so runs
+//! can execute on any thread in any order without changing a single bit of
+//! their results. [`SweepPool`] exploits that: it fans jobs out over a
+//! `std::thread::scope` worker pool (no dependencies, nothing leaves the
+//! call) and returns results **in submission order**.
+//!
+//! # Determinism contract
+//!
+//! - Job functions must be pure with respect to their input (no shared
+//!   mutable state, no ambient randomness). All `run_mix`/[`crate::SoloRun`]
+//!   jobs qualify.
+//! - Results are returned in submission order regardless of completion
+//!   order, so downstream output (tables, JSON) is byte-identical for any
+//!   worker count.
+//! - `jobs = 1` does not spawn at all: the sweep runs inline on the caller's
+//!   thread, reproducing the pre-pool sequential engine exactly.
+//!
+//! The worker count comes from the `ASCC_JOBS` environment variable
+//! (default: available parallelism), so `ASCC_JOBS=1 run_all` is the
+//! sequential engine and the default uses the whole machine.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A worker pool for sweeping independent jobs, sized once at construction.
+///
+/// # Examples
+///
+/// ```
+/// use cmp_sim::SweepPool;
+/// let squares = SweepPool::from_env().map((0..64).collect(), |x: u64| x * x);
+/// assert_eq!(squares[10], 100);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct SweepPool {
+    jobs: usize,
+}
+
+impl SweepPool {
+    /// A pool sized by the `ASCC_JOBS` environment variable, defaulting to
+    /// the machine's available parallelism. Zero or unparsable values fall
+    /// back to the default.
+    pub fn from_env() -> Self {
+        let jobs = std::env::var("ASCC_JOBS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(Self::default_jobs);
+        SweepPool { jobs }
+    }
+
+    /// A pool with an explicit worker count (`0` is clamped to `1`).
+    pub fn with_jobs(jobs: usize) -> Self {
+        SweepPool { jobs: jobs.max(1) }
+    }
+
+    fn default_jobs() -> usize {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+    }
+
+    /// The configured worker count.
+    #[inline]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs `f` over every item, returning results in submission order.
+    ///
+    /// With one worker the items are processed inline on the calling
+    /// thread; otherwise up to `jobs` scoped threads pull items off a
+    /// shared atomic index.
+    pub fn map<T: Send, R: Send>(&self, items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+        let n = items.len();
+        let threads = self.jobs.min(n.max(1));
+        if threads <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = work[i]
+                        .lock()
+                        .expect("unpoisoned")
+                        .take()
+                        .expect("taken once");
+                    *results[i].lock().expect("unpoisoned") = Some(f(item));
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("unpoisoned")
+                    .expect("every slot filled")
+            })
+            .collect()
+    }
+}
+
+impl Default for SweepPool {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_submission_order() {
+        // Uneven per-item work so completion order differs from submission.
+        let out = SweepPool::with_jobs(8).map((0..200u64).collect(), |x| {
+            if x % 7 == 0 {
+                std::thread::yield_now();
+            }
+            x * 3
+        });
+        assert_eq!(out, (0..200).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn one_worker_is_inline() {
+        // With jobs=1 the closure runs on the caller's thread.
+        let caller = std::thread::current().id();
+        let out = SweepPool::with_jobs(1).map(vec![(), (), ()], |()| std::thread::current().id());
+        assert!(out.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn worker_counts_agree() {
+        let seq = SweepPool::with_jobs(1).map((0..64).collect(), |x: u64| x.wrapping_mul(0x9e37));
+        let par = SweepPool::with_jobs(8).map((0..64).collect(), |x: u64| x.wrapping_mul(0x9e37));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_and_zero_clamp() {
+        let out: Vec<u32> = SweepPool::with_jobs(0).map(Vec::new(), |x| x);
+        assert!(out.is_empty());
+        assert_eq!(SweepPool::with_jobs(0).jobs(), 1);
+    }
+}

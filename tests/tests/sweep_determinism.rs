@@ -1,0 +1,92 @@
+//! Sweep-pool determinism: a sweep of independent simulations must produce
+//! byte-identical output regardless of worker count. One worker runs the
+//! jobs inline on the caller's thread (the sequential engine); eight workers
+//! race the same jobs over a scoped pool — results must come back in
+//! submission order with every counter bit-equal.
+
+use ascc::AsccConfig;
+use cmp_cache::{CacheGeometry, LlcPolicy, PrivateBaseline};
+use cmp_json::Value;
+use cmp_sim::{run_mix, RunResult, SweepPool, SystemConfig};
+use cmp_trace::two_app_mixes;
+
+const INSTRS: u64 = 40_000;
+const WARMUP: u64 = 10_000;
+
+/// Small system so each job is quick but still exercises spills/evictions.
+fn cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::table2(2);
+    cfg.l1 = CacheGeometry::from_capacity(1 << 10, 2, 32).unwrap();
+    cfg.l2 = CacheGeometry::from_capacity(16 << 10, 4, 32).unwrap();
+    cfg
+}
+
+/// The job grid: (mix index, ASCC?) pairs over the first four 2-app mixes,
+/// baseline and ASCC per mix.
+fn jobs() -> Vec<(usize, bool)> {
+    (0..4).flat_map(|m| [(m, false), (m, true)]).collect()
+}
+
+fn run_job(cfg: &SystemConfig, m: usize, ascc: bool) -> RunResult {
+    let mix = &two_app_mixes()[m];
+    let policy: Box<dyn LlcPolicy> = if ascc {
+        Box::new(AsccConfig::ascc(cfg.cores, cfg.l2.sets(), cfg.l2.ways()).build())
+    } else {
+        Box::new(PrivateBaseline::new())
+    };
+    run_mix(cfg, mix, policy, INSTRS, WARMUP, 11)
+}
+
+/// Serializes every counter exactly (cycles as IEEE-754 bit patterns) so
+/// "identical JSON" means identical simulations, not identical rounding.
+fn to_json(results: &[RunResult]) -> String {
+    let runs: Vec<Value> = results
+        .iter()
+        .map(|r| {
+            Value::object()
+                .insert("policy", r.policy.clone())
+                .insert("spills", r.spills as f64)
+                .insert("swaps", r.swaps as f64)
+                .insert("spill_hits", r.spill_hits as f64)
+                .insert(
+                    "cores",
+                    Value::Array(
+                        r.cores
+                            .iter()
+                            .map(|c| {
+                                Value::object()
+                                    .insert("label", c.label.clone())
+                                    .insert("instrs", c.instrs as f64)
+                                    .insert("cycles_bits", format!("{:016x}", c.cycles.to_bits()))
+                                    .insert("l2_accesses", c.l2_accesses as f64)
+                                    .insert("l2_local_hits", c.l2_local_hits as f64)
+                                    .insert("l2_remote_hits", c.l2_remote_hits as f64)
+                                    .insert("l2_mem", c.l2_mem as f64)
+                                    .insert("writebacks", c.writebacks as f64)
+                                    .insert("l1_accesses", c.l1_accesses as f64)
+                                    .insert("l1_hits", c.l1_hits as f64)
+                            })
+                            .collect(),
+                    ),
+                )
+        })
+        .collect();
+    Value::Array(runs).pretty()
+}
+
+#[test]
+fn one_worker_and_eight_workers_agree_byte_for_byte() {
+    let cfg = cfg();
+    let sequential = SweepPool::with_jobs(1).map(jobs(), |(m, a)| run_job(&cfg, m, a));
+    let parallel = SweepPool::with_jobs(8).map(jobs(), |(m, a)| run_job(&cfg, m, a));
+    let seq_json = to_json(&sequential);
+    let par_json = to_json(&parallel);
+    assert!(
+        !seq_json.is_empty() && seq_json.contains("cycles_bits"),
+        "serializer produced no counters"
+    );
+    assert_eq!(
+        seq_json, par_json,
+        "a parallel sweep must be byte-identical to the sequential engine"
+    );
+}
