@@ -1,14 +1,16 @@
 //! Per-access cost of each LLC policy's bookkeeping: `record_access` plus a
 //! periodic `spill_decision`, the two hooks on the simulator's hot path —
-//! and, in `system_per_access`, the full per-access cost of a real 2-core
-//! [`CmpSystem`] (workload generation, L1/L2 arena lookups, snoop bus,
+//! in `trace_front_end`, the per-access cost of both workload front-ends
+//! (live streaming generation vs warm materialized-chunk replay) — and, in
+//! `system_per_access`, the full per-access cost of a real 2-core
+//! [`CmpSystem`] (workload front-end, L1/L2 arena lookups, snoop bus,
 //! policy hooks) so layout changes in the cache crate show up end to end.
 
 use ascc::{AsccConfig, AvgccConfig};
 use ascc_bench::Policy;
 use cmp_cache::{AccessOutcome, CoreId, LlcPolicy, PrivateBaseline, SetIdx};
-use cmp_sim::{mix_workloads, CmpSystem, SystemConfig};
-use cmp_trace::two_app_mixes;
+use cmp_sim::{mix_sources, CmpSystem, SystemConfig};
+use cmp_trace::{two_app_mixes, AccessStream, SharedTrace, SpecBench};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use spill_baselines::{DsrConfig, EccConfig};
 
@@ -53,6 +55,45 @@ fn bench_policies(c: &mut Criterion) {
     group.finish();
 }
 
+/// Streaming generation vs materialized-chunk replay, per access, for a
+/// RNG-heavy benchmark (mcf's bursty mixture) and a simpler one (bzip2) —
+/// regressions in either front-end path show up here.
+fn bench_front_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_front_end");
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2));
+    for bench in [SpecBench::Mcf, SpecBench::Bzip2] {
+        let mut stream = bench.workload(0, 7).stream;
+        group.bench_function(format!("streaming:{}", bench.name()), |b| {
+            b.iter(|| black_box(stream.next_access()))
+        });
+
+        let shared = SharedTrace::new(move || bench.workload(0, 7).stream);
+        // Warm a few chunks so the measured cursor replays instead of
+        // paying first-touch materialization.
+        let mut warm = shared.cursor();
+        for _ in 0..4 * cmp_trace::CHUNK_ACCESSES {
+            black_box(warm.next_access());
+        }
+        let mut cursor = shared.cursor();
+        let mut n = 0usize;
+        group.bench_function(format!("replay:{}", bench.name()), |b| {
+            b.iter(|| {
+                // Stay inside the warmed prefix: restart the cursor before
+                // it would materialize a fifth chunk.
+                n += 1;
+                if n == 4 * cmp_trace::CHUNK_ACCESSES {
+                    cursor = shared.cursor();
+                    n = 0;
+                }
+                black_box(cursor.next_access())
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_system(c: &mut Criterion) {
     let mut group = c.benchmark_group("system_per_access");
     group
@@ -66,7 +107,7 @@ fn bench_system(c: &mut Criterion) {
         Policy::Avgcc,
         Policy::QosAvgcc,
     ] {
-        let mut sys = CmpSystem::new(cfg.clone(), policy.build(&cfg), mix_workloads(mix, 7));
+        let mut sys = CmpSystem::from_sources(cfg.clone(), policy.build(&cfg), mix_sources(mix, 7));
         // Fill the hierarchy so the measurement sees the steady-state mix
         // of hits, spills and evictions rather than cold compulsory misses.
         for i in 0..200_000 {
@@ -84,5 +125,5 @@ fn bench_system(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_policies, bench_system);
+criterion_group!(benches, bench_policies, bench_front_end, bench_system);
 criterion_main!(benches);

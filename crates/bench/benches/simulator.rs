@@ -2,7 +2,7 @@
 //! small 2-core mix under the baseline and under AVGCC.
 
 use ascc_bench::Policy;
-use cmp_sim::{mix_workloads, CmpSystem, SystemConfig};
+use cmp_sim::{mix_sources, CmpSystem, SystemConfig};
 use cmp_trace::two_app_mixes;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
@@ -19,7 +19,7 @@ fn bench_simulator(c: &mut Criterion) {
                 let cfg = SystemConfig::table2(2);
                 let mix = &two_app_mixes()[0];
                 let mut sys =
-                    CmpSystem::new(cfg.clone(), policy.build(&cfg), mix_workloads(mix, 7));
+                    CmpSystem::from_sources(cfg.clone(), policy.build(&cfg), mix_sources(mix, 7));
                 sys.run(INSTRS, 20_000)
             })
         });

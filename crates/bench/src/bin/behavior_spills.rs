@@ -8,7 +8,7 @@
 use ascc_bench::{
     parallel_map, print_table, run_grid, snapshot_summary, ExperimentRecord, Policy, Scale,
 };
-use cmp_sim::{mix_workloads, CmpSystem, SystemConfig};
+use cmp_sim::{mix_sources, CmpSystem, SystemConfig};
 use cmp_trace::{four_app_mixes, two_app_mixes};
 
 fn main() {
@@ -49,10 +49,10 @@ fn main() {
         // Each policy's internal state on the first mix, via the typed
         // snapshot API (what the spill counts above look like from inside).
         let snaps = parallel_map(Policy::HEADLINE.to_vec(), |p| {
-            let mut sys = CmpSystem::new(
+            let mut sys = CmpSystem::from_sources(
                 cfg.clone(),
                 p.build(&cfg),
-                mix_workloads(&mixes[0], scale.seed),
+                mix_sources(&mixes[0], scale.seed),
             );
             sys.run(scale.instrs, scale.warmup);
             (p.label(), sys.policy().snapshot())

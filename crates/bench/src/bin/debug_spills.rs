@@ -3,7 +3,7 @@
 //! counters) — the introspection that used to require downcasting.
 
 use ascc_bench::{parallel_map, snapshot_summary, Policy, Scale};
-use cmp_sim::{mix_workloads, weighted_speedup_improvement, CmpSystem, SystemConfig};
+use cmp_sim::{mix_sources, weighted_speedup_improvement, CmpSystem, SystemConfig};
 use cmp_trace::four_app_mixes;
 
 fn main() {
@@ -24,7 +24,8 @@ fn main() {
         Policy::Avgcc,
     ];
     let runs = parallel_map(policies.clone(), |p| {
-        let mut sys = CmpSystem::new(cfg.clone(), p.build(&cfg), mix_workloads(&mix, scale.seed));
+        let mut sys =
+            CmpSystem::from_sources(cfg.clone(), p.build(&cfg), mix_sources(&mix, scale.seed));
         let r = sys.run(scale.instrs, scale.warmup);
         (r, sys.policy().snapshot())
     });

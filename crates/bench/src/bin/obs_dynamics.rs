@@ -14,7 +14,7 @@
 
 use ascc_bench::{parallel_map, print_table, Policy, Scale};
 use cmp_json::Value;
-use cmp_sim::{mix_workloads, CmpSystem, EpochRecorder, SystemConfig};
+use cmp_sim::{mix_sources, CmpSystem, EpochRecorder, SystemConfig};
 use cmp_trace::{four_app_mixes, two_app_mixes, WorkloadMix};
 
 fn epoch_len(scale: &Scale) -> u64 {
@@ -34,10 +34,10 @@ struct Recording {
 fn record(mix: &WorkloadMix, policy: Policy, scale: Scale, epoch: u64) -> Recording {
     let cfg = SystemConfig::table2(mix.cores());
     let mut recorder = EpochRecorder::new(mix.cores());
-    let mut sys = CmpSystem::with_probe(
+    let mut sys = CmpSystem::with_probe_sources(
         cfg.clone(),
         policy.build(&cfg),
-        mix_workloads(mix, scale.seed),
+        mix_sources(mix, scale.seed),
         &mut recorder,
         epoch,
     );

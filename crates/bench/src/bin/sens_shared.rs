@@ -6,8 +6,8 @@
 
 use ascc_bench::{parallel_map, pct, print_table, ExperimentRecord, Policy, Scale};
 use cmp_sim::{
-    fairness_improvement, geomean_improvement, mix_workloads, run_mix,
-    weighted_speedup_improvement, SharedConfig, SharedLlcSystem, SystemConfig,
+    fairness_improvement, geomean_improvement, mix_sources, run_mix, weighted_speedup_improvement,
+    SharedConfig, SharedLlcSystem, SystemConfig,
 };
 use cmp_trace::{four_app_mixes, two_app_mixes, WorkloadMix};
 
@@ -27,7 +27,7 @@ fn eval(cores: usize, mixes: &[WorkloadMix], scale: Scale) -> (f64, f64, f64) {
         ),
         1 => {
             let shared = SharedConfig::from_private(&cfg);
-            let mut sys = SharedLlcSystem::new(shared, mix_workloads(&mixes[m], scale.seed));
+            let mut sys = SharedLlcSystem::from_sources(shared, mix_sources(&mixes[m], scale.seed));
             sys.run(scale.instrs, scale.warmup)
         }
         _ => run_mix(

@@ -1,22 +1,32 @@
 //! End-to-end simulator throughput: simulated L1 accesses per wall-clock
-//! second, per policy, at one worker and at the machine's worker count.
+//! second, per policy, per access front-end (streaming generation vs
+//! shared materialized-trace replay), at one worker and at the machine's
+//! worker count.
 //!
-//! This is the engine-level benchmark the cache-arena layout and the
-//! [`cmp_sim::SweepPool`] fan-out are aimed at: each row sweeps the same
-//! four 2-app mixes under one policy and divides the simulated accesses of
-//! the measured windows by the wall-clock of the whole sweep (warmup
-//! included, identically in every row). Results go to stdout and to
-//! `BENCH_throughput.json` in the current directory.
+//! This is the engine-level benchmark the cache-arena layout, the
+//! [`cmp_sim::SweepPool`] fan-out and the trace arena are aimed at: each
+//! row sweeps the same four 2-app mixes under one policy and divides the
+//! simulated accesses of the measured windows by the wall-clock of the
+//! whole sweep (warmup included, identically in every row). The
+//! `streaming` rows regenerate every access from the workload generator
+//! stack (the pre-arena engine); the `arena` rows replay shared
+//! materialized chunks, measured with the arena warm (one untimed warming
+//! sweep runs first). A generator-only microbenchmark separates front-end
+//! cost from engine cost. Results go to stdout and to
+//! `BENCH_throughput.json` (override with `ASCC_BENCH_OUT`).
 //!
 //! `ASCC_QUICK=1` gives a fast smoke run; `ASCC_INSTRS`/`ASCC_WARMUP`
 //! rescale as usual. `ASCC_JOBS` sets the "many workers" worker count
 //! (default: available parallelism); the one-worker rows are always
-//! measured with an explicit single-worker pool.
+//! measured with an explicit single-worker pool. `ASCC_TRACE_CACHE=0`
+//! disables the arena, making the `arena` rows a second streaming
+//! measurement (the JSON records `trace_cache` so the two configurations
+//! stay distinguishable in archived results).
 
 use ascc_bench::{print_table, Policy, Scale};
 use cmp_json::Value;
-use cmp_sim::{run_mix, RunResult, SweepPool, SystemConfig};
-use cmp_trace::two_app_mixes;
+use cmp_sim::{mix_sources, mix_workloads, CmpSystem, RunResult, SweepPool, SystemConfig};
+use cmp_trace::{trace_cache_enabled, two_app_mixes, AccessStream, WorkloadMix};
 
 const POLICIES: [Policy; 4] = [
     Policy::Baseline,
@@ -26,8 +36,24 @@ const POLICIES: [Policy; 4] = [
 ];
 const MIXES: usize = 4;
 
+#[derive(Clone, Copy, PartialEq)]
+enum FrontEnd {
+    Streaming,
+    Arena,
+}
+
+impl FrontEnd {
+    fn label(self) -> &'static str {
+        match self {
+            FrontEnd::Streaming => "streaming",
+            FrontEnd::Arena => "arena",
+        }
+    }
+}
+
 struct Row {
     policy: String,
+    front_end: FrontEnd,
     jobs: usize,
     wall_s: f64,
     accesses: u64,
@@ -46,25 +72,79 @@ fn simulated_accesses(runs: &[RunResult]) -> u64 {
         .sum()
 }
 
-fn sweep(cfg: &SystemConfig, policy: Policy, scale: Scale, pool: SweepPool) -> Row {
+fn run_one(
+    cfg: &SystemConfig,
+    mix: &WorkloadMix,
+    policy: Policy,
+    scale: Scale,
+    front_end: FrontEnd,
+) -> RunResult {
+    let mut sys = match front_end {
+        FrontEnd::Streaming => CmpSystem::new(
+            cfg.clone(),
+            policy.build(cfg),
+            mix_workloads(mix, scale.seed),
+        ),
+        FrontEnd::Arena => {
+            CmpSystem::from_sources(cfg.clone(), policy.build(cfg), mix_sources(mix, scale.seed))
+        }
+    };
+    sys.run(scale.instrs, scale.warmup)
+}
+
+fn sweep(
+    cfg: &SystemConfig,
+    policy: Policy,
+    scale: Scale,
+    pool: SweepPool,
+    front_end: FrontEnd,
+) -> Row {
     let mixes = two_app_mixes();
     let t0 = std::time::Instant::now();
     let runs = pool.map((0..MIXES).collect(), |m| {
-        run_mix(
-            cfg,
-            &mixes[m],
-            policy.build(cfg),
-            scale.instrs,
-            scale.warmup,
-            scale.seed,
-        )
+        run_one(cfg, &mixes[m], policy, scale, front_end)
     });
     Row {
         policy: policy.label(),
+        front_end,
         jobs: pool.jobs(),
         wall_s: t0.elapsed().as_secs_f64(),
         accesses: simulated_accesses(&runs),
     }
+}
+
+/// Pure front-end rates, no simulator behind them: accesses/sec of live
+/// generation vs warm materialized replay over the first mix.
+fn generator_rates(scale: Scale, accesses: u64) -> (f64, f64) {
+    let mix = &two_app_mixes()[0];
+    let per_core = (accesses / 2).max(1);
+
+    let mut ws = mix_workloads(mix, scale.seed);
+    let t0 = std::time::Instant::now();
+    let mut sink = 0u64;
+    for w in &mut ws {
+        for _ in 0..per_core {
+            sink = sink.wrapping_add(w.stream.next_access().addr.raw());
+        }
+    }
+    let streaming = (per_core * 2) as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+
+    // Warm pass materializes the chunks; the timed pass replays them.
+    for s in &mut mix_sources(mix, scale.seed) {
+        for _ in 0..per_core {
+            sink = sink.wrapping_add(s.feed.next_access().addr.raw());
+        }
+    }
+    let mut srcs = mix_sources(mix, scale.seed);
+    let t1 = std::time::Instant::now();
+    for s in &mut srcs {
+        for _ in 0..per_core {
+            sink = sink.wrapping_add(s.feed.next_access().addr.raw());
+        }
+    }
+    let replay = (per_core * 2) as f64 / t1.elapsed().as_secs_f64().max(1e-9);
+    std::hint::black_box(sink);
+    (streaming, replay)
 }
 
 fn main() {
@@ -72,26 +152,48 @@ fn main() {
     let cfg = SystemConfig::table2(2);
     let many = SweepPool::from_env();
     println!(
-        "sim_throughput: {} mixes x {} policies, {} + {} worker(s), {} instrs/core",
+        "sim_throughput: {} mixes x {} policies x 2 front-ends, {} + {} worker(s), {} instrs/core (trace cache {})",
         MIXES,
         POLICIES.len(),
         1,
         many.jobs(),
-        scale.instrs
+        scale.instrs,
+        if trace_cache_enabled() { "on" } else { "off" },
     );
+
+    let gen_accesses = (scale.instrs / 2).clamp(200_000, 8_000_000);
+    let (gen_streaming, gen_replay) = generator_rates(scale, gen_accesses);
+    println!(
+        "generator only: streaming {gen_streaming:.0} acc/s, warm replay {gen_replay:.0} acc/s ({:.2}x)",
+        gen_replay / gen_streaming.max(1e-9)
+    );
+
+    // Warm the arena outside any timed window so the `arena` rows measure
+    // replay, not first-touch materialization.
+    for m in 0..MIXES {
+        let _ = run_one(
+            &cfg,
+            &two_app_mixes()[m],
+            Policy::Baseline,
+            scale,
+            FrontEnd::Arena,
+        );
+    }
 
     let mut rows = Vec::new();
     for policy in POLICIES {
-        rows.push(sweep(&cfg, policy, scale, SweepPool::with_jobs(1)));
-        if many.jobs() > 1 {
-            rows.push(sweep(&cfg, policy, scale, many));
+        for fe in [FrontEnd::Streaming, FrontEnd::Arena] {
+            rows.push(sweep(&cfg, policy, scale, SweepPool::with_jobs(1), fe));
+            if many.jobs() > 1 {
+                rows.push(sweep(&cfg, policy, scale, many, fe));
+            }
         }
     }
     if many.jobs() == 1 {
         println!("(single-core host: skipping the many-worker rows)");
     }
 
-    let headers = ["policy", "jobs", "wall s", "accesses", "acc/s"]
+    let headers = ["policy", "front end", "jobs", "wall s", "accesses", "acc/s"]
         .map(String::from)
         .to_vec();
     let table: Vec<Vec<String>> = rows
@@ -99,6 +201,7 @@ fn main() {
         .map(|r| {
             vec![
                 r.policy.clone(),
+                r.front_end.label().to_string(),
                 r.jobs.to_string(),
                 format!("{:.2}", r.wall_s),
                 r.accesses.to_string(),
@@ -109,8 +212,40 @@ fn main() {
     println!();
     print_table(&headers, &table);
 
+    // Before/after per (policy, jobs): arena acc/s over streaming acc/s.
+    let speedups: Vec<Value> = rows
+        .iter()
+        .filter(|r| r.front_end == FrontEnd::Arena)
+        .filter_map(|after| {
+            rows.iter()
+                .find(|b| {
+                    b.front_end == FrontEnd::Streaming
+                        && b.policy == after.policy
+                        && b.jobs == after.jobs
+                })
+                .map(|before| {
+                    let s = after.per_sec() / before.per_sec().max(1e-9);
+                    println!(
+                        "speedup {} jobs={}: {:.2}x ({:.0} -> {:.0} acc/s)",
+                        after.policy,
+                        after.jobs,
+                        s,
+                        before.per_sec(),
+                        after.per_sec()
+                    );
+                    Value::object()
+                        .insert("policy", after.policy.clone())
+                        .insert("jobs", after.jobs as f64)
+                        .insert("streaming_acc_per_sec", before.per_sec())
+                        .insert("arena_acc_per_sec", after.per_sec())
+                        .insert("speedup", s)
+                })
+        })
+        .collect();
+
     let json = Value::object()
         .insert("bench", "sim_throughput")
+        .insert("trace_cache", trace_cache_enabled())
         .insert(
             "scale",
             Value::object()
@@ -120,12 +255,20 @@ fn main() {
         )
         .insert("mixes", MIXES as f64)
         .insert(
+            "generator",
+            Value::object()
+                .insert("accesses", gen_accesses as f64)
+                .insert("streaming_acc_per_sec", gen_streaming)
+                .insert("replay_acc_per_sec", gen_replay),
+        )
+        .insert(
             "rows",
             Value::Array(
                 rows.iter()
                     .map(|r| {
                         Value::object()
                             .insert("policy", r.policy.clone())
+                            .insert("front_end", r.front_end.label())
                             .insert("jobs", r.jobs as f64)
                             .insert("wall_s", r.wall_s)
                             .insert("accesses", r.accesses as f64)
@@ -133,8 +276,10 @@ fn main() {
                     })
                     .collect(),
             ),
-        );
-    let path = "BENCH_throughput.json";
-    std::fs::write(path, json.pretty()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        )
+        .insert("speedups", Value::Array(speedups));
+    let path =
+        std::env::var("ASCC_BENCH_OUT").unwrap_or_else(|_| "BENCH_throughput.json".to_string());
+    std::fs::write(&path, json.pretty()).unwrap_or_else(|e| panic!("write {path}: {e}"));
     println!("\n[saved {path}]");
 }

@@ -1,33 +1,45 @@
 //! Record and inspect workload traces (`cmp_trace::RecordedTrace`).
 //!
 //! ```console
-//! trace_tool record 473 100000 /tmp/astar.trc   # record 100k accesses of 473.astar
-//! trace_tool info /tmp/astar.trc                # summarise a trace file
+//! trace_tool record 473 100000 /tmp/astar.trc       # record 100k accesses of 473.astar
+//! trace_tool materialize 473 100000 /tmp/astar.trc  # same, via the SharedTrace chunk path
+//! trace_tool info /tmp/astar.trc                    # summarise a trace file
 //! ```
+//!
+//! `record` pulls straight from the streaming generator; `materialize`
+//! routes through [`cmp_trace::SharedTrace`] chunk replay — the sweep's
+//! front-end — so a problematic materialized pattern can be captured to the
+//! same `ASCCTRC1` format and shared. The two commands must produce
+//! byte-identical files (replay is access-for-access equal to streaming).
 
-use cmp_trace::{RecordedTrace, SpecBench};
+use cmp_trace::{RecordedTrace, SharedTrace, SpecBench};
 use std::collections::HashSet;
 use std::path::Path;
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!("usage: trace_tool record <spec-id> <accesses> <file>");
+    eprintln!("       trace_tool materialize <spec-id> <accesses> <file>");
     eprintln!("       trace_tool info <file>");
     exit(2);
+}
+
+fn parse_bench(arg: &str) -> SpecBench {
+    let id: u16 = arg.parse().unwrap_or_else(|_| usage());
+    SpecBench::from_id(id).unwrap_or_else(|| {
+        eprintln!("unknown SPEC id {id}; known ids:");
+        for b in SpecBench::ALL {
+            eprintln!("  {} = {}", b.id(), b.name());
+        }
+        exit(2);
+    })
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("record") if args.len() == 4 => {
-            let id: u16 = args[1].parse().unwrap_or_else(|_| usage());
-            let bench = SpecBench::from_id(id).unwrap_or_else(|| {
-                eprintln!("unknown SPEC id {id}; known ids:");
-                for b in SpecBench::ALL {
-                    eprintln!("  {} = {}", b.id(), b.name());
-                }
-                exit(2);
-            });
+            let bench = parse_bench(&args[1]);
             let n: usize = args[2].parse().unwrap_or_else(|_| usage());
             let mut w = bench.workload(0, 42);
             let trace = RecordedTrace::record(w.stream.as_mut(), n);
@@ -36,6 +48,25 @@ fn main() {
                 exit(1);
             });
             println!("recorded {} accesses of {} to {}", n, bench, args[3]);
+        }
+        Some("materialize") if args.len() == 4 => {
+            let bench = parse_bench(&args[1]);
+            let n: usize = args[2].parse().unwrap_or_else(|_| usage());
+            let shared = SharedTrace::new(move || bench.workload(0, 42).stream);
+            let mut cursor = shared.cursor();
+            let trace = RecordedTrace::record(&mut cursor, n);
+            trace.save(Path::new(&args[3])).unwrap_or_else(|e| {
+                eprintln!("cannot save: {e}");
+                exit(1);
+            });
+            println!(
+                "materialized {} accesses of {} ({} chunks of {}) to {}",
+                n,
+                bench,
+                shared.chunks_generated(),
+                shared.chunk_accesses(),
+                args[3]
+            );
         }
         Some("info") if args.len() == 2 => {
             let trace = RecordedTrace::load(Path::new(&args[1])).unwrap_or_else(|e| {

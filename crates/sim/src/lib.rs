@@ -52,7 +52,9 @@ pub use metrics::{
     fairness_improvement, geomean_improvement, weighted_speedup_improvement, CoreResult, RunResult,
 };
 pub use obs::{snapshot_json, Epoch, EpochCounts, EpochRecorder};
-pub use runner::{mix_workloads, run_mix, run_solo, SoloRun, CORE_SPACE_BITS};
+pub use runner::{
+    core_seed, mix_sources, mix_workloads, run_mix, run_solo, SoloRun, CORE_SPACE_BITS,
+};
 pub use shared::{SharedConfig, SharedLlcSystem};
 pub use sweep::SweepPool;
 pub use system::CmpSystem;

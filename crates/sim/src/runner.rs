@@ -8,24 +8,49 @@ use cmp_cache::{
     AccessKind, CacheGeometry, CacheLine, FillKind, FullyAssocLru, InsertPos, LlcPolicy, MesiState,
     PrivateBaseline, SetAssocCache,
 };
-use cmp_trace::{CoreWorkload, SpecBench, WorkloadMix};
+use cmp_trace::{CoreSource, CoreWorkload, SpecBench, WorkloadMix};
 
 /// Each core owns a disjoint `2^40`-byte region of the physical address
 /// space (multiprogrammed isolation; DESIGN.md §5).
 pub const CORE_SPACE_BITS: u32 = 40;
 
-/// Builds the per-core workloads of a mix, placing core `i` at
+/// Derives the workload seed of core `i` from a run seed. Core indices
+/// occupy disjoint bit ranges (`i << 8` for up to 256 cores), so cores of
+/// one run never collide and arena keys never alias two workloads.
+#[inline]
+pub fn core_seed(seed: u64, i: usize) -> u64 {
+    seed ^ ((i as u64) << 8)
+}
+
+/// Builds the per-core streaming workloads of a mix, placing core `i` at
 /// `i << CORE_SPACE_BITS`.
 pub fn mix_workloads(mix: &WorkloadMix, seed: u64) -> Vec<CoreWorkload> {
     mix.benches
         .iter()
         .enumerate()
-        .map(|(i, b)| b.workload((i as u64) << CORE_SPACE_BITS, seed ^ ((i as u64) << 8)))
+        .map(|(i, b)| b.workload((i as u64) << CORE_SPACE_BITS, core_seed(seed, i)))
+        .collect()
+}
+
+/// Builds the per-core [`CoreSource`]s of a mix — same placement and seed
+/// derivation as [`mix_workloads`], but each core's accesses replay from
+/// the process-wide [`TraceArena`](cmp_trace::TraceArena) when trace
+/// caching is enabled, so every run over the same `(mix, seed)` shares one
+/// materialization.
+pub fn mix_sources(mix: &WorkloadMix, seed: u64) -> Vec<CoreSource> {
+    mix.benches
+        .iter()
+        .enumerate()
+        .map(|(i, b)| b.source((i as u64) << CORE_SPACE_BITS, core_seed(seed, i)))
         .collect()
 }
 
 /// Runs `mix` under `policy` on `cfg`, measuring `instr_target`
 /// instructions per core after `warmup` instructions.
+///
+/// Mixes route through the trace arena (see [`mix_sources`]); the replayed
+/// sequence is access-for-access identical to streaming generation, which
+/// the engine bit-identity goldens pin.
 pub fn run_mix(
     cfg: &SystemConfig,
     mix: &WorkloadMix,
@@ -35,7 +60,7 @@ pub fn run_mix(
     seed: u64,
 ) -> RunResult {
     assert_eq!(cfg.cores, mix.cores(), "config/mix core count mismatch");
-    let mut sys = CmpSystem::new(cfg.clone(), policy, mix_workloads(mix, seed));
+    let mut sys = CmpSystem::from_sources(cfg.clone(), policy, mix_sources(mix, seed));
     sys.run(instr_target, warmup)
 }
 
@@ -109,8 +134,9 @@ impl SoloRun {
     /// Panics if `cfg.cores != 1`.
     pub fn run(&self, cfg: &SystemConfig) -> CoreResult {
         assert_eq!(cfg.cores, 1, "solo runs use a single core");
-        let w = self.bench.workload(0, self.seed);
-        let mut sys = CmpSystem::new(cfg.clone(), Box::new(PrivateBaseline::new()), vec![w]);
+        let src = self.bench.source(0, self.seed);
+        let mut sys =
+            CmpSystem::from_sources(cfg.clone(), Box::new(PrivateBaseline::new()), vec![src]);
         let mut r = sys.run(self.instr_target, self.warmup);
         r.cores.remove(0)
     }
@@ -162,7 +188,7 @@ fn solo_fully_assoc(
     warmup: u64,
     seed: u64,
 ) -> CoreResult {
-    let mut w = bench.workload(0, seed);
+    let mut w = bench.source(0, seed);
     let mut l1c = SetAssocCache::new(l1);
     let mut l2 = FullyAssocLru::new(l2_lines);
     let mut instrs = 0u64;
@@ -184,7 +210,7 @@ fn solo_fully_assoc(
     let mut measuring = false;
     let mut start = (0u64, 0.0f64, 0u64, 0u64, 0u64, 0u64, 0u64);
     loop {
-        let acc = w.stream.next_access();
+        let acc = w.feed.next_access();
         carry += 1.0 / w.cpu.mem_fraction;
         let n = (carry as u64).max(1);
         carry -= n as f64;

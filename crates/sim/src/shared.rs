@@ -12,7 +12,7 @@ use crate::metrics::{CoreResult, RunResult};
 use cmp_cache::{
     AccessKind, CacheGeometry, CacheLine, FillKind, InsertPos, LineAddr, MesiState, SetAssocCache,
 };
-use cmp_trace::CoreWorkload;
+use cmp_trace::{CoreSource, CoreWorkload};
 
 /// Configuration of the shared-LLC system.
 #[derive(Clone, Debug)]
@@ -48,7 +48,7 @@ impl SharedConfig {
 }
 
 struct SharedCore {
-    workload: CoreWorkload,
+    source: CoreSource,
     clock: f64,
     carry: f64,
     instrs: u64,
@@ -87,20 +87,31 @@ impl std::fmt::Debug for SharedLlcSystem {
 }
 
 impl SharedLlcSystem {
-    /// Builds the system.
+    /// Builds the system over streaming workloads (see
+    /// [`from_sources`](SharedLlcSystem::from_sources) for the arena-backed
+    /// front-end).
     ///
     /// # Panics
     ///
     /// Panics if `workloads.len() != cfg.cores`.
     pub fn new(cfg: SharedConfig, workloads: Vec<CoreWorkload>) -> Self {
-        assert_eq!(workloads.len(), cfg.cores, "one workload per core");
+        Self::from_sources(cfg, workloads.into_iter().map(Into::into).collect())
+    }
+
+    /// Builds the system over per-core [`CoreSource`]s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources.len() != cfg.cores`.
+    pub fn from_sources(cfg: SharedConfig, sources: Vec<CoreSource>) -> Self {
+        assert_eq!(sources.len(), cfg.cores, "one workload per core");
         SharedLlcSystem {
             l1s: (0..cfg.cores).map(|_| SetAssocCache::new(cfg.l1)).collect(),
             llc: SetAssocCache::new(cfg.llc),
-            cores: workloads
+            cores: sources
                 .into_iter()
                 .map(|w| SharedCore {
-                    workload: w,
+                    source: w,
                     clock: 0.0,
                     carry: 0.0,
                     instrs: 0,
@@ -149,7 +160,7 @@ impl SharedLlcSystem {
                     let (si, sc, s) = c.start.expect("set in run()");
                     let (ei, ec, e) = c.end.expect("set in run()");
                     CoreResult {
-                        label: c.workload.label.clone(),
+                        label: c.source.label.clone(),
                         instrs: ei - si,
                         cycles: ec - sc,
                         l2_accesses: e.llc_accesses - s.llc_accesses,
@@ -170,8 +181,8 @@ impl SharedLlcSystem {
     }
 
     fn step(&mut self, i: usize) {
-        let acc = self.cores[i].workload.stream.next_access();
-        let cpu = self.cores[i].workload.cpu;
+        let acc = self.cores[i].source.feed.next_access();
+        let cpu = self.cores[i].source.cpu;
         {
             let c = &mut self.cores[i];
             c.carry += 1.0 / cpu.mem_fraction;

@@ -32,7 +32,7 @@ use cmp_cache::{
     StridePrefetcher,
 };
 use cmp_coherence::{ReadPolicy, SnoopBus};
-use cmp_trace::CoreWorkload;
+use cmp_trace::{CoreSource, CoreWorkload};
 
 #[derive(Clone, Copy, Debug, Default)]
 struct Counters {
@@ -49,7 +49,7 @@ struct Counters {
 }
 
 struct CoreState {
-    workload: CoreWorkload,
+    source: CoreSource,
     clock: f64,
     carry: f64,
     counters: Counters,
@@ -103,8 +103,11 @@ impl<P: ObsProbe> std::fmt::Debug for CmpSystem<P> {
 }
 
 impl CmpSystem<NullProbe> {
-    /// Builds an unobserved system running `workloads` (one per core)
-    /// under `policy`.
+    /// Builds an unobserved system running streaming `workloads` (one per
+    /// core) under `policy`. This is the plain-generator path — tests and
+    /// `trace_tool` use it with arbitrary custom streams; sweeps route
+    /// through [`from_sources`](CmpSystem::from_sources) so shared
+    /// materialized traces replay instead.
     ///
     /// # Panics
     ///
@@ -114,12 +117,29 @@ impl CmpSystem<NullProbe> {
         policy: Box<dyn LlcPolicy>,
         workloads: Vec<CoreWorkload>,
     ) -> Self {
-        Self::with_probe(cfg, policy, workloads, NullProbe, 0)
+        Self::from_sources(cfg, policy, workloads.into_iter().map(Into::into).collect())
+    }
+
+    /// Builds an unobserved system over per-core [`CoreSource`]s — the
+    /// front-end the sweep uses, feeding each core from either a live
+    /// generator or a shared materialized trace cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources.len() != cfg.cores`.
+    pub fn from_sources(
+        cfg: SystemConfig,
+        policy: Box<dyn LlcPolicy>,
+        sources: Vec<CoreSource>,
+    ) -> Self {
+        Self::with_probe_sources(cfg, policy, sources, NullProbe, 0)
     }
 }
 
 impl<P: ObsProbe> CmpSystem<P> {
-    /// Builds a system with an attached observation probe.
+    /// Builds a system with an attached observation probe over streaming
+    /// workloads (see [`with_probe_sources`](CmpSystem::with_probe_sources)
+    /// for the source-based equivalent).
     ///
     /// `epoch_accesses` sets the observation-epoch length in *global* L2
     /// accesses: every `epoch_accesses` accesses the probe receives
@@ -132,13 +152,34 @@ impl<P: ObsProbe> CmpSystem<P> {
     /// Panics if `workloads.len() != cfg.cores`.
     pub fn with_probe(
         cfg: SystemConfig,
-        mut policy: Box<dyn LlcPolicy>,
+        policy: Box<dyn LlcPolicy>,
         workloads: Vec<CoreWorkload>,
         probe: P,
         epoch_accesses: u64,
     ) -> Self {
+        Self::with_probe_sources(
+            cfg,
+            policy,
+            workloads.into_iter().map(Into::into).collect(),
+            probe,
+            epoch_accesses,
+        )
+    }
+
+    /// Builds a probed system over per-core [`CoreSource`]s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources.len() != cfg.cores`.
+    pub fn with_probe_sources(
+        cfg: SystemConfig,
+        mut policy: Box<dyn LlcPolicy>,
+        sources: Vec<CoreSource>,
+        probe: P,
+        epoch_accesses: u64,
+    ) -> Self {
         assert_eq!(
-            workloads.len(),
+            sources.len(),
             cfg.cores,
             "need exactly one workload per core"
         );
@@ -160,10 +201,10 @@ impl<P: ObsProbe> CmpSystem<P> {
                 .map(|p| (0..cfg.cores).map(|_| StridePrefetcher::new(p)).collect())
                 .unwrap_or_default(),
             pf_buf: Vec::with_capacity(8),
-            cores: workloads
+            cores: sources
                 .into_iter()
                 .map(|w| CoreState {
-                    workload: w,
+                    source: w,
                     clock: 0.0,
                     carry: 0.0,
                     counters: Counters::default(),
@@ -272,7 +313,7 @@ impl<P: ObsProbe> CmpSystem<P> {
                 let w = c.warm_snap.expect("run() sets snapshots");
                 let e = c.end_snap.expect("run() sets snapshots");
                 CoreResult {
-                    label: c.workload.label.clone(),
+                    label: c.source.label.clone(),
                     instrs: e.instrs - w.instrs,
                     cycles: e.cycles - w.cycles,
                     l2_accesses: e.l2_accesses - w.l2_accesses,
@@ -310,7 +351,7 @@ impl<P: ObsProbe> CmpSystem<P> {
             .map(|c| {
                 let e = c.counters;
                 CoreResult {
-                    label: c.workload.label.clone(),
+                    label: c.source.label.clone(),
                     instrs: e.instrs,
                     cycles: e.cycles,
                     l2_accesses: e.l2_accesses,
@@ -336,8 +377,8 @@ impl<P: ObsProbe> CmpSystem<P> {
     /// Advances core `i` by one memory access (public for fine-grained
     /// tests).
     pub fn step(&mut self, i: usize) {
-        let acc = self.cores[i].workload.stream.next_access();
-        let cpu = self.cores[i].workload.cpu;
+        let acc = self.cores[i].source.feed.next_access();
+        let cpu = self.cores[i].source.cpu;
         {
             let c = &mut self.cores[i];
             c.carry += 1.0 / cpu.mem_fraction;

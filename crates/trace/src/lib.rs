@@ -16,7 +16,10 @@
 //!   [`ChaseStream`], [`Mixture`], [`Phased`]) for building custom
 //!   workloads;
 //! * [`RecordedTrace`] — capture a stream once and replay it exactly
-//!   (regression pinning, sharing problematic patterns, external traces).
+//!   (regression pinning, sharing problematic patterns, external traces);
+//! * [`SharedTrace`] / [`TraceArena`] — materialize a workload lazily into
+//!   shared SoA chunks so sweeps replay identical buffers instead of
+//!   regenerating them per run (see [`materialize`](SharedTrace)).
 //!
 //! Spill-receive policies only observe the per-set hit/miss stream, so
 //! matching per-set pressure statistics — not instruction semantics — is
@@ -38,6 +41,7 @@
 
 mod access;
 mod gen;
+mod materialize;
 mod mixes;
 mod parallel;
 mod replay;
@@ -46,6 +50,10 @@ mod zipf;
 
 pub use access::{Access, AccessStream};
 pub use gen::{ChaseStream, CyclicStream, Mixture, Phased, ZipfStream};
+pub use materialize::{
+    trace_cache_enabled, AccessFeed, CoreSource, SharedTrace, TraceArena, TraceChunk, TraceCursor,
+    CHUNK_ACCESSES,
+};
 pub use mixes::{four_app_mixes, two_app_mixes, WorkloadMix};
 pub use parallel::ParallelBench;
 pub use replay::{RecordedTrace, ReplayStream, TraceError};

@@ -1,0 +1,679 @@
+//! Shared trace materialization: generate a workload once, replay it
+//! everywhere.
+//!
+//! Every experiment sweep in this repository runs the *same* workloads —
+//! `(bench, base, seed)` fully determines an access stream — under dozens of
+//! `(policy × config)` combinations. Before this layer, every run re-drew
+//! the identical sequence from the nested `Phased`/`Mixture`/`Zipf`
+//! generator stack: a virtual call plus several RNG draws per access,
+//! multiplied by the whole sweep. [`SharedTrace`] materializes a stream
+//! lazily into flat SoA chunks ([`TraceChunk`]) and memoizes them behind
+//! `Arc`s, so concurrent [`SweepPool`](../cmp_sim) jobs replay the same
+//! buffers; the process-wide [`TraceArena`] keys shared traces by
+//! `(bench, base, seed)` so generation cost is paid once per workload per
+//! process, not once per run.
+//!
+//! Determinism is the whole point: a [`TraceCursor`] yields exactly the
+//! access sequence the factory stream would have produced — access for
+//! access, including the byte address, kind and stream id — which the
+//! engine goldens and the `trace_equivalence` integration test pin.
+//!
+//! ## Chunk format
+//!
+//! A chunk holds [`CHUNK_ACCESSES`] accesses in structure-of-arrays form: a
+//! packed `u64` byte-address array, a parallel `u16` stream-id array, and a
+//! store-kind bitset (one bit per access) — ≈ 10.1 bytes per access, ~660
+//! kB per chunk. Streams are infinite, so chunks are grown on demand; the
+//! arena's byte budget (`ASCC_TRACE_ARENA_MB`, default 4096) caps total
+//! materialized bytes, beyond which cursors fall back to private streaming
+//! generation (identical output, no sharing).
+//!
+//! `ASCC_TRACE_CACHE=0` disables the arena entirely:
+//! [`SpecBench::source`] then hands out plain streaming generators.
+
+use crate::access::{Access, AccessStream};
+use crate::spec::{CoreWorkload, CpuModel, SpecBench};
+use cmp_cache::{AccessKind, Addr};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+/// Accesses per materialized chunk (64 Ki): large enough that the
+/// chunk-boundary bookkeeping vanishes, small enough that lazy growth
+/// tracks the longest-running job without much overshoot.
+pub const CHUNK_ACCESSES: usize = 1 << 16;
+
+/// One materialized slab of accesses in structure-of-arrays layout.
+#[derive(Clone, Debug)]
+pub struct TraceChunk {
+    /// Byte addresses, one per access.
+    addrs: Box<[u64]>,
+    /// Stream ids (PC surrogates), parallel to `addrs`.
+    streams: Box<[u16]>,
+    /// Store-kind bitset: bit `i % 64` of word `i / 64` is set for stores.
+    stores: Box<[u64]>,
+}
+
+impl TraceChunk {
+    /// Materializes the next `n` accesses of `stream`.
+    fn from_stream(stream: &mut dyn AccessStream, n: usize) -> Self {
+        let mut addrs = Vec::with_capacity(n);
+        let mut streams = Vec::with_capacity(n);
+        let mut stores = vec![0u64; n.div_ceil(64)];
+        for i in 0..n {
+            let a = stream.next_access();
+            addrs.push(a.addr.raw());
+            streams.push(a.stream);
+            if a.kind.is_store() {
+                stores[i / 64] |= 1 << (i % 64);
+            }
+        }
+        TraceChunk {
+            addrs: addrs.into_boxed_slice(),
+            streams: streams.into_boxed_slice(),
+            stores: stores.into_boxed_slice(),
+        }
+    }
+
+    /// Number of accesses in the chunk.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// `true` if the chunk holds no accesses.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Reconstructs access `i` from the SoA arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Access {
+        let kind = if self.stores[i / 64] >> (i % 64) & 1 == 1 {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        };
+        Access {
+            addr: Addr::new(self.addrs[i]),
+            kind,
+            stream: self.streams[i],
+        }
+    }
+
+    /// Heap bytes a chunk of `n` accesses occupies (the budget unit).
+    pub fn bytes_for(n: usize) -> u64 {
+        (n * 8 + n * 2 + n.div_ceil(64) * 8) as u64
+    }
+}
+
+/// Byte budget shared by every trace of an arena.
+#[derive(Debug)]
+struct ArenaBudget {
+    max_bytes: u64,
+    used: AtomicU64,
+}
+
+impl ArenaBudget {
+    fn unbounded() -> Arc<Self> {
+        Arc::new(ArenaBudget {
+            max_bytes: u64::MAX,
+            used: AtomicU64::new(0),
+        })
+    }
+
+    /// Reserves `n` bytes; `false` if that would exceed the cap.
+    fn reserve(&self, n: u64) -> bool {
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            let next = match cur.checked_add(n) {
+                Some(v) if v <= self.max_bytes => v,
+                _ => return false,
+            };
+            match self
+                .used
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// Factory re-creating the underlying generator stream from scratch (pure
+/// in its captured inputs, so every instantiation yields the same stream).
+type StreamFactory = dyn Fn() -> Box<dyn AccessStream> + Send + Sync;
+
+/// A lazily materialized, shareable access trace.
+///
+/// Thread-safe: any number of [`TraceCursor`]s can replay concurrently;
+/// each chunk is generated exactly once (generation is serialized behind a
+/// mutex because the source stream is sequential) and then served from an
+/// `Arc` slice for the lifetime of the trace.
+pub struct SharedTrace {
+    factory: Box<StreamFactory>,
+    chunk_accesses: usize,
+    chunks: RwLock<Vec<Arc<TraceChunk>>>,
+    /// The live generator stream (instantiated on first demand) — holds the
+    /// position `chunks.len() * chunk_accesses` accesses into the stream.
+    gen: Mutex<Option<Box<dyn AccessStream>>>,
+    generated: AtomicUsize,
+    capped: AtomicBool,
+    budget: Arc<ArenaBudget>,
+}
+
+impl std::fmt::Debug for SharedTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedTrace")
+            .field("chunk_accesses", &self.chunk_accesses)
+            .field("chunks", &self.chunks_generated())
+            .field("capped", &self.capped.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl SharedTrace {
+    /// A trace with the default chunk size and no byte cap.
+    pub fn new(factory: impl Fn() -> Box<dyn AccessStream> + Send + Sync + 'static) -> Arc<Self> {
+        Self::with_chunk_accesses(factory, CHUNK_ACCESSES)
+    }
+
+    /// A trace with an explicit chunk size (tests use small chunks to cross
+    /// many boundaries cheaply) and no byte cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_accesses == 0`.
+    pub fn with_chunk_accesses(
+        factory: impl Fn() -> Box<dyn AccessStream> + Send + Sync + 'static,
+        chunk_accesses: usize,
+    ) -> Arc<Self> {
+        Self::with_budget(Box::new(factory), chunk_accesses, ArenaBudget::unbounded())
+    }
+
+    fn with_budget(
+        factory: Box<StreamFactory>,
+        chunk_accesses: usize,
+        budget: Arc<ArenaBudget>,
+    ) -> Arc<Self> {
+        assert!(chunk_accesses > 0, "chunks must hold at least one access");
+        Arc::new(SharedTrace {
+            factory,
+            chunk_accesses,
+            chunks: RwLock::new(Vec::new()),
+            gen: Mutex::new(None),
+            generated: AtomicUsize::new(0),
+            capped: AtomicBool::new(false),
+            budget,
+        })
+    }
+
+    /// Accesses per chunk.
+    pub fn chunk_accesses(&self) -> usize {
+        self.chunk_accesses
+    }
+
+    /// Chunks materialized so far (each was generated exactly once).
+    pub fn chunks_generated(&self) -> usize {
+        self.generated.load(Ordering::Acquire)
+    }
+
+    /// Chunk `idx`, materializing up to it if needed. `None` once the byte
+    /// budget is exhausted and `idx` lies beyond the materialized prefix —
+    /// the caller then falls back to private streaming generation.
+    pub fn chunk(&self, idx: usize) -> Option<Arc<TraceChunk>> {
+        {
+            let chunks = self.chunks.read().expect("unpoisoned");
+            if let Some(c) = chunks.get(idx) {
+                return Some(c.clone());
+            }
+        }
+        self.materialize_through(idx)
+    }
+
+    /// Slow path: serialize on the generator and extend the chunk list
+    /// until `idx` exists (or the budget says stop).
+    fn materialize_through(&self, idx: usize) -> Option<Arc<TraceChunk>> {
+        let mut gen = self.gen.lock().expect("unpoisoned");
+        loop {
+            // Another thread may have materialized it while we waited.
+            {
+                let chunks = self.chunks.read().expect("unpoisoned");
+                if let Some(c) = chunks.get(idx) {
+                    return Some(c.clone());
+                }
+            }
+            if self.capped.load(Ordering::Relaxed) {
+                return None;
+            }
+            if !self
+                .budget
+                .reserve(TraceChunk::bytes_for(self.chunk_accesses))
+            {
+                self.capped.store(true, Ordering::Relaxed);
+                return None;
+            }
+            let stream = gen.get_or_insert_with(|| (self.factory)());
+            let chunk = Arc::new(TraceChunk::from_stream(
+                stream.as_mut(),
+                self.chunk_accesses,
+            ));
+            self.chunks.write().expect("unpoisoned").push(chunk);
+            self.generated.fetch_add(1, Ordering::Release);
+        }
+    }
+
+    /// A replay cursor positioned at access 0.
+    pub fn cursor(self: &Arc<Self>) -> TraceCursor {
+        TraceCursor {
+            trace: self.clone(),
+            chunk: None,
+            next_chunk: 0,
+            pos: 0,
+            fallback: None,
+        }
+    }
+}
+
+/// Batched replay over a [`SharedTrace`]: the hot path is a bounds check
+/// and three indexed loads from the current chunk's SoA arrays — no
+/// virtual dispatch, no RNG.
+pub struct TraceCursor {
+    trace: Arc<SharedTrace>,
+    chunk: Option<Arc<TraceChunk>>,
+    /// Index of the chunk after the current one.
+    next_chunk: usize,
+    pos: usize,
+    /// Private regeneration once the arena budget is exhausted.
+    fallback: Option<Box<dyn AccessStream>>,
+}
+
+impl std::fmt::Debug for TraceCursor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceCursor")
+            .field("next_chunk", &self.next_chunk)
+            .field("pos", &self.pos)
+            .field("fallback", &self.fallback.is_some())
+            .finish()
+    }
+}
+
+impl TraceCursor {
+    /// Produces the next access (identical to what the factory stream
+    /// would have produced at this position).
+    #[inline]
+    pub fn next_access(&mut self) -> Access {
+        if let Some(c) = &self.chunk {
+            if self.pos < c.len() {
+                let a = c.get(self.pos);
+                self.pos += 1;
+                return a;
+            }
+        }
+        self.next_access_cold()
+    }
+
+    /// Off-chunk path: fetch the next chunk, or regenerate privately once
+    /// the arena refuses to grow.
+    #[cold]
+    fn next_access_cold(&mut self) -> Access {
+        if let Some(fb) = &mut self.fallback {
+            return fb.next_access();
+        }
+        match self.trace.chunk(self.next_chunk) {
+            Some(c) => {
+                self.chunk = Some(c);
+                self.next_chunk += 1;
+                self.pos = 0;
+                self.next_access()
+            }
+            None => {
+                // Budget exhausted: rebuild the stream from its factory and
+                // discard the prefix this cursor already replayed. From here
+                // on the cursor is an ordinary private generator.
+                let consumed = self.consumed();
+                let mut s = (self.trace.factory)();
+                for _ in 0..consumed {
+                    s.next_access();
+                }
+                let a = s.next_access();
+                self.fallback = Some(s);
+                a
+            }
+        }
+    }
+
+    /// Accesses replayed so far (chunks are uniformly sized; `next_chunk`
+    /// counts the current chunk when one is loaded).
+    fn consumed(&self) -> u64 {
+        match &self.chunk {
+            Some(_) => {
+                (self.next_chunk as u64 - 1) * self.trace.chunk_accesses as u64 + self.pos as u64
+            }
+            None => 0,
+        }
+    }
+}
+
+impl AccessStream for TraceCursor {
+    fn next_access(&mut self) -> Access {
+        TraceCursor::next_access(self)
+    }
+}
+
+/// A process-wide memo of shared traces keyed by `(bench, base, seed)`.
+#[derive(Debug)]
+pub struct TraceArena {
+    traces: Mutex<HashMap<(SpecBench, u64, u64), Arc<SharedTrace>>>,
+    budget: Arc<ArenaBudget>,
+}
+
+impl TraceArena {
+    /// An arena capped at `max_bytes` of materialized chunk data.
+    pub fn with_max_bytes(max_bytes: u64) -> Self {
+        TraceArena {
+            traces: Mutex::new(HashMap::new()),
+            budget: Arc::new(ArenaBudget {
+                max_bytes,
+                used: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The process-wide arena, capped by `ASCC_TRACE_ARENA_MB` (default
+    /// 4096 MB; zero or unparsable values fall back to the default).
+    pub fn global() -> &'static TraceArena {
+        static GLOBAL: OnceLock<TraceArena> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let mb = std::env::var("ASCC_TRACE_ARENA_MB")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(4096);
+            TraceArena::with_max_bytes(mb << 20)
+        })
+    }
+
+    /// The shared trace for `bench.workload(base, seed)`, creating it on
+    /// first use. All callers with the same key observe the same chunks.
+    pub fn shared(&self, bench: SpecBench, base: u64, seed: u64) -> Arc<SharedTrace> {
+        let mut traces = self.traces.lock().expect("unpoisoned");
+        traces
+            .entry((bench, base, seed))
+            .or_insert_with(|| {
+                SharedTrace::with_budget(
+                    Box::new(move || bench.workload(base, seed).stream),
+                    CHUNK_ACCESSES,
+                    self.budget.clone(),
+                )
+            })
+            .clone()
+    }
+
+    /// Distinct workloads the arena currently holds.
+    pub fn traces(&self) -> usize {
+        self.traces.lock().expect("unpoisoned").len()
+    }
+
+    /// Materialized bytes across every trace of the arena.
+    pub fn bytes(&self) -> u64 {
+        self.budget.used.load(Ordering::Relaxed)
+    }
+}
+
+/// `false` when `ASCC_TRACE_CACHE=0` asked for plain streaming generation
+/// (cached after the first read: the choice is per-process).
+pub fn trace_cache_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var("ASCC_TRACE_CACHE").map_or(true, |v| v != "0"))
+}
+
+/// The access front-end of one simulated core: either a live generator
+/// stream (arbitrary workloads, tests, `trace_tool`) or a batched cursor
+/// over shared materialized chunks (the sweep fast path).
+pub enum AccessFeed {
+    /// One virtual call into a generator stack per access.
+    Streaming(Box<dyn AccessStream>),
+    /// Monomorphic chunk replay from a [`SharedTrace`].
+    Replay(TraceCursor),
+}
+
+impl std::fmt::Debug for AccessFeed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessFeed::Streaming(_) => f.write_str("AccessFeed::Streaming"),
+            AccessFeed::Replay(c) => f.debug_tuple("AccessFeed::Replay").field(c).finish(),
+        }
+    }
+}
+
+impl AccessFeed {
+    /// Produces the next access.
+    #[inline]
+    pub fn next_access(&mut self) -> Access {
+        match self {
+            AccessFeed::Streaming(s) => s.next_access(),
+            AccessFeed::Replay(c) => c.next_access(),
+        }
+    }
+}
+
+impl AccessStream for AccessFeed {
+    fn next_access(&mut self) -> Access {
+        AccessFeed::next_access(self)
+    }
+}
+
+/// A per-core workload source: like [`CoreWorkload`], but its accesses come
+/// through an [`AccessFeed`] so materialized replay and live generation are
+/// interchangeable at the simulator front-end.
+#[derive(Debug)]
+pub struct CoreSource {
+    /// Display label, e.g. `"473.astar"`.
+    pub label: String,
+    /// CPU-side timing parameters.
+    pub cpu: CpuModel,
+    /// The access front-end.
+    pub feed: AccessFeed,
+}
+
+impl From<CoreWorkload> for CoreSource {
+    fn from(w: CoreWorkload) -> Self {
+        CoreSource {
+            label: w.label,
+            cpu: w.cpu,
+            feed: AccessFeed::Streaming(w.stream),
+        }
+    }
+}
+
+impl SpecBench {
+    /// The benchmark's workload as a [`CoreSource`]: replayed from the
+    /// process-wide [`TraceArena`] when trace caching is enabled (the
+    /// default), or a plain streaming generator under
+    /// `ASCC_TRACE_CACHE=0`. Identical access sequence either way.
+    pub fn source(self, base: u64, seed: u64) -> CoreSource {
+        let w = |feed| CoreSource {
+            label: self.name().to_string(),
+            cpu: self.cpu_model(),
+            feed,
+        };
+        if trace_cache_enabled() {
+            let cursor = TraceArena::global().shared(self, base, seed).cursor();
+            w(AccessFeed::Replay(cursor))
+        } else {
+            self.workload(base, seed).into()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{ChaseStream, CyclicStream, Mixture, ZipfStream};
+
+    /// A deliberately layered stream (zipf + chase + stores) so replay has
+    /// to reproduce RNG-driven kinds, addresses and stream ids exactly.
+    fn layered() -> Box<dyn AccessStream> {
+        let z = ZipfStream::new(0, 128, 32, 0.9, 11, 0);
+        let c = ChaseStream::new(1 << 24, 64, 32, 12, 1);
+        Box::new(Mixture::new(
+            vec![
+                (0.6, Box::new(z) as Box<dyn AccessStream>),
+                (0.4, Box::new(c)),
+            ],
+            0.25,
+            13,
+        ))
+    }
+
+    #[test]
+    fn chunk_soa_round_trips_all_fields() {
+        let mut s = layered();
+        let mut reference = layered();
+        let chunk = TraceChunk::from_stream(s.as_mut(), 1000);
+        assert_eq!(chunk.len(), 1000);
+        assert!(!chunk.is_empty());
+        for i in 0..1000 {
+            assert_eq!(chunk.get(i), reference.next_access(), "access {i}");
+        }
+    }
+
+    #[test]
+    fn cursor_matches_streaming_across_chunk_boundaries() {
+        let trace = SharedTrace::with_chunk_accesses(layered, 64);
+        let mut cursor = trace.cursor();
+        let mut stream = layered();
+        for i in 0..1000 {
+            assert_eq!(cursor.next_access(), stream.next_access(), "access {i}");
+        }
+        assert_eq!(trace.chunks_generated(), 1000_usize.div_ceil(64));
+    }
+
+    #[test]
+    fn two_cursors_see_identical_sequences_without_regeneration() {
+        let trace = SharedTrace::with_chunk_accesses(layered, 128);
+        let a: Vec<Access> = {
+            let mut c = trace.cursor();
+            (0..500).map(|_| c.next_access()).collect()
+        };
+        let generated = trace.chunks_generated();
+        let b: Vec<Access> = {
+            let mut c = trace.cursor();
+            (0..500).map(|_| c.next_access()).collect()
+        };
+        assert_eq!(a, b);
+        assert_eq!(
+            trace.chunks_generated(),
+            generated,
+            "second cursor must replay, not regenerate"
+        );
+    }
+
+    #[test]
+    fn budget_cap_falls_back_to_identical_streaming() {
+        // Budget fits exactly two 64-access chunks; the rest must come from
+        // the private fallback and still match streaming bit for bit.
+        let budget = Arc::new(ArenaBudget {
+            max_bytes: 2 * TraceChunk::bytes_for(64),
+            used: AtomicU64::new(0),
+        });
+        let trace = SharedTrace::with_budget(Box::new(layered), 64, budget);
+        let mut cursor = trace.cursor();
+        let mut stream = layered();
+        for i in 0..1000 {
+            assert_eq!(cursor.next_access(), stream.next_access(), "access {i}");
+        }
+        assert_eq!(trace.chunks_generated(), 2, "cap allows exactly 2 chunks");
+        assert!(trace.chunk(2).is_none(), "beyond-cap chunks refuse");
+        // A fresh cursor starts over from the shared prefix, then falls
+        // back again — still identical.
+        let mut c2 = trace.cursor();
+        let mut s2 = layered();
+        for i in 0..300 {
+            assert_eq!(c2.next_access(), s2.next_access(), "fresh cursor {i}");
+        }
+    }
+
+    #[test]
+    fn arena_memoizes_by_key() {
+        let arena = TraceArena::with_max_bytes(u64::MAX);
+        let a = arena.shared(SpecBench::Astar, 0, 42);
+        let b = arena.shared(SpecBench::Astar, 0, 42);
+        assert!(Arc::ptr_eq(&a, &b), "same key, same trace");
+        let c = arena.shared(SpecBench::Astar, 0, 43);
+        assert!(!Arc::ptr_eq(&a, &c), "different seed, different trace");
+        let d = arena.shared(SpecBench::Mcf, 0, 42);
+        assert!(!Arc::ptr_eq(&a, &d), "different bench, different trace");
+        assert_eq!(arena.traces(), 3);
+    }
+
+    #[test]
+    fn arena_accounts_bytes() {
+        let arena = TraceArena::with_max_bytes(u64::MAX);
+        let t = arena.shared(SpecBench::Namd, 0, 1);
+        assert_eq!(arena.bytes(), 0);
+        t.chunk(0).expect("within budget");
+        assert_eq!(arena.bytes(), TraceChunk::bytes_for(CHUNK_ACCESSES));
+    }
+
+    #[test]
+    fn concurrent_readers_generate_each_chunk_exactly_once() {
+        // Satellite: hammer one trace from 8 threads; every chunk must be
+        // generated once and all readers must observe identical slices.
+        const CHUNK: usize = 256;
+        const CHUNKS: usize = 16;
+        let trace = SharedTrace::with_chunk_accesses(layered, CHUNK);
+        let sequences: Vec<Vec<Access>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let trace = &trace;
+                    s.spawn(move || {
+                        let mut c = trace.cursor();
+                        (0..CHUNK * CHUNKS).map(|_| c.next_access()).collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .collect()
+        });
+        assert_eq!(
+            trace.chunks_generated(),
+            CHUNKS,
+            "each chunk generated exactly once despite 8 concurrent readers"
+        );
+        for (i, seq) in sequences.iter().enumerate() {
+            assert_eq!(seq, &sequences[0], "thread {i} diverged");
+        }
+        // And the chunks really are the same allocations.
+        for idx in 0..CHUNKS {
+            let a = trace.chunk(idx).expect("materialized");
+            let b = trace.chunk(idx).expect("materialized");
+            assert!(Arc::ptr_eq(&a, &b));
+        }
+    }
+
+    #[test]
+    fn feed_and_source_wrap_streams() {
+        let mut feed = AccessFeed::Streaming(Box::new(CyclicStream::words(0, 8, 5)));
+        assert_eq!(feed.next_access().addr.raw(), 0);
+        assert_eq!(feed.next_access().addr.raw(), 4);
+        let w = SpecBench::Namd.workload(0, 3);
+        let mut src: CoreSource = w.into();
+        assert_eq!(src.label, "444.namd");
+        assert_eq!(src.cpu, SpecBench::Namd.cpu_model());
+        let _ = src.feed.next_access();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one access")]
+    fn zero_chunk_size_rejected() {
+        let _ = SharedTrace::with_chunk_accesses(layered, 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! The trace arena's determinism contract, cross-crate.
+//!
+//! Materialized replay must be access-for-access identical to streaming
+//! generation for *every* `SpecBench` model — byte address, access kind and
+//! stream id — and the per-core seed derivation the runner uses must never
+//! alias two different workloads onto one arena key.
+
+use cmp_sim::{core_seed, mix_workloads, CORE_SPACE_BITS};
+use cmp_trace::{
+    four_app_mixes, two_app_mixes, Access, AccessStream, SharedTrace, SpecBench, TraceArena,
+};
+use std::collections::HashSet;
+
+/// Enough accesses to cross several small-chunk boundaries and reach every
+/// benchmark's burst phase scheduling at least partially.
+const ACCESSES: usize = 20_000;
+const SMALL_CHUNK: usize = 1 << 12;
+
+fn take(stream: &mut dyn AccessStream, n: usize) -> Vec<Access> {
+    (0..n).map(|_| stream.next_access()).collect()
+}
+
+#[test]
+fn replay_equals_streaming_for_every_spec_bench() {
+    for bench in SpecBench::ALL {
+        for seed in [7u64, 42] {
+            let base = 1u64 << CORE_SPACE_BITS;
+            let mut streaming = bench.workload(base, seed).stream;
+            let shared = SharedTrace::with_chunk_accesses(
+                move || bench.workload(base, seed).stream,
+                SMALL_CHUNK,
+            );
+            let mut cursor = shared.cursor();
+            for i in 0..ACCESSES {
+                assert_eq!(
+                    cursor.next_access(),
+                    streaming.next_access(),
+                    "{bench:?} seed {seed} diverged at access {i}"
+                );
+            }
+            assert_eq!(shared.chunks_generated(), ACCESSES.div_ceil(SMALL_CHUNK));
+        }
+    }
+}
+
+#[test]
+fn default_chunk_size_replay_matches_streaming() {
+    // The production chunk size (64 Ki): cross one boundary for a
+    // representative bursty benchmark.
+    let bench = SpecBench::Mcf;
+    let shared = SharedTrace::new(move || bench.workload(0, 42).stream);
+    let mut cursor = shared.cursor();
+    let mut streaming = bench.workload(0, 42).stream;
+    let n = cmp_trace::CHUNK_ACCESSES + 1000;
+    assert_eq!(take(&mut cursor, n), take(streaming.as_mut(), n));
+    assert_eq!(shared.chunks_generated(), 2);
+}
+
+/// Every seed the experiment bins actually use (`Scale` defaults to 42,
+/// quick runs keep it, the goldens and criterion benches use 7) plus a
+/// spread of others: the per-core derivation must give each core of a run
+/// a distinct `(base, seed)` pair, so `(bench, base, seed)` arena keys
+/// never collapse two different workloads into one trace.
+#[test]
+fn per_core_seed_derivation_never_aliases_arena_keys() {
+    let bin_seeds = [42u64, 7];
+    let spread: Vec<u64> = (0..64).map(|i| i * 0x9E37_79B9).collect();
+    for &seed in bin_seeds.iter().chain(&spread) {
+        let mut keys = HashSet::new();
+        for core in 0..16 {
+            let base = (core as u64) << CORE_SPACE_BITS;
+            let derived = core_seed(seed, core);
+            assert!(
+                keys.insert((base, derived)),
+                "seed {seed}: cores alias at core {core}"
+            );
+        }
+        // The derivation itself must be injective over the core index even
+        // ignoring the base separation (the `i << 8` bit range).
+        let derived: HashSet<u64> = (0..256).map(|i| core_seed(seed, i)).collect();
+        assert_eq!(derived.len(), 256, "seed {seed}: derived seeds collide");
+    }
+}
+
+#[test]
+fn mix_cores_get_distinct_streams() {
+    // Same bench twice in one mix (e.g. homogeneous pairs) must still give
+    // each core its own address region and RNG sequence.
+    for mix in two_app_mixes().iter().chain(four_app_mixes().iter()) {
+        for seed in [7u64, 42] {
+            let mut ws = mix_workloads(mix, seed);
+            let firsts: Vec<Vec<Access>> =
+                ws.iter_mut().map(|w| take(w.stream.as_mut(), 64)).collect();
+            for i in 0..firsts.len() {
+                for j in i + 1..firsts.len() {
+                    assert_ne!(
+                        firsts[i], firsts[j],
+                        "{}: cores {i} and {j} share a stream (seed {seed})",
+                        mix.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn arena_shares_one_trace_per_key_across_mixes() {
+    // Two mixes containing the same (bench, core slot, seed) reuse one
+    // materialization — the sharing the sweep's speedup comes from.
+    let arena = TraceArena::with_max_bytes(u64::MAX);
+    let t1 = arena.shared(SpecBench::Mcf, 0, 42);
+    let t2 = arena.shared(SpecBench::Mcf, 0, 42);
+    assert!(std::sync::Arc::ptr_eq(&t1, &t2));
+    // ... while a different core slot of the same bench gets its own.
+    let t3 = arena.shared(SpecBench::Mcf, 1 << CORE_SPACE_BITS, core_seed(42, 1));
+    assert!(!std::sync::Arc::ptr_eq(&t1, &t3));
+    assert_eq!(arena.traces(), 2);
+}
