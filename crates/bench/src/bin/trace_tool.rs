@@ -4,6 +4,7 @@
 //! trace_tool record 473 100000 /tmp/astar.trc       # record 100k accesses of 473.astar
 //! trace_tool materialize 473 100000 /tmp/astar.trc  # same, via the SharedTrace chunk path
 //! trace_tool info /tmp/astar.trc                    # summarise a trace file
+//! trace_tool repro target/diff-failures/diff-X.case # replay a differential-fuzz repro
 //! ```
 //!
 //! `record` pulls straight from the streaming generator; `materialize`
@@ -11,6 +12,11 @@
 //! front-end — so a problematic materialized pattern can be captured to the
 //! same `ASCCTRC1` format and shared. The two commands must produce
 //! byte-identical files (replay is access-for-access equal to streaming).
+//!
+//! `repro` replays a `.case` file dumped by the differential fuzzer
+//! (`tests/tests/differential.rs`): it reruns the optimized engine and the
+//! spec-literal oracle in lockstep on the recorded script and reports the
+//! first state divergence, or confirms the case now passes.
 
 use cmp_trace::{RecordedTrace, SharedTrace, SpecBench};
 use std::collections::HashSet;
@@ -21,6 +27,7 @@ fn usage() -> ! {
     eprintln!("usage: trace_tool record <spec-id> <accesses> <file>");
     eprintln!("       trace_tool materialize <spec-id> <accesses> <file>");
     eprintln!("       trace_tool info <file>");
+    eprintln!("       trace_tool repro <case-file>");
     exit(2);
 }
 
@@ -102,6 +109,30 @@ fn main() {
                     .max()
                     .expect("nonempty"),
             );
+        }
+        Some("repro") if args.len() == 2 => {
+            let text = std::fs::read_to_string(&args[1]).unwrap_or_else(|e| {
+                eprintln!("cannot read {}: {e}", args[1]);
+                exit(1);
+            });
+            let case = ascc_integration::diff::parse_case(&text).unwrap_or_else(|e| {
+                eprintln!("cannot parse {}: {e}", args[1]);
+                exit(1);
+            });
+            println!(
+                "replaying {}: {} cores, {} ops, {:?}",
+                args[1],
+                case.cores,
+                case.ops.len(),
+                case.policy
+            );
+            match ascc_integration::diff::run_case(&case) {
+                Ok(()) => println!("PASS: engine and oracle agree at every checkpoint"),
+                Err(e) => {
+                    eprintln!("DIVERGED: {e}");
+                    exit(1);
+                }
+            }
         }
         _ => usage(),
     }

@@ -177,6 +177,17 @@ pub trait LlcPolicy {
     fn on_cycle(&mut self, core: CoreId, cycles: u64) {
         let _ = (core, cycles);
     }
+
+    /// Self-checks the policy's internal invariants (counter ranges, role
+    /// consistency, granularity legality — whatever the policy maintains),
+    /// returning one human-readable description per violation.
+    ///
+    /// Called by the differential harness after every compared step and by
+    /// the simulator on every step when `cmp-sim` is built with its
+    /// `debug-invariants` feature. The default has nothing to check.
+    fn check_invariants(&self) -> Vec<String> {
+        Vec::new()
+    }
 }
 
 /// The paper's baseline: plain private LLCs. Never spills, MRU-inserts.

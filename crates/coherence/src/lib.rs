@@ -49,4 +49,7 @@ mod bus;
 mod checker;
 
 pub use bus::{BusStats, ReadPolicy, RemoteHit, SnoopBus};
-pub use checker::{assert_coherent, check_mesi, ProtocolViolation};
+pub use checker::{
+    assert_coherent, check_granularity, check_mesi, check_recency, check_spilled_last_copies,
+    check_ssl, ssl_role, InvariantViolation, ProtocolViolation, SslRole,
+};

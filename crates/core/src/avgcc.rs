@@ -321,6 +321,26 @@ impl AvgccPolicy {
         c.bip[c.ssl.counter_of(set.0)]
     }
 
+    /// Fixed-point values of all in-use SSL counters of `core`, counter
+    /// order (differential-testing helper).
+    pub fn ssl_values(&self, core: CoreId) -> Vec<u16> {
+        let t = &self.caches[core.index()].ssl;
+        (0..t.counters()).map(|i| t.value_at(i)).collect()
+    }
+
+    /// SABIP flags of all in-use counters of `core`, counter order
+    /// (differential-testing helper).
+    pub fn bip_flags(&self, core: CoreId) -> Vec<bool> {
+        self.caches[core.index()].bip.clone()
+    }
+
+    /// The incremental `(A, B)` epoch counters of `core`
+    /// (differential-testing helper).
+    pub fn ab_counters(&self, core: CoreId) -> (u32, u32) {
+        let c = &self.caches[core.index()];
+        (c.a, c.b)
+    }
+
     /// Verifies the incremental `A`/`B` counters against a recount
     /// (debug/test helper).
     ///
@@ -498,6 +518,55 @@ impl LlcPolicy for AvgccPolicy {
 
     fn swap_enabled(&self) -> bool {
         self.cfg.swap
+    }
+
+    fn check_invariants(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (i, c) in self.caches.iter().enumerate() {
+            let t = &c.ssl;
+            let values: Vec<u16> = (0..t.counters()).map(|j| t.value_at(j)).collect();
+            let reported: Vec<cmp_coherence::SslRole> = (0..t.counters())
+                .map(|j| {
+                    let set = (j as u32) * t.sets_per_counter();
+                    match self.role(CoreId(i as u8), SetIdx(set)) {
+                        SetRole::Receiver => cmp_coherence::SslRole::Receiver,
+                        SetRole::Neutral => cmp_coherence::SslRole::Neutral,
+                        SetRole::Spiller => cmp_coherence::SslRole::Spiller,
+                    }
+                })
+                .collect();
+            out.extend(
+                cmp_coherence::check_ssl(
+                    i,
+                    &values,
+                    t.k_fixed(),
+                    t.spiller_fixed(),
+                    t.max_fixed(),
+                    &reported,
+                )
+                .iter()
+                .map(|v| v.to_string()),
+            );
+            out.extend(
+                cmp_coherence::check_granularity(
+                    i,
+                    self.cfg.sets,
+                    c.in_use(),
+                    self.cfg.max_counters,
+                )
+                .iter()
+                .map(|v| v.to_string()),
+            );
+            // The incremental A/B bookkeeping must agree with a recount.
+            let (a, b) = c.recount_ab();
+            if (c.a, c.b) != (a, b) {
+                out.push(format!(
+                    "core {i}: incremental A/B ({}, {}) diverged from recount ({a}, {b})",
+                    c.a, c.b
+                ));
+            }
+        }
+        out
     }
 
     fn on_cycle(&mut self, core: CoreId, cycles: u64) {

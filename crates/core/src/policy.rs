@@ -290,6 +290,19 @@ impl AsccPolicy {
         self.capacity_activations
     }
 
+    /// Fixed-point values of all SSL counters of `core`, counter order
+    /// (differential-testing helper).
+    pub fn ssl_values(&self, core: CoreId) -> Vec<u16> {
+        let t = &self.caches[core.index()].ssl;
+        (0..t.counters()).map(|i| t.value_at(i)).collect()
+    }
+
+    /// BIP/SABIP flags of all counters of `core`, counter order
+    /// (differential-testing helper).
+    pub fn bip_flags(&self, core: CoreId) -> Vec<bool> {
+        self.caches[core.index()].bip.clone()
+    }
+
     /// Role class counts over all of `core`'s sets.
     fn role_histogram(&self, core: usize) -> RoleHistogram {
         let mut h = RoleHistogram::default();
@@ -434,6 +447,44 @@ impl LlcPolicy for AsccPolicy {
 
     fn swap_enabled(&self) -> bool {
         self.cfg.swap
+    }
+
+    fn check_invariants(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (i, c) in self.caches.iter().enumerate() {
+            let t = &c.ssl;
+            // Cross-check the public role() surface against raw counter
+            // values through the coherence checker's own classification.
+            let spiller = if self.cfg.two_state {
+                t.k_fixed()
+            } else {
+                t.spiller_fixed()
+            };
+            let values: Vec<u16> = (0..t.counters()).map(|j| t.value_at(j)).collect();
+            let reported: Vec<cmp_coherence::SslRole> = (0..t.counters())
+                .map(|j| {
+                    let set = (j as u32) * t.sets_per_counter();
+                    match self.role(CoreId(i as u8), SetIdx(set)) {
+                        SetRole::Receiver => cmp_coherence::SslRole::Receiver,
+                        SetRole::Neutral => cmp_coherence::SslRole::Neutral,
+                        SetRole::Spiller => cmp_coherence::SslRole::Spiller,
+                    }
+                })
+                .collect();
+            out.extend(
+                cmp_coherence::check_ssl(
+                    i,
+                    &values,
+                    t.k_fixed(),
+                    spiller,
+                    t.max_fixed(),
+                    &reported,
+                )
+                .iter()
+                .map(|v| v.to_string()),
+            );
+        }
+        out
     }
 
     fn snapshot(&self) -> PolicySnapshot {

@@ -1,0 +1,342 @@
+//! The naive cache: one `Vec<Option<Line>>` per set plus an explicit
+//! most-recently-used list, exactly the `Vec<Vec<Line>>` picture of
+//! DESIGN.md §1 before any storage optimization.
+
+use crate::snapshot::{CacheSnap, LineSnap, SetSnap};
+
+/// MESI state of an oracle line (the oracle's own copy of the protocol
+/// states — nothing is imported from the optimized crates).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OracleMesi {
+    /// Dirty, sole on-chip copy.
+    Modified,
+    /// Clean, sole on-chip copy.
+    Exclusive,
+    /// Clean, possibly replicated.
+    Shared,
+}
+
+impl OracleMesi {
+    /// Whether eviction of this line writes back to memory.
+    pub fn is_dirty(self) -> bool {
+        matches!(self, OracleMesi::Modified)
+    }
+
+    /// State the holder keeps after serving a remote read (M/E drop to S).
+    pub fn after_remote_read(self) -> Self {
+        match self {
+            OracleMesi::Modified | OracleMesi::Exclusive => OracleMesi::Shared,
+            OracleMesi::Shared => OracleMesi::Shared,
+        }
+    }
+
+    /// Stable numeric code used in snapshots (M=0, E=1, S=2 — the same
+    /// encoding the optimized cache packs into its meta bits).
+    pub fn code(self) -> u8 {
+        match self {
+            OracleMesi::Modified => 0,
+            OracleMesi::Exclusive => 1,
+            OracleMesi::Shared => 2,
+        }
+    }
+}
+
+/// One resident line.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OracleLine {
+    /// Line address (byte address with the offset bits already dropped).
+    pub addr: u64,
+    /// Coherence state.
+    pub state: OracleMesi,
+    /// Whether this copy arrived by a spill from a peer cache.
+    pub spilled: bool,
+}
+
+/// Insertion depth for a fill (§3.2's MRU / BIP / SABIP positions).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OraclePos {
+    /// Most recently used (normal demand insertion).
+    Mru,
+    /// Least recently used (BIP's deep insertion).
+    Lru,
+    /// One above LRU (SABIP and spill-aware insertions).
+    LruMinus1,
+}
+
+/// What kind of fill a line arrives by.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OracleFill {
+    /// Demand fetch by the local core.
+    Demand,
+    /// A peer's spilled (or swapped) victim.
+    Spill,
+}
+
+/// Per-cache counters mirroring `cmp_cache::CacheStats` field for field.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct OracleStats {
+    /// Accesses that found their line.
+    pub hits: u64,
+    /// Accesses that did not.
+    pub misses: u64,
+    /// Demand fills.
+    pub demand_fills: u64,
+    /// Spill fills.
+    pub spill_fills: u64,
+    /// Valid lines displaced by fills.
+    pub evictions: u64,
+    /// Hits on lines whose `spilled` flag was set.
+    pub spilled_line_hits: u64,
+}
+
+#[derive(Debug)]
+struct OracleSet {
+    lines: Vec<Option<OracleLine>>,
+    /// Way indices ordered most- to least-recently used. Always a full
+    /// permutation of `0..ways`: invalid ways keep their slot, just like
+    /// the real recency word.
+    order: Vec<u16>,
+}
+
+impl OracleSet {
+    /// Moves `way` to recency depth `depth` (0 = MRU), preserving the
+    /// relative order of every other way — the splice the paper's LRU
+    /// lists perform on each touch or fill.
+    fn splice(&mut self, way: u16, depth: usize) {
+        self.order.retain(|&w| w != way);
+        let d = depth.min(self.order.len());
+        self.order.insert(d, way);
+    }
+}
+
+/// A whole private cache, the naive way.
+#[derive(Debug)]
+pub struct OracleCache {
+    sets: Vec<OracleSet>,
+    ways: u16,
+    /// Event counters (public so the system can bump `misses` on the probe
+    /// path exactly where the optimized cache does).
+    pub stats: OracleStats,
+}
+
+impl OracleCache {
+    /// Builds an empty cache of `sets` sets with `ways` ways each.
+    pub fn new(sets: u32, ways: u16) -> Self {
+        OracleCache {
+            sets: (0..sets)
+                .map(|_| OracleSet {
+                    lines: vec![None; ways as usize],
+                    order: (0..ways).collect(),
+                })
+                .collect(),
+            ways,
+            stats: OracleStats::default(),
+        }
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> u16 {
+        self.ways
+    }
+
+    /// Set index of a line address (power-of-two modulo).
+    pub fn set_of(&self, line: u64) -> usize {
+        (line & (self.sets.len() as u64 - 1)) as usize
+    }
+
+    /// Looks the line up without touching recency or statistics.
+    pub fn probe(&self, line: u64) -> Option<(usize, usize)> {
+        let s = self.set_of(line);
+        self.sets[s]
+            .lines
+            .iter()
+            .position(|l| matches!(l, Some(l) if l.addr == line))
+            .map(|w| (s, w))
+    }
+
+    /// The line in `way` of `set`, if valid.
+    pub fn line(&self, set: usize, way: usize) -> Option<OracleLine> {
+        self.sets[set].lines[way]
+    }
+
+    /// Recency depth of `way` in its set (0 = MRU).
+    pub fn depth_of(&self, set: usize, way: usize) -> usize {
+        self.sets[set]
+            .order
+            .iter()
+            .position(|&w| w as usize == way)
+            .expect("order is a permutation of the ways")
+    }
+
+    /// A full access: on a hit, promotes the way to MRU, counts the hit and
+    /// clears the spilled flag (counting the spilled-line hit); on a miss,
+    /// counts the miss. Returns the hit way.
+    pub fn access(&mut self, line: u64) -> Option<usize> {
+        match self.probe(line) {
+            Some((s, w)) => {
+                self.stats.hits += 1;
+                let l = self.sets[s].lines[w].as_mut().expect("probed valid");
+                if l.spilled {
+                    self.stats.spilled_line_hits += 1;
+                    l.spilled = false;
+                }
+                self.sets[s].splice(w as u16, 0);
+                Some(w)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Victim choice when no policy overrides it: the first invalid way,
+    /// else the LRU way.
+    pub fn default_victim(&self, set: usize) -> usize {
+        let s = &self.sets[set];
+        s.lines
+            .iter()
+            .position(|l| l.is_none())
+            .unwrap_or_else(|| *s.order.last().expect("nonzero ways") as usize)
+    }
+
+    /// Installs `new` in `way` of `set` at recency position `pos`,
+    /// returning the displaced line if the way was valid.
+    pub fn fill(
+        &mut self,
+        set: usize,
+        way: usize,
+        new: OracleLine,
+        pos: OraclePos,
+        kind: OracleFill,
+    ) -> Option<OracleLine> {
+        match kind {
+            OracleFill::Demand => self.stats.demand_fills += 1,
+            OracleFill::Spill => self.stats.spill_fills += 1,
+        }
+        let evicted = self.sets[set].lines[way].replace(new);
+        if evicted.is_some() {
+            self.stats.evictions += 1;
+        }
+        let ways = self.ways as usize;
+        let depth = match pos {
+            OraclePos::Mru => 0,
+            OraclePos::Lru => ways - 1,
+            OraclePos::LruMinus1 => ways.saturating_sub(2),
+        };
+        self.sets[set].splice(way as u16, depth);
+        evicted
+    }
+
+    /// Removes the line if resident, demoting its way to LRU. No counters.
+    pub fn invalidate(&mut self, line: u64) -> Option<OracleLine> {
+        let (s, w) = self.probe(line)?;
+        let taken = self.sets[s].lines[w].take();
+        let depth = self.ways as usize - 1;
+        self.sets[s].splice(w as u16, depth);
+        taken
+    }
+
+    /// MESI state of the line, if resident.
+    pub fn state_of(&self, line: u64) -> Option<OracleMesi> {
+        self.probe(line)
+            .and_then(|(s, w)| self.sets[s].lines[w])
+            .map(|l| l.state)
+    }
+
+    /// Rewrites the resident line's state, preserving the spilled flag.
+    pub fn set_state(&mut self, line: u64, state: OracleMesi) {
+        if let Some((s, w)) = self.probe(line) {
+            if let Some(l) = self.sets[s].lines[w].as_mut() {
+                l.state = state;
+            }
+        }
+    }
+
+    /// Full-state dump for lockstep comparison.
+    pub fn snap(&self) -> CacheSnap {
+        CacheSnap {
+            sets: self
+                .sets
+                .iter()
+                .map(|s| SetSnap {
+                    lines: s
+                        .lines
+                        .iter()
+                        .map(|l| {
+                            l.map(|l| LineSnap {
+                                addr: l.addr,
+                                state: l.state.code(),
+                                spilled: l.spilled,
+                            })
+                        })
+                        .collect(),
+                    order: s.order.clone(),
+                })
+                .collect(),
+            hits: self.stats.hits,
+            misses: self.stats.misses,
+            demand_fills: self.stats.demand_fills,
+            spill_fills: self.stats.spill_fills,
+            evictions: self.stats.evictions,
+            spilled_line_hits: self.stats.spilled_line_hits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(addr: u64) -> OracleLine {
+        OracleLine {
+            addr,
+            state: OracleMesi::Exclusive,
+            spilled: false,
+        }
+    }
+
+    #[test]
+    fn lru_order_follows_touches() {
+        let mut c = OracleCache::new(2, 4);
+        for a in [0u64, 2, 4, 6] {
+            let w = c.default_victim(0);
+            c.fill(0, w, line(a), OraclePos::Mru, OracleFill::Demand);
+        }
+        // Fills went into ways 0..3; way 3 (addr 6) is MRU now.
+        assert_eq!(c.default_victim(0), 0); // way 0 is LRU
+        c.access(0); // touch addr 0 -> way 0 becomes MRU
+        assert_eq!(c.default_victim(0), 1);
+    }
+
+    #[test]
+    fn spilled_flag_clears_on_hit() {
+        let mut c = OracleCache::new(2, 2);
+        c.fill(
+            0,
+            0,
+            OracleLine {
+                addr: 8,
+                state: OracleMesi::Exclusive,
+                spilled: true,
+            },
+            OraclePos::Mru,
+            OracleFill::Spill,
+        );
+        assert!(c.line(0, 0).unwrap().spilled);
+        c.access(8);
+        assert!(!c.line(0, 0).unwrap().spilled);
+        assert_eq!(c.stats.spilled_line_hits, 1);
+    }
+
+    #[test]
+    fn lru_minus_1_insertion_depth() {
+        let mut c = OracleCache::new(1, 4);
+        for (w, a) in [0u64, 2, 4, 6].iter().enumerate() {
+            c.fill(0, w, line(*a), OraclePos::Mru, OracleFill::Demand);
+        }
+        // order is [3,2,1,0]; re-fill way 3 at LruMinus1 -> [2,1,3,0].
+        c.fill(0, 3, line(8), OraclePos::LruMinus1, OracleFill::Demand);
+        assert_eq!(c.snap().sets[0].order, vec![2, 1, 3, 0]);
+    }
+}

@@ -1,0 +1,264 @@
+//! Architectural-state dumps and their comparison.
+//!
+//! Both engines are reduced to the same plain-data [`SysSnap`] (the oracle
+//! by [`crate::OracleSystem::snapshot`], the optimized engine by the
+//! differential harness's extraction code) and compared field by field at
+//! every checkpoint. [`diff_snapshots`] reports the *first* difference in a
+//! human-readable form so a shrunk counterexample points at the broken
+//! rule, not just "states differ".
+
+/// One resident line, engine-neutral (state codes: M=0, E=1, S=2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LineSnap {
+    /// Line address.
+    pub addr: u64,
+    /// MESI state code.
+    pub state: u8,
+    /// Spilled flag.
+    pub spilled: bool,
+}
+
+/// One cache set: way-indexed lines plus the MRU-first recency order.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SetSnap {
+    /// `lines[w]` is the line in way `w`, if valid.
+    pub lines: Vec<Option<LineSnap>>,
+    /// Way indices, most- to least-recently used.
+    pub order: Vec<u16>,
+}
+
+/// One cache: all sets plus its event counters.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CacheSnap {
+    /// Per-set contents.
+    pub sets: Vec<SetSnap>,
+    /// Hits.
+    pub hits: u64,
+    /// Misses.
+    pub misses: u64,
+    /// Demand fills.
+    pub demand_fills: u64,
+    /// Spill fills.
+    pub spill_fills: u64,
+    /// Evictions.
+    pub evictions: u64,
+    /// Hits on spilled lines.
+    pub spilled_line_hits: u64,
+}
+
+/// One core's timing and access counters.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CoreSnap {
+    /// Instructions committed.
+    pub instrs: u64,
+    /// Cycles elapsed (compared bit-exactly: both engines perform the
+    /// identical f64 arithmetic).
+    pub cycles: f64,
+    /// L1 accesses.
+    pub l1_accesses: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// Local L2 hits.
+    pub l2_local_hits: u64,
+    /// Remote L2 hits.
+    pub l2_remote_hits: u64,
+    /// Accesses served by memory.
+    pub l2_mem: u64,
+    /// Off-chip fetches.
+    pub offchip_fetches: u64,
+    /// Dirty write-backs.
+    pub writebacks: u64,
+}
+
+/// Policy-internal state, per design.
+#[derive(Clone, PartialEq, Debug)]
+pub enum PolicySnap {
+    /// ASCC and its ablation variants.
+    Ascc {
+        /// `ssl[core][counter]`, 4.3 fixed point.
+        ssl: Vec<Vec<u16>>,
+        /// `bip[core][counter]`: capacity (SABIP/BIP) insertion mode.
+        bip: Vec<Vec<bool>>,
+        /// Times a spiller found no receiver and switched insertion mode.
+        activations: u64,
+    },
+    /// AVGCC / QoS-AVGCC.
+    Avgcc {
+        /// Per-core granularity `D` (log2 sets per counter).
+        d: Vec<u8>,
+        /// `ssl[core][counter]` at the core's current granularity.
+        ssl: Vec<Vec<u16>>,
+        /// `bip[core][counter]`.
+        bip: Vec<Vec<bool>>,
+        /// Per-core `(A, B)` epoch counters.
+        ab: Vec<(u32, u32)>,
+        /// Per-core QoS ratio in 0.3 fixed point (8 = 1.0).
+        ratio_fixed: Vec<u16>,
+        /// Total granularity changes across all cores.
+        granularity_changes: u64,
+    },
+}
+
+/// Full architectural state of one engine at a checkpoint.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SysSnap {
+    /// Private L1s, core order.
+    pub l1: Vec<CacheSnap>,
+    /// Private L2s, core order.
+    pub l2: Vec<CacheSnap>,
+    /// Per-core counters.
+    pub cores: Vec<CoreSnap>,
+    /// Global spill count.
+    pub spills: u64,
+    /// Global swap count.
+    pub swaps: u64,
+    /// Global spilled-line hit count (local + remote).
+    pub spill_hits: u64,
+    /// Bus statistics: (snoops, transfers, invalidations).
+    pub bus: (u64, u64, u64),
+    /// Policy-internal state.
+    pub policy: PolicySnap,
+}
+
+fn diff_caches(kind: &str, a: &[CacheSnap], b: &[CacheSnap]) -> Option<String> {
+    for (i, (ca, cb)) in a.iter().zip(b).enumerate() {
+        for (s, (sa, sb)) in ca.sets.iter().zip(&cb.sets).enumerate() {
+            for (w, (la, lb)) in sa.lines.iter().zip(&sb.lines).enumerate() {
+                if la != lb {
+                    return Some(format!(
+                        "{kind}[{i}] set {s} way {w}: oracle {la:?}, real {lb:?}"
+                    ));
+                }
+            }
+            if sa.order != sb.order {
+                return Some(format!(
+                    "{kind}[{i}] set {s} recency order: oracle {:?}, real {:?}",
+                    sa.order, sb.order
+                ));
+            }
+        }
+        let sa = (
+            ca.hits,
+            ca.misses,
+            ca.demand_fills,
+            ca.spill_fills,
+            ca.evictions,
+            ca.spilled_line_hits,
+        );
+        let sb = (
+            cb.hits,
+            cb.misses,
+            cb.demand_fills,
+            cb.spill_fills,
+            cb.evictions,
+            cb.spilled_line_hits,
+        );
+        if sa != sb {
+            return Some(format!(
+                "{kind}[{i}] stats (hits, misses, demand_fills, spill_fills, evictions, \
+                 spilled_line_hits): oracle {sa:?}, real {sb:?}"
+            ));
+        }
+    }
+    None
+}
+
+fn diff_policy(a: &PolicySnap, b: &PolicySnap) -> Option<String> {
+    match (a, b) {
+        (
+            PolicySnap::Ascc {
+                ssl: sa,
+                bip: ba,
+                activations: aa,
+            },
+            PolicySnap::Ascc {
+                ssl: sb,
+                bip: bb,
+                activations: ab,
+            },
+        ) => {
+            if sa != sb {
+                return Some(format!("ASCC SSL counters: oracle {sa:?}, real {sb:?}"));
+            }
+            if ba != bb {
+                return Some(format!("ASCC BIP flags: oracle {ba:?}, real {bb:?}"));
+            }
+            if aa != ab {
+                return Some(format!("ASCC capacity activations: oracle {aa}, real {ab}"));
+            }
+            None
+        }
+        (
+            PolicySnap::Avgcc {
+                d: da,
+                ssl: sa,
+                bip: ba,
+                ab: aba,
+                ratio_fixed: ra,
+                granularity_changes: ga,
+            },
+            PolicySnap::Avgcc {
+                d: db,
+                ssl: sb,
+                bip: bb,
+                ab: abb,
+                ratio_fixed: rb,
+                granularity_changes: gb,
+            },
+        ) => {
+            if da != db {
+                return Some(format!("AVGCC granularity D: oracle {da:?}, real {db:?}"));
+            }
+            if sa != sb {
+                return Some(format!("AVGCC SSL counters: oracle {sa:?}, real {sb:?}"));
+            }
+            if ba != bb {
+                return Some(format!("AVGCC BIP flags: oracle {ba:?}, real {bb:?}"));
+            }
+            if aba != abb {
+                return Some(format!("AVGCC A/B counters: oracle {aba:?}, real {abb:?}"));
+            }
+            if ra != rb {
+                return Some(format!("QoS ratio (x8): oracle {ra:?}, real {rb:?}"));
+            }
+            if ga != gb {
+                return Some(format!("granularity changes: oracle {ga}, real {gb}"));
+            }
+            None
+        }
+        _ => Some("policy snapshot kinds differ (harness bug)".to_string()),
+    }
+}
+
+/// Compares two state dumps; `None` means bit-identical, otherwise a
+/// description of the first difference found (cache contents first, then
+/// counters, then policy state).
+pub fn diff_snapshots(oracle: &SysSnap, real: &SysSnap) -> Option<String> {
+    if let Some(d) = diff_caches("L2", &oracle.l2, &real.l2) {
+        return Some(d);
+    }
+    if let Some(d) = diff_caches("L1", &oracle.l1, &real.l1) {
+        return Some(d);
+    }
+    for (i, (a, b)) in oracle.cores.iter().zip(&real.cores).enumerate() {
+        if a != b {
+            return Some(format!("core {i} counters: oracle {a:?}, real {b:?}"));
+        }
+    }
+    let ga = (oracle.spills, oracle.swaps, oracle.spill_hits);
+    let gb = (real.spills, real.swaps, real.spill_hits);
+    if ga != gb {
+        return Some(format!(
+            "global (spills, swaps, spill_hits): oracle {ga:?}, real {gb:?}"
+        ));
+    }
+    if oracle.bus != real.bus {
+        return Some(format!(
+            "bus (snoops, transfers, invalidations): oracle {:?}, real {:?}",
+            oracle.bus, real.bus
+        ));
+    }
+    diff_policy(&oracle.policy, &real.policy)
+}

@@ -244,6 +244,11 @@ impl<P: ObsProbe> CmpSystem<P> {
         &self.l2s
     }
 
+    /// All private L1s, core order (e.g. for lockstep state comparison).
+    pub fn l1s(&self) -> &[SetAssocCache] {
+        &self.l1s
+    }
+
     /// The snoop bus statistics.
     pub fn bus(&self) -> &SnoopBus {
         &self.bus
@@ -429,6 +434,44 @@ impl<P: ObsProbe> CmpSystem<P> {
                 self.epoch_index += 1;
             }
         }
+        #[cfg(feature = "debug-invariants")]
+        self.debug_check_invariants();
+    }
+
+    /// Full structural-invariant sweep, run after every step under the
+    /// `debug-invariants` feature.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any MESI, recency, spilled-last-copy or policy-internal
+    /// invariant violation.
+    #[cfg(feature = "debug-invariants")]
+    fn debug_check_invariants(&self) {
+        let mut problems: Vec<String> = cmp_coherence::check_mesi(&self.l2s)
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        problems.extend(
+            cmp_coherence::check_recency(&self.l1s)
+                .iter()
+                .chain(cmp_coherence::check_recency(&self.l2s).iter())
+                .map(|v| v.to_string()),
+        );
+        // Replication grants replicas while the supplier keeps its spilled
+        // copy, so the last-copy property only holds under migration.
+        if self.cfg.read_policy == ReadPolicy::Migrate {
+            problems.extend(
+                cmp_coherence::check_spilled_last_copies(&self.l2s)
+                    .iter()
+                    .map(|v| v.to_string()),
+            );
+        }
+        problems.extend(self.policy.check_invariants());
+        assert!(
+            problems.is_empty(),
+            "invariants violated after step: {}",
+            problems.join("; ")
+        );
     }
 
     /// Moves any events the policy buffered during this step into the

@@ -1,0 +1,715 @@
+//! The differential harness: runs the optimized engine (`cmp_sim`) and the
+//! spec-literal oracle (`cmp_oracle`) in lockstep on generated multi-core
+//! access sequences and compares **full architectural state** — every tag,
+//! MESI state, recency order, spilled flag, SSL counter, insertion-policy
+//! flag, AVGCC `D`/`A`/`B`, QoS ratio and event counter — at every
+//! checkpoint.
+//!
+//! A [`DiffCase`] is a plain data description of one run (system shape,
+//! policy configuration, interleaved op sequence) with a stable text form
+//! ([`dump_case`]/[`parse_case`]) so failing cases can be committed, shipped
+//! by CI, and replayed with `trace_tool repro <file>`. [`shrink_case`]
+//! minimizes a failing case before it is reported.
+
+use cmp_cache::{CoreId, MesiState, SetIdx, WayIdx};
+use cmp_oracle::{
+    diff_snapshots, CacheSnap, CoreSnap, LineSnap, OracleAsccConfig, OracleAvgccConfig,
+    OracleCapacity, OracleConfig, OracleCpu, OraclePolicyConfig, OracleSelection, OracleSystem,
+    PolicySnap, SetSnap, SysSnap,
+};
+use cmp_sim::{CmpSystem, SystemConfig};
+use cmp_trace::{Access, AccessStream, CoreWorkload, CpuModel};
+
+/// One scripted memory operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DiffOp {
+    /// Issuing core.
+    pub core: u8,
+    /// Line number (byte address = `line << 5`).
+    pub line: u32,
+    /// Store (true) or load.
+    pub store: bool,
+}
+
+/// Which policy the case runs, with the knobs the fuzzer varies.
+#[derive(Clone, PartialEq, Debug)]
+pub enum DiffPolicy {
+    /// ASCC and its ablation variants (`variant % 6` selects: full ASCC,
+    /// 2-state, LRS, LMS+BIP, GMS+SABIP, ASCC with 4 counters).
+    Ascc {
+        /// Variant selector.
+        variant: u8,
+        /// §3.2 swap enabled.
+        swap: bool,
+        /// RNG seed shared by both engines.
+        seed: u64,
+    },
+    /// AVGCC / QoS-AVGCC.
+    Avgcc {
+        /// QoS extension enabled.
+        qos: bool,
+        /// Accesses per granularity epoch (kept tiny so epochs fire).
+        epoch_accesses: u64,
+        /// Cycles per QoS ratio recomputation.
+        qos_epoch_cycles: u64,
+        /// Counter cap, if any.
+        max_counters: Option<u32>,
+        /// §3.2 swap enabled.
+        swap: bool,
+        /// RNG seed shared by both engines.
+        seed: u64,
+    },
+}
+
+/// A complete differential test case.
+#[derive(Clone, PartialEq, Debug)]
+pub struct DiffCase {
+    /// Core count (2..=4).
+    pub cores: u8,
+    /// log2 of L2 sets (L1 is fixed at 2 sets x 2 ways).
+    pub l2_sets_log2: u8,
+    /// L2 associativity.
+    pub l2_ways: u16,
+    /// Migrate (true) or replicate remote read hits.
+    pub migrate: bool,
+    /// Memory fraction denominator: `mem_fraction = 1 / mem_q`.
+    pub mem_q: u8,
+    /// Compare full state every this many ops (always compared at the end).
+    pub check_every: u32,
+    /// The policy under test.
+    pub policy: DiffPolicy,
+    /// The interleaved access script.
+    pub ops: Vec<DiffOp>,
+}
+
+/// Replays a fixed access list; the differential harness steps the core
+/// explicitly, so the script is consumed exactly once in order.
+struct Script {
+    ops: Vec<Access>,
+    i: usize,
+}
+
+impl AccessStream for Script {
+    fn next_access(&mut self) -> Access {
+        if self.ops.is_empty() {
+            return Access::load(cmp_cache::Addr::new(0), 0);
+        }
+        let a = self.ops[self.i % self.ops.len()];
+        self.i += 1;
+        a
+    }
+}
+
+fn l2_sets(case: &DiffCase) -> u32 {
+    1u32 << case.l2_sets_log2
+}
+
+fn build_real(case: &DiffCase) -> CmpSystem {
+    let cores = case.cores as usize;
+    let mut cfg = SystemConfig::table2(cores);
+    cfg.l1 = cmp_cache::CacheGeometry::new(2, 2, 32).expect("valid L1");
+    cfg.l2 = cmp_cache::CacheGeometry::new(l2_sets(case), case.l2_ways, 32).expect("valid L2");
+    cfg.read_policy = if case.migrate {
+        cmp_coherence::ReadPolicy::Migrate
+    } else {
+        cmp_coherence::ReadPolicy::Replicate
+    };
+
+    let policy: Box<dyn cmp_cache::LlcPolicy> = match &case.policy {
+        DiffPolicy::Ascc {
+            variant,
+            swap,
+            seed,
+        } => {
+            let (sets, ways) = (l2_sets(case), case.l2_ways);
+            let mut c = match variant % 6 {
+                0 => ascc::AsccConfig::ascc(cores, sets, ways),
+                1 => ascc::AsccConfig::ascc_2s(cores, sets, ways),
+                2 => ascc::AsccConfig::lrs(cores, sets, ways),
+                3 => ascc::AsccConfig::lms_bip(cores, sets, ways),
+                4 => ascc::AsccConfig::gms_sabip(cores, sets, ways),
+                _ => ascc::AsccConfig::ascc(cores, sets, ways).with_counters(4),
+            };
+            c.swap = *swap;
+            c.seed = *seed;
+            Box::new(c.build())
+        }
+        DiffPolicy::Avgcc {
+            qos,
+            epoch_accesses,
+            qos_epoch_cycles,
+            max_counters,
+            swap,
+            seed,
+        } => {
+            let mut c = if *qos {
+                ascc::AvgccConfig::qos_avgcc(cores, l2_sets(case), case.l2_ways)
+            } else {
+                ascc::AvgccConfig::avgcc(cores, l2_sets(case), case.l2_ways)
+            };
+            c.epoch_accesses = *epoch_accesses;
+            c.qos_epoch_cycles = *qos_epoch_cycles;
+            c.max_counters = *max_counters;
+            c.swap = *swap;
+            c.seed = *seed;
+            Box::new(c.build())
+        }
+    };
+
+    let workloads = (0..case.cores)
+        .map(|c| CoreWorkload {
+            label: format!("script{c}"),
+            cpu: CpuModel {
+                mem_fraction: 1.0 / case.mem_q as f64,
+                base_cpi: 1.0,
+                overlap: 1.0,
+                store_fraction: 0.0,
+            },
+            stream: Box::new(Script {
+                ops: case
+                    .ops
+                    .iter()
+                    .filter(|o| o.core == c)
+                    .map(|o| {
+                        let addr = cmp_cache::Addr::new((o.line as u64) << 5);
+                        if o.store {
+                            Access::store(addr, 0)
+                        } else {
+                            Access::load(addr, 0)
+                        }
+                    })
+                    .collect(),
+                i: 0,
+            }) as Box<dyn AccessStream>,
+        })
+        .collect();
+
+    CmpSystem::new(cfg, policy, workloads)
+}
+
+fn build_oracle(case: &DiffCase) -> OracleSystem {
+    let cores = case.cores as usize;
+    let (sets, ways) = (l2_sets(case), case.l2_ways);
+    let policy = match &case.policy {
+        DiffPolicy::Ascc {
+            variant,
+            swap,
+            seed,
+        } => {
+            // Mirrors the AsccConfig constructors variant for variant.
+            let (spc, selection, capacity, two_state) = match variant % 6 {
+                0 => (1, OracleSelection::MinSsl, OracleCapacity::Sabip, false),
+                1 => (1, OracleSelection::MinSsl, OracleCapacity::Sabip, true),
+                2 => (1, OracleSelection::Random, OracleCapacity::None, false),
+                3 => (1, OracleSelection::MinSsl, OracleCapacity::Bip, false),
+                4 => (sets, OracleSelection::MinSsl, OracleCapacity::Sabip, false),
+                _ => (
+                    sets / 4,
+                    OracleSelection::MinSsl,
+                    OracleCapacity::Sabip,
+                    false,
+                ),
+            };
+            OraclePolicyConfig::Ascc(OracleAsccConfig {
+                cores,
+                sets,
+                ways,
+                sets_per_counter: spc,
+                selection,
+                capacity,
+                two_state,
+                swap: *swap,
+                epsilon: 1.0 / 32.0,
+                seed: *seed,
+            })
+        }
+        DiffPolicy::Avgcc {
+            qos,
+            epoch_accesses,
+            qos_epoch_cycles,
+            max_counters,
+            swap,
+            seed,
+        } => OraclePolicyConfig::Avgcc(OracleAvgccConfig {
+            cores,
+            sets,
+            ways,
+            epoch_accesses: *epoch_accesses,
+            qos: *qos,
+            qos_epoch_cycles: *qos_epoch_cycles,
+            max_counters: *max_counters,
+            epsilon: 1.0 / 32.0,
+            swap: *swap,
+            seed: *seed,
+        }),
+    };
+    OracleSystem::new(
+        OracleConfig {
+            cores,
+            l1_sets: 2,
+            l1_ways: 2,
+            l2_sets: sets,
+            l2_ways: ways,
+            offset_bits: 5,
+            lat_l2_local: 9,
+            lat_l2_remote: 25,
+            lat_mem: 460,
+            migrate: case.migrate,
+            cpu: vec![
+                OracleCpu {
+                    mem_fraction: 1.0 / case.mem_q as f64,
+                    base_cpi: 1.0,
+                    overlap: 1.0,
+                };
+                cores
+            ],
+        },
+        policy,
+    )
+}
+
+fn mesi_code(s: MesiState) -> u8 {
+    match s {
+        MesiState::Modified => 0,
+        MesiState::Exclusive => 1,
+        MesiState::Shared => 2,
+    }
+}
+
+fn snap_cache(cache: &cmp_cache::SetAssocCache) -> CacheSnap {
+    let geom = cache.geometry();
+    let (sets, ways) = (geom.sets(), geom.ways());
+    let stats = cache.stats();
+    CacheSnap {
+        sets: (0..sets)
+            .map(|s| {
+                let cs = cache.set(SetIdx(s));
+                SetSnap {
+                    lines: (0..ways)
+                        .map(|w| {
+                            cs.line(WayIdx(w)).map(|l| LineSnap {
+                                addr: l.addr.raw(),
+                                state: mesi_code(l.state),
+                                spilled: l.spilled,
+                            })
+                        })
+                        .collect(),
+                    order: cs.recency().order().map(|w| w.0).collect(),
+                }
+            })
+            .collect(),
+        hits: stats.hits,
+        misses: stats.misses,
+        demand_fills: stats.demand_fills,
+        spill_fills: stats.spill_fills,
+        evictions: stats.evictions,
+        spilled_line_hits: stats.spilled_line_hits,
+    }
+}
+
+/// Full architectural-state dump of the optimized engine, shaped exactly
+/// like the oracle's [`SysSnap`].
+pub fn snapshot_real(sys: &CmpSystem, case: &DiffCase) -> SysSnap {
+    let res = sys.lifetime_result();
+    let bus = sys.bus().stats();
+    let cores = case.cores as usize;
+    let policy = match &case.policy {
+        DiffPolicy::Ascc { .. } => {
+            let p = sys
+                .policy()
+                .as_any()
+                .downcast_ref::<ascc::AsccPolicy>()
+                .expect("ASCC case runs an AsccPolicy");
+            PolicySnap::Ascc {
+                ssl: (0..cores).map(|c| p.ssl_values(CoreId(c as u8))).collect(),
+                bip: (0..cores).map(|c| p.bip_flags(CoreId(c as u8))).collect(),
+                activations: p.capacity_activations(),
+            }
+        }
+        DiffPolicy::Avgcc { .. } => {
+            let p = sys
+                .policy()
+                .as_any()
+                .downcast_ref::<ascc::AvgccPolicy>()
+                .expect("AVGCC case runs an AvgccPolicy");
+            PolicySnap::Avgcc {
+                d: (0..cores)
+                    .map(|c| p.granularity_log2(CoreId(c as u8)))
+                    .collect(),
+                ssl: (0..cores).map(|c| p.ssl_values(CoreId(c as u8))).collect(),
+                bip: (0..cores).map(|c| p.bip_flags(CoreId(c as u8))).collect(),
+                ab: (0..cores).map(|c| p.ab_counters(CoreId(c as u8))).collect(),
+                ratio_fixed: (0..cores)
+                    .map(|c| (p.qos_ratio(CoreId(c as u8)) * 8.0).round() as u16)
+                    .collect(),
+                granularity_changes: p.granularity_changes(),
+            }
+        }
+    };
+    SysSnap {
+        l1: sys.l1s().iter().map(snap_cache).collect(),
+        l2: sys.l2s().iter().map(snap_cache).collect(),
+        cores: res
+            .cores
+            .iter()
+            .map(|c| CoreSnap {
+                instrs: c.instrs,
+                cycles: c.cycles,
+                l1_accesses: c.l1_accesses,
+                l1_hits: c.l1_hits,
+                l2_accesses: c.l2_accesses,
+                l2_local_hits: c.l2_local_hits,
+                l2_remote_hits: c.l2_remote_hits,
+                l2_mem: c.l2_mem,
+                offchip_fetches: c.offchip_fetches,
+                writebacks: c.writebacks,
+            })
+            .collect(),
+        spills: res.spills,
+        swaps: res.swaps,
+        spill_hits: res.spill_hits,
+        bus: (bus.snoops, bus.transfers, bus.invalidations),
+        policy,
+    }
+}
+
+/// Runs the always-on invariant sweep on the optimized engine's state.
+fn check_real_invariants(sys: &CmpSystem, case: &DiffCase) -> Vec<String> {
+    let mut problems: Vec<String> = cmp_coherence::check_mesi(sys.l2s())
+        .iter()
+        .map(|v| v.to_string())
+        .collect();
+    problems.extend(
+        cmp_coherence::check_recency(sys.l1s())
+            .iter()
+            .chain(cmp_coherence::check_recency(sys.l2s()).iter())
+            .map(|v| v.to_string()),
+    );
+    // Replication hands out replicas while the supplier keeps its spilled
+    // copy, so spilled-implies-last-copy only holds under migration.
+    if case.migrate {
+        problems.extend(
+            cmp_coherence::check_spilled_last_copies(sys.l2s())
+                .iter()
+                .map(|v| v.to_string()),
+        );
+    }
+    problems.extend(sys.policy().check_invariants());
+    problems
+}
+
+/// Runs both engines in lockstep over the case's script, comparing full
+/// state every `check_every` ops and at the end, plus the structural
+/// invariant sweep at each checkpoint. `Ok(())` means bit-identical
+/// throughout.
+pub fn run_case(case: &DiffCase) -> Result<(), String> {
+    let mut real = build_real(case);
+    let mut oracle = build_oracle(case);
+    let check_every = case.check_every.max(1) as usize;
+    for (i, op) in case.ops.iter().enumerate() {
+        let core = (op.core % case.cores) as usize;
+        real.step(core);
+        oracle.step(core, (op.line as u64) << 5, op.store);
+        if (i + 1) % check_every == 0 || i + 1 == case.ops.len() {
+            if let Some(d) = diff_snapshots(&oracle.snapshot(), &snapshot_real(&real, case)) {
+                return Err(format!("after op {i} ({op:?}): {d}"));
+            }
+            let problems = check_real_invariants(&real, case);
+            if !problems.is_empty() {
+                return Err(format!(
+                    "after op {i} ({op:?}): invariants violated: {}",
+                    problems.join("; ")
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Minimizes a failing case: forces per-op comparison, cuts the script to
+/// the shortest failing prefix, then greedily removes chunks. The result is
+/// guaranteed to still fail.
+pub fn shrink_case(case: &DiffCase) -> DiffCase {
+    let mut best = case.clone();
+    if best.check_every != 1 {
+        let mut c = best.clone();
+        c.check_every = 1;
+        if run_case(&c).is_err() {
+            best = c;
+        }
+    }
+    // With per-op comparison, "prefix of length n fails" is monotone in n,
+    // so the shortest failing prefix binary-searches.
+    if best.check_every == 1 && !best.ops.is_empty() {
+        let (mut lo, mut hi) = (1usize, best.ops.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let mut c = best.clone();
+            c.ops.truncate(mid);
+            if run_case(&c).is_err() {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        let mut c = best.clone();
+        c.ops.truncate(hi);
+        if run_case(&c).is_err() {
+            best = c;
+        }
+    }
+    // Greedy delta-debugging pass over the remaining ops.
+    let mut chunk = (best.ops.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i + chunk <= best.ops.len() {
+            let mut c = best.clone();
+            c.ops.drain(i..i + chunk);
+            if run_case(&c).is_err() {
+                best = c;
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    best
+}
+
+/// Serializes a case in the stable line-oriented repro format.
+pub fn dump_case(case: &DiffCase) -> String {
+    let mut s = String::from("# ascc differential repro v1\n");
+    s.push_str(&format!("cores {}\n", case.cores));
+    s.push_str(&format!("l2sets_log2 {}\n", case.l2_sets_log2));
+    s.push_str(&format!("l2ways {}\n", case.l2_ways));
+    s.push_str(&format!("migrate {}\n", case.migrate as u8));
+    s.push_str(&format!("memq {}\n", case.mem_q));
+    s.push_str(&format!("check {}\n", case.check_every));
+    match &case.policy {
+        DiffPolicy::Ascc {
+            variant,
+            swap,
+            seed,
+        } => s.push_str(&format!("policy ascc {variant} {} {seed}\n", *swap as u8)),
+        DiffPolicy::Avgcc {
+            qos,
+            epoch_accesses,
+            qos_epoch_cycles,
+            max_counters,
+            swap,
+            seed,
+        } => s.push_str(&format!(
+            "policy avgcc {} {epoch_accesses} {qos_epoch_cycles} {} {} {seed}\n",
+            *qos as u8,
+            max_counters.map_or("-".to_string(), |m| m.to_string()),
+            *swap as u8,
+        )),
+    }
+    for op in &case.ops {
+        s.push_str(&format!("op {} {} {}\n", op.core, op.line, op.store as u8));
+    }
+    s
+}
+
+/// Parses the [`dump_case`] format back into a case.
+pub fn parse_case(text: &str) -> Result<DiffCase, String> {
+    let mut cores = None;
+    let mut l2_sets_log2 = None;
+    let mut l2_ways = None;
+    let mut migrate = None;
+    let mut mem_q = None;
+    let mut check_every = None;
+    let mut policy = None;
+    let mut ops = Vec::new();
+    let want = |f: &mut std::str::SplitWhitespace<'_>, what: &str| -> Result<u64, String> {
+        f.next()
+            .ok_or_else(|| format!("missing {what}"))?
+            .parse::<u64>()
+            .map_err(|e| format!("bad {what}: {e}"))
+    };
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut f = line.split_whitespace();
+        let key = f.next().expect("non-empty line");
+        let res: Result<(), String> = (|| {
+            match key {
+                "cores" => cores = Some(want(&mut f, "cores")? as u8),
+                "l2sets_log2" => l2_sets_log2 = Some(want(&mut f, "l2sets_log2")? as u8),
+                "l2ways" => l2_ways = Some(want(&mut f, "l2ways")? as u16),
+                "migrate" => migrate = Some(want(&mut f, "migrate")? != 0),
+                "memq" => mem_q = Some(want(&mut f, "memq")? as u8),
+                "check" => check_every = Some(want(&mut f, "check")? as u32),
+                "policy" => {
+                    policy = Some(match f.next() {
+                        Some("ascc") => DiffPolicy::Ascc {
+                            variant: want(&mut f, "variant")? as u8,
+                            swap: want(&mut f, "swap")? != 0,
+                            seed: want(&mut f, "seed")?,
+                        },
+                        Some("avgcc") => {
+                            let qos = want(&mut f, "qos")? != 0;
+                            let epoch_accesses = want(&mut f, "epoch")?;
+                            let qos_epoch_cycles = want(&mut f, "qos cycles")?;
+                            let max_counters = match f.next() {
+                                Some("-") => None,
+                                Some(v) => {
+                                    Some(v.parse().map_err(|e| format!("bad max counters: {e}"))?)
+                                }
+                                None => return Err("missing max counters".to_string()),
+                            };
+                            DiffPolicy::Avgcc {
+                                qos,
+                                epoch_accesses,
+                                qos_epoch_cycles,
+                                max_counters,
+                                swap: want(&mut f, "swap")? != 0,
+                                seed: want(&mut f, "seed")?,
+                            }
+                        }
+                        other => return Err(format!("unknown policy {other:?}")),
+                    });
+                }
+                "op" => ops.push(DiffOp {
+                    core: want(&mut f, "op core")? as u8,
+                    line: want(&mut f, "op line")? as u32,
+                    store: want(&mut f, "op store")? != 0,
+                }),
+                other => return Err(format!("unknown key {other:?}")),
+            }
+            Ok(())
+        })();
+        res.map_err(|e| format!("line {}: {e}", ln + 1))?;
+    }
+    Ok(DiffCase {
+        cores: cores.ok_or("missing cores")?,
+        l2_sets_log2: l2_sets_log2.ok_or("missing l2sets_log2")?,
+        l2_ways: l2_ways.ok_or("missing l2ways")?,
+        migrate: migrate.ok_or("missing migrate")?,
+        mem_q: mem_q.ok_or("missing memq")?,
+        check_every: check_every.ok_or("missing check")?,
+        policy: policy.ok_or("missing policy")?,
+        ops,
+    })
+}
+
+/// Replays a dumped case file; `Ok` means both engines still agree.
+pub fn repro_file(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let case = parse_case(&text)?;
+    run_case(&case)
+}
+
+fn fnv(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Writes a (shrunk) failing case to `target/diff-failures/` and returns
+/// the path. CI uploads this directory as an artifact on failure.
+pub fn dump_failure(case: &DiffCase) -> String {
+    let text = dump_case(case);
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("target")
+        .join("diff-failures");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("diff-{:016x}.case", fnv(&text)));
+    let _ = std::fs::write(&path, &text);
+    path.display().to_string()
+}
+
+/// Property-test entry point: runs the case and, on divergence, shrinks it,
+/// dumps the repro file and panics with a replay command.
+///
+/// # Panics
+///
+/// Panics when the engines diverge or an invariant fails.
+pub fn assert_case(case: &DiffCase) {
+    if let Err(first) = run_case(case) {
+        let min = shrink_case(case);
+        let err = run_case(&min).err().unwrap_or(first);
+        let path = dump_failure(&min);
+        panic!(
+            "oracle/engine divergence: {err}\n\
+             shrunk to {} ops; repro dumped to {path}\n\
+             replay with: cargo run -p ascc-bench --bin trace_tool -- repro {path}",
+            min.ops.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_case() -> DiffCase {
+        DiffCase {
+            cores: 2,
+            l2_sets_log2: 2,
+            l2_ways: 2,
+            migrate: true,
+            mem_q: 3,
+            check_every: 4,
+            policy: DiffPolicy::Ascc {
+                variant: 0,
+                swap: true,
+                seed: 0xA5CC,
+            },
+            ops: vec![
+                DiffOp {
+                    core: 0,
+                    line: 1,
+                    store: false,
+                },
+                DiffOp {
+                    core: 1,
+                    line: 1,
+                    store: true,
+                },
+                DiffOp {
+                    core: 0,
+                    line: 9,
+                    store: false,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn dump_parse_round_trip() {
+        let case = sample_case();
+        assert_eq!(parse_case(&dump_case(&case)).unwrap(), case);
+        let mut avgcc = case;
+        avgcc.policy = DiffPolicy::Avgcc {
+            qos: true,
+            epoch_accesses: 16,
+            qos_epoch_cycles: 64,
+            max_counters: Some(2),
+            swap: false,
+            seed: 7,
+        };
+        assert_eq!(parse_case(&dump_case(&avgcc)).unwrap(), avgcc);
+    }
+
+    #[test]
+    fn sample_case_matches() {
+        assert!(run_case(&sample_case()).is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_case("cores x").is_err());
+        assert!(parse_case("").is_err());
+        assert!(parse_case("wibble 3").is_err());
+    }
+}

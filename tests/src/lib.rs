@@ -2,7 +2,11 @@
 //!
 //! The real content of this package lives in `tests/` (one file per
 //! concern: system invariants, policy behaviour under simulation,
-//! metric semantics, determinism).
+//! metric semantics, determinism). The [`diff`] module is the
+//! oracle-vs-engine differential harness, shared between the fuzzing
+//! tests and `trace_tool repro`.
+
+pub mod diff;
 
 use ascc::{AsccConfig, AvgccConfig};
 use cmp_cache::{CacheGeometry, LlcPolicy, PrivateBaseline};

@@ -1,0 +1,139 @@
+//! Differential fuzzing: the optimized engine vs the spec-literal oracle.
+//!
+//! Each case generates a small CMP (2–4 cores, tiny caches so sets contend
+//! quickly), a policy configuration and an interleaved multi-core access
+//! script, runs `cmp_sim::CmpSystem` and `cmp_oracle::OracleSystem` in
+//! lockstep, and compares full architectural state at every checkpoint.
+//! Failures are shrunk and dumped to `target/diff-failures/` for
+//! `trace_tool repro`; the generator seed is persisted under
+//! `proptest-regressions/`.
+//!
+//! The per-test case counts sum to over 1000 (overridable with
+//! `PROPTEST_CASES`), split across the ASCC family, AVGCC, and QoS-AVGCC.
+
+use ascc_integration::diff::{self, DiffCase, DiffOp, DiffPolicy};
+use proptest::prelude::*;
+
+type Shape = (u8, u8, u16, bool, u8, u32);
+
+/// System shape: cores, l2 sets (log2), ways, read semantics, memory
+/// fraction denominator, comparison period.
+fn shape() -> impl Strategy<Value = Shape> {
+    (
+        2u8..=4,
+        2u8..=4,
+        prop_oneof![Just(2u16), Just(4)],
+        prop::bool::ANY,
+        1u8..=4,
+        1u32..=9,
+    )
+}
+
+/// Interleaved access script. Lines are drawn from a pool of ~1.5–6x the
+/// smallest L2 capacity so evictions, spills and cross-core sharing all
+/// happen within a short run; the core index is folded into range later.
+fn ops() -> impl Strategy<Value = Vec<(u8, u32, bool)>> {
+    prop::collection::vec((0u8..4, 0u32..96, prop::bool::ANY), 1..160)
+}
+
+fn make_case(sh: Shape, policy: DiffPolicy, raw: Vec<(u8, u32, bool)>) -> DiffCase {
+    let (cores, l2_sets_log2, l2_ways, migrate, mem_q, check_every) = sh;
+    DiffCase {
+        cores,
+        l2_sets_log2,
+        l2_ways,
+        migrate,
+        mem_q,
+        check_every,
+        policy,
+        ops: raw
+            .into_iter()
+            .map(|(c, line, store)| DiffOp {
+                core: c % cores,
+                line,
+                store,
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+    /// The ASCC family (full design plus 2-state, LRS, LMS+BIP, GMS+SABIP
+    /// and coarse-counter ablations) never diverges from the oracle.
+    #[test]
+    fn ascc_family_matches_oracle(
+        sh in shape(),
+        knobs in (0u8..6, prop::bool::ANY, 0u64..1 << 48),
+        raw in ops(),
+    ) {
+        let (variant, swap, seed) = knobs;
+        let case = make_case(sh, DiffPolicy::Ascc { variant, swap, seed }, raw);
+        diff::assert_case(&case);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(350))]
+    /// AVGCC (adaptive granularity, no QoS) never diverges from the oracle.
+    /// Epochs are kept tiny so granularity changes fire within the script.
+    #[test]
+    fn avgcc_matches_oracle(
+        sh in shape(),
+        knobs in (4u64..48, prop::bool::ANY, 0u8..3, prop::bool::ANY, 0u64..1 << 48),
+        raw in ops(),
+    ) {
+        let (epoch_accesses, cap, cap_log2, swap, seed) = knobs;
+        let policy = DiffPolicy::Avgcc {
+            qos: false,
+            epoch_accesses,
+            qos_epoch_cycles: 100_000,
+            max_counters: cap.then_some(1u32 << cap_log2),
+            swap,
+            seed,
+        };
+        diff::assert_case(&make_case(sh, policy, raw));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+    /// QoS-AVGCC (miss sampling, ratio-scaled increments, cycle epochs)
+    /// never diverges from the oracle.
+    #[test]
+    fn qos_avgcc_matches_oracle(
+        sh in shape(),
+        knobs in (4u64..48, 8u64..512, prop::bool::ANY, 0u64..1 << 48),
+        raw in ops(),
+    ) {
+        let (epoch_accesses, qos_epoch_cycles, swap, seed) = knobs;
+        let policy = DiffPolicy::Avgcc {
+            qos: true,
+            epoch_accesses,
+            qos_epoch_cycles,
+            max_counters: None,
+            swap,
+            seed,
+        };
+        diff::assert_case(&make_case(sh, policy, raw));
+    }
+}
+
+/// Every committed repro case under `regressions/` must replay cleanly —
+/// once a divergence is fixed, its shrunk trace stays in the suite.
+#[test]
+fn committed_repro_cases_still_match() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("regressions");
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "case") {
+            let p = path.display().to_string();
+            if let Err(e) = diff::repro_file(&p) {
+                panic!("committed repro {p} diverges again: {e}");
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Statistical check of SABIP insertion (§3.2): once a spiller set fails
+//! to find a receiver, demand fills go to LRU-1 except for an ε = 1/32
+//! trickle of MRU insertions, and the set reverts to pure MRU insertion
+//! as soon as its SSL counter drops back below K.
+
+use ascc::AsccConfig;
+use cmp_cache::{AccessOutcome, CoreId, InsertPos, LlcPolicy, SetIdx, SpillDecision};
+
+const CORE: CoreId = CoreId(0);
+const SET: SetIdx = SetIdx(0);
+
+/// A single-core ASCC policy: its spiller sets can never find a receiver,
+/// so the capacity policy (SABIP) is guaranteed to activate.
+fn policy() -> ascc::AsccPolicy {
+    AsccConfig::ascc(1, 16, 8).build()
+}
+
+/// Misses until the set's SSL counter saturates and the set is a spiller,
+/// then a failed spill to arm SABIP.
+fn arm_sabip(p: &mut ascc::AsccPolicy) {
+    for _ in 0..16 {
+        p.record_access(CORE, SET, AccessOutcome::Miss);
+    }
+    assert_eq!(
+        p.spill_decision(CORE, SET, false),
+        SpillDecision::NoCandidate,
+        "a saturated set with no peers must fail to spill"
+    );
+    assert!(p.in_capacity_mode(CORE, SET));
+}
+
+#[test]
+fn sabip_mru_rate_is_epsilon() {
+    let mut p = policy();
+    arm_sabip(&mut p);
+
+    const DRAWS: u32 = 32_768;
+    let mut mru = 0u32;
+    for _ in 0..DRAWS {
+        match p.demand_insert_pos(CORE, SET) {
+            InsertPos::Mru => mru += 1,
+            InsertPos::LruMinus1 => {}
+            other => panic!("SABIP must insert at MRU or LRU-1, got {other:?}"),
+        }
+    }
+    // ε = 1/32 over 32768 Bernoulli draws: mean 1024, σ ≈ 31.5. The seed
+    // is fixed so this is deterministic; the ±150 band (≈ ±4.8σ) documents
+    // that the draw really is an unbiased ε-test, not a counter.
+    assert!(
+        (874..=1174).contains(&mru),
+        "MRU insertions {mru} outside 1024 ± 150 for epsilon = 1/32"
+    );
+}
+
+#[test]
+fn sabip_reverts_to_mru_when_ssl_drops_below_k() {
+    let mut p = policy();
+    arm_sabip(&mut p);
+
+    // Hits decrement the SSL counter by ONE each; the counter saturated at
+    // (2K-1)<<3 = 120 and K<<3 = 64, so after 8 hits it falls below K and
+    // §3.2 requires the set to leave capacity mode.
+    for i in 0..8 {
+        assert!(
+            p.in_capacity_mode(CORE, SET),
+            "still at or above K after {i} hits"
+        );
+        p.record_access(
+            CORE,
+            SET,
+            AccessOutcome::Hit {
+                spilled: false,
+                depth: 0,
+            },
+        );
+    }
+    assert!(
+        !p.in_capacity_mode(CORE, SET),
+        "capacity mode must clear once SSL < K"
+    );
+    for _ in 0..256 {
+        assert_eq!(
+            p.demand_insert_pos(CORE, SET),
+            InsertPos::Mru,
+            "after reverting, every demand fill goes to MRU"
+        );
+    }
+}

@@ -12,6 +12,12 @@
 //! name, overridable via `PROPTEST_SEED`; case count overridable via
 //! `PROPTEST_CASES`). There is **no shrinking** — a failing case panics
 //! with the values visible in the assertion message.
+//!
+//! Like upstream, failing cases are **persisted**: the RNG state that
+//! produced the failure is appended to
+//! `<crate>/proptest-regressions/<test>.txt`, and every persisted state is
+//! replayed ahead of the random cases on subsequent runs. Commit those
+//! files so a once-found failure stays in the suite as a regression test.
 
 use std::collections::HashSet;
 use std::ops::{Range, RangeInclusive};
@@ -76,6 +82,96 @@ impl TestRng {
     /// Uniform draw from `[0, 1)`.
     pub fn unit_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// The current internal state, for regression persistence.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a persisted state.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        TestRng { s }
+    }
+}
+
+/// Failing-case persistence (`proptest-regressions/` files).
+///
+/// The format mirrors upstream's spirit: one line per failure, here the
+/// four xoshiro256++ state words that produced it, as
+/// `xs <hex16> <hex16> <hex16> <hex16>`. Lines starting with `#` are
+/// comments.
+pub mod regressions {
+    use std::io::Write;
+    use std::path::PathBuf;
+
+    fn file_for(manifest_dir: &str, test_name: &str) -> PathBuf {
+        // Test names arrive as module paths; keep them filesystem-safe.
+        let sanitized: String = test_name
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '-' })
+            .collect();
+        PathBuf::from(manifest_dir)
+            .join("proptest-regressions")
+            .join(format!("{sanitized}.txt"))
+    }
+
+    /// Loads all persisted failing states for `test_name`, oldest first.
+    /// Missing or unreadable files mean no regressions.
+    pub fn load(manifest_dir: &str, test_name: &str) -> Vec<[u64; 4]> {
+        let Ok(text) = std::fs::read_to_string(file_for(manifest_dir, test_name)) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for line in text.lines() {
+            let mut parts = line.split_whitespace();
+            if parts.next() != Some("xs") {
+                continue;
+            }
+            let words: Vec<u64> = parts
+                .filter_map(|w| u64::from_str_radix(w, 16).ok())
+                .collect();
+            if let [a, b, c, d] = words[..] {
+                out.push([a, b, c, d]);
+            }
+        }
+        out
+    }
+
+    /// Appends a failing state to `test_name`'s regression file (deduped;
+    /// creates the directory and file on first use). Persistence is
+    /// best-effort: I/O errors are swallowed so they cannot mask the
+    /// original test failure.
+    pub fn persist(manifest_dir: &str, test_name: &str, state: [u64; 4]) {
+        if load(manifest_dir, test_name).contains(&state) {
+            return;
+        }
+        let path = file_for(manifest_dir, test_name);
+        let Some(dir) = path.parent() else { return };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let fresh = !path.exists();
+        let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        else {
+            return;
+        };
+        if fresh {
+            let _ = writeln!(
+                f,
+                "# Seeds for failure cases proptest has generated in the past.\n\
+                 # It is automatically read and these particular cases re-run before\n\
+                 # any novel cases are generated. Commit this file to source control."
+            );
+        }
+        let _ = writeln!(
+            f,
+            "xs {:016x} {:016x} {:016x} {:016x}",
+            state[0], state[1], state[2], state[3]
+        );
     }
 }
 
@@ -408,13 +504,38 @@ macro_rules! __proptest_items {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
-                let mut rng = $crate::TestRng::from_name(concat!(
-                    module_path!(), "::", stringify!($name)
-                ));
-                for __case in 0..config.resolved_cases() {
-                    let _ = __case;
-                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
-                    $body
+                let __test_name = concat!(module_path!(), "::", stringify!($name));
+                // Replay persisted failures first, then explore new cases.
+                // Each case's pre-sampling RNG state is recorded so a fresh
+                // failure can be persisted and replayed on the next run.
+                let __persisted = $crate::regressions::load(env!("CARGO_MANIFEST_DIR"), __test_name);
+                let mut rng = $crate::TestRng::from_name(__test_name);
+                let __fresh = config.resolved_cases();
+                for __case in 0..(__persisted.len() as u64 + __fresh as u64) {
+                    let __state = match __persisted.get(__case as usize) {
+                        Some(&s) => s,
+                        None => rng.state(),
+                    };
+                    let mut __case_rng = $crate::TestRng::from_state(__state);
+                    if (__case as usize) >= __persisted.len() {
+                        // Advance the exploring RNG exactly as the case will.
+                        rng = $crate::TestRng::from_state(__state);
+                        $(let _ = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    }
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __case_rng);)*
+                    let __result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body)
+                    );
+                    if let Err(e) = __result {
+                        $crate::regressions::persist(
+                            env!("CARGO_MANIFEST_DIR"), __test_name, __state,
+                        );
+                        eprintln!(
+                            "proptest: persisted failing case for {} (state xs {:016x} {:016x} {:016x} {:016x})",
+                            __test_name, __state[0], __state[1], __state[2], __state[3],
+                        );
+                        ::std::panic::resume_unwind(e);
+                    }
                 }
             }
         )*
@@ -525,5 +646,31 @@ mod tests {
             let x = Strategy::sample(&(0.1f64..0.6), &mut rng);
             assert!((0.1..0.6).contains(&x));
         }
+    }
+
+    #[test]
+    fn state_round_trips() {
+        let mut a = TestRng::from_name("state");
+        let s = a.state();
+        let mut b = TestRng::from_state(s);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn regressions_persist_and_load() {
+        let dir = std::env::temp_dir().join(format!("proptest-regr-test-{}", std::process::id()));
+        let manifest = dir.to_str().unwrap();
+        let name = "mod::case_a";
+        assert!(crate::regressions::load(manifest, name).is_empty());
+        crate::regressions::persist(manifest, name, [1, 2, 3, 0xdead_beef]);
+        crate::regressions::persist(manifest, name, [1, 2, 3, 0xdead_beef]); // dedup
+        crate::regressions::persist(manifest, name, [9, 8, 7, 6]);
+        assert_eq!(
+            crate::regressions::load(manifest, name),
+            vec![[1, 2, 3, 0xdead_beef], [9, 8, 7, 6]]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
