@@ -78,6 +78,17 @@ impl LlcPolicy for CcPolicy {
         snap.spills_refused = Some(self.spills_refused);
         snap
     }
+
+    fn save_state(&self, w: &mut cmp_snap::SnapWriter) {
+        crate::snap_util::save_rng(w, &self.rng);
+        w.put_u64(self.spills_refused);
+    }
+
+    fn load_state(&mut self, r: &mut cmp_snap::SnapReader<'_>) -> Result<(), cmp_snap::SnapError> {
+        self.rng = crate::snap_util::load_rng(r)?;
+        self.spills_refused = r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -218,6 +218,36 @@ impl LlcPolicy for DipPolicy {
             .collect();
         snap
     }
+
+    fn save_state(&self, w: &mut cmp_snap::SnapWriter) {
+        crate::snap_util::save_rng(w, &self.rng);
+        w.put_u64(self.psel.len() as u64);
+        for &p in &self.psel {
+            w.put_u32(p);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut cmp_snap::SnapReader<'_>) -> Result<(), cmp_snap::SnapError> {
+        self.rng = crate::snap_util::load_rng(r)?;
+        let n = r.get_u64()?;
+        if n != self.psel.len() as u64 {
+            return Err(cmp_snap::SnapError::Mismatch(format!(
+                "DIP PSEL count: snapshot {n}, live {}",
+                self.psel.len()
+            )));
+        }
+        for p in &mut self.psel {
+            let v = r.get_u32()?;
+            if v > self.psel_max {
+                return Err(cmp_snap::SnapError::Corrupt(format!(
+                    "PSEL value {v} exceeds maximum {}",
+                    self.psel_max
+                )));
+            }
+            *p = v;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -288,6 +288,44 @@ impl LlcPolicy for DsrPolicy {
             .collect();
         snap
     }
+
+    fn save_state(&self, w: &mut cmp_snap::SnapWriter) {
+        w.put_str(self.name);
+        crate::snap_util::save_rng(w, &self.rng);
+        w.put_u64(self.psel.len() as u64);
+        for &p in &self.psel {
+            w.put_u32(p);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut cmp_snap::SnapReader<'_>) -> Result<(), cmp_snap::SnapError> {
+        let name = r.get_str()?;
+        if name != self.name {
+            return Err(cmp_snap::SnapError::Mismatch(format!(
+                "policy variant: snapshot \"{name}\", live \"{}\"",
+                self.name
+            )));
+        }
+        self.rng = crate::snap_util::load_rng(r)?;
+        let n = r.get_u64()?;
+        if n != self.psel.len() as u64 {
+            return Err(cmp_snap::SnapError::Mismatch(format!(
+                "DSR PSEL count: snapshot {n}, live {}",
+                self.psel.len()
+            )));
+        }
+        for p in &mut self.psel {
+            let v = r.get_u32()?;
+            if v > self.psel_max {
+                return Err(cmp_snap::SnapError::Corrupt(format!(
+                    "PSEL value {v} exceeds maximum {}",
+                    self.psel_max
+                )));
+            }
+            *p = v;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

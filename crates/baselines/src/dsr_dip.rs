@@ -102,6 +102,16 @@ impl LlcPolicy for DsrDipPolicy {
             .collect();
         snap
     }
+
+    fn save_state(&self, w: &mut cmp_snap::SnapWriter) {
+        self.dsr.save_state(w);
+        self.dip.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut cmp_snap::SnapReader<'_>) -> Result<(), cmp_snap::SnapError> {
+        self.dsr.load_state(r)?;
+        self.dip.load_state(r)
+    }
 }
 
 #[cfg(test)]

@@ -265,6 +265,44 @@ impl LlcPolicy for EccPolicy {
             .collect();
         snap
     }
+
+    fn save_state(&self, w: &mut cmp_snap::SnapWriter) {
+        crate::snap_util::save_rng(w, &self.rng);
+        w.put_u64(self.repartitions);
+        w.put_u64(self.caches.len() as u64);
+        for c in &self.caches {
+            w.put_u16(c.private_quota);
+            w.put_u64(c.accesses);
+            w.put_u64(c.deep_private_hits);
+            w.put_u64(c.remote_shared_serves);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut cmp_snap::SnapReader<'_>) -> Result<(), cmp_snap::SnapError> {
+        self.rng = crate::snap_util::load_rng(r)?;
+        self.repartitions = r.get_u64()?;
+        let n = r.get_u64()?;
+        if n != self.caches.len() as u64 {
+            return Err(cmp_snap::SnapError::Mismatch(format!(
+                "ECC core count: snapshot {n}, live {}",
+                self.caches.len()
+            )));
+        }
+        for c in &mut self.caches {
+            let q = r.get_u16()?;
+            if q == 0 || q >= self.cfg.ways {
+                return Err(cmp_snap::SnapError::Corrupt(format!(
+                    "private quota {q} outside [1, {})",
+                    self.cfg.ways
+                )));
+            }
+            c.private_quota = q;
+            c.accesses = r.get_u64()?;
+            c.deep_private_hits = r.get_u64()?;
+            c.remote_shared_serves = r.get_u64()?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -35,6 +35,28 @@ mod dsr;
 mod dsr_dip;
 mod ecc;
 
+/// Shared snapshot plumbing for the baseline policies' RNG streams.
+pub(crate) mod snap_util {
+    use cmp_snap::{SnapError, SnapReader, SnapWriter};
+    use rand::rngs::SmallRng;
+
+    pub(crate) fn save_rng(w: &mut SnapWriter, rng: &SmallRng) {
+        w.put_u64_slice(&rng.state());
+    }
+
+    pub(crate) fn load_rng(r: &mut SnapReader<'_>) -> Result<SmallRng, SnapError> {
+        let words = r.get_u64_slice()?;
+        let s: [u64; 4] = words
+            .as_slice()
+            .try_into()
+            .map_err(|_| SnapError::Corrupt("RNG state is not 4 words".into()))?;
+        if s == [0; 4] {
+            return Err(SnapError::Corrupt("all-zero RNG state".into()));
+        }
+        Ok(SmallRng::from_state(s))
+    }
+}
+
 pub use cc::CcPolicy;
 pub use dip::{DipConfig, DipMode, DipPolicy};
 pub use dsr::{DsrConfig, DsrPolicy, DsrRole};

@@ -61,14 +61,13 @@ fn save(r: &Recording, scale: Scale, epoch: u64) {
         .insert("warmup", scale.warmup as f64)
         .insert("seed", scale.seed as f64)
         .insert("recording", r.recorder.to_json());
-    let dir = std::path::Path::new("results");
-    std::fs::create_dir_all(dir).expect("create results dir");
-    let path = dir.join(format!(
+    let path = std::path::Path::new("results").join(format!(
         "obs_dynamics_{}core_{}.json",
         r.cores,
         r.policy.label().to_lowercase()
     ));
-    std::fs::write(&path, doc.pretty()).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    ascc_bench::atomic_write_text(&path, &doc.pretty())
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     println!("[saved {}]", path.display());
 }
 

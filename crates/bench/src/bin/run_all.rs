@@ -1,15 +1,31 @@
-//! Runs every experiment binary in paper order and rebuilds EXPERIMENTS.md
-//! from the JSON records the binaries drop under `results/`.
+//! Fault-tolerant orchestrator: runs every experiment binary in paper
+//! order, journaling per-binary status to `results/run_manifest.json`.
 //!
-//! Usage: `cargo run --release -p ascc-bench --bin run_all [-- --only <substring>]`
+//! Usage: `cargo run --release -p ascc-bench --bin run_all [-- OPTIONS]`
 //! (set `ASCC_QUICK=1` or `ASCC_INSTRS=...` to change the scale, `ASCC_JOBS`
 //! to bound the per-experiment sweep parallelism).
 //!
-//! `--only <substring>` keeps just the experiments whose name contains the
-//! substring (`--only fig08`, `--only table`); may be repeated. Per-binary
-//! wall-clock is printed in a summary table so perf regressions are visible.
+//! Options:
+//!
+//! * `--only <substring>` — keep just the experiments whose name contains
+//!   the substring, case-insensitively (`--only fig08`, `--only TABLE`);
+//!   may be repeated. A substring matching nothing exits non-zero and
+//!   lists the available names.
+//! * `--resume` — skip experiments the manifest marks done, and export
+//!   `ASCC_RESUME=1` to children so in-flight periodic checkpoints
+//!   (`ASCC_CKPT_EVERY`) restore instead of restarting.
+//! * `--timeout <secs>` — per-binary wall-clock limit; a binary still
+//!   running after the limit is killed and counts as a timeout.
+//! * `--retries <n>` — extra attempts after a failure or timeout
+//!   (default 1).
+//!
+//! Every manifest update and results artifact is published atomically
+//! (temp file + rename), so a SIGKILL at any instant leaves either the
+//! old file or the new one, never a torn write.
 
+use ascc_bench::manifest::{RunManifest, Status};
 use std::process::Command;
+use std::time::{Duration, Instant};
 
 const EXPERIMENTS: &[&str] = &[
     "table2_arch",
@@ -36,78 +52,225 @@ const EXPERIMENTS: &[&str] = &[
     "ablations",
 ];
 
-/// Parses `--only <substring>` filters from the command line.
-///
-/// Returns the list of substrings; empty means "run everything".
-fn parse_filters(args: &[String]) -> Vec<String> {
-    let mut filters = Vec::new();
+/// Parsed command line.
+struct Options {
+    /// Case-insensitive `--only` substrings; empty means "run everything".
+    filters: Vec<String>,
+    /// Skip manifest-done experiments and let children restore checkpoints.
+    resume: bool,
+    /// Per-binary wall-clock limit.
+    timeout: Option<Duration>,
+    /// Extra attempts after a failure or timeout.
+    retries: u32,
+}
+
+fn parse_args(args: &[String]) -> Options {
+    let mut opts = Options {
+        filters: Vec::new(),
+        resume: false,
+        timeout: None,
+        retries: 1,
+    };
     let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.strip_prefix("--only") {
+    // Accepts both `--flag value` and `--flag=value`.
+    let value_of = |arg: &str, name: &str, it: &mut std::slice::Iter<String>| -> String {
+        match arg.strip_prefix(name) {
             Some("") => match it.next() {
-                Some(v) => filters.push(v.clone()),
-                None => die("--only needs a substring argument"),
+                Some(v) => v.clone(),
+                None => die(&format!("{name} needs an argument")),
             },
             Some(eq) => match eq.strip_prefix('=') {
-                Some(v) if !v.is_empty() => filters.push(v.to_string()),
-                _ => die("--only needs a substring argument"),
+                Some(v) if !v.is_empty() => v.to_string(),
+                _ => die(&format!("{name} needs an argument")),
             },
-            None => die(&format!(
-                "unknown argument {arg:?} (expected --only <substring>)"
-            )),
+            None => unreachable!(),
+        }
+    };
+    while let Some(arg) = it.next() {
+        if arg == "--resume" {
+            opts.resume = true;
+        } else if arg.starts_with("--only") {
+            opts.filters
+                .push(value_of(arg, "--only", &mut it).to_lowercase());
+        } else if arg.starts_with("--timeout") {
+            let v = value_of(arg, "--timeout", &mut it);
+            match v.parse::<u64>() {
+                Ok(secs) if secs > 0 => opts.timeout = Some(Duration::from_secs(secs)),
+                _ => die(&format!("--timeout wants a positive integer, got {v:?}")),
+            }
+        } else if arg.starts_with("--retries") {
+            let v = value_of(arg, "--retries", &mut it);
+            match v.parse::<u32>() {
+                Ok(n) => opts.retries = n,
+                Err(_) => die(&format!("--retries wants an integer, got {v:?}")),
+            }
+        } else {
+            die(&format!("unknown argument {arg:?}"));
         }
     }
-    filters
+    opts
 }
 
 fn die(msg: &str) -> ! {
     eprintln!("run_all: {msg}");
-    eprintln!("usage: run_all [--only <substring>]...");
+    eprintln!(
+        "usage: run_all [--only <substring>]... [--resume] [--timeout <secs>] [--retries <n>]"
+    );
     std::process::exit(2);
+}
+
+/// One attempt's outcome.
+enum Outcome {
+    Ok,
+    Failed(String),
+    TimedOut,
+}
+
+/// Launches `exp`, enforcing the optional wall-clock limit by polling.
+fn run_one(bin: &std::path::Path, resume: bool, timeout: Option<Duration>) -> Outcome {
+    let mut cmd = Command::new(bin);
+    if resume {
+        cmd.env("ASCC_RESUME", "1");
+    }
+    let mut child = match cmd.spawn() {
+        Ok(c) => c,
+        Err(e) => return Outcome::Failed(format!("failed to launch: {e}")),
+    };
+    let t0 = Instant::now();
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) if status.success() => return Outcome::Ok,
+            Ok(Some(status)) => return Outcome::Failed(format!("exited with {status}")),
+            Ok(None) => {}
+            Err(e) => return Outcome::Failed(format!("wait failed: {e}")),
+        }
+        if timeout.is_some_and(|t| t0.elapsed() >= t) {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Outcome::TimedOut;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let filters = parse_filters(&args);
+    let opts = parse_args(&args);
     let selected: Vec<&str> = EXPERIMENTS
         .iter()
         .copied()
-        .filter(|e| filters.is_empty() || filters.iter().any(|f| e.contains(f.as_str())))
+        .filter(|e| {
+            opts.filters.is_empty()
+                || opts
+                    .filters
+                    .iter()
+                    .any(|f| e.to_lowercase().contains(f.as_str()))
+        })
         .collect();
     if selected.is_empty() {
-        die(&format!("no experiment matches {filters:?}"));
+        eprintln!(
+            "run_all: no experiment matches {:?}; available experiments:",
+            opts.filters
+        );
+        for e in EXPERIMENTS {
+            eprintln!("  {e}");
+        }
+        std::process::exit(2);
     }
+
+    let manifest_path = std::path::Path::new("results").join("run_manifest.json");
+    let mut manifest = fresh_or_resumed(&manifest_path, opts.resume);
 
     let self_path = std::env::current_exe().expect("own path");
     let bin_dir = self_path.parent().expect("bin dir").to_path_buf();
-    let started = std::time::Instant::now();
+    let started = Instant::now();
     let mut failures = Vec::new();
-    let mut timings: Vec<(&str, f64)> = Vec::new();
+    let mut timings: Vec<(&str, f64, &'static str)> = Vec::new();
     for exp in &selected {
-        println!("\n############ {exp} ############");
-        let t0 = std::time::Instant::now();
-        let status = Command::new(bin_dir.join(exp))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
-        timings.push((exp, t0.elapsed().as_secs_f64()));
-        if !status.success() {
-            eprintln!("!! {exp} failed with {status}");
-            failures.push(*exp);
+        if opts.resume && manifest.is_done(exp) {
+            println!("\n############ {exp} ############ (done in manifest, skipped)");
+            timings.push((exp, 0.0, "skipped"));
+            continue;
         }
+        let prior_attempts = manifest.entry(exp).map_or(0, |e| e.attempts);
+        let mut outcome = Outcome::Failed("never launched".into());
+        let mut secs = 0.0;
+        let mut attempt_no = prior_attempts;
+        for attempt in 0..=opts.retries {
+            attempt_no = prior_attempts + u64::from(attempt) + 1;
+            println!(
+                "\n############ {exp} ############{}",
+                if attempt > 0 {
+                    format!(" (retry {attempt}/{})", opts.retries)
+                } else {
+                    String::new()
+                }
+            );
+            journal(&mut manifest, exp, Status::Running, attempt_no, 0.0);
+            let t0 = Instant::now();
+            outcome = run_one(&bin_dir.join(exp), opts.resume, opts.timeout);
+            secs = t0.elapsed().as_secs_f64();
+            match &outcome {
+                Outcome::Ok => break,
+                Outcome::Failed(why) => {
+                    eprintln!("!! {exp} failed after {secs:.1} s: {why}");
+                    journal(&mut manifest, exp, Status::Failed, attempt_no, secs);
+                }
+                Outcome::TimedOut => {
+                    eprintln!("!! {exp} timed out after {secs:.1} s; killed");
+                    journal(&mut manifest, exp, Status::TimedOut, attempt_no, secs);
+                }
+            }
+        }
+        let verdict = match outcome {
+            Outcome::Ok => {
+                journal(&mut manifest, exp, Status::Done, attempt_no, secs);
+                "ok"
+            }
+            Outcome::Failed(_) => {
+                failures.push(*exp);
+                "FAILED"
+            }
+            Outcome::TimedOut => {
+                failures.push(*exp);
+                "TIMEOUT"
+            }
+        };
+        timings.push((exp, secs, verdict));
     }
 
     println!("\n== per-experiment wall-clock ==");
-    for (exp, secs) in &timings {
-        println!("  {exp:<24} {secs:8.2} s");
+    for (exp, secs, verdict) in &timings {
+        println!("  {exp:<24} {secs:8.2} s  {verdict}");
     }
     println!(
-        "\n{} experiment(s) done in {:.1} min; {} failures {:?}",
+        "\n{} experiment(s) done in {:.1} min; {} failures {:?} (journal: {})",
         selected.len(),
         started.elapsed().as_secs_f64() / 60.0,
         failures.len(),
-        failures
+        failures,
+        manifest_path.display()
     );
     if !failures.is_empty() {
         std::process::exit(1);
+    }
+}
+
+/// Loads the journal for `--resume`, or starts a blank one (next to the
+/// same path) for a fresh run so stale completions never mask new work.
+fn fresh_or_resumed(path: &std::path::Path, resume: bool) -> RunManifest {
+    if resume {
+        RunManifest::load_or_new(path)
+    } else {
+        let _ = std::fs::remove_file(path);
+        RunManifest::load_or_new(path)
+    }
+}
+
+/// Journals a transition, warning (not dying) on IO trouble — losing the
+/// journal must not kill a multi-hour sweep.
+fn journal(m: &mut RunManifest, exp: &str, status: Status, attempts: u64, secs: f64) {
+    if let Err(e) = m.record(exp, status, attempts, secs) {
+        eprintln!("run_all: warning: could not journal {exp}: {e}");
     }
 }

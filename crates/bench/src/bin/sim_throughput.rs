@@ -280,6 +280,7 @@ fn main() {
         .insert("speedups", Value::Array(speedups));
     let path =
         std::env::var("ASCC_BENCH_OUT").unwrap_or_else(|_| "BENCH_throughput.json".to_string());
-    std::fs::write(&path, json.pretty()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    ascc_bench::atomic_write_text(&path, &json.pretty())
+        .unwrap_or_else(|e| panic!("write {path}: {e}"));
     println!("\n[saved {path}]");
 }

@@ -17,6 +17,11 @@
 //! (`tests/tests/differential.rs`): it reruns the optimized engine and the
 //! spec-literal oracle in lockstep on the recorded script and reports the
 //! first state divergence, or confirms the case now passes.
+//!
+//! `snapshot` inspects a `.snap` checkpoint written by the periodic
+//! checkpointer (`ASCC_CKPT_EVERY`) or [`cmp_sim::CmpSystem::snapshot`]:
+//! it decodes the envelope, fingerprint and per-core progress without
+//! constructing a system, and prints the section layout.
 
 use cmp_trace::{RecordedTrace, SharedTrace, SpecBench};
 use std::collections::HashSet;
@@ -28,6 +33,7 @@ fn usage() -> ! {
     eprintln!("       trace_tool materialize <spec-id> <accesses> <file>");
     eprintln!("       trace_tool info <file>");
     eprintln!("       trace_tool repro <case-file>");
+    eprintln!("       trace_tool snapshot <snap-file>");
     exit(2);
 }
 
@@ -133,6 +139,46 @@ fn main() {
                     exit(1);
                 }
             }
+        }
+        Some("snapshot") if args.len() == 2 => {
+            let bytes = std::fs::read(&args[1]).unwrap_or_else(|e| {
+                eprintln!("cannot read {}: {e}", args[1]);
+                exit(1);
+            });
+            let info = cmp_sim::snapshot::SnapshotInfo::parse(&bytes).unwrap_or_else(|e| {
+                eprintln!("cannot decode {}: {e}", args[1]);
+                exit(1);
+            });
+            let geo = |(sets, ways, line): (u32, u16, u32)| {
+                format!("{sets} sets x {ways} ways x {line} B")
+            };
+            println!("format version: {}", info.version);
+            println!("policy:         {}", info.policy);
+            println!("cores:          {}", info.cores);
+            println!("L1 geometry:    {}", geo(info.l1_geometry));
+            println!("L2 geometry:    {}", geo(info.l2_geometry));
+            for (i, c) in info.core_info.iter().enumerate() {
+                println!(
+                    "core {i}: {:<16} {} accesses, {} instrs, {:.0} cycles",
+                    c.label, c.accesses, c.instrs, c.cycles
+                );
+            }
+            println!("sections:");
+            let name = |t: u8| match t {
+                t if t == cmp_sim::snapshot::tag::FINGERPRINT => "fingerprint",
+                t if t == cmp_sim::snapshot::tag::GLOBALS => "globals",
+                t if t == cmp_sim::snapshot::tag::CORES => "cores",
+                t if t == cmp_sim::snapshot::tag::L1S => "l1s",
+                t if t == cmp_sim::snapshot::tag::L2S => "l2s",
+                t if t == cmp_sim::snapshot::tag::BUS => "bus",
+                t if t == cmp_sim::snapshot::tag::PREFETCH => "prefetch",
+                t if t == cmp_sim::snapshot::tag::POLICY => "policy",
+                _ => "unknown",
+            };
+            for (t, len) in &info.sections {
+                println!("  tag {t:>2} ({:<11}) {len:>10} bytes", name(*t));
+            }
+            println!("total:          {} bytes", bytes.len());
         }
         _ => usage(),
     }

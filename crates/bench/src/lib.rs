@@ -365,6 +365,177 @@ pub fn print_improvement_table(
     geo
 }
 
+/// Writes `text` to `path` atomically (temp file in the same directory,
+/// then rename), creating parent directories as needed.
+///
+/// Every results artifact — `results/*.json`, `BENCH_throughput.json`,
+/// EpochRecorder dumps, the run manifest — goes through here so a kill
+/// mid-write can never leave a torn file that poisons later report or
+/// compare steps.
+pub fn atomic_write_text(path: impl AsRef<std::path::Path>, text: &str) -> std::io::Result<()> {
+    cmp_snap::atomic_write(path.as_ref(), text.as_bytes())
+}
+
+/// The fault-tolerant orchestration journal behind `run_all`
+/// (`results/run_manifest.json`).
+///
+/// Every per-binary transition (launch, completion, failure, timeout) is
+/// recorded and the whole journal republished atomically, so a killed
+/// orchestrator leaves an accurate account: `run_all --resume` skips
+/// entries marked done and re-runs everything else (an entry still marked
+/// running means the previous orchestrator died mid-experiment).
+pub mod manifest {
+    use crate::atomic_write_text;
+    use cmp_json::Value;
+    use std::path::{Path, PathBuf};
+
+    /// Journal format version.
+    pub const MANIFEST_VERSION: u64 = 1;
+
+    /// Outcome of one experiment binary.
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    pub enum Status {
+        /// Launched but not finished — after a crash this marks the
+        /// experiment that was in flight.
+        Running,
+        /// Exited successfully.
+        Done,
+        /// Exited with a failure status.
+        Failed,
+        /// Killed after exceeding the per-binary wall-clock timeout.
+        TimedOut,
+    }
+
+    impl Status {
+        /// The journal's string form.
+        pub fn as_str(self) -> &'static str {
+            match self {
+                Status::Running => "running",
+                Status::Done => "done",
+                Status::Failed => "failed",
+                Status::TimedOut => "timeout",
+            }
+        }
+
+        /// Parses the journal's string form.
+        pub fn parse(s: &str) -> Option<Status> {
+            match s {
+                "running" => Some(Status::Running),
+                "done" => Some(Status::Done),
+                "failed" => Some(Status::Failed),
+                "timeout" => Some(Status::TimedOut),
+                _ => None,
+            }
+        }
+    }
+
+    /// One experiment's journal entry.
+    #[derive(Clone, Debug)]
+    pub struct Entry {
+        /// Experiment binary name, e.g. `"fig08_speedup4"`.
+        pub name: String,
+        /// Latest status.
+        pub status: Status,
+        /// Attempts launched so far (1-based).
+        pub attempts: u64,
+        /// Wall-clock seconds of the latest attempt.
+        pub seconds: f64,
+    }
+
+    /// The journal: per-binary entries in first-seen order, republished
+    /// atomically on every [`record`](RunManifest::record).
+    #[derive(Debug)]
+    pub struct RunManifest {
+        path: PathBuf,
+        entries: Vec<Entry>,
+    }
+
+    impl RunManifest {
+        /// Loads the journal at `path`, or starts an empty one if the file
+        /// is missing or unparseable (a torn journal is impossible by
+        /// construction, but a hand-edited one should not wedge the run).
+        pub fn load_or_new(path: &Path) -> RunManifest {
+            let entries = std::fs::read_to_string(path)
+                .ok()
+                .and_then(|text| Value::parse(&text).ok())
+                .and_then(|doc| Self::entries_of(&doc))
+                .unwrap_or_default();
+            RunManifest {
+                path: path.to_path_buf(),
+                entries,
+            }
+        }
+
+        fn entries_of(doc: &Value) -> Option<Vec<Entry>> {
+            let mut entries = Vec::new();
+            for e in doc.get("entries")?.as_array()? {
+                entries.push(Entry {
+                    name: e.get("name")?.as_str()?.to_string(),
+                    status: Status::parse(e.get("status")?.as_str()?)?,
+                    attempts: e.get("attempts")?.as_u64()?,
+                    seconds: e.get("seconds")?.as_f64()?,
+                });
+            }
+            Some(entries)
+        }
+
+        /// The entry for `name`, if any run has been journaled.
+        pub fn entry(&self, name: &str) -> Option<&Entry> {
+            self.entries.iter().find(|e| e.name == name)
+        }
+
+        /// Whether `name` completed successfully in a previous run.
+        pub fn is_done(&self, name: &str) -> bool {
+            self.entry(name).is_some_and(|e| e.status == Status::Done)
+        }
+
+        /// Upserts `name`'s entry and republishes the journal atomically.
+        pub fn record(
+            &mut self,
+            name: &str,
+            status: Status,
+            attempts: u64,
+            seconds: f64,
+        ) -> std::io::Result<()> {
+            match self.entries.iter_mut().find(|e| e.name == name) {
+                Some(e) => {
+                    e.status = status;
+                    e.attempts = attempts;
+                    e.seconds = seconds;
+                }
+                None => self.entries.push(Entry {
+                    name: name.to_string(),
+                    status,
+                    attempts,
+                    seconds,
+                }),
+            }
+            atomic_write_text(&self.path, &self.to_json().pretty())
+        }
+
+        /// The journal as a JSON document.
+        pub fn to_json(&self) -> Value {
+            Value::object()
+                .insert("version", MANIFEST_VERSION as f64)
+                .insert(
+                    "entries",
+                    Value::Array(
+                        self.entries
+                            .iter()
+                            .map(|e| {
+                                Value::object()
+                                    .insert("name", e.name.clone())
+                                    .insert("status", e.status.as_str())
+                                    .insert("attempts", e.attempts as f64)
+                                    .insert("seconds", e.seconds)
+                            })
+                            .collect(),
+                    ),
+                )
+        }
+    }
+}
+
 /// A serialisable record of one experiment, written under `results/`.
 #[derive(Debug)]
 pub struct ExperimentRecord {
@@ -404,10 +575,8 @@ impl ExperimentRecord {
     ///
     /// Panics if the file cannot be written.
     pub fn save(&self) {
-        let dir = std::path::Path::new("results");
-        std::fs::create_dir_all(dir).expect("create results dir");
-        let path = dir.join(format!("{}.json", self.id));
-        std::fs::write(&path, self.to_json().pretty())
+        let path = std::path::Path::new("results").join(format!("{}.json", self.id));
+        atomic_write_text(&path, &self.to_json().pretty())
             .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
         println!("\n[saved {}]", path.display());
     }
@@ -487,5 +656,69 @@ mod tests {
     fn pct_formatting() {
         assert_eq!(pct(0.078), "+7.8%");
         assert_eq!(pct(-0.021), "-2.1%");
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_creates_dirs() {
+        let dir = std::env::temp_dir().join(format!("ascc-bench-aw-{}", std::process::id()));
+        let path = dir.join("nested").join("out.json");
+        atomic_write_text(&path, "first").unwrap();
+        atomic_write_text(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        // No temp files left behind.
+        let litter: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(litter.len(), 1, "{litter:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_round_trips_and_tracks_status() {
+        use manifest::{RunManifest, Status};
+        let dir = std::env::temp_dir().join(format!("ascc-bench-man-{}", std::process::id()));
+        let path = dir.join("run_manifest.json");
+
+        // Missing file → empty journal.
+        let mut m = RunManifest::load_or_new(&path);
+        assert!(m.entry("fig08_speedup4").is_none());
+        assert!(!m.is_done("fig08_speedup4"));
+
+        m.record("fig08_speedup4", Status::Running, 1, 0.0).unwrap();
+        m.record("fig08_speedup4", Status::TimedOut, 1, 12.5)
+            .unwrap();
+        m.record("fig08_speedup4", Status::Done, 2, 7.25).unwrap();
+        m.record("ablations", Status::Failed, 3, 1.0).unwrap();
+
+        // Reload and check the journal survived the round trip.
+        let m2 = RunManifest::load_or_new(&path);
+        assert!(m2.is_done("fig08_speedup4"));
+        assert!(!m2.is_done("ablations"));
+        let e = m2.entry("fig08_speedup4").unwrap();
+        assert_eq!((e.status, e.attempts), (Status::Done, 2));
+        assert!((e.seconds - 7.25).abs() < 1e-12);
+        assert_eq!(m2.entry("ablations").unwrap().status, Status::Failed);
+
+        // Garbage journal → empty, not a crash.
+        std::fs::write(&path, "{ not json").unwrap();
+        let m3 = RunManifest::load_or_new(&path);
+        assert!(m3.entry("fig08_speedup4").is_none());
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_status_strings_round_trip() {
+        use manifest::Status;
+        for s in [
+            Status::Running,
+            Status::Done,
+            Status::Failed,
+            Status::TimedOut,
+        ] {
+            assert_eq!(Status::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(Status::parse("nonsense"), None);
     }
 }

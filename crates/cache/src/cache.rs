@@ -28,6 +28,7 @@ use crate::recency::{identity_word, RecencyStack};
 use crate::set::{decode_line, encode_meta, CacheLine, SetMut, SetRef, TAG_INVALID};
 use crate::stats::{CacheStats, SetStats};
 use crate::types::{CoreId, FillKind, InsertPos, LineAddr, SetIdx, WayIdx};
+use cmp_snap::{SnapError, SnapReader, SnapWriter};
 
 /// A set-associative cache with true-LRU recency tracking and pluggable
 /// insertion positions.
@@ -312,6 +313,146 @@ impl SetAssocCache {
     pub fn line_at(&self, set: SetIdx, way: WayIdx) -> Option<CacheLine> {
         let i = set.index() * self.geometry.ways() as usize + way.index();
         decode_line(self.tags[i], self.meta[i])
+    }
+
+    /// Serialises the full cache state — geometry fingerprint, tag/meta/
+    /// recency arenas, stats, optional per-set stats — into `w`.
+    ///
+    /// Restored by [`load_state`](SetAssocCache::load_state) on a cache of
+    /// identical geometry.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_u32(self.geometry.sets());
+        w.put_u16(self.geometry.ways());
+        w.put_u32(self.geometry.line_bytes());
+        w.put_u64_slice(&self.tags);
+        w.put_bytes(&self.meta);
+        w.put_u64_slice(&self.recency);
+        let s = &self.stats;
+        for v in [
+            s.hits,
+            s.misses,
+            s.demand_fills,
+            s.spill_fills,
+            s.prefetch_fills,
+            s.evictions,
+            s.spilled_line_hits,
+        ] {
+            w.put_u64(v);
+        }
+        match &self.set_stats {
+            None => w.put_bool(false),
+            Some(ss) => {
+                w.put_bool(true);
+                w.put_u64(ss.len() as u64);
+                for st in ss {
+                    w.put_u64(st.hits);
+                    w.put_u64(st.misses);
+                }
+            }
+        }
+    }
+
+    /// Restores state captured by [`save_state`](SetAssocCache::save_state).
+    ///
+    /// Fails with [`SnapError::Mismatch`] if the snapshot was taken from a
+    /// cache of different geometry, and with [`SnapError::Corrupt`] if the
+    /// arenas violate structural invariants (tags mapping to the wrong set,
+    /// undecodable MESI bits, non-permutation recency words) — corruption
+    /// is rejected up front rather than surfacing as a panic mid-run.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let (sets, ways, line_bytes) = (r.get_u32()?, r.get_u16()?, r.get_u32()?);
+        let g = self.geometry;
+        if (sets, ways, line_bytes) != (g.sets(), g.ways(), g.line_bytes()) {
+            return Err(SnapError::Mismatch(format!(
+                "cache geometry: snapshot {sets}x{ways}x{line_bytes}B, \
+                 live {}x{}x{}B",
+                g.sets(),
+                g.ways(),
+                g.line_bytes()
+            )));
+        }
+        let tags = r.get_u64_slice()?;
+        let meta = r.get_bytes()?;
+        let recency = r.get_u64_slice()?;
+        if tags.len() != self.tags.len()
+            || meta.len() != self.meta.len()
+            || recency.len() != self.recency.len()
+        {
+            return Err(SnapError::Corrupt(format!(
+                "cache arena sizes {}/{}/{} do not match geometry ({} lines, {} sets)",
+                tags.len(),
+                meta.len(),
+                recency.len(),
+                g.lines(),
+                g.sets()
+            )));
+        }
+        let ways_us = ways as usize;
+        for (i, (&tag, &m)) in tags.iter().zip(meta.iter()).enumerate() {
+            if tag == TAG_INVALID {
+                continue;
+            }
+            let set = SetIdx((i / ways_us) as u32);
+            if g.set_of(LineAddr::new(tag)) != set {
+                return Err(SnapError::Corrupt(format!(
+                    "tag {tag:#x} stored in set {set} but maps to {}",
+                    g.set_of(LineAddr::new(tag))
+                )));
+            }
+            if decode_line(tag, m).is_none() || m & !0b111 != 0 {
+                return Err(SnapError::Corrupt(format!(
+                    "undecodable meta byte {m:#04x} for valid tag {tag:#x}"
+                )));
+            }
+        }
+        for (s, &word) in recency.iter().enumerate() {
+            let mut seen = 0u32;
+            for w_i in 0..ways_us {
+                let nibble = ((word >> (4 * w_i)) & 0xF) as usize;
+                if nibble >= ways_us || seen & (1 << nibble) != 0 {
+                    return Err(SnapError::Corrupt(format!(
+                        "recency word {word:#x} of set {s} is not a permutation of 0..{ways}"
+                    )));
+                }
+                seen |= 1 << nibble;
+            }
+        }
+        self.tags.copy_from_slice(&tags);
+        self.meta.copy_from_slice(meta);
+        self.recency.copy_from_slice(&recency);
+        let mut st = [0u64; 7];
+        for v in &mut st {
+            *v = r.get_u64()?;
+        }
+        self.stats = CacheStats {
+            hits: st[0],
+            misses: st[1],
+            demand_fills: st[2],
+            spill_fills: st[3],
+            prefetch_fills: st[4],
+            evictions: st[5],
+            spilled_line_hits: st[6],
+        };
+        if r.get_bool()? {
+            let n = r.get_u64()? as usize;
+            if n != g.sets() as usize {
+                return Err(SnapError::Corrupt(format!(
+                    "per-set stats length {n} for {} sets",
+                    g.sets()
+                )));
+            }
+            let mut ss = Vec::with_capacity(n);
+            for _ in 0..n {
+                ss.push(SetStats {
+                    hits: r.get_u64()?,
+                    misses: r.get_u64()?,
+                });
+            }
+            self.set_stats = Some(ss);
+        } else {
+            self.set_stats = None;
+        }
+        Ok(())
     }
 }
 

@@ -67,7 +67,7 @@ pub use obs::{
 };
 pub use policy::{AccessOutcome, LlcPolicy, PrivateBaseline, SpillDecision};
 pub use prefetch::{PrefetchConfig, StridePrefetcher};
-pub use recency::RecencyStack;
+pub use recency::{RecencyStack, MAX_WAYS};
 pub use set::{CacheLine, CacheSet, SetMut, SetRef};
 pub use stats::{CacheStats, SetStats};
 pub use types::{AccessKind, Addr, CoreId, FillKind, InsertPos, LineAddr, SetIdx, WayIdx};

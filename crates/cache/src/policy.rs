@@ -188,6 +188,34 @@ pub trait LlcPolicy {
     fn check_invariants(&self) -> Vec<String> {
         Vec::new()
     }
+
+    /// Serialises all adaptive state — SSL counters, BIP flags, duelling
+    /// counters, quotas, epoch counters, RNG streams — into `w`, such that
+    /// [`load_state`](LlcPolicy::load_state) on a freshly constructed
+    /// policy of the same configuration resumes the exact decision stream.
+    ///
+    /// The default writes nothing, which is correct for stateless policies
+    /// ([`PrivateBaseline`]).
+    fn save_state(&self, w: &mut cmp_snap::SnapWriter) {
+        let _ = w;
+    }
+
+    /// Restores state captured by [`save_state`](LlcPolicy::save_state).
+    ///
+    /// The default accepts only an empty payload (stateless policies); a
+    /// non-empty payload means the snapshot came from a different policy
+    /// and is rejected rather than silently ignored.
+    fn load_state(&mut self, r: &mut cmp_snap::SnapReader<'_>) -> Result<(), cmp_snap::SnapError> {
+        if r.is_exhausted() {
+            Ok(())
+        } else {
+            Err(cmp_snap::SnapError::Mismatch(format!(
+                "policy {} is stateless but the snapshot carries {} bytes of policy state",
+                self.name(),
+                r.remaining()
+            )))
+        }
+    }
 }
 
 /// The paper's baseline: plain private LLCs. Never spills, MRU-inserts.

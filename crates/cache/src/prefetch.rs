@@ -115,6 +115,50 @@ impl StridePrefetcher {
             }
         }
     }
+
+    /// Serialises the table and issue counter into `w` (restored by
+    /// [`load_state`](StridePrefetcher::load_state) on an identically
+    /// configured prefetcher).
+    pub fn save_state(&self, w: &mut cmp_snap::SnapWriter) {
+        w.put_u64(self.cfg.entries as u64);
+        w.put_u8(self.cfg.degree);
+        w.put_u8(self.cfg.threshold);
+        w.put_u64(self.issued);
+        for e in &self.table {
+            w.put_bool(e.valid);
+            w.put_u16(e.stream);
+            w.put_u64(e.last_line);
+            w.put_i64(e.stride);
+            w.put_u8(e.confidence);
+        }
+    }
+
+    /// Restores state captured by [`save_state`](StridePrefetcher::save_state).
+    pub fn load_state(
+        &mut self,
+        r: &mut cmp_snap::SnapReader<'_>,
+    ) -> Result<(), cmp_snap::SnapError> {
+        let (entries, degree, threshold) = (r.get_u64()?, r.get_u8()?, r.get_u8()?);
+        if (entries, degree, threshold)
+            != (self.cfg.entries as u64, self.cfg.degree, self.cfg.threshold)
+        {
+            return Err(cmp_snap::SnapError::Mismatch(format!(
+                "prefetcher config: snapshot {entries}/{degree}/{threshold}, live {}/{}/{}",
+                self.cfg.entries, self.cfg.degree, self.cfg.threshold
+            )));
+        }
+        self.issued = r.get_u64()?;
+        for e in &mut self.table {
+            *e = StrideEntry {
+                valid: r.get_bool()?,
+                stream: r.get_u16()?,
+                last_line: r.get_u64()?,
+                stride: r.get_i64()?,
+                confidence: r.get_u8()?,
+            };
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

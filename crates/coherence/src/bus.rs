@@ -71,6 +71,26 @@ impl SnoopBus {
         self.stats = BusStats::default();
     }
 
+    /// Serialises the bus statistics (the bus's only state) into `w`.
+    pub fn save_state(&self, w: &mut cmp_snap::SnapWriter) {
+        w.put_u64(self.stats.snoops);
+        w.put_u64(self.stats.transfers);
+        w.put_u64(self.stats.invalidations);
+    }
+
+    /// Restores statistics captured by [`save_state`](SnoopBus::save_state).
+    pub fn load_state(
+        &mut self,
+        r: &mut cmp_snap::SnapReader<'_>,
+    ) -> Result<(), cmp_snap::SnapError> {
+        self.stats = BusStats {
+            snoops: r.get_u64()?,
+            transfers: r.get_u64()?,
+            invalidations: r.get_u64()?,
+        };
+        Ok(())
+    }
+
     /// All caches currently holding `line`.
     pub fn holders(&self, caches: &[SetAssocCache], line: LineAddr) -> Vec<CoreId> {
         caches

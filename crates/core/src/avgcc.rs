@@ -646,6 +646,93 @@ impl LlcPolicy for AvgccPolicy {
     fn drain_events(&mut self, out: &mut Vec<ObsEvent>) {
         out.append(&mut self.events);
     }
+
+    fn save_state(&self, w: &mut cmp_snap::SnapWriter) {
+        w.put_str(&self.name);
+        w.put_u64_slice(&self.rng.state());
+        w.put_u64(self.granularity_changes);
+        w.put_u64(self.caches.len() as u64);
+        for c in &self.caches {
+            w.put_u8(c.d);
+            c.ssl.save_state(w);
+            w.put_u64(c.bip.len() as u64);
+            for &b in &c.bip {
+                w.put_bool(b);
+            }
+            w.put_u32(c.a);
+            w.put_u32(c.b);
+            w.put_u64(c.accesses);
+            w.put_u64(c.qos.misses_with);
+            w.put_u64(c.qos.sampled_misses);
+            w.put_u64(c.qos.last_cycle);
+            w.put_u16(c.qos.ratio_fixed);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut cmp_snap::SnapReader<'_>) -> Result<(), cmp_snap::SnapError> {
+        let name = r.get_str()?;
+        if name != self.name {
+            return Err(cmp_snap::SnapError::Mismatch(format!(
+                "policy variant: snapshot \"{name}\", live \"{}\"",
+                self.name
+            )));
+        }
+        let rng = r.get_u64_slice()?;
+        let rng: [u64; 4] = rng
+            .as_slice()
+            .try_into()
+            .map_err(|_| cmp_snap::SnapError::Corrupt("RNG state is not 4 words".into()))?;
+        if rng == [0; 4] {
+            return Err(cmp_snap::SnapError::Corrupt("all-zero RNG state".into()));
+        }
+        self.rng = SmallRng::from_state(rng);
+        self.granularity_changes = r.get_u64()?;
+        let n = r.get_u64()?;
+        if n != self.caches.len() as u64 {
+            return Err(cmp_snap::SnapError::Mismatch(format!(
+                "core count: snapshot {n}, live {}",
+                self.caches.len()
+            )));
+        }
+        let (sets, ways, tuning) = (self.cfg.sets, self.cfg.ways, self.cfg.tuning);
+        for c in &mut self.caches {
+            let d = r.get_u8()?;
+            if !(self.d_min..=self.d_max).contains(&d) {
+                return Err(cmp_snap::SnapError::Corrupt(format!(
+                    "granularity D={d} outside [{}, {}]",
+                    self.d_min, self.d_max
+                )));
+            }
+            // Rebuild the table at the snapshot's granularity first: the
+            // SSL shape (and the BIP flag count) depends on `D`, then the
+            // saved counter values overwrite the reinitialised ones and
+            // `A`/`B` are taken from the snapshot (they were maintained
+            // incrementally and must continue bit-exactly).
+            c.d = d;
+            c.reinit(sets, ways, tuning);
+            c.ssl.load_state(r)?;
+            let len = r.get_u64()?;
+            if len != c.bip.len() as u64 {
+                return Err(cmp_snap::SnapError::Corrupt(format!(
+                    "BIP flag count {len} for {} counters",
+                    c.bip.len()
+                )));
+            }
+            for b in &mut c.bip {
+                *b = r.get_bool()?;
+            }
+            c.a = r.get_u32()?;
+            c.b = r.get_u32()?;
+            c.accesses = r.get_u64()?;
+            c.qos = QosState {
+                misses_with: r.get_u64()?,
+                sampled_misses: r.get_u64()?,
+                last_cycle: r.get_u64()?,
+                ratio_fixed: r.get_u16()?,
+            };
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -518,6 +518,67 @@ impl LlcPolicy for AsccPolicy {
     fn drain_events(&mut self, out: &mut Vec<ObsEvent>) {
         out.append(&mut self.events);
     }
+
+    fn save_state(&self, w: &mut cmp_snap::SnapWriter) {
+        w.put_str(&self.name);
+        w.put_u64_slice(&self.rng.state());
+        w.put_u64(self.capacity_activations);
+        w.put_u64(self.caches.len() as u64);
+        for c in &self.caches {
+            c.ssl.save_state(w);
+            w.put_u64(c.bip.len() as u64);
+            for &b in &c.bip {
+                w.put_bool(b);
+            }
+        }
+        for a in &self.allocators {
+            a.save_state(w);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut cmp_snap::SnapReader<'_>) -> Result<(), cmp_snap::SnapError> {
+        let name = r.get_str()?;
+        if name != self.name {
+            return Err(cmp_snap::SnapError::Mismatch(format!(
+                "policy variant: snapshot \"{name}\", live \"{}\"",
+                self.name
+            )));
+        }
+        let rng = r.get_u64_slice()?;
+        let rng: [u64; 4] = rng
+            .as_slice()
+            .try_into()
+            .map_err(|_| cmp_snap::SnapError::Corrupt("RNG state is not 4 words".into()))?;
+        if rng == [0; 4] {
+            return Err(cmp_snap::SnapError::Corrupt("all-zero RNG state".into()));
+        }
+        self.rng = SmallRng::from_state(rng);
+        self.capacity_activations = r.get_u64()?;
+        let n = r.get_u64()?;
+        if n != self.caches.len() as u64 {
+            return Err(cmp_snap::SnapError::Mismatch(format!(
+                "core count: snapshot {n}, live {}",
+                self.caches.len()
+            )));
+        }
+        for c in &mut self.caches {
+            c.ssl.load_state(r)?;
+            let len = r.get_u64()?;
+            if len != c.bip.len() as u64 {
+                return Err(cmp_snap::SnapError::Corrupt(format!(
+                    "BIP flag count {len} for {} counters",
+                    c.bip.len()
+                )));
+            }
+            for b in &mut c.bip {
+                *b = r.get_bool()?;
+            }
+        }
+        for a in &mut self.allocators {
+            a.load_state(r)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -63,6 +63,38 @@ impl SpillAllocator {
             e.0 = self.k_fixed;
         }
     }
+
+    /// Serialises the candidate entries into `w` (restored by
+    /// [`load_state`](SpillAllocator::load_state) on an allocator of
+    /// identical shape).
+    pub fn save_state(&self, w: &mut cmp_snap::SnapWriter) {
+        w.put_u16(self.k_fixed);
+        w.put_u64(self.entries.len() as u64);
+        for &(v, c) in &self.entries {
+            w.put_u16(v);
+            w.put_u8(c.0);
+        }
+    }
+
+    /// Restores entries captured by [`save_state`](SpillAllocator::save_state).
+    pub fn load_state(
+        &mut self,
+        r: &mut cmp_snap::SnapReader<'_>,
+    ) -> Result<(), cmp_snap::SnapError> {
+        let k_fixed = r.get_u16()?;
+        let n = r.get_u64()?;
+        if k_fixed != self.k_fixed || n != self.entries.len() as u64 {
+            return Err(cmp_snap::SnapError::Mismatch(format!(
+                "spill allocator shape: snapshot K={k_fixed}/{n} sets, live K={}/{} sets",
+                self.k_fixed,
+                self.entries.len()
+            )));
+        }
+        for e in &mut self.entries {
+            *e = (r.get_u16()?, CoreId(r.get_u8()?));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -128,6 +128,63 @@ impl SslTable {
         self.counters.len()
     }
 
+    /// Serialises the table — a shape fingerprint plus the counter values —
+    /// into `w` (restored by [`load_state`](SslTable::load_state) on a
+    /// table of identical shape).
+    pub fn save_state(&self, w: &mut cmp_snap::SnapWriter) {
+        w.put_u32(self.sets);
+        w.put_u8(self.gran_log2);
+        w.put_u16(self.k_fixed);
+        w.put_u16(self.max_fixed);
+        w.put_u16(self.spiller_fixed);
+        w.put_u16_slice(&self.counters);
+    }
+
+    /// Restores counters captured by [`save_state`](SslTable::save_state).
+    ///
+    /// Fails with [`cmp_snap::SnapError::Mismatch`] on a shape difference
+    /// and [`cmp_snap::SnapError::Corrupt`] on out-of-range counter values.
+    pub fn load_state(
+        &mut self,
+        r: &mut cmp_snap::SnapReader<'_>,
+    ) -> Result<(), cmp_snap::SnapError> {
+        let shape = (
+            r.get_u32()?,
+            r.get_u8()?,
+            r.get_u16()?,
+            r.get_u16()?,
+            r.get_u16()?,
+        );
+        let live = (
+            self.sets,
+            self.gran_log2,
+            self.k_fixed,
+            self.max_fixed,
+            self.spiller_fixed,
+        );
+        if shape != live {
+            return Err(cmp_snap::SnapError::Mismatch(format!(
+                "SSL table shape: snapshot {shape:?}, live {live:?}"
+            )));
+        }
+        let counters = r.get_u16_slice()?;
+        if counters.len() != self.counters.len() {
+            return Err(cmp_snap::SnapError::Corrupt(format!(
+                "SSL counter count {} for a table of {}",
+                counters.len(),
+                self.counters.len()
+            )));
+        }
+        if let Some(&v) = counters.iter().find(|&&v| v > self.max_fixed) {
+            return Err(cmp_snap::SnapError::Corrupt(format!(
+                "SSL counter {v} exceeds saturation maximum {}",
+                self.max_fixed
+            )));
+        }
+        self.counters = counters;
+        Ok(())
+    }
+
     /// Number of sets covered.
     pub fn sets(&self) -> u32 {
         self.sets

@@ -43,6 +43,7 @@ mod metrics;
 mod obs;
 mod runner;
 mod shared;
+pub mod snapshot;
 mod sweep;
 mod system;
 

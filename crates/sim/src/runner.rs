@@ -61,7 +61,107 @@ pub fn run_mix(
 ) -> RunResult {
     assert_eq!(cfg.cores, mix.cores(), "config/mix core count mismatch");
     let mut sys = CmpSystem::from_sources(cfg.clone(), policy, mix_sources(mix, seed));
-    sys.run(instr_target, warmup)
+    let Some(ck) = CkptConfig::from_env() else {
+        return sys.run(instr_target, warmup);
+    };
+    let path = ck.path_for(&sys, cfg, mix, instr_target, warmup, seed);
+    // A missing checkpoint file just means there is nothing to resume yet.
+    if let Some(bytes) = ck.resume.then(|| std::fs::read(&path).ok()).flatten() {
+        match sys.restore(&bytes) {
+            Ok(()) => eprintln!(
+                "[ckpt] resumed {} from {} ({} bytes)",
+                sys.policy().name(),
+                path.display(),
+                bytes.len()
+            ),
+            Err(e) => {
+                // A checkpoint that parses as ours but does not apply is
+                // corrupt (atomic publication rules out torn files, and
+                // config changes land on a different fingerprint).
+                // Remove it so the orchestrator's retry starts fresh.
+                let _ = std::fs::remove_file(&path);
+                panic!(
+                    "cannot resume from checkpoint {}: {e} (checkpoint removed; rerun to start fresh)",
+                    path.display()
+                );
+            }
+        }
+    }
+    let every = ck.every;
+    let mut since = 0u64;
+    let result = sys.run_with_hook(instr_target, warmup, |sys| {
+        since += 1;
+        if since >= every {
+            since = 0;
+            let snap = sys.snapshot();
+            if let Err(e) = cmp_snap::atomic_write(&path, &snap) {
+                eprintln!("[ckpt] warning: cannot write {}: {e}", path.display());
+            }
+        }
+    });
+    // The run completed; its in-flight checkpoint is obsolete.
+    let _ = std::fs::remove_file(&path);
+    result
+}
+
+/// Periodic-checkpoint knobs, read from the environment so every
+/// experiment binary inherits crash resumability without plumbing flags:
+///
+/// * `ASCC_CKPT_EVERY` — snapshot every N accesses (unset/0 disables);
+/// * `ASCC_CKPT_DIR` — checkpoint directory (default `results/ckpt`);
+/// * `ASCC_RESUME` — `1` restores a matching in-flight checkpoint first.
+///
+/// Checkpoints are keyed by a fingerprint of the run (policy, mix,
+/// configuration, targets, seed), so concurrent sweep runs never collide
+/// and a configuration change can never resume a stale snapshot.
+#[derive(Debug, Clone)]
+struct CkptConfig {
+    every: u64,
+    dir: std::path::PathBuf,
+    resume: bool,
+}
+
+impl CkptConfig {
+    fn from_env() -> Option<Self> {
+        let every = std::env::var("ASCC_CKPT_EVERY")
+            .ok()?
+            .parse::<u64>()
+            .ok()
+            .filter(|&n| n > 0)?;
+        Some(CkptConfig {
+            every,
+            dir: std::env::var("ASCC_CKPT_DIR")
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|_| std::path::PathBuf::from("results/ckpt")),
+            resume: std::env::var("ASCC_RESUME").is_ok_and(|v| v == "1"),
+        })
+    }
+
+    fn path_for(
+        &self,
+        sys: &CmpSystem,
+        cfg: &SystemConfig,
+        mix: &WorkloadMix,
+        instr_target: u64,
+        warmup: u64,
+        seed: u64,
+    ) -> std::path::PathBuf {
+        let desc = format!(
+            "{}|{:?}|{:?}|{}|{}|{}",
+            sys.policy().name(),
+            mix.benches,
+            cfg,
+            instr_target,
+            warmup,
+            seed
+        );
+        let mut h: u64 = 0xcbf29ce484222325; // FNV-1a
+        for b in desc.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        self.dir.join(format!("ckpt-{h:016x}.snap"))
+    }
 }
 
 /// Specification of a single-benchmark characterisation run (Table 3 /

@@ -278,6 +278,22 @@ impl<P: ObsProbe> CmpSystem<P> {
     /// finish keep executing — competing for cache space — until the last
     /// one is done, as in the paper's methodology (§5).
     pub fn run(&mut self, instr_target: u64, warmup_instrs: u64) -> RunResult {
+        self.run_with_hook(instr_target, warmup_instrs, |_| {})
+    }
+
+    /// [`run`](CmpSystem::run) with a periodic-checkpoint hook: `after_step`
+    /// is called after every access (and its warm-up/end bookkeeping) except
+    /// the final one, with the system in a consistent snapshot-able state.
+    ///
+    /// The checkpointed `run_mix` path uses this to call
+    /// [`snapshot`](CmpSystem::snapshot) every `ASCC_CKPT_EVERY` accesses;
+    /// tests use it to capture mid-run state at arbitrary access indices.
+    pub fn run_with_hook(
+        &mut self,
+        instr_target: u64,
+        warmup_instrs: u64,
+        mut after_step: impl FnMut(&mut Self),
+    ) -> RunResult {
         assert!(instr_target > 0, "need a nonzero instruction target");
         loop {
             // Advance the globally-oldest core by one memory access.
@@ -306,6 +322,7 @@ impl<P: ObsProbe> CmpSystem<P> {
             if self.cores.iter().all(|c| c.end_snap.is_some()) {
                 break;
             }
+            after_step(self);
         }
         self.result()
     }
@@ -740,6 +757,346 @@ impl<P: ObsProbe> CmpSystem<P> {
         }
     }
 
+    /// Serialises the full architectural state into a versioned binary
+    /// snapshot (see [`crate::snapshot`] for the wire layout): cache
+    /// arenas and statistics, bus counters, per-core clocks/counters and
+    /// warm-up bookkeeping, prefetcher tables, the policy's adaptive state
+    /// including its RNG stream, and each core's feed position.
+    ///
+    /// Restoring via [`restore`](CmpSystem::restore) on a freshly built
+    /// identical system then running yields bit-identical results to never
+    /// having stopped. The probe is *not* captured: checkpointed runs use
+    /// the [`NullProbe`] path, and a probed system restores its
+    /// architectural state but starts its observation stream fresh.
+    pub fn snapshot(&self) -> Vec<u8> {
+        use crate::snapshot::{tag, SNAP_MAGIC, SNAP_VERSION};
+        let mut w = cmp_snap::SnapWriter::new();
+        w.put_raw(&SNAP_MAGIC);
+        w.put_u16(SNAP_VERSION);
+        w.section(tag::FINGERPRINT, |w| {
+            w.put_u32(self.cfg.cores as u32);
+            for g in [&self.cfg.l1, &self.cfg.l2] {
+                w.put_u32(g.sets());
+                w.put_u16(g.ways());
+                w.put_u32(g.line_bytes());
+            }
+            w.put_u32(self.cfg.lat_l2_local);
+            w.put_u32(self.cfg.lat_l2_remote);
+            w.put_u32(self.cfg.lat_mem);
+            w.put_u8(match self.cfg.read_policy {
+                ReadPolicy::Migrate => 0,
+                ReadPolicy::Replicate => 1,
+            });
+            w.put_bool(self.cfg.track_set_stats);
+            w.put_str(self.policy.name());
+            match self.cfg.prefetch {
+                None => w.put_bool(false),
+                Some(p) => {
+                    w.put_bool(true);
+                    w.put_u64(p.entries as u64);
+                    w.put_u8(p.degree);
+                    w.put_u8(p.threshold);
+                }
+            }
+            w.put_u64(self.epoch_accesses);
+        });
+        w.section(tag::GLOBALS, |w| {
+            Self::save_globals(w, &self.global);
+            match &self.global_warm {
+                None => w.put_bool(false),
+                Some(g) => {
+                    w.put_bool(true);
+                    Self::save_globals(w, g);
+                }
+            }
+            w.put_u64(self.epoch_counter);
+            w.put_u64(self.epoch_index);
+        });
+        w.section(tag::CORES, |w| {
+            w.put_u64(self.cores.len() as u64);
+            for c in &self.cores {
+                w.put_str(&c.source.label);
+                w.put_f64(c.clock);
+                w.put_f64(c.carry);
+                // The first three counters head the record so the
+                // `SnapshotInfo` header view can report per-core progress
+                // without decoding the rest.
+                w.put_u64(c.counters.instrs);
+                w.put_f64(c.counters.cycles);
+                w.put_u64(c.counters.l1_accesses);
+                w.blob(|w| {
+                    Self::save_counter_tail(w, &c.counters);
+                    for snap in [&c.warm_snap, &c.end_snap] {
+                        match snap {
+                            None => w.put_bool(false),
+                            Some(s) => {
+                                w.put_bool(true);
+                                w.put_u64(s.instrs);
+                                w.put_f64(s.cycles);
+                                w.put_u64(s.l1_accesses);
+                                Self::save_counter_tail(w, s);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        w.section(tag::L1S, |w| {
+            for c in &self.l1s {
+                c.save_state(w);
+            }
+        });
+        w.section(tag::L2S, |w| {
+            for c in &self.l2s {
+                c.save_state(w);
+            }
+        });
+        w.section(tag::BUS, |w| self.bus.save_state(w));
+        w.section(tag::PREFETCH, |w| {
+            w.put_u64(self.prefetchers.len() as u64);
+            for p in &self.prefetchers {
+                p.save_state(w);
+            }
+        });
+        w.section(tag::POLICY, |w| self.policy.save_state(w));
+        w.into_bytes()
+    }
+
+    fn save_globals(w: &mut cmp_snap::SnapWriter, g: &GlobalCounters) {
+        w.put_u64(g.spills);
+        w.put_u64(g.swaps);
+        w.put_u64(g.spill_hits);
+    }
+
+    /// The 7 counter fields after the `(instrs, cycles, l1_accesses)` head.
+    fn save_counter_tail(w: &mut cmp_snap::SnapWriter, c: &Counters) {
+        w.put_u64(c.l1_hits);
+        w.put_u64(c.l2_accesses);
+        w.put_u64(c.l2_local_hits);
+        w.put_u64(c.l2_remote_hits);
+        w.put_u64(c.l2_mem);
+        w.put_u64(c.offchip_fetches);
+        w.put_u64(c.writebacks);
+    }
+
+    fn load_globals(
+        r: &mut cmp_snap::SnapReader<'_>,
+    ) -> Result<GlobalCounters, cmp_snap::SnapError> {
+        Ok(GlobalCounters {
+            spills: r.get_u64()?,
+            swaps: r.get_u64()?,
+            spill_hits: r.get_u64()?,
+        })
+    }
+
+    fn load_counters(r: &mut cmp_snap::SnapReader<'_>) -> Result<Counters, cmp_snap::SnapError> {
+        Ok(Counters {
+            instrs: r.get_u64()?,
+            cycles: r.get_f64()?,
+            l1_accesses: r.get_u64()?,
+            l1_hits: r.get_u64()?,
+            l2_accesses: r.get_u64()?,
+            l2_local_hits: r.get_u64()?,
+            l2_remote_hits: r.get_u64()?,
+            l2_mem: r.get_u64()?,
+            offchip_fetches: r.get_u64()?,
+            writebacks: r.get_u64()?,
+        })
+    }
+
+    /// Restores a snapshot taken by [`snapshot`](CmpSystem::snapshot) into
+    /// this *freshly constructed* system, fast-forwarding each core's feed
+    /// to the captured access position. Continuing with
+    /// [`run`](CmpSystem::run) (same targets) is bit-identical to the
+    /// uninterrupted run the snapshot was taken from.
+    ///
+    /// # Errors
+    ///
+    /// [`cmp_snap::SnapError::Mismatch`] if this system was built from a
+    /// different configuration, policy variant or workload mix than the
+    /// snapshot (or has already stepped); [`cmp_snap::SnapError::Corrupt`]
+    /// / [`cmp_snap::SnapError::UnexpectedEof`] on damaged input. On error
+    /// the system may be partially overwritten and must be discarded.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), cmp_snap::SnapError> {
+        use crate::snapshot::tag;
+        use cmp_snap::SnapError;
+        if self.cores.iter().any(|c| c.counters.l1_accesses != 0) {
+            return Err(SnapError::Mismatch(
+                "restore target must be freshly constructed (its feeds have already advanced)"
+                    .into(),
+            ));
+        }
+        let mut r = crate::snapshot::read_envelope(bytes)?;
+
+        let mut fp = r.expect_section(tag::FINGERPRINT)?;
+        let cores = fp.get_u32()?;
+        if cores != self.cfg.cores as u32 {
+            return Err(SnapError::Mismatch(format!(
+                "core count: snapshot {cores}, live {}",
+                self.cfg.cores
+            )));
+        }
+        for (name, g) in [("L1", &self.cfg.l1), ("L2", &self.cfg.l2)] {
+            let shape = (fp.get_u32()?, fp.get_u16()?, fp.get_u32()?);
+            if shape != (g.sets(), g.ways(), g.line_bytes()) {
+                return Err(SnapError::Mismatch(format!(
+                    "{name} geometry: snapshot {shape:?}, live ({}, {}, {})",
+                    g.sets(),
+                    g.ways(),
+                    g.line_bytes()
+                )));
+            }
+        }
+        let lats = (fp.get_u32()?, fp.get_u32()?, fp.get_u32()?);
+        if lats
+            != (
+                self.cfg.lat_l2_local,
+                self.cfg.lat_l2_remote,
+                self.cfg.lat_mem,
+            )
+        {
+            return Err(SnapError::Mismatch(format!(
+                "latencies: snapshot {lats:?}, live ({}, {}, {})",
+                self.cfg.lat_l2_local, self.cfg.lat_l2_remote, self.cfg.lat_mem
+            )));
+        }
+        let rp = fp.get_u8()?;
+        let live_rp = match self.cfg.read_policy {
+            ReadPolicy::Migrate => 0,
+            ReadPolicy::Replicate => 1,
+        };
+        if rp != live_rp {
+            return Err(SnapError::Mismatch(format!(
+                "read policy: snapshot {rp}, live {live_rp}"
+            )));
+        }
+        if fp.get_bool()? != self.cfg.track_set_stats {
+            return Err(SnapError::Mismatch("set-stats tracking differs".into()));
+        }
+        let pname = fp.get_str()?;
+        if pname != self.policy.name() {
+            return Err(SnapError::Mismatch(format!(
+                "policy: snapshot \"{pname}\", live \"{}\"",
+                self.policy.name()
+            )));
+        }
+        let snap_pf = fp
+            .get_bool()?
+            .then(|| -> Result<_, SnapError> { Ok((fp.get_u64()?, fp.get_u8()?, fp.get_u8()?)) });
+        let snap_pf = snap_pf.transpose()?;
+        let live_pf = self
+            .cfg
+            .prefetch
+            .map(|p| (p.entries as u64, p.degree, p.threshold));
+        if snap_pf != live_pf {
+            return Err(SnapError::Mismatch(format!(
+                "prefetch config: snapshot {snap_pf:?}, live {live_pf:?}"
+            )));
+        }
+        if fp.get_u64()? != self.epoch_accesses {
+            return Err(SnapError::Mismatch(
+                "observation-epoch length differs".into(),
+            ));
+        }
+        fp.finish("fingerprint section")?;
+
+        let mut gl = r.expect_section(tag::GLOBALS)?;
+        self.global = Self::load_globals(&mut gl)?;
+        self.global_warm = if gl.get_bool()? {
+            Some(Self::load_globals(&mut gl)?)
+        } else {
+            None
+        };
+        self.epoch_counter = gl.get_u64()?;
+        self.epoch_index = gl.get_u64()?;
+        gl.finish("globals section")?;
+
+        let mut cs = r.expect_section(tag::CORES)?;
+        let n = cs.get_u64()?;
+        if n != self.cores.len() as u64 {
+            return Err(SnapError::Corrupt(format!(
+                "core record count {n} for {} cores",
+                self.cores.len()
+            )));
+        }
+        for (i, c) in self.cores.iter_mut().enumerate() {
+            let label = cs.get_str()?;
+            if label != c.source.label {
+                return Err(SnapError::Mismatch(format!(
+                    "core {i} workload: snapshot \"{label}\", live \"{}\"",
+                    c.source.label
+                )));
+            }
+            c.clock = cs.get_f64()?;
+            c.carry = cs.get_f64()?;
+            let head = (cs.get_u64()?, cs.get_f64()?, cs.get_u64()?);
+            let mut tail = cs.get_blob()?;
+            let counters = Counters {
+                instrs: head.0,
+                cycles: head.1,
+                l1_accesses: head.2,
+                l1_hits: tail.get_u64()?,
+                l2_accesses: tail.get_u64()?,
+                l2_local_hits: tail.get_u64()?,
+                l2_remote_hits: tail.get_u64()?,
+                l2_mem: tail.get_u64()?,
+                offchip_fetches: tail.get_u64()?,
+                writebacks: tail.get_u64()?,
+            };
+            c.counters = counters;
+            c.warm_snap = if tail.get_bool()? {
+                Some(Self::load_counters(&mut tail)?)
+            } else {
+                None
+            };
+            c.end_snap = if tail.get_bool()? {
+                Some(Self::load_counters(&mut tail)?)
+            } else {
+                None
+            };
+            tail.finish("core record")?;
+            // Feeds are pure deterministic generators: reposition the
+            // fresh feed at the captured access index instead of
+            // serialising generator internals.
+            c.source.feed.fast_forward(counters.l1_accesses);
+        }
+        cs.finish("cores section")?;
+
+        let mut l1 = r.expect_section(tag::L1S)?;
+        for c in &mut self.l1s {
+            c.load_state(&mut l1)?;
+        }
+        l1.finish("L1 section")?;
+        let mut l2 = r.expect_section(tag::L2S)?;
+        for c in &mut self.l2s {
+            c.load_state(&mut l2)?;
+        }
+        l2.finish("L2 section")?;
+
+        let mut bus = r.expect_section(tag::BUS)?;
+        self.bus.load_state(&mut bus)?;
+        bus.finish("bus section")?;
+
+        let mut pf = r.expect_section(tag::PREFETCH)?;
+        let np = pf.get_u64()?;
+        if np != self.prefetchers.len() as u64 {
+            return Err(SnapError::Corrupt(format!(
+                "prefetcher count {np} for {} live tables",
+                self.prefetchers.len()
+            )));
+        }
+        for p in &mut self.prefetchers {
+            p.load_state(&mut pf)?;
+        }
+        pf.finish("prefetch section")?;
+
+        let mut pol = r.expect_section(tag::POLICY)?;
+        self.policy.load_state(&mut pol)?;
+        pol.finish("policy section")?;
+        // Unknown trailing sections (future versions) are permitted.
+        Ok(())
+    }
+
     fn train_prefetcher(&mut self, i: usize, stream: u16, line: LineAddr) {
         if self.prefetchers.is_empty() {
             return;
@@ -844,6 +1201,108 @@ mod tests {
         assert!(c.l2_mpki() > 20.0, "mpki {}", c.l2_mpki());
         assert!(c.cpi() > 10.0, "memory-bound cpi {}", c.cpi());
         assert_eq!(c.offchip_fetches, c.l2_mem);
+    }
+
+    fn two_core_ascc() -> CmpSystem {
+        let cfg = tiny_cfg(2);
+        let policy = Box::new(ascc::AsccPolicy::new(ascc::AsccConfig::ascc(
+            2,
+            cfg.l2.sets(),
+            cfg.l2.ways(),
+        )));
+        CmpSystem::new(
+            cfg,
+            policy,
+            vec![workload(0, 24 << 10), workload(1 << 40, 20 << 10)],
+        )
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        // Straight run, capturing a snapshot somewhere mid-flight.
+        let mut straight = two_core_ascc();
+        let mut taken = None;
+        let mut steps = 0u64;
+        let straight_result = straight.run_with_hook(30_000, 5_000, |sys| {
+            steps += 1;
+            if steps == 7_000 {
+                taken = Some(sys.snapshot());
+            }
+        });
+        let taken = taken.expect("run is longer than 7000 accesses");
+        let straight_end = straight.snapshot();
+
+        // Fresh system, restore at access N, run to completion.
+        let mut resumed = two_core_ascc();
+        resumed.restore(&taken).expect("snapshot applies");
+        let resumed_result = resumed.run(30_000, 5_000);
+
+        assert_eq!(straight_result, resumed_result);
+        // Byte-identical end-state snapshots: every cache slab, counter,
+        // policy register and RNG stream agrees, not just the results.
+        assert_eq!(straight_end, resumed.snapshot());
+    }
+
+    #[test]
+    fn snapshot_header_parses_without_a_system() {
+        let mut sys = two_core_ascc();
+        for _ in 0..100 {
+            sys.step(0);
+            sys.step(1);
+        }
+        let bytes = sys.snapshot();
+        let info = crate::snapshot::SnapshotInfo::parse(&bytes).unwrap();
+        assert_eq!(info.version, crate::snapshot::SNAP_VERSION);
+        assert_eq!(info.cores, 2);
+        assert_eq!(info.core_info.len(), 2);
+        assert!(info.core_info.iter().all(|c| c.accesses == 100));
+        assert_eq!(info.l2_geometry.2, 32);
+        assert!(info.policy.starts_with("ASCC"));
+        assert_eq!(info.sections.len(), 8);
+    }
+
+    #[test]
+    fn restore_rejects_mismatches_and_corruption() {
+        let mut donor = two_core_ascc();
+        for _ in 0..50 {
+            donor.step(0);
+        }
+        let bytes = donor.snapshot();
+
+        // Different policy.
+        let cfg = tiny_cfg(2);
+        let mut other = CmpSystem::new(
+            cfg,
+            Box::new(PrivateBaseline::new()),
+            vec![workload(0, 24 << 10), workload(1 << 40, 20 << 10)],
+        );
+        assert!(matches!(
+            other.restore(&bytes),
+            Err(cmp_snap::SnapError::Mismatch(_))
+        ));
+
+        // Already-stepped target.
+        let mut stepped = two_core_ascc();
+        stepped.step(0);
+        assert!(matches!(
+            stepped.restore(&bytes),
+            Err(cmp_snap::SnapError::Mismatch(_))
+        ));
+
+        // Truncation at every eighth byte must error, never panic.
+        let mut fresh = two_core_ascc();
+        for cut in (0..bytes.len()).step_by(8) {
+            assert!(fresh.restore(&bytes[..cut]).is_err(), "cut at {cut}");
+            fresh = two_core_ascc();
+        }
+
+        // Bad magic.
+        let mut garbled = bytes.clone();
+        garbled[0] ^= 0xFF;
+        assert!(matches!(
+            two_core_ascc().restore(&garbled),
+            Err(cmp_snap::SnapError::BadMagic)
+        ));
     }
 
     #[test]

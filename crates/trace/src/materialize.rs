@@ -357,6 +357,45 @@ impl TraceCursor {
             None => 0,
         }
     }
+
+    /// Advances past `n` accesses without producing them.
+    ///
+    /// On the chunk path this is O(1) cursor arithmetic (plus materializing
+    /// the target chunk); once the budget forces private regeneration it
+    /// degrades to generating and discarding the skipped prefix — the same
+    /// cost the fallback path already pays. Checkpoint restore uses this to
+    /// reposition a fresh cursor at the snapshot's access index.
+    pub fn fast_forward(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if let Some(fb) = &mut self.fallback {
+            for _ in 0..n {
+                fb.next_access();
+            }
+            return;
+        }
+        let target = self.consumed() + n;
+        let ca = self.trace.chunk_accesses as u64;
+        let (chunk_idx, pos) = ((target / ca) as usize, (target % ca) as usize);
+        match self.trace.chunk(chunk_idx) {
+            Some(c) => {
+                self.chunk = Some(c);
+                self.next_chunk = chunk_idx + 1;
+                self.pos = pos;
+            }
+            None => {
+                // Budget exhausted before the target chunk: regenerate
+                // privately and discard the prefix, exactly as
+                // `next_access_cold` would.
+                let mut s = (self.trace.factory)();
+                for _ in 0..target {
+                    s.next_access();
+                }
+                self.fallback = Some(s);
+            }
+        }
+    }
 }
 
 impl AccessStream for TraceCursor {
@@ -460,6 +499,23 @@ impl AccessFeed {
             AccessFeed::Replay(c) => c.next_access(),
         }
     }
+
+    /// Advances past `n` accesses without producing them.
+    ///
+    /// Streams are fully deterministic, so a restored run repositions a
+    /// freshly built feed with this instead of serialising generator
+    /// internals: replay cursors seek in O(1), streaming generators pay one
+    /// generate-and-discard pass over the skipped prefix.
+    pub fn fast_forward(&mut self, n: u64) {
+        match self {
+            AccessFeed::Streaming(s) => {
+                for _ in 0..n {
+                    s.next_access();
+                }
+            }
+            AccessFeed::Replay(c) => c.fast_forward(n),
+        }
+    }
 }
 
 impl AccessStream for AccessFeed {
@@ -541,6 +597,67 @@ mod tests {
         for i in 0..1000 {
             assert_eq!(chunk.get(i), reference.next_access(), "access {i}");
         }
+    }
+
+    #[test]
+    fn fast_forward_matches_discarding_reads() {
+        // Chunked path, including a seek landing exactly on a boundary.
+        for skip in [0u64, 1, 63, 64, 65, 200, 640] {
+            let trace = SharedTrace::with_chunk_accesses(layered, 64);
+            let mut seeked = trace.cursor();
+            seeked.fast_forward(skip);
+            let mut walked = trace.cursor();
+            for _ in 0..skip {
+                walked.next_access();
+            }
+            for i in 0..300 {
+                assert_eq!(
+                    seeked.next_access(),
+                    walked.next_access(),
+                    "skip {skip}, access {i}"
+                );
+            }
+        }
+        // Mid-stream (not from zero), and again after the first seek.
+        let trace = SharedTrace::with_chunk_accesses(layered, 64);
+        let mut seeked = trace.cursor();
+        let mut walked = trace.cursor();
+        for _ in 0..37 {
+            seeked.next_access();
+            walked.next_access();
+        }
+        seeked.fast_forward(100);
+        for _ in 0..100 {
+            walked.next_access();
+        }
+        assert_eq!(seeked.next_access(), walked.next_access());
+        // Budget-capped path: seeking past the cap falls back to private
+        // regeneration and still lands on the right access.
+        let capped = SharedTrace::with_budget(
+            Box::new(layered),
+            64,
+            Arc::new(ArenaBudget {
+                max_bytes: TraceChunk::bytes_for(64),
+                used: AtomicU64::new(0),
+            }),
+        );
+        let mut seeked = capped.cursor();
+        seeked.fast_forward(500);
+        let mut reference = layered();
+        for _ in 0..500 {
+            reference.next_access();
+        }
+        for i in 0..100 {
+            assert_eq!(seeked.next_access(), reference.next_access(), "access {i}");
+        }
+        // Streaming feed wrapper.
+        let mut feed = AccessFeed::Streaming(layered());
+        feed.fast_forward(123);
+        let mut reference = layered();
+        for _ in 0..123 {
+            reference.next_access();
+        }
+        assert_eq!(feed.next_access(), reference.next_access());
     }
 
     #[test]

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Kill-and-resume smoke test for the fault-tolerant orchestrator.
+#
+# Runs `run_all --only fig08` three ways:
+#   1. uninterrupted, to capture the reference results/fig08.json;
+#   2. with periodic checkpoints (ASCC_CKPT_EVERY), SIGKILLed mid-run;
+#   3. `--resume`, which skips manifest-done binaries and restores the
+#      in-flight checkpoint.
+# The resumed results must be byte-identical to the reference — the
+# crash-resume invariant, end to end through the orchestrator.
+#
+# Usage: scripts/kill_resume_smoke.sh   (from anywhere; builds if needed)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export ASCC_QUICK=1
+RUN_ALL=target/release/run_all
+if [ ! -x "$RUN_ALL" ]; then
+    cargo build --release -p ascc-bench --bins
+fi
+
+SCRATCH=$(mktemp -d)
+trap 'rm -rf "$SCRATCH"' EXIT
+
+clean() {
+    rm -rf results/ckpt results/fig08.json results/run_manifest.json
+}
+
+echo "== 1/3 uninterrupted reference run =="
+clean
+"$RUN_ALL" --only fig08
+cp results/fig08.json "$SCRATCH/fig08_reference.json"
+
+echo "== 2/3 checkpointed run, SIGKILL mid-flight =="
+clean
+export ASCC_CKPT_EVERY=50000
+export ASCC_CKPT_DIR=results/ckpt
+# Own session => own process group, so the SIGKILL takes out run_all AND
+# the experiment child it spawned, exactly like an OOM-kill or a lost node.
+setsid "$RUN_ALL" --only fig08 &
+PID=$!
+for _ in $(seq 1 1200); do
+    if compgen -G "results/ckpt/*.snap" >/dev/null; then
+        break
+    fi
+    kill -0 "$PID" 2>/dev/null || break
+    sleep 0.1
+done
+sleep 1 # let a few more checkpoints land mid-run
+if kill -0 "$PID" 2>/dev/null; then
+    kill -KILL -- "-$PID"
+    wait "$PID" 2>/dev/null || true
+    echo "SIGKILLed run_all (pid $PID) mid-run"
+else
+    wait "$PID" 2>/dev/null || true
+    echo "warning: run finished before the kill; resume path degenerates to a skip" >&2
+fi
+
+echo "== 3/3 resume =="
+"$RUN_ALL" --only fig08 --resume
+
+echo "== verify =="
+cmp results/fig08.json "$SCRATCH/fig08_reference.json"
+grep -q '"status": "done"' results/run_manifest.json
+echo "kill-and-resume smoke: PASS (fig08.json byte-identical after SIGKILL + --resume)"

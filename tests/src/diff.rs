@@ -426,6 +426,42 @@ pub fn run_case(case: &DiffCase) -> Result<(), String> {
     Ok(())
 }
 
+/// Replays a case with a snapshot/restore round trip at op `resume_at`:
+/// the engine is run to the split point, serialized, rebuilt from scratch,
+/// restored, and then continued in lockstep against the *uninterrupted*
+/// oracle. `Ok` means the resumed engine is state-identical to a straight
+/// run at the restore point and every later checkpoint — the crash-resume
+/// invariant, proved against an independent reference implementation.
+pub fn run_case_resumed(case: &DiffCase, resume_at: usize) -> Result<(), String> {
+    let mut real = build_real(case);
+    let mut oracle = build_oracle(case);
+    let split = resume_at.min(case.ops.len());
+    for op in &case.ops[..split] {
+        let core = (op.core % case.cores) as usize;
+        real.step(core);
+        oracle.step(core, (op.line as u64) << 5, op.store);
+    }
+    let bytes = real.snapshot();
+    let mut real = build_real(case);
+    real.restore(&bytes)
+        .map_err(|e| format!("restore at op {split}: {e}"))?;
+    if let Some(d) = diff_snapshots(&oracle.snapshot(), &snapshot_real(&real, case)) {
+        return Err(format!("immediately after restore at op {split}: {d}"));
+    }
+    let check_every = case.check_every.max(1) as usize;
+    for (i, op) in case.ops.iter().enumerate().skip(split) {
+        let core = (op.core % case.cores) as usize;
+        real.step(core);
+        oracle.step(core, (op.line as u64) << 5, op.store);
+        if (i + 1) % check_every == 0 || i + 1 == case.ops.len() {
+            if let Some(d) = diff_snapshots(&oracle.snapshot(), &snapshot_real(&real, case)) {
+                return Err(format!("resumed at {split}, after op {i} ({op:?}): {d}"));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Minimizes a failing case: forces per-op comparison, cuts the script to
 /// the shortest failing prefix, then greedily removes chunks. The result is
 /// guaranteed to still fail.
@@ -586,7 +622,7 @@ pub fn parse_case(text: &str) -> Result<DiffCase, String> {
         })();
         res.map_err(|e| format!("line {}: {e}", ln + 1))?;
     }
-    Ok(DiffCase {
+    let case = DiffCase {
         cores: cores.ok_or("missing cores")?,
         l2_sets_log2: l2_sets_log2.ok_or("missing l2sets_log2")?,
         l2_ways: l2_ways.ok_or("missing l2ways")?,
@@ -595,7 +631,35 @@ pub fn parse_case(text: &str) -> Result<DiffCase, String> {
         check_every: check_every.ok_or("missing check")?,
         policy: policy.ok_or("missing policy")?,
         ops,
-    })
+    };
+    validate_case(&case)?;
+    Ok(case)
+}
+
+/// Rejects semantically invalid cases (a truncated or hand-edited `.case`
+/// file) with a diagnostic instead of letting [`build_real`] panic on an
+/// impossible geometry, a zero core count, or a zero memory divisor.
+fn validate_case(case: &DiffCase) -> Result<(), String> {
+    if case.cores == 0 || case.cores > 8 {
+        return Err(format!("cores must be 1..=8, got {}", case.cores));
+    }
+    if case.l2_sets_log2 > 16 {
+        return Err(format!(
+            "l2sets_log2 must be <= 16, got {}",
+            case.l2_sets_log2
+        ));
+    }
+    if case.l2_ways == 0 || case.l2_ways > cmp_cache::MAX_WAYS {
+        return Err(format!(
+            "l2ways must be 1..={}, got {}",
+            cmp_cache::MAX_WAYS,
+            case.l2_ways
+        ));
+    }
+    if case.mem_q == 0 {
+        return Err("memq must be >= 1".to_string());
+    }
+    Ok(())
 }
 
 /// Replays a dumped case file; `Ok` means both engines still agree.
@@ -711,5 +775,33 @@ mod tests {
         assert!(parse_case("cores x").is_err());
         assert!(parse_case("").is_err());
         assert!(parse_case("wibble 3").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_semantically_invalid_cases() {
+        // Each would panic deep inside build_real; they must instead come
+        // back as a diagnostic so `trace_tool repro` can exit cleanly.
+        let break_one = |edit: fn(&mut DiffCase)| {
+            let mut c = sample_case();
+            edit(&mut c);
+            parse_case(&dump_case(&c))
+        };
+        assert!(break_one(|c| c.cores = 0).unwrap_err().contains("cores"));
+        assert!(break_one(|c| c.l2_sets_log2 = 40)
+            .unwrap_err()
+            .contains("l2sets_log2"));
+        assert!(break_one(|c| c.l2_ways = 0).unwrap_err().contains("l2ways"));
+        assert!(break_one(|c| c.l2_ways = 17)
+            .unwrap_err()
+            .contains("l2ways"));
+        assert!(break_one(|c| c.mem_q = 0).unwrap_err().contains("memq"));
+    }
+
+    #[test]
+    fn sample_case_resumes_at_any_split() {
+        let case = sample_case();
+        for split in 0..=case.ops.len() {
+            assert!(run_case_resumed(&case, split).is_ok(), "split {split}");
+        }
     }
 }

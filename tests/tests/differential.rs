@@ -119,6 +119,40 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+    /// Resume mode: snapshot/restore the engine at an arbitrary split point
+    /// mid-script, then continue in lockstep against the *uninterrupted*
+    /// oracle. A checkpointed run is indistinguishable from a straight one.
+    #[test]
+    fn resumed_engine_matches_oracle(
+        sh in shape(),
+        qos in prop::bool::ANY,
+        knobs in (0u8..6, 4u64..48, prop::bool::ANY, 0u64..1 << 48),
+        split_pct in 0u8..=100,
+        raw in ops(),
+    ) {
+        let (variant, epoch_accesses, swap, seed) = knobs;
+        let policy = if qos {
+            DiffPolicy::Avgcc {
+                qos: true,
+                epoch_accesses,
+                qos_epoch_cycles: 64,
+                max_counters: None,
+                swap,
+                seed,
+            }
+        } else {
+            DiffPolicy::Ascc { variant, swap, seed }
+        };
+        let case = make_case(sh, policy, raw);
+        let split = case.ops.len() * split_pct as usize / 100;
+        if let Err(e) = diff::run_case_resumed(&case, split) {
+            panic!("engine resumed at op {split} diverges from the oracle: {e}");
+        }
+    }
+}
+
 /// Every committed repro case under `regressions/` must replay cleanly —
 /// once a divergence is fixed, its shrunk trace stays in the suite.
 #[test]

@@ -111,6 +111,38 @@ fn capture() -> Value {
         .insert("runs", Value::Array(runs))
 }
 
+/// The crash-resume invariant against the goldens: a run snapshotted and
+/// restored mid-flight lands on exactly the same `RunResult` as the
+/// straight run that the goldens pin — so a checkpointed sweep can never
+/// drift off the blessed numbers.
+#[test]
+fn mid_run_restore_matches_golden_runs() {
+    use cmp_sim::{mix_sources, CmpSystem};
+    let cfg = cfg();
+    let mix = &two_app_mixes()[0];
+    for ((name, a), (_, b)) in policies(&cfg).into_iter().zip(policies(&cfg)) {
+        let mut straight = CmpSystem::from_sources(cfg.clone(), a, mix_sources(mix, SEED));
+        let mut mid = None;
+        let mut accesses = 0u64;
+        let straight_result = straight.run_with_hook(INSTRS, WARMUP, |s| {
+            accesses += 1;
+            if accesses == 11_003 {
+                mid = Some(s.snapshot());
+            }
+        });
+        let mid = mid.unwrap_or_else(|| panic!("{name}: run shorter than capture point"));
+        let mut resumed = CmpSystem::from_sources(cfg.clone(), b, mix_sources(mix, SEED));
+        resumed
+            .restore(&mid)
+            .unwrap_or_else(|e| panic!("{name}: restore: {e}"));
+        assert_eq!(
+            resumed.run(INSTRS, WARMUP),
+            straight_result,
+            "{name}: resumed run diverged from the golden-pinned straight run"
+        );
+    }
+}
+
 #[test]
 fn engine_matches_seed_goldens() {
     let got = capture().pretty();

@@ -1,0 +1,255 @@
+//! Crash-resume invariant: *restore-at-access-N then run ≡ straight run*.
+//!
+//! Three layers of evidence, in increasing strictness:
+//!
+//! * every policy in the zoo round-trips through `CmpSystem::snapshot` /
+//!   `restore` mid-run and finishes with a bit-identical `RunResult` *and*
+//!   a byte-identical end-state snapshot;
+//! * the adaptive policies are checked at their most stateful: AVGCC
+//!   captured mid-epoch with a non-default granularity `D`, QoS-AVGCC with
+//!   a live (updated) QoS estimator;
+//! * the differential harness replays resumed cases in lockstep against
+//!   the uninterrupted spec-literal oracle (`diff::run_case_resumed`).
+
+use ascc_integration::diff::{run_case_resumed, DiffCase, DiffOp, DiffPolicy};
+use ascc_integration::{all_policies, small_config};
+use cmp_cache::{CacheGeometry, CoreId, LlcPolicy};
+use cmp_sim::{mix_sources, CmpSystem, SystemConfig};
+use cmp_trace::two_app_mixes;
+
+const INSTRS: u64 = 40_000;
+const WARMUP: u64 = 10_000;
+const SEED: u64 = 11;
+
+fn avgcc_of(s: &CmpSystem) -> &ascc::AvgccPolicy {
+    s.policy()
+        .as_any()
+        .downcast_ref()
+        .expect("an AVGCC-family system")
+}
+
+fn d_of(p: &ascc::AvgccPolicy) -> Vec<u8> {
+    (0..2).map(|c| p.granularity_log2(CoreId(c))).collect()
+}
+
+/// A pressured 2-core system (16 kB 4-way L2) so adaptive state — roles,
+/// duelling counters, granularity — moves within a short run.
+fn pressured_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::table2(2);
+    cfg.l1 = CacheGeometry::from_capacity(1 << 10, 2, 32).unwrap();
+    cfg.l2 = CacheGeometry::from_capacity(16 << 10, 4, 32).unwrap();
+    cfg
+}
+
+/// Runs `straight` to completion capturing a snapshot at the `capture_at`-th
+/// access, then restores `resumed` (an identically built system) from it and
+/// runs it; asserts results and end states are bit-identical.
+fn assert_resume_identical(
+    name: &str,
+    mut straight: CmpSystem,
+    mut resumed: CmpSystem,
+    capture_at: u64,
+) {
+    let mut mid = None;
+    let mut accesses = 0u64;
+    let straight_result = straight.run_with_hook(INSTRS, WARMUP, |s| {
+        accesses += 1;
+        if accesses == capture_at {
+            mid = Some(s.snapshot());
+        }
+    });
+    let straight_end = straight.snapshot();
+    let mid = mid.unwrap_or_else(|| {
+        panic!("{name}: run finished before access {capture_at} ({accesses} hooks)")
+    });
+    resumed
+        .restore(&mid)
+        .unwrap_or_else(|e| panic!("{name}: restore: {e}"));
+    let resumed_result = resumed.run(INSTRS, WARMUP);
+    assert_eq!(
+        resumed_result, straight_result,
+        "{name}: RunResult diverged after mid-run restore"
+    );
+    assert_eq!(
+        resumed.snapshot(),
+        straight_end,
+        "{name}: end-state snapshot diverged after mid-run restore"
+    );
+}
+
+/// Every policy the simulator can drive survives a mid-run snapshot/restore
+/// round trip bit-identically.
+#[test]
+fn all_policies_resume_bit_identically() {
+    let cfg = small_config(2);
+    let mix = &two_app_mixes()[0];
+    for (a, b) in all_policies(&cfg).into_iter().zip(all_policies(&cfg)) {
+        let name = a.name().to_string();
+        let straight = CmpSystem::from_sources(cfg.clone(), a, mix_sources(mix, SEED));
+        let resumed = CmpSystem::from_sources(cfg.clone(), b, mix_sources(mix, SEED));
+        assert_resume_identical(&name, straight, resumed, 7_777);
+    }
+}
+
+/// AVGCC captured mid-epoch with a non-default granularity: the restored
+/// policy reports the same `D`, `A`/`B` counters and change count, and the
+/// rest of the run is bit-identical.
+#[test]
+fn avgcc_mid_epoch_resume_preserves_granularity_state() {
+    let cfg = pressured_cfg();
+    let mix = &two_app_mixes()[0];
+    let (sets, ways) = (cfg.l2.sets(), cfg.l2.ways());
+    let build = || {
+        let mut c = ascc::AvgccConfig::avgcc(2, sets, ways);
+        c.epoch_accesses = 256; // fast epochs so granularity moves early
+        Box::new(c.build()) as Box<dyn LlcPolicy>
+    };
+    let default_d = {
+        let sys = CmpSystem::from_sources(cfg.clone(), build(), mix_sources(mix, SEED));
+        d_of(avgcc_of(&sys))
+    };
+
+    let mut straight = CmpSystem::from_sources(cfg.clone(), build(), mix_sources(mix, SEED));
+    let mut captured: Option<(Vec<u8>, Vec<u8>, u64)> = None;
+    let mut accesses = 0u64;
+    let straight_result = straight.run_with_hook(INSTRS, WARMUP, |s| {
+        accesses += 1;
+        if captured.is_some() {
+            return;
+        }
+        let d = d_of(avgcc_of(s));
+        // Capture at an access count off any multiple of the 256-access
+        // epoch, with the granularity demonstrably away from its start.
+        if d != default_d && !accesses.is_multiple_of(256) {
+            let changes = avgcc_of(s).granularity_changes();
+            captured = Some((s.snapshot(), d, changes));
+        }
+    });
+    let straight_end = straight.snapshot();
+    let (snap, d, changes) =
+        captured.expect("AVGCC never left its default granularity; test workload too gentle");
+    assert!(changes > 0);
+
+    let mut resumed = CmpSystem::from_sources(cfg.clone(), build(), mix_sources(mix, SEED));
+    resumed.restore(&snap).expect("restore AVGCC snapshot");
+    assert_eq!(d_of(avgcc_of(&resumed)), d, "restored granularity D");
+    assert_eq!(
+        avgcc_of(&resumed).granularity_changes(),
+        changes,
+        "restored change count"
+    );
+    let resumed_result = resumed.run(INSTRS, WARMUP);
+    assert_eq!(resumed_result, straight_result);
+    assert_eq!(resumed.snapshot(), straight_end);
+}
+
+/// QoS-AVGCC captured with a live QoS estimator (a ratio that has moved off
+/// its initial value) resumes bit-identically and reports the same ratios.
+#[test]
+fn qos_avgcc_resume_preserves_inhibition_state() {
+    let cfg = pressured_cfg();
+    let mix = &two_app_mixes()[0];
+    let (sets, ways) = (cfg.l2.sets(), cfg.l2.ways());
+    let build = || {
+        let mut c = ascc::AvgccConfig::qos_avgcc(2, sets, ways);
+        c.epoch_accesses = 256;
+        c.qos_epoch_cycles = 4_096; // frequent QoS epochs
+        Box::new(c.build()) as Box<dyn LlcPolicy>
+    };
+    let ratios = |s: &CmpSystem| -> Vec<f64> {
+        let p = s
+            .policy()
+            .as_any()
+            .downcast_ref::<ascc::AvgccPolicy>()
+            .expect("QoS-AVGCC system");
+        (0..2).map(|c| p.qos_ratio(CoreId(c))).collect()
+    };
+
+    let mut straight = CmpSystem::from_sources(cfg.clone(), build(), mix_sources(mix, SEED));
+    let mut captured: Option<(Vec<u8>, Vec<f64>)> = None;
+    let straight_result = straight.run_with_hook(INSTRS, WARMUP, |s| {
+        if captured.is_none() {
+            let r = ratios(s);
+            if r.iter().any(|&x| x != 1.0) {
+                captured = Some((s.snapshot(), r));
+            }
+        }
+    });
+    let straight_end = straight.snapshot();
+    let (snap, r) = captured.expect("QoS estimator never updated; test workload too gentle");
+
+    let mut resumed = CmpSystem::from_sources(cfg.clone(), build(), mix_sources(mix, SEED));
+    resumed.restore(&snap).expect("restore QoS-AVGCC snapshot");
+    assert_eq!(ratios(&resumed), r, "restored QoS ratios");
+    let resumed_result = resumed.run(INSTRS, WARMUP);
+    assert_eq!(resumed_result, straight_result);
+    assert_eq!(resumed.snapshot(), straight_end);
+}
+
+/// Deterministic interleaved script for the differential resume cases.
+fn lcg_ops(n: usize, cores: u8, lines: u32, mut x: u64) -> Vec<DiffOp> {
+    x |= 1;
+    (0..n)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            DiffOp {
+                core: ((x >> 33) % cores as u64) as u8,
+                line: ((x >> 17) % lines as u64) as u32,
+                store: (x >> 5) & 1 == 1,
+            }
+        })
+        .collect()
+}
+
+/// The resumed engine stays in lockstep with the *uninterrupted* oracle —
+/// snapshot/restore is invisible to an independent reference implementation.
+/// Splits at the start, middle and end of each script.
+#[test]
+fn diff_oracle_accepts_resumed_engine() {
+    let cases = [
+        (
+            "ascc",
+            DiffCase {
+                cores: 3,
+                l2_sets_log2: 3,
+                l2_ways: 4,
+                migrate: true,
+                mem_q: 2,
+                check_every: 5,
+                policy: DiffPolicy::Ascc {
+                    variant: 0,
+                    swap: true,
+                    seed: 0xA5CC,
+                },
+                ops: lcg_ops(240, 3, 96, 0xDEAD),
+            },
+        ),
+        (
+            "qos-avgcc",
+            DiffCase {
+                cores: 2,
+                l2_sets_log2: 2,
+                l2_ways: 2,
+                migrate: false,
+                mem_q: 3,
+                check_every: 7,
+                policy: DiffPolicy::Avgcc {
+                    qos: true,
+                    epoch_accesses: 16,
+                    qos_epoch_cycles: 64,
+                    max_counters: None,
+                    swap: true,
+                    seed: 0xBEEF,
+                },
+                ops: lcg_ops(240, 2, 64, 0xF00D),
+            },
+        ),
+    ];
+    for (name, case) in &cases {
+        for split in [0, 1, case.ops.len() / 2, case.ops.len() - 1, case.ops.len()] {
+            run_case_resumed(case, split).unwrap_or_else(|e| panic!("{name} split {split}: {e}"));
+        }
+    }
+}

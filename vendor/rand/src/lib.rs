@@ -154,6 +154,35 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// Returns the raw xoshiro256++ state word vector.
+        ///
+        /// Together with [`SmallRng::from_state`] this lets simulation
+        /// checkpoints capture and later resume a generator mid-stream,
+        /// which `seed_from_u64` cannot do (it always restarts the
+        /// stream from the beginning).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state vector previously obtained
+        /// via [`SmallRng::state`]. The resumed stream continues exactly
+        /// where the captured one left off.
+        ///
+        /// # Panics
+        ///
+        /// Panics on the all-zero state, which is the one fixed point of
+        /// xoshiro256++ (the generator would emit zeros forever). Seeding
+        /// through SplitMix64 never produces it.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(
+                s.iter().any(|&w| w != 0),
+                "all-zero xoshiro256++ state is invalid"
+            );
+            SmallRng { s }
+        }
+    }
+
     impl RngCore for SmallRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
@@ -184,6 +213,18 @@ mod tests {
         }
         let mut c = SmallRng::seed_from_u64(8);
         assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn state_round_trip_resumes_stream() {
+        let mut a = SmallRng::seed_from_u64(7);
+        for _ in 0..13 {
+            a.next_u64();
+        }
+        let mut b = SmallRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]
