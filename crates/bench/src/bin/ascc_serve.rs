@@ -1,0 +1,43 @@
+//! `ascc-serve` — the resident cache-as-a-service daemon.
+//!
+//! Composes the `ascc_serve` HTTP substrate with the
+//! [`ascc_bench::serve`] application: accepts sweep/mix jobs as JSON
+//! `POST /jobs`, streams progress by tailing each job's
+//! `run_manifest.json` journal, serves live `PolicySnapshot` /
+//! `EpochRecorder` data at `GET /snapshots/:id`, exposes a Prometheus
+//! `GET /metrics` endpoint, and takes runtime toggles (worker count,
+//! arena budget, checkpoint cadence) through `PUT /config`. Jobs are
+//! crash-resumable: a failed or killed experiment retries with
+//! `ASCC_RESUME=1` and restores its periodic checkpoints.
+//!
+//! ```console
+//! ascc_serve --addr 127.0.0.1:7090 --root results/serve
+//! curl -s -X POST localhost:7090/jobs -d '{"only": ["fig08"]}'
+//! curl -s localhost:7090/jobs/job-1
+//! curl -s localhost:7090/metrics
+//! ```
+//!
+//! See DESIGN.md §5g and the README "running as a service" section.
+
+use ascc_bench::serve::{cli, run, DaemonOptions};
+
+fn main() {
+    let grammar = cli();
+    let parsed = grammar.parse();
+    let config = parsed.run_config().unwrap_or_else(|e| {
+        eprintln!("ascc_serve: {e}");
+        std::process::exit(2);
+    });
+    // In-process mix jobs read the arena/pool env; republish before any
+    // simulation work latches a stale value.
+    config.apply();
+    let addr = parsed
+        .value("--addr")
+        .unwrap_or("127.0.0.1:7090")
+        .to_string();
+    let root = parsed.value("--root").unwrap_or("results/serve").into();
+    if let Err(e) = run(DaemonOptions { root, config }, &addr) {
+        eprintln!("ascc_serve: {e}");
+        std::process::exit(1);
+    }
+}

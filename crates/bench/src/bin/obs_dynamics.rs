@@ -12,10 +12,12 @@
 //! Epoch length is `ASCC_OBS_EPOCH` global L2 accesses (default scales
 //! with `ASCC_INSTRS`).
 
+use ascc_bench::cli::Cli;
 use ascc_bench::{parallel_map, print_table, Policy, Scale};
 use cmp_json::Value;
 use cmp_sim::{mix_sources, CmpSystem, EpochRecorder, SystemConfig};
 use cmp_trace::{four_app_mixes, two_app_mixes, WorkloadMix};
+use std::path::Path;
 
 fn epoch_len(scale: &Scale) -> u64 {
     std::env::var("ASCC_OBS_EPOCH")
@@ -52,7 +54,7 @@ fn record(mix: &WorkloadMix, policy: Policy, scale: Scale, epoch: u64) -> Record
     }
 }
 
-fn save(r: &Recording, scale: Scale, epoch: u64) {
+fn save(r: &Recording, scale: Scale, epoch: u64, out_dir: &Path) {
     let doc = Value::object()
         .insert("mix", r.mix.clone())
         .insert("policy", r.policy.label())
@@ -61,7 +63,7 @@ fn save(r: &Recording, scale: Scale, epoch: u64) {
         .insert("warmup", scale.warmup as f64)
         .insert("seed", scale.seed as f64)
         .insert("recording", r.recorder.to_json());
-    let path = std::path::Path::new("results").join(format!(
+    let path = out_dir.join(format!(
         "obs_dynamics_{}core_{}.json",
         r.cores,
         r.policy.label().to_lowercase()
@@ -153,6 +155,21 @@ fn render_d_trajectory(r: &Recording) {
 }
 
 fn main() {
+    let parsed = Cli::new(
+        "obs_dynamics",
+        "per-epoch time series of SSL roles, spill flows and AVGCC granularity",
+    )
+    .harness_flags()
+    .parse();
+    let config = parsed.run_config().unwrap_or_else(|e| {
+        eprintln!("obs_dynamics: {e}");
+        std::process::exit(2);
+    });
+    // Republish before the pool and arena latch their first env read.
+    config.apply();
+    // `--out` here names the directory the per-(mix, policy) recordings
+    // land in (this binary writes several files, not one).
+    let out_dir = config.out.clone().unwrap_or_else(|| "results".into());
     let scale = Scale::from_env();
     let epoch = epoch_len(&scale);
     println!(
@@ -166,7 +183,7 @@ fn main() {
         .collect();
     let recordings = parallel_map(jobs, |(mix, policy)| record(&mix, policy, scale, epoch));
     for r in &recordings {
-        save(r, scale, epoch);
+        save(r, scale, epoch, &out_dir);
         println!(
             "\n{} under {}: {} epochs recorded, {} spills, {} insertion-mode switches",
             r.mix,

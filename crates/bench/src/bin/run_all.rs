@@ -2,275 +2,93 @@
 //! order, journaling per-binary status to `results/run_manifest.json`.
 //!
 //! Usage: `cargo run --release -p ascc-bench --bin run_all [-- OPTIONS]`
-//! (set `ASCC_QUICK=1` or `ASCC_INSTRS=...` to change the scale, `ASCC_JOBS`
-//! to bound the per-experiment sweep parallelism).
+//! (set `ASCC_QUICK=1` or `ASCC_INSTRS=...` to change the scale; see
+//! `--help` for the full flag ↔ env mapping).
 //!
-//! Options:
+//! This binary is a thin command-line front over
+//! [`ascc_bench::orchestrate`] — the `ascc-serve` daemon drives the very
+//! same engine, so a sweep behaves identically whether launched from a
+//! shell or over HTTP. Every manifest update and results artifact is
+//! published atomically (temp file + rename), so a SIGKILL at any instant
+//! leaves either the old file or the new one, never a torn write.
 //!
-//! * `--only <substring>` — keep just the experiments whose name contains
-//!   the substring, case-insensitively (`--only fig08`, `--only TABLE`);
-//!   may be repeated. A substring matching nothing exits non-zero and
-//!   lists the available names.
-//! * `--resume` — skip experiments the manifest marks done, and export
-//!   `ASCC_RESUME=1` to children so in-flight periodic checkpoints
-//!   (`ASCC_CKPT_EVERY`) restore instead of restarting.
-//! * `--timeout <secs>` — per-binary wall-clock limit; a binary still
-//!   running after the limit is killed and counts as a timeout.
-//! * `--retries <n>` — extra attempts after a failure or timeout
-//!   (default 1).
-//!
-//! Every manifest update and results artifact is published atomically
-//! (temp file + rename), so a SIGKILL at any instant leaves either the
-//! old file or the new one, never a torn write.
+//! Diagnostics (including the "no experiment matches" listing) go to
+//! stderr; stdout carries only experiment output.
 
-use ascc_bench::manifest::{RunManifest, Status};
-use std::process::Command;
+use ascc_bench::cli::Cli;
+use ascc_bench::orchestrate::{execute, select, Control, Plan};
 use std::time::{Duration, Instant};
 
-const EXPERIMENTS: &[&str] = &[
-    "table2_arch",
-    "table3_characterization",
-    "fig01_ways",
-    "fig02_sets",
-    "fig03_insertion",
-    "fig04_breakdown",
-    "fig05_neutral",
-    "fig06_granularity",
-    "table1_gran_sweep",
-    "fig07_speedup2",
-    "fig08_speedup4",
-    "fig09_fairness",
-    "fig10_memlat",
-    "sens_shared",
-    "sens_multithreaded",
-    "sens_prefetch",
-    "table4_cache_size",
-    "behavior_spills",
-    "table5_storage",
-    "fig11_qos",
-    "sect7_limited",
-    "ablations",
-];
-
-/// Parsed command line.
-struct Options {
-    /// Case-insensitive `--only` substrings; empty means "run everything".
-    filters: Vec<String>,
-    /// Skip manifest-done experiments and let children restore checkpoints.
-    resume: bool,
-    /// Per-binary wall-clock limit.
-    timeout: Option<Duration>,
-    /// Extra attempts after a failure or timeout.
-    retries: u32,
-}
-
-fn parse_args(args: &[String]) -> Options {
-    let mut opts = Options {
-        filters: Vec::new(),
-        resume: false,
-        timeout: None,
-        retries: 1,
-    };
-    let mut it = args.iter();
-    // Accepts both `--flag value` and `--flag=value`.
-    let value_of = |arg: &str, name: &str, it: &mut std::slice::Iter<String>| -> String {
-        match arg.strip_prefix(name) {
-            Some("") => match it.next() {
-                Some(v) => v.clone(),
-                None => die(&format!("{name} needs an argument")),
-            },
-            Some(eq) => match eq.strip_prefix('=') {
-                Some(v) if !v.is_empty() => v.to_string(),
-                _ => die(&format!("{name} needs an argument")),
-            },
-            None => unreachable!(),
-        }
-    };
-    while let Some(arg) = it.next() {
-        if arg == "--resume" {
-            opts.resume = true;
-        } else if arg.starts_with("--only") {
-            opts.filters
-                .push(value_of(arg, "--only", &mut it).to_lowercase());
-        } else if arg.starts_with("--timeout") {
-            let v = value_of(arg, "--timeout", &mut it);
-            match v.parse::<u64>() {
-                Ok(secs) if secs > 0 => opts.timeout = Some(Duration::from_secs(secs)),
-                _ => die(&format!("--timeout wants a positive integer, got {v:?}")),
-            }
-        } else if arg.starts_with("--retries") {
-            let v = value_of(arg, "--retries", &mut it);
-            match v.parse::<u32>() {
-                Ok(n) => opts.retries = n,
-                Err(_) => die(&format!("--retries wants an integer, got {v:?}")),
-            }
-        } else {
-            die(&format!("unknown argument {arg:?}"));
-        }
-    }
-    opts
-}
-
-fn die(msg: &str) -> ! {
-    eprintln!("run_all: {msg}");
-    eprintln!(
-        "usage: run_all [--only <substring>]... [--resume] [--timeout <secs>] [--retries <n>]"
-    );
-    std::process::exit(2);
-}
-
-/// One attempt's outcome.
-enum Outcome {
-    Ok,
-    Failed(String),
-    TimedOut,
-}
-
-/// Launches `exp`, enforcing the optional wall-clock limit by polling.
-fn run_one(bin: &std::path::Path, resume: bool, timeout: Option<Duration>) -> Outcome {
-    let mut cmd = Command::new(bin);
-    if resume {
-        cmd.env("ASCC_RESUME", "1");
-    }
-    let mut child = match cmd.spawn() {
-        Ok(c) => c,
-        Err(e) => return Outcome::Failed(format!("failed to launch: {e}")),
-    };
-    let t0 = Instant::now();
-    loop {
-        match child.try_wait() {
-            Ok(Some(status)) if status.success() => return Outcome::Ok,
-            Ok(Some(status)) => return Outcome::Failed(format!("exited with {status}")),
-            Ok(None) => {}
-            Err(e) => return Outcome::Failed(format!("wait failed: {e}")),
-        }
-        if timeout.is_some_and(|t| t0.elapsed() >= t) {
-            let _ = child.kill();
-            let _ = child.wait();
-            return Outcome::TimedOut;
-        }
-        std::thread::sleep(Duration::from_millis(50));
-    }
-}
-
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = parse_args(&args);
-    let selected: Vec<&str> = EXPERIMENTS
-        .iter()
-        .copied()
-        .filter(|e| {
-            opts.filters.is_empty()
-                || opts
-                    .filters
-                    .iter()
-                    .any(|f| e.to_lowercase().contains(f.as_str()))
-        })
-        .collect();
-    if selected.is_empty() {
-        eprintln!(
-            "run_all: no experiment matches {:?}; available experiments:",
-            opts.filters
-        );
-        for e in EXPERIMENTS {
-            eprintln!("  {e}");
-        }
+    let cli = Cli::new(
+        "run_all",
+        "run every experiment binary in paper order, with a fault-tolerant journal",
+    )
+    .repeated(
+        "--only",
+        "<substring>",
+        "keep experiments whose name contains this (case-insensitive); repeatable",
+    )
+    .option("--timeout", "<secs>", "per-binary wall-clock limit")
+    .option(
+        "--retries",
+        "<n>",
+        "extra attempts after a failure or timeout (default 1)",
+    )
+    .harness_flags();
+    let parsed = cli.parse();
+
+    let die = |msg: &str| -> ! {
+        eprintln!("run_all: {msg}");
+        eprintln!("{}", cli.usage());
         std::process::exit(2);
-    }
+    };
+    let config = parsed.run_config().unwrap_or_else(|e| die(&e));
+    let filters: Vec<String> = parsed
+        .values("--only")
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let selected = select(&filters).unwrap_or_else(|e| {
+        eprintln!("run_all: {e}");
+        std::process::exit(2);
+    });
+    let timeout = match parsed.parsed::<u64>("--timeout") {
+        Ok(Some(0)) => die("--timeout wants a positive integer, got \"0\""),
+        Ok(secs) => secs.map(Duration::from_secs),
+        Err(e) => die(&e),
+    };
+    let retries = parsed
+        .parsed::<u32>("--retries")
+        .unwrap_or_else(|e| die(&e))
+        .unwrap_or(1);
 
-    let manifest_path = std::path::Path::new("results").join("run_manifest.json");
-    let mut manifest = fresh_or_resumed(&manifest_path, opts.resume);
+    // Children get the full config through the environment; applying it
+    // here too keeps this process's own readers (none today) consistent.
+    config.apply();
+    let mut plan = Plan::new(selected.iter().map(|s| s.to_string()).collect(), config);
+    plan.timeout = timeout;
+    plan.retries = retries;
 
-    let self_path = std::env::current_exe().expect("own path");
-    let bin_dir = self_path.parent().expect("bin dir").to_path_buf();
     let started = Instant::now();
-    let mut failures = Vec::new();
-    let mut timings: Vec<(&str, f64, &'static str)> = Vec::new();
-    for exp in &selected {
-        if opts.resume && manifest.is_done(exp) {
-            println!("\n############ {exp} ############ (done in manifest, skipped)");
-            timings.push((exp, 0.0, "skipped"));
-            continue;
-        }
-        let prior_attempts = manifest.entry(exp).map_or(0, |e| e.attempts);
-        let mut outcome = Outcome::Failed("never launched".into());
-        let mut secs = 0.0;
-        let mut attempt_no = prior_attempts;
-        for attempt in 0..=opts.retries {
-            attempt_no = prior_attempts + u64::from(attempt) + 1;
-            println!(
-                "\n############ {exp} ############{}",
-                if attempt > 0 {
-                    format!(" (retry {attempt}/{})", opts.retries)
-                } else {
-                    String::new()
-                }
-            );
-            journal(&mut manifest, exp, Status::Running, attempt_no, 0.0);
-            let t0 = Instant::now();
-            outcome = run_one(&bin_dir.join(exp), opts.resume, opts.timeout);
-            secs = t0.elapsed().as_secs_f64();
-            match &outcome {
-                Outcome::Ok => break,
-                Outcome::Failed(why) => {
-                    eprintln!("!! {exp} failed after {secs:.1} s: {why}");
-                    journal(&mut manifest, exp, Status::Failed, attempt_no, secs);
-                }
-                Outcome::TimedOut => {
-                    eprintln!("!! {exp} timed out after {secs:.1} s; killed");
-                    journal(&mut manifest, exp, Status::TimedOut, attempt_no, secs);
-                }
-            }
-        }
-        let verdict = match outcome {
-            Outcome::Ok => {
-                journal(&mut manifest, exp, Status::Done, attempt_no, secs);
-                "ok"
-            }
-            Outcome::Failed(_) => {
-                failures.push(*exp);
-                "FAILED"
-            }
-            Outcome::TimedOut => {
-                failures.push(*exp);
-                "TIMEOUT"
-            }
-        };
-        timings.push((exp, secs, verdict));
-    }
+    let summary = execute(&plan, &Control::new());
 
     println!("\n== per-experiment wall-clock ==");
-    for (exp, secs, verdict) in &timings {
-        println!("  {exp:<24} {secs:8.2} s  {verdict}");
+    for t in &summary.timings {
+        println!("  {:<24} {:8.2} s  {}", t.name, t.seconds, t.verdict);
     }
     println!(
         "\n{} experiment(s) done in {:.1} min; {} failures {:?} (journal: {})",
         selected.len(),
         started.elapsed().as_secs_f64() / 60.0,
-        failures.len(),
-        failures,
-        manifest_path.display()
+        summary.failures.len(),
+        summary.failures,
+        plan.workdir
+            .join("results")
+            .join("run_manifest.json")
+            .display()
     );
-    if !failures.is_empty() {
+    if !summary.failures.is_empty() {
         std::process::exit(1);
-    }
-}
-
-/// Loads the journal for `--resume`, or starts a blank one (next to the
-/// same path) for a fresh run so stale completions never mask new work.
-fn fresh_or_resumed(path: &std::path::Path, resume: bool) -> RunManifest {
-    if resume {
-        RunManifest::load_or_new(path)
-    } else {
-        let _ = std::fs::remove_file(path);
-        RunManifest::load_or_new(path)
-    }
-}
-
-/// Journals a transition, warning (not dying) on IO trouble — losing the
-/// journal must not kill a multi-hour sweep.
-fn journal(m: &mut RunManifest, exp: &str, status: Status, attempts: u64, secs: f64) {
-    if let Err(e) = m.record(exp, status, attempts, secs) {
-        eprintln!("run_all: warning: could not journal {exp}: {e}");
     }
 }

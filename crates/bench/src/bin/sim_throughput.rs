@@ -16,13 +16,15 @@
 //! `BENCH_throughput.json` (override with `ASCC_BENCH_OUT`).
 //!
 //! `ASCC_QUICK=1` gives a fast smoke run; `ASCC_INSTRS`/`ASCC_WARMUP`
-//! rescale as usual. `ASCC_JOBS` sets the "many workers" worker count
-//! (default: available parallelism); the one-worker rows are always
-//! measured with an explicit single-worker pool. `ASCC_TRACE_CACHE=0`
-//! disables the arena, making the `arena` rows a second streaming
-//! measurement (the JSON records `trace_cache` so the two configurations
-//! stay distinguishable in archived results).
+//! rescale as usual. `--jobs` (or `ASCC_JOBS`) sets the "many workers"
+//! worker count (default: available parallelism); the one-worker rows are
+//! always measured with an explicit single-worker pool.
+//! `ASCC_TRACE_CACHE=0` disables the arena, making the `arena` rows a
+//! second streaming measurement (the JSON records `trace_cache` so the
+//! two configurations stay distinguishable in archived results). See
+//! `--help` for the full flag ↔ env mapping.
 
+use ascc_bench::cli::Cli;
 use ascc_bench::{print_table, Policy, Scale};
 use cmp_json::Value;
 use cmp_sim::{mix_sources, mix_workloads, CmpSystem, RunResult, SweepPool, SystemConfig};
@@ -148,6 +150,18 @@ fn generator_rates(scale: Scale, accesses: u64) -> (f64, f64) {
 }
 
 fn main() {
+    let parsed = Cli::new(
+        "sim_throughput",
+        "simulated accesses per wall-clock second, per policy and front-end",
+    )
+    .harness_flags()
+    .parse();
+    let config = parsed.run_config().unwrap_or_else(|e| {
+        eprintln!("sim_throughput: {e}");
+        std::process::exit(2);
+    });
+    // Republish before the pool and arena latch their first env read.
+    config.apply();
     let scale = Scale::from_env();
     let cfg = SystemConfig::table2(2);
     let many = SweepPool::from_env();
@@ -278,9 +292,11 @@ fn main() {
             ),
         )
         .insert("speedups", Value::Array(speedups));
-    let path =
-        std::env::var("ASCC_BENCH_OUT").unwrap_or_else(|_| "BENCH_throughput.json".to_string());
+    let path = config
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_throughput.json".into());
     ascc_bench::atomic_write_text(&path, &json.pretty())
-        .unwrap_or_else(|e| panic!("write {path}: {e}"));
-    println!("\n[saved {path}]");
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("\n[saved {}]", path.display());
 }

@@ -23,6 +23,7 @@
 //! it decodes the envelope, fingerprint and per-core progress without
 //! constructing a system, and prints the section layout.
 
+use ascc_bench::cli::Cli;
 use cmp_trace::{RecordedTrace, SharedTrace, SpecBench};
 use std::collections::HashSet;
 use std::path::Path;
@@ -49,7 +50,15 @@ fn parse_bench(arg: &str) -> SpecBench {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    // The unified grammar handles `--help` (with the RunConfig knob
+    // table) and rejects stray flags; subcommands stay positional.
+    let args = Cli::new(
+        "trace_tool",
+        "record and inspect workload traces, fuzz repros and checkpoints",
+    )
+    .positionals("<command> [args...]")
+    .parse()
+    .positionals;
     match args.first().map(String::as_str) {
         Some("record") if args.len() == 4 => {
             let bench = parse_bench(&args[1]);

@@ -5,6 +5,24 @@
 //! simulations (a [`cmp_sim::SweepPool`] honouring `ASCC_JOBS`), the
 //! (mix × policy) [`run_grid`] driver, table printing, and JSON result
 //! dumps under `results/` that `run_all` collects into EXPERIMENTS.md.
+//!
+//! The control-plane layers on top:
+//!
+//! * [`RunConfig`] (in [`config`]) — the typed harness configuration that
+//!   subsumes the `ASCC_*` env sprawl (one parse site, one apply site);
+//! * [`cli`] — the unified flag grammar every binary parses with;
+//! * [`orchestrate`] — the experiment engine extracted from `run_all`
+//!   (selection, journaling, retries, timeouts, cancellation);
+//! * [`serve`] — the `ascc-serve` daemon application: jobs, journal
+//!   tailing, live snapshots and Prometheus `/metrics` over the
+//!   `ascc_serve` HTTP substrate.
+
+pub mod cli;
+pub mod config;
+pub mod orchestrate;
+pub mod serve;
+
+pub use config::RunConfig;
 
 use ascc::{AsccConfig, AvgccConfig};
 use cmp_cache::{LlcPolicy, PrivateBaseline};

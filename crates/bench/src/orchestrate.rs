@@ -1,0 +1,388 @@
+//! The experiment orchestration engine behind `run_all` and the
+//! `ascc-serve` daemon.
+//!
+//! `run_all` used to own this loop; it is now a library so the daemon can
+//! run the identical engine in a worker thread per job: same experiment
+//! list, same selection semantics, same journaling
+//! (`results/run_manifest.json` under the plan's workdir — which is what
+//! `GET /jobs/:id` tails), same retry/timeout behaviour. The one
+//! extension over the historical binary is cooperative cancellation
+//! ([`Control`]) so `DELETE /jobs/:id` and daemon shutdown can stop a
+//! sweep mid-experiment, and automatic `ASCC_RESUME=1` on retry attempts
+//! so a crashed or killed experiment restores its periodic checkpoints
+//! instead of restarting from zero.
+
+use crate::manifest::{RunManifest, Status};
+use crate::RunConfig;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Every experiment binary, in paper order.
+pub const EXPERIMENTS: &[&str] = &[
+    "table2_arch",
+    "table3_characterization",
+    "fig01_ways",
+    "fig02_sets",
+    "fig03_insertion",
+    "fig04_breakdown",
+    "fig05_neutral",
+    "fig06_granularity",
+    "table1_gran_sweep",
+    "fig07_speedup2",
+    "fig08_speedup4",
+    "fig09_fairness",
+    "fig10_memlat",
+    "sens_shared",
+    "sens_multithreaded",
+    "sens_prefetch",
+    "table4_cache_size",
+    "behavior_spills",
+    "table5_storage",
+    "fig11_qos",
+    "sect7_limited",
+    "ablations",
+];
+
+/// Applies `--only`-style case-insensitive substring filters to the
+/// experiment list (empty filters = everything). A filter set matching
+/// nothing is an error whose message lists every available name — callers
+/// print it to **stderr** (stdout stays clean for experiment output; a
+/// regression test pins this).
+pub fn select(filters: &[String]) -> Result<Vec<&'static str>, String> {
+    let selected: Vec<&'static str> = EXPERIMENTS
+        .iter()
+        .copied()
+        .filter(|e| {
+            filters.is_empty()
+                || filters
+                    .iter()
+                    .any(|f| e.to_lowercase().contains(&f.to_lowercase()))
+        })
+        .collect();
+    if selected.is_empty() {
+        let mut msg = format!("no experiment matches {filters:?}; available experiments:");
+        for e in EXPERIMENTS {
+            msg.push_str(&format!("\n  {e}"));
+        }
+        return Err(msg);
+    }
+    Ok(selected)
+}
+
+/// One orchestration run: which experiments, where, and how.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// Experiment names to run, in order (from [`select`]).
+    pub experiments: Vec<String>,
+    /// Directory the children run in; the journal lives at
+    /// `<workdir>/results/run_manifest.json` and every child's `results/`
+    /// artifacts land beneath it.
+    pub workdir: PathBuf,
+    /// Directory holding the experiment binaries (normally the directory
+    /// of the current executable).
+    pub bin_dir: PathBuf,
+    /// Harness knobs exported to every child (see [`RunConfig::env`]);
+    /// `config.resume` also controls skipping manifest-done experiments.
+    pub config: RunConfig,
+    /// Per-binary wall-clock limit.
+    pub timeout: Option<Duration>,
+    /// Extra attempts after a failure or timeout.
+    pub retries: u32,
+    /// Suppress the per-experiment stdout chrome (the daemon sets this;
+    /// the child processes' own stdout is unaffected).
+    pub quiet: bool,
+}
+
+impl Plan {
+    /// A plan running `experiments` in the current directory with binaries
+    /// next to the current executable.
+    pub fn new(experiments: Vec<String>, config: RunConfig) -> Plan {
+        let bin_dir = std::env::current_exe()
+            .ok()
+            .and_then(|p| p.parent().map(Path::to_path_buf))
+            .unwrap_or_else(|| PathBuf::from("."));
+        Plan {
+            experiments,
+            workdir: PathBuf::from("."),
+            bin_dir,
+            config,
+            timeout: None,
+            retries: 1,
+            quiet: false,
+        }
+    }
+}
+
+/// Shared handles for steering a running plan from another thread.
+#[derive(Clone, Debug, Default)]
+pub struct Control {
+    /// Set to stop: the current child is killed and the loop exits.
+    pub cancel: Arc<AtomicBool>,
+    /// PID of the currently running experiment child (0 = none). The
+    /// daemon exposes this so tests can kill a worker mid-job.
+    pub child_pid: Arc<AtomicU32>,
+}
+
+impl Control {
+    /// Fresh, uncancelled control handles.
+    pub fn new() -> Control {
+        Control::default()
+    }
+
+    /// Requests cancellation.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation was requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::SeqCst)
+    }
+}
+
+/// One attempt's outcome.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// Exited successfully.
+    Ok,
+    /// Launch or exit failure, with the reason.
+    Failed(String),
+    /// Killed after exceeding the wall-clock limit.
+    TimedOut,
+    /// Killed by [`Control::cancel`].
+    Cancelled,
+}
+
+/// One experiment's line in the final report.
+#[derive(Clone, Debug)]
+pub struct Timing {
+    /// Experiment name.
+    pub name: String,
+    /// Wall-clock seconds of the last attempt.
+    pub seconds: f64,
+    /// `"ok"`, `"skipped"`, `"FAILED"`, `"TIMEOUT"` or `"CANCELLED"`.
+    pub verdict: &'static str,
+}
+
+/// What [`execute`] hands back.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    /// Per-experiment outcomes in run order.
+    pub timings: Vec<Timing>,
+    /// Names that ended failed, timed out or cancelled.
+    pub failures: Vec<String>,
+    /// Whether the run stopped on cancellation.
+    pub cancelled: bool,
+}
+
+/// Launches one experiment child, polling for exit, timeout and
+/// cancellation. `resume` exports `ASCC_RESUME=1` on top of the config's
+/// environment (retries pass `true` so checkpoints restore).
+fn run_one(plan: &Plan, name: &str, resume: bool, control: &Control) -> Outcome {
+    let mut cmd = Command::new(plan.bin_dir.join(name));
+    cmd.current_dir(&plan.workdir);
+    for (k, v) in plan.config.env() {
+        if v.is_empty() {
+            cmd.env_remove(k);
+        } else {
+            cmd.env(k, v);
+        }
+    }
+    if resume {
+        cmd.env("ASCC_RESUME", "1");
+    }
+    let mut child = match cmd.spawn() {
+        Ok(c) => c,
+        Err(e) => return Outcome::Failed(format!("failed to launch: {e}")),
+    };
+    control.child_pid.store(child.id(), Ordering::SeqCst);
+    let t0 = Instant::now();
+    let outcome = loop {
+        match child.try_wait() {
+            Ok(Some(status)) if status.success() => break Outcome::Ok,
+            Ok(Some(status)) => break Outcome::Failed(format!("exited with {status}")),
+            Ok(None) => {}
+            Err(e) => break Outcome::Failed(format!("wait failed: {e}")),
+        }
+        if control.is_cancelled() {
+            let _ = child.kill();
+            let _ = child.wait();
+            break Outcome::Cancelled;
+        }
+        if plan.timeout.is_some_and(|t| t0.elapsed() >= t) {
+            let _ = child.kill();
+            let _ = child.wait();
+            break Outcome::TimedOut;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    control.child_pid.store(0, Ordering::SeqCst);
+    outcome
+}
+
+/// Runs the plan to completion (or cancellation), journaling every
+/// transition to `<workdir>/results/run_manifest.json`.
+///
+/// Semantics preserved from the historical `run_all` loop: a fresh run
+/// (no `config.resume`) starts a blank journal so stale completions never
+/// mask new work; with resume, manifest-done experiments are skipped and
+/// children get `ASCC_RESUME=1`. Retry attempts always export
+/// `ASCC_RESUME=1` so a failed or killed child restores its periodic
+/// checkpoints (`ckpt_every`) instead of restarting from zero.
+pub fn execute(plan: &Plan, control: &Control) -> Summary {
+    let manifest_path = plan.workdir.join("results").join("run_manifest.json");
+    let mut manifest = if plan.config.resume {
+        RunManifest::load_or_new(&manifest_path)
+    } else {
+        let _ = std::fs::remove_file(&manifest_path);
+        RunManifest::load_or_new(&manifest_path)
+    };
+
+    let mut summary = Summary::default();
+    for name in &plan.experiments {
+        if control.is_cancelled() {
+            summary.cancelled = true;
+            break;
+        }
+        if plan.config.resume && manifest.is_done(name) {
+            if !plan.quiet {
+                println!("\n############ {name} ############ (done in manifest, skipped)");
+            }
+            summary.timings.push(Timing {
+                name: name.clone(),
+                seconds: 0.0,
+                verdict: "skipped",
+            });
+            continue;
+        }
+        let prior_attempts = manifest.entry(name).map_or(0, |e| e.attempts);
+        let mut outcome = Outcome::Failed("never launched".into());
+        let mut secs = 0.0;
+        let mut attempt_no = prior_attempts;
+        for attempt in 0..=plan.retries {
+            attempt_no = prior_attempts + u64::from(attempt) + 1;
+            if !plan.quiet {
+                println!(
+                    "\n############ {name} ############{}",
+                    if attempt > 0 {
+                        format!(" (retry {attempt}/{})", plan.retries)
+                    } else {
+                        String::new()
+                    }
+                );
+            }
+            journal(&mut manifest, name, Status::Running, attempt_no, 0.0);
+            let t0 = Instant::now();
+            outcome = run_one(plan, name, plan.config.resume || attempt > 0, control);
+            secs = t0.elapsed().as_secs_f64();
+            match &outcome {
+                Outcome::Ok | Outcome::Cancelled => break,
+                Outcome::Failed(why) => {
+                    eprintln!("!! {name} failed after {secs:.1} s: {why}");
+                    journal(&mut manifest, name, Status::Failed, attempt_no, secs);
+                }
+                Outcome::TimedOut => {
+                    eprintln!("!! {name} timed out after {secs:.1} s; killed");
+                    journal(&mut manifest, name, Status::TimedOut, attempt_no, secs);
+                }
+            }
+        }
+        let verdict = match outcome {
+            Outcome::Ok => {
+                journal(&mut manifest, name, Status::Done, attempt_no, secs);
+                "ok"
+            }
+            Outcome::Failed(_) => {
+                summary.failures.push(name.clone());
+                "FAILED"
+            }
+            Outcome::TimedOut => {
+                summary.failures.push(name.clone());
+                "TIMEOUT"
+            }
+            Outcome::Cancelled => {
+                // Leave the Running journal entry: it accurately marks the
+                // experiment that was in flight, and a resume re-runs it.
+                summary.failures.push(name.clone());
+                summary.cancelled = true;
+                "CANCELLED"
+            }
+        };
+        summary.timings.push(Timing {
+            name: name.clone(),
+            seconds: secs,
+            verdict,
+        });
+        if summary.cancelled {
+            break;
+        }
+    }
+    summary
+}
+
+/// Journals a transition, warning (not dying) on IO trouble — losing the
+/// journal must not kill a multi-hour sweep.
+fn journal(m: &mut RunManifest, exp: &str, status: Status, attempts: u64, secs: f64) {
+    if let Err(e) = m.record(exp, status, attempts, secs) {
+        eprintln!("run_all: warning: could not journal {exp}: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_filters_case_insensitively() {
+        assert_eq!(select(&[]).unwrap().len(), EXPERIMENTS.len());
+        let picked = select(&["FIG08".into()]).unwrap();
+        assert_eq!(picked, vec!["fig08_speedup4"]);
+        let multi = select(&["table".into(), "qos".into()]).unwrap();
+        assert!(multi.contains(&"table5_storage") && multi.contains(&"fig11_qos"));
+    }
+
+    #[test]
+    fn select_error_lists_available_names() {
+        let err = select(&["zzz".into()]).unwrap_err();
+        assert!(err.contains("no experiment matches"));
+        for e in EXPERIMENTS {
+            assert!(err.contains(e), "{e} missing from {err}");
+        }
+    }
+
+    #[test]
+    fn cancelled_control_short_circuits_execute() {
+        let control = Control::new();
+        control.cancel();
+        let plan = Plan::new(vec!["fig08_speedup4".into()], RunConfig::default());
+        let summary = execute(&plan, &control);
+        assert!(summary.cancelled);
+        assert!(summary.timings.is_empty());
+    }
+
+    #[test]
+    fn missing_binary_journals_failure() {
+        let dir = std::env::temp_dir().join(format!("ascc-orch-{}", std::process::id()));
+        let plan = Plan {
+            experiments: vec!["no_such_experiment_bin".into()],
+            workdir: dir.clone(),
+            bin_dir: dir.clone(),
+            config: RunConfig::default(),
+            timeout: None,
+            retries: 0,
+            quiet: true,
+        };
+        std::fs::create_dir_all(&dir).unwrap();
+        let summary = execute(&plan, &Control::new());
+        assert_eq!(summary.failures, vec!["no_such_experiment_bin"]);
+        let m = RunManifest::load_or_new(&dir.join("results").join("run_manifest.json"));
+        assert_eq!(
+            m.entry("no_such_experiment_bin").unwrap().status,
+            Status::Failed
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

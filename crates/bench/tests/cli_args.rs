@@ -1,0 +1,93 @@
+//! Regression tests for the unified command-line surface.
+//!
+//! The load-bearing invariant: **stdout of the experiment binaries
+//! carries only experiment output**. Diagnostics — usage errors, the
+//! `--only` no-match listing — go to stderr with a non-zero exit, so
+//! piped/diffed stdout is never poisoned by a stray message.
+
+use std::process::{Command, Output};
+
+fn run_all(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_run_all"))
+        .args(args)
+        .output()
+        .expect("spawn run_all")
+}
+
+#[test]
+fn no_match_lists_experiments_on_stderr_and_exits_2() {
+    let out = run_all(&["--only", "definitely-no-such-experiment"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    // The diagnostic and the available-name listing are stderr-only.
+    assert!(
+        out.stdout.is_empty(),
+        "stdout must stay clean, got: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("no experiment matches"), "{err}");
+    assert!(err.contains("fig08_speedup4"), "listing missing: {err}");
+    assert!(err.contains("table2_arch"), "listing missing: {err}");
+}
+
+#[test]
+fn unknown_flag_exits_2_with_usage_on_stderr() {
+    let out = run_all(&["--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(out.stdout.is_empty());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown argument"), "{err}");
+    assert!(err.contains("usage: run_all"), "{err}");
+}
+
+#[test]
+fn missing_flag_value_exits_2() {
+    for args in [&["--only"][..], &["--timeout"], &["--timeout=0"]] {
+        let out = run_all(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {out:?}");
+        assert!(out.stdout.is_empty(), "{args:?}");
+    }
+}
+
+#[test]
+fn help_prints_flags_and_knob_table_on_stdout() {
+    let out = run_all(&["--help"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("usage: run_all"), "{text}");
+    assert!(text.contains("--only"), "{text}");
+    // The RunConfig flag ↔ env ↔ JSON mapping rides along in every --help.
+    assert!(text.contains("ASCC_JOBS"), "{text}");
+    assert!(text.contains("ASCC_TRACE_ARENA_MB"), "{text}");
+    assert!(text.contains("ASCC_CKPT_EVERY"), "{text}");
+}
+
+#[test]
+fn help_is_uniform_across_binaries() {
+    for bin in [
+        env!("CARGO_BIN_EXE_sim_throughput"),
+        env!("CARGO_BIN_EXE_obs_dynamics"),
+        env!("CARGO_BIN_EXE_trace_tool"),
+        env!("CARGO_BIN_EXE_ascc_serve"),
+    ] {
+        let out = Command::new(bin).arg("--help").output().expect("spawn");
+        assert_eq!(out.status.code(), Some(0), "{bin}: {out:?}");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("usage:"), "{bin}: {text}");
+        assert!(
+            text.contains("ASCC_JOBS"),
+            "{bin} --help lacks the knob table: {text}"
+        );
+    }
+}
+
+#[test]
+fn trace_tool_still_rejects_bad_subcommands() {
+    let out = Command::new(env!("CARGO_BIN_EXE_trace_tool"))
+        .arg("frobnicate")
+        .output()
+        .expect("spawn trace_tool");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage: trace_tool"), "{err}");
+}

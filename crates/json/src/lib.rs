@@ -94,6 +94,22 @@ impl Value {
         }
     }
 
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs in insertion order, if this is an object.
+    pub fn entries(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
     /// Parses a JSON document.
     pub fn parse(text: &str) -> Result<Value, ParseError> {
         let mut p = Parser {
@@ -524,5 +540,18 @@ mod tests {
         assert_eq!(v.get("k").and_then(Value::as_u64), Some(2));
         let Value::Object(fields) = &v else { panic!() };
         assert_eq!(fields.len(), 1);
+    }
+
+    #[test]
+    fn bool_and_entries_accessors() {
+        let v = Value::object().insert("on", true).insert("n", 3u32);
+        assert_eq!(v.get("on").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("n").and_then(Value::as_bool), None);
+        let entries = v.entries().unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, "on");
+        assert_eq!(entries[1].0, "n");
+        assert!(Value::Null.entries().is_none());
+        assert!(Value::Bool(false).as_bool() == Some(false));
     }
 }

@@ -1,0 +1,513 @@
+//! A minimal blocking HTTP/1.1 server and client.
+//!
+//! Scope: exactly what a single-host control plane needs. One request per
+//! connection (`Connection: close`), `Content-Length` bodies only (no
+//! chunked encoding), no TLS, no percent-decoding beyond `%xx` in paths.
+//! Every connection is handled on its own thread; the accept loop polls a
+//! shutdown flag so [`HttpServer::serve`] returns cleanly when asked.
+
+use cmp_json::Value;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Upper bound on request head (request line + headers) bytes.
+const MAX_HEAD: usize = 64 * 1024;
+/// Upper bound on request body bytes (job specs and config documents are
+/// tiny; anything bigger is a client error).
+const MAX_BODY: usize = 16 * 1024 * 1024;
+/// Per-connection socket timeout: a stalled peer must not pin a handler
+/// thread forever.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-case method, e.g. `GET`.
+    pub method: String,
+    /// Decoded path without the query string, e.g. `/jobs/job-1`.
+    pub path: String,
+    /// Query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Headers with lower-cased names, in order of appearance.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (empty when the request carried none).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header (name matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of a query parameter.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The non-empty `/`-separated path segments, e.g. `["jobs", "job-1"]`.
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+
+    /// The body parsed as a JSON document.
+    pub fn json(&self) -> Result<Value, String> {
+        let text = std::str::from_utf8(&self.body).map_err(|e| format!("body not UTF-8: {e}"))?;
+        Value::parse(text).map_err(|e| format!("body not JSON: {e}"))
+    }
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code, e.g. 200.
+    pub status: u16,
+    /// Content type header value.
+    pub content_type: String,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with an explicit status, content type and body.
+    pub fn new(status: u16, content_type: &str, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            content_type: content_type.to_string(),
+            body: body.into(),
+        }
+    }
+
+    /// A JSON response (the document is pretty-printed).
+    pub fn json(status: u16, doc: &Value) -> Self {
+        Self::new(status, "application/json", doc.pretty())
+    }
+
+    /// `200 OK` with a JSON body.
+    pub fn ok_json(doc: &Value) -> Self {
+        Self::json(200, doc)
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self::new(
+            status,
+            "text/plain; version=0.0.4; charset=utf-8",
+            body.into(),
+        )
+    }
+
+    /// An error response with a `{"error": ...}` JSON body.
+    pub fn error(status: u16, message: impl Into<String>) -> Self {
+        Self::json(status, &Value::object().insert("error", message.into()))
+    }
+
+    /// `404 Not Found`.
+    pub fn not_found(what: &str) -> Self {
+        Self::error(404, format!("not found: {what}"))
+    }
+
+    /// `405 Method Not Allowed`.
+    pub fn method_not_allowed(method: &str, path: &str) -> Self {
+        Self::error(405, format!("{method} not allowed on {path}"))
+    }
+
+    /// `400 Bad Request`.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self::error(400, message)
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            201 => "Created",
+            202 => "Accepted",
+            204 => "No Content",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            500 => "Internal Server Error",
+            _ => "Status",
+        }
+    }
+
+    fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// A handle that asks a running [`HttpServer::serve`] loop to stop.
+///
+/// Clones share the flag. The accept loop notices within its polling
+/// interval (tens of milliseconds); in-flight request threads finish
+/// their response first.
+#[derive(Debug, Clone, Default)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl ShutdownHandle {
+    /// Requests shutdown. Idempotent.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound HTTP/1.1 listener dispatching each connection to a handler
+/// thread.
+#[derive(Debug)]
+pub struct HttpServer {
+    listener: TcpListener,
+    shutdown: ShutdownHandle,
+}
+
+impl HttpServer {
+    /// Binds to `addr` (use port 0 for an ephemeral port; read the result
+    /// back with [`local_addr`](HttpServer::local_addr)).
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(HttpServer {
+            listener,
+            shutdown: ShutdownHandle::default(),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that stops the [`serve`](HttpServer::serve) loop.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        self.shutdown.clone()
+    }
+
+    /// Accepts connections until shutdown is requested, handling each on
+    /// its own thread. The handler sees every syntactically valid request;
+    /// malformed requests are answered with `400` without reaching it. A
+    /// handler panic answers `500` (the catch keeps one bad request from
+    /// wedging the daemon).
+    pub fn serve<H>(self, handler: Arc<H>)
+    where
+        H: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        self.listener
+            .set_nonblocking(true)
+            .expect("nonblocking listener");
+        loop {
+            if self.shutdown.is_shutdown() {
+                return;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let handler = Arc::clone(&handler);
+                    std::thread::spawn(move || handle_connection(stream, handler));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => {
+                    eprintln!("[http] accept error: {e}");
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        }
+    }
+}
+
+fn handle_connection<H>(mut stream: TcpStream, handler: Arc<H>)
+where
+    H: Fn(&Request) -> Response + Send + Sync + 'static,
+{
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let response = match read_request(&mut stream) {
+        Ok(req) => match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(&req))) {
+            Ok(resp) => resp,
+            Err(_) => Response::error(500, format!("handler panicked on {}", req.path)),
+        },
+        Err(e) => Response::bad_request(e),
+    };
+    if let Err(e) = response.write_to(&mut stream) {
+        eprintln!("[http] write error: {e}");
+    }
+}
+
+/// Reads and parses one request from the stream.
+fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err("request head too large".into());
+        }
+        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-request".into());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| "head not UTF-8".to_string())?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or("empty request")?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().ok_or("missing method")?.to_string();
+    let target = parts.next().ok_or("missing request target")?;
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(format!("not an HTTP/1.x request line: {request_line:?}")),
+    }
+
+    let mut headers = Vec::new();
+    for line in lines.filter(|l| !l.is_empty()) {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| format!("malformed header line {line:?}"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let (path, query) = parse_target(target)?;
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| format!("bad Content-Length {v:?}"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err(format!("body too large ({content_length} bytes)"));
+    }
+    let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| format!("read body: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-body".into());
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Splits a request target into a decoded path and its query pairs.
+fn parse_target(target: &str) -> Result<(String, Vec<(String, String)>), String> {
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(raw_path)?;
+    let mut query = Vec::new();
+    if let Some(q) = raw_query {
+        for pair in q.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            query.push((percent_decode(k)?, percent_decode(v)?));
+        }
+    }
+    Ok((path, query))
+}
+
+fn percent_decode(s: &str) -> Result<String, String> {
+    if !s.contains('%') && !s.contains('+') {
+        return Ok(s.to_string());
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .and_then(|h| u8::from_str_radix(h, 16).ok())
+                    .ok_or_else(|| format!("bad percent escape in {s:?}"))?;
+                out.push(hex);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| format!("escape sequence in {s:?} is not UTF-8"))
+}
+
+/// Sends one blocking HTTP request and returns `(status, body)`.
+///
+/// The in-tree client for tests, scripts and CI — requests carry a JSON
+/// content type when `body` is given, and the response body is returned
+/// as a string (the control plane only speaks JSON and Prometheus text).
+pub fn request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n{}Content-Length: {}\r\n\r\n",
+        if body.is_empty() {
+            String::new()
+        } else {
+            "Content-Type: application/json\r\n".to_string()
+        },
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let head_end = text
+        .find("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no response head"))?;
+    let status = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no status code"))?;
+    Ok((status, text[head_end + 4..].to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spawn_echo_server() -> (SocketAddr, ShutdownHandle, std::thread::JoinHandle<()>) {
+        let server = HttpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let shutdown = server.shutdown_handle();
+        let join = std::thread::spawn(move || {
+            server.serve(Arc::new(|req: &Request| match req.path.as_str() {
+                "/panic" => panic!("boom"),
+                "/echo" => Response::ok_json(
+                    &Value::object()
+                        .insert("method", req.method.clone())
+                        .insert("body", String::from_utf8_lossy(&req.body).to_string())
+                        .insert("q", req.query_param("q").unwrap_or_default().to_string()),
+                ),
+                _ => Response::not_found(&req.path),
+            }))
+        });
+        (addr, shutdown, join)
+    }
+
+    #[test]
+    fn round_trips_requests_and_shuts_down() {
+        let (addr, shutdown, join) = spawn_echo_server();
+
+        let (status, body) = request(addr, "GET", "/echo?q=a%20b", None).unwrap();
+        assert_eq!(status, 200);
+        let doc = Value::parse(&body).unwrap();
+        assert_eq!(doc.get("method").and_then(Value::as_str), Some("GET"));
+        assert_eq!(doc.get("q").and_then(Value::as_str), Some("a b"));
+
+        let (status, body) = request(addr, "POST", "/echo", Some("{\"x\":1}")).unwrap();
+        assert_eq!(status, 200);
+        let doc = Value::parse(&body).unwrap();
+        assert_eq!(doc.get("body").and_then(Value::as_str), Some("{\"x\":1}"));
+
+        let (status, _) = request(addr, "GET", "/nope", None).unwrap();
+        assert_eq!(status, 404);
+
+        // A panicking handler answers 500 and the server stays up.
+        let (status, _) = request(addr, "GET", "/panic", None).unwrap();
+        assert_eq!(status, 500);
+        let (status, _) = request(addr, "GET", "/echo", None).unwrap();
+        assert_eq!(status, 200);
+
+        shutdown.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_requests_get_400() {
+        let (addr, shutdown, join) = spawn_echo_server();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+        shutdown.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn request_parsing_details() {
+        let (path, query) = parse_target("/jobs/j-1?only=fig08&resume=1").unwrap();
+        assert_eq!(path, "/jobs/j-1");
+        assert_eq!(
+            query,
+            vec![
+                ("only".to_string(), "fig08".to_string()),
+                ("resume".to_string(), "1".to_string())
+            ]
+        );
+        assert_eq!(percent_decode("a+b%2Fc").unwrap(), "a b/c");
+        assert!(percent_decode("bad%zz").is_err());
+    }
+
+    #[test]
+    fn segments_split_path() {
+        let req = Request {
+            method: "GET".into(),
+            path: "/jobs/job-1/".into(),
+            query: Vec::new(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        assert_eq!(req.segments(), vec!["jobs", "job-1"]);
+    }
+}

@@ -1,0 +1,391 @@
+//! Prometheus text exposition (version 0.0.4): a writer and a strict
+//! linter.
+//!
+//! The daemon's `/metrics` endpoint renders through [`MetricsText`], and
+//! CI scrapes the endpoint once and runs every line through [`lint`] —
+//! the contract being that anything this module emits, a real Prometheus
+//! scraper would ingest without complaint. The linter is deliberately
+//! stricter than Prometheus itself (it also rejects interleaved metric
+//! families and samples without a preceding `# TYPE`), because the only
+//! producer is in-tree and there is no reason to emit sloppy output.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Metric family kinds the control plane emits.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MetricKind {
+    /// Monotonically increasing counter.
+    Counter,
+    /// Point-in-time value.
+    Gauge,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// Builds a text-exposition document family by family.
+///
+/// ```
+/// use ascc_serve::prometheus::{lint, MetricKind, MetricsText};
+/// let mut m = MetricsText::new();
+/// m.family("jobs_total", "Jobs accepted.", MetricKind::Counter);
+/// m.sample("jobs_total", &[("state", "done".into())], 3.0);
+/// let text = m.render();
+/// assert!(lint(&text).is_ok());
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsText {
+    out: String,
+    current_family: Option<String>,
+}
+
+impl MetricsText {
+    /// An empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a metric family: emits its `# HELP` and `# TYPE` lines.
+    /// Samples for the family must follow before the next `family` call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a valid metric name — the producers are
+    /// all in-tree, so a bad name is a programming error.
+    pub fn family(&mut self, name: &str, help: &str, kind: MetricKind) {
+        assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        let help_escaped = help.replace('\\', "\\\\").replace('\n', "\\n");
+        let _ = writeln!(self.out, "# HELP {name} {help_escaped}");
+        let _ = writeln!(self.out, "# TYPE {name} {}", kind.as_str());
+        self.current_family = Some(name.to_string());
+    }
+
+    /// Emits one sample of the currently open family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no family is open, the name does not match it, or a
+    /// label name is invalid.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, String)], value: f64) {
+        assert_eq!(
+            self.current_family.as_deref(),
+            Some(name),
+            "sample {name:?} outside its family block"
+        );
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                assert!(valid_label_name(k), "invalid label name {k:?}");
+                if i > 0 {
+                    self.out.push(',');
+                }
+                let escaped = v
+                    .replace('\\', "\\\\")
+                    .replace('"', "\\\"")
+                    .replace('\n', "\\n");
+                let _ = write!(self.out, "{k}=\"{escaped}\"");
+            }
+            self.out.push('}');
+        }
+        let rendered = if value == value.trunc() && value.abs() < 2f64.powi(53) {
+            format!("{}", value as i64)
+        } else {
+            format!("{value}")
+        };
+        let _ = writeln!(self.out, " {rendered}");
+    }
+
+    /// The finished document (always newline-terminated).
+    pub fn render(self) -> String {
+        self.out
+    }
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Checks a scraped document against the exposition format, returning
+/// every problem found (an empty `Ok` means the scrape is clean).
+///
+/// Enforced rules:
+/// * the document ends with a newline;
+/// * every line is a `# HELP`/`# TYPE` line or a well-formed sample
+///   (`name{label="value",...} value`, float-parsable value, properly
+///   escaped label strings);
+/// * each family has exactly one `# TYPE` with a known kind, appearing
+///   before its samples;
+/// * samples of one family are contiguous and every sample belongs to a
+///   declared family;
+/// * no duplicate sample (same name and label set).
+pub fn lint(text: &str) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    if text.is_empty() {
+        return Err(vec!["empty exposition document".into()]);
+    }
+    if !text.ends_with('\n') {
+        errors.push("document does not end with a newline".into());
+    }
+    let mut typed: HashSet<String> = HashSet::new();
+    let mut closed: HashSet<String> = HashSet::new();
+    let mut current: Option<String> = None;
+    let mut seen_samples: HashSet<String> = HashSet::new();
+    for (no, line) in text.lines().enumerate() {
+        let ln = no + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some("HELP"), Some(name), Some(_)) if valid_metric_name(name) => {}
+                (Some("TYPE"), Some(name), Some(kind)) => {
+                    if !valid_metric_name(name) {
+                        errors.push(format!("line {ln}: TYPE for invalid name {name:?}"));
+                    }
+                    if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                        errors.push(format!("line {ln}: unknown TYPE kind {kind:?}"));
+                    }
+                    if !typed.insert(name.to_string()) {
+                        errors.push(format!("line {ln}: duplicate TYPE for {name}"));
+                    }
+                    if let Some(prev) = current.take() {
+                        closed.insert(prev);
+                    }
+                    current = Some(name.to_string());
+                }
+                (Some("HELP"), _, _) => {
+                    errors.push(format!("line {ln}: malformed HELP line {line:?}"));
+                }
+                _ => errors.push(format!("line {ln}: unrecognized comment {line:?} (only `# HELP` and `# TYPE` are emitted)")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            errors.push(format!("line {ln}: comment without `# ` prefix: {line:?}"));
+            continue;
+        }
+        match parse_sample(line) {
+            Ok((name, canonical)) => {
+                if !typed.contains(&name) {
+                    errors.push(format!("line {ln}: sample {name} has no preceding # TYPE"));
+                }
+                if closed.contains(&name) {
+                    errors.push(format!(
+                        "line {ln}: family {name} is interleaved with another family"
+                    ));
+                }
+                if current.as_deref() != Some(name.as_str()) && typed.contains(&name) {
+                    // A sample may only follow its own family block.
+                    if current.is_some() && !closed.contains(&name) {
+                        errors.push(format!("line {ln}: sample {name} outside its family block"));
+                    }
+                }
+                if !seen_samples.insert(canonical.clone()) {
+                    errors.push(format!("line {ln}: duplicate sample {canonical}"));
+                }
+            }
+            Err(e) => errors.push(format!("line {ln}: {e}")),
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+/// Parses one sample line, returning `(family name, canonical "name{labels}")`.
+fn parse_sample(line: &str) -> Result<(String, String), String> {
+    let bytes = line.as_bytes();
+    let name_end = bytes
+        .iter()
+        .position(|&b| b == b'{' || b == b' ')
+        .ok_or_else(|| format!("no value on sample line {line:?}"))?;
+    let name = &line[..name_end];
+    if !valid_metric_name(name) {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    let mut i = name_end;
+    let mut canonical = name.to_string();
+    if bytes[i] == b'{' {
+        canonical.push('{');
+        i += 1;
+        loop {
+            if i >= bytes.len() {
+                return Err("unterminated label set".into());
+            }
+            if bytes[i] == b'}' {
+                i += 1;
+                canonical.push('}');
+                break;
+            }
+            // label name
+            let ln_start = i;
+            while i < bytes.len() && bytes[i] != b'=' {
+                i += 1;
+            }
+            let lname = &line[ln_start..i];
+            if !valid_label_name(lname.trim_end_matches(',')) {
+                return Err(format!("invalid label name {lname:?}"));
+            }
+            canonical.push_str(lname);
+            if i >= bytes.len() || bytes.get(i) != Some(&b'=') {
+                return Err("label without `=`".into());
+            }
+            i += 1; // '='
+            if bytes.get(i) != Some(&b'"') {
+                return Err("label value not quoted".into());
+            }
+            canonical.push_str("=\"");
+            i += 1;
+            // quoted value with escapes
+            while i < bytes.len() && bytes[i] != b'"' {
+                if bytes[i] == b'\\' {
+                    match bytes.get(i + 1) {
+                        Some(b'\\') | Some(b'"') | Some(b'n') => {
+                            canonical.push(bytes[i] as char);
+                            canonical.push(bytes[i + 1] as char);
+                            i += 2;
+                            continue;
+                        }
+                        _ => return Err(format!("bad escape in label value on {line:?}")),
+                    }
+                }
+                canonical.push(bytes[i] as char);
+                i += 1;
+            }
+            if i >= bytes.len() {
+                return Err("unterminated label value".into());
+            }
+            canonical.push('"');
+            i += 1; // closing quote
+            if bytes.get(i) == Some(&b',') {
+                canonical.push(',');
+                i += 1;
+            }
+        }
+    }
+    if bytes.get(i) != Some(&b' ') {
+        return Err(format!("expected space before value in {line:?}"));
+    }
+    let rest = line[i + 1..].trim();
+    let mut fields = rest.split(' ');
+    let value = fields.next().unwrap_or("");
+    let ok_value = matches!(value, "+Inf" | "-Inf" | "NaN") || value.parse::<f64>().is_ok();
+    if !ok_value {
+        return Err(format!("unparsable sample value {value:?}"));
+    }
+    if let Some(ts) = fields.next() {
+        if ts.parse::<i64>().is_err() {
+            return Err(format!("unparsable timestamp {ts:?}"));
+        }
+    }
+    if fields.next().is_some() {
+        return Err(format!("trailing garbage on sample line {line:?}"));
+    }
+    Ok((name.to_string(), canonical))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_output_is_lint_clean() {
+        let mut m = MetricsText::new();
+        m.family(
+            "ascc_serve_jobs_total",
+            "Jobs accepted over the daemon lifetime.",
+            MetricKind::Counter,
+        );
+        m.sample("ascc_serve_jobs_total", &[("state", "done".into())], 2.0);
+        m.sample("ascc_serve_jobs_total", &[("state", "failed".into())], 0.0);
+        m.family(
+            "ascc_serve_workers",
+            "Configured sweep worker count.",
+            MetricKind::Gauge,
+        );
+        m.sample("ascc_serve_workers", &[], 8.0);
+        m.family(
+            "ascc_obs_local_hits_total",
+            "Local L2 hits per core, live jobs.",
+            MetricKind::Counter,
+        );
+        m.sample(
+            "ascc_obs_local_hits_total",
+            &[("job", "job-1".into()), ("core", "0".into())],
+            12345.5,
+        );
+        let text = m.render();
+        assert!(text.ends_with('\n'));
+        lint(&text).unwrap_or_else(|e| panic!("{e:?}\n{text}"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut m = MetricsText::new();
+        m.family(
+            "x_total",
+            "Has \"quotes\" and \\slashes.",
+            MetricKind::Counter,
+        );
+        m.sample("x_total", &[("mix", "a\"b\\c\nd".into())], 1.0);
+        let text = m.render();
+        lint(&text).unwrap_or_else(|e| panic!("{e:?}\n{text}"));
+        assert!(text.contains("mix=\"a\\\"b\\\\c\\nd\""), "{text}");
+    }
+
+    #[test]
+    fn lint_rejects_malformations() {
+        // Sample without TYPE.
+        assert!(lint("orphan_total 1\n").is_err());
+        // Bad value.
+        assert!(lint("# HELP a b\n# TYPE a counter\na one\n").is_err());
+        // Missing trailing newline.
+        assert!(lint("# HELP a b\n# TYPE a counter\na 1").is_err());
+        // Duplicate TYPE.
+        assert!(lint("# TYPE a counter\n# TYPE a counter\na 1\n").is_err());
+        // Unknown kind.
+        assert!(lint("# TYPE a countre\na 1\n").is_err());
+        // Duplicate sample.
+        assert!(lint("# TYPE a counter\na{x=\"1\"} 1\na{x=\"1\"} 2\n").is_err());
+        // Interleaved families.
+        assert!(lint("# TYPE a counter\na 1\n# TYPE b counter\nb 1\na 2\n").is_err());
+        // Unquoted label value.
+        assert!(lint("# TYPE a counter\na{x=1} 1\n").is_err());
+        // Empty doc.
+        assert!(lint("").is_err());
+    }
+
+    #[test]
+    fn lint_accepts_special_values_and_timestamps() {
+        let text = "# HELP a help text\n# TYPE a gauge\na{l=\"v\"} +Inf\na NaN 1712000000\n";
+        lint(text).unwrap_or_else(|e| panic!("{e:?}"));
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(valid_metric_name("ascc:serve_jobs_total"));
+        assert!(!valid_metric_name("9starts_with_digit"));
+        assert!(!valid_metric_name("has-dash"));
+        assert!(valid_label_name("core"));
+        assert!(!valid_label_name("core-id"));
+    }
+}

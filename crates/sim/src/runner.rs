@@ -59,9 +59,34 @@ pub fn run_mix(
     warmup: u64,
     seed: u64,
 ) -> RunResult {
+    run_mix_with(
+        cfg,
+        mix,
+        policy,
+        instr_target,
+        warmup,
+        seed,
+        Checkpointing::from_env().as_ref(),
+    )
+}
+
+/// [`run_mix`] with explicit checkpointing control: `None` runs straight
+/// through, `Some` snapshots on the given [`Checkpointing`] cadence (and
+/// restores first when it asks to resume). This is the typed entry point
+/// the control plane uses; [`run_mix`] is the env-driven compatibility
+/// wrapper over it.
+pub fn run_mix_with(
+    cfg: &SystemConfig,
+    mix: &WorkloadMix,
+    policy: Box<dyn LlcPolicy>,
+    instr_target: u64,
+    warmup: u64,
+    seed: u64,
+    ckpt: Option<&Checkpointing>,
+) -> RunResult {
     assert_eq!(cfg.cores, mix.cores(), "config/mix core count mismatch");
     let mut sys = CmpSystem::from_sources(cfg.clone(), policy, mix_sources(mix, seed));
-    let Some(ck) = CkptConfig::from_env() else {
+    let Some(ck) = ckpt.filter(|c| c.cadence.is_enabled()) else {
         return sys.run(instr_target, warmup);
     };
     let path = ck.path_for(&sys, cfg, mix, instr_target, warmup, seed);
@@ -87,12 +112,9 @@ pub fn run_mix(
             }
         }
     }
-    let every = ck.every;
-    let mut since = 0u64;
+    let mut cadence = ck.cadence;
     let result = sys.run_with_hook(instr_target, warmup, |sys| {
-        since += 1;
-        if since >= every {
-            since = 0;
+        if cadence.tick() {
             let snap = sys.snapshot();
             if let Err(e) = cmp_snap::atomic_write(&path, &snap) {
                 eprintln!("[ckpt] warning: cannot write {}: {e}", path.display());
@@ -104,7 +126,12 @@ pub fn run_mix(
     result
 }
 
-/// Periodic-checkpoint knobs, read from the environment so every
+/// Periodic-checkpoint knobs: snapshot cadence, checkpoint directory, and
+/// whether a matching in-flight checkpoint should be restored first.
+///
+/// Build one explicitly ([`Checkpointing::new`]) when a caller — the
+/// `ascc-serve` control plane, a test — owns the configuration, or read
+/// the environment ([`Checkpointing::from_env`]), which is how every
 /// experiment binary inherits crash resumability without plumbing flags:
 ///
 /// * `ASCC_CKPT_EVERY` — snapshot every N accesses (unset/0 disables);
@@ -115,26 +142,39 @@ pub fn run_mix(
 /// configuration, targets, seed), so concurrent sweep runs never collide
 /// and a configuration change can never resume a stale snapshot.
 #[derive(Debug, Clone)]
-struct CkptConfig {
-    every: u64,
-    dir: std::path::PathBuf,
-    resume: bool,
+pub struct Checkpointing {
+    /// Snapshot cadence in accesses (period 0 disables checkpointing).
+    pub cadence: cmp_snap::Cadence,
+    /// Directory receiving `ckpt-<fingerprint>.snap` files.
+    pub dir: std::path::PathBuf,
+    /// Restore a matching in-flight checkpoint before running.
+    pub resume: bool,
 }
 
-impl CkptConfig {
-    fn from_env() -> Option<Self> {
+impl Checkpointing {
+    /// Checkpointing every `every` accesses into `dir`, resuming first
+    /// when `resume` is set.
+    pub fn new(every: u64, dir: impl Into<std::path::PathBuf>, resume: bool) -> Self {
+        Checkpointing {
+            cadence: cmp_snap::Cadence::new(every),
+            dir: dir.into(),
+            resume,
+        }
+    }
+
+    /// Reads the `ASCC_CKPT_EVERY` / `ASCC_CKPT_DIR` / `ASCC_RESUME`
+    /// compatibility knobs; `None` when checkpointing is not requested.
+    pub fn from_env() -> Option<Self> {
         let every = std::env::var("ASCC_CKPT_EVERY")
             .ok()?
             .parse::<u64>()
             .ok()
             .filter(|&n| n > 0)?;
-        Some(CkptConfig {
+        Some(Checkpointing::new(
             every,
-            dir: std::env::var("ASCC_CKPT_DIR")
-                .map(std::path::PathBuf::from)
-                .unwrap_or_else(|_| std::path::PathBuf::from("results/ckpt")),
-            resume: std::env::var("ASCC_RESUME").is_ok_and(|v| v == "1"),
-        })
+            std::env::var("ASCC_CKPT_DIR").unwrap_or_else(|_| "results/ckpt".into()),
+            std::env::var("ASCC_RESUME").is_ok_and(|v| v == "1"),
+        ))
     }
 
     fn path_for(

@@ -23,8 +23,38 @@
 //! (default: available parallelism), so `ASCC_JOBS=1 run_all` is the
 //! sequential engine and the default uses the whole machine.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A shared cancellation flag for long-running sweeps and simulations.
+///
+/// Clones share one flag (it is an `Arc` internally), so a controller —
+/// e.g. the `ascc-serve` daemon handling `DELETE /jobs/:id` — can keep one
+/// handle while the worker polls another. Cancellation is cooperative and
+/// sticky: once [`cancel`](CancelToken::cancel) fires, every observer sees
+/// it and it never resets.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the flag. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`cancel`](CancelToken::cancel) has been called on this
+    /// token (or any clone of it).
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
 
 /// A worker pool for sweeping independent jobs, sized once at construction.
 ///
@@ -76,10 +106,34 @@ impl SweepPool {
     /// thread; otherwise up to `jobs` scoped threads pull items off a
     /// shared atomic index.
     pub fn map<T: Send, R: Send>(&self, items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+        self.map_cancellable(items, f, &CancelToken::new())
+            .expect("an uncancelled sweep always completes")
+    }
+
+    /// [`map`](SweepPool::map), but abandoning the sweep when `cancel`
+    /// fires: workers stop pulling new items (in-flight items finish — job
+    /// functions are pure, so there is nothing to roll back) and the whole
+    /// call returns `None` instead of a partial, hole-filled result vector.
+    ///
+    /// An uncancelled run returns `Some(results)` in submission order,
+    /// bit-identical to [`map`](SweepPool::map).
+    pub fn map_cancellable<T: Send, R: Send>(
+        &self,
+        items: Vec<T>,
+        f: impl Fn(T) -> R + Sync,
+        cancel: &CancelToken,
+    ) -> Option<Vec<R>> {
         let n = items.len();
         let threads = self.jobs.min(n.max(1));
         if threads <= 1 {
-            return items.into_iter().map(f).collect();
+            let mut out = Vec::with_capacity(n);
+            for item in items {
+                if cancel.is_cancelled() {
+                    return None;
+                }
+                out.push(f(item));
+            }
+            return Some(out);
         }
         let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
         let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -87,6 +141,9 @@ impl SweepPool {
         std::thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|| loop {
+                    if cancel.is_cancelled() {
+                        break;
+                    }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
@@ -100,14 +157,19 @@ impl SweepPool {
                 });
             }
         });
-        results
-            .into_iter()
-            .map(|m| {
-                m.into_inner()
-                    .expect("unpoisoned")
-                    .expect("every slot filled")
-            })
-            .collect()
+        if cancel.is_cancelled() {
+            return None;
+        }
+        Some(
+            results
+                .into_iter()
+                .map(|m| {
+                    m.into_inner()
+                        .expect("unpoisoned")
+                        .expect("every slot filled")
+                })
+                .collect(),
+        )
     }
 }
 
@@ -153,5 +215,49 @@ mod tests {
         let out: Vec<u32> = SweepPool::with_jobs(0).map(Vec::new(), |x| x);
         assert!(out.is_empty());
         assert_eq!(SweepPool::with_jobs(0).jobs(), 1);
+    }
+
+    #[test]
+    fn uncancelled_map_cancellable_matches_map() {
+        let token = CancelToken::new();
+        let a = SweepPool::with_jobs(4).map_cancellable((0..50).collect(), |x: u64| x + 7, &token);
+        let b = SweepPool::with_jobs(4).map((0..50).collect(), |x: u64| x + 7);
+        assert_eq!(a, Some(b));
+    }
+
+    #[test]
+    fn cancellation_aborts_parallel_and_inline_sweeps() {
+        for jobs in [1usize, 4] {
+            let token = CancelToken::new();
+            let fired = AtomicUsize::new(0);
+            let out = SweepPool::with_jobs(jobs).map_cancellable(
+                (0..1000).collect(),
+                |x: u64| {
+                    // Cancel from inside an early item; later items must
+                    // never start.
+                    if fired.fetch_add(1, Ordering::SeqCst) == 2 {
+                        token.cancel();
+                    }
+                    x
+                },
+                &token,
+            );
+            assert_eq!(out, None, "jobs={jobs}");
+            assert!(
+                fired.load(Ordering::SeqCst) < 1000,
+                "jobs={jobs}: cancellation must stop the sweep early"
+            );
+        }
+    }
+
+    #[test]
+    fn cancel_token_is_shared_and_sticky() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+        b.cancel(); // idempotent
+        assert!(a.is_cancelled());
     }
 }

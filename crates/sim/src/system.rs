@@ -294,6 +294,28 @@ impl<P: ObsProbe> CmpSystem<P> {
         warmup_instrs: u64,
         mut after_step: impl FnMut(&mut Self),
     ) -> RunResult {
+        self.try_run_with_hook(instr_target, warmup_instrs, |sys| {
+            after_step(sys);
+            true
+        })
+        .expect("an always-continue hook cannot abort the run")
+    }
+
+    /// [`run_with_hook`](CmpSystem::run_with_hook) with cooperative
+    /// cancellation: the hook returns `true` to continue or `false` to
+    /// abandon the run, in which case the call returns `None` and no
+    /// measurement is produced. The system is left in the consistent
+    /// snapshot-able state the hook observed, so an aborted run can still
+    /// be checkpointed or inspected.
+    ///
+    /// An uncancelled run is step-for-step identical to
+    /// [`run`](CmpSystem::run).
+    pub fn try_run_with_hook(
+        &mut self,
+        instr_target: u64,
+        warmup_instrs: u64,
+        mut after_step: impl FnMut(&mut Self) -> bool,
+    ) -> Option<RunResult> {
         assert!(instr_target > 0, "need a nonzero instruction target");
         loop {
             // Advance the globally-oldest core by one memory access.
@@ -322,9 +344,11 @@ impl<P: ObsProbe> CmpSystem<P> {
             if self.cores.iter().all(|c| c.end_snap.is_some()) {
                 break;
             }
-            after_step(self);
+            if !after_step(self) {
+                return None;
+            }
         }
-        self.result()
+        Some(self.result())
     }
 
     fn result(&self) -> RunResult {

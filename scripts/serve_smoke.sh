@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# HTTP smoke against the release ascc_serve daemon, driven by plain curl:
+# boot on an ephemeral port, check /healthz, round-trip /config, run a
+# quick fig08 sweep job to completion, scrape /metrics, shut down clean.
+#
+# Usage: scripts/serve_smoke.sh   (from the repo root, after
+#        `cargo build --release -p ascc-bench --bins`)
+set -euo pipefail
+
+BIN=${ASCC_SERVE_BIN:-target/release/ascc_serve}
+[ -x "$BIN" ] && [ ! -d "$BIN" ] || { echo "missing $BIN — build with: cargo build --release -p ascc-bench --bins" >&2; exit 1; }
+
+WORK=$(mktemp -d)
+LOG="$WORK/serve.log"
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+# Pin the scale so the job finishes in seconds.
+export ASCC_QUICK=1 ASCC_INSTRS=40000 ASCC_WARMUP=10000 ASCC_SEED=42
+
+"$BIN" --addr 127.0.0.1:0 --root "$WORK/jobs" >"$LOG" 2>&1 &
+SERVE_PID=$!
+
+# The daemon announces its ephemeral address on stdout.
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's#^ascc-serve listening on http://##p' "$LOG" | head -n1)
+    [ -n "$ADDR" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { echo "daemon died at startup:" >&2; cat "$LOG" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "daemon never announced its address" >&2; cat "$LOG" >&2; exit 1; }
+echo "daemon up at $ADDR"
+
+get() { curl -sf "http://$ADDR$1"; }
+
+get /healthz | grep -q '"ok": *true'
+
+# Config round-trip: PUT merges, GET reflects it, bad keys are a 400.
+get /config | grep -q '"arena_mb"'
+curl -sf -X PUT "http://$ADDR/config" -d '{"ckpt_every": 5000}' >/dev/null
+get /config | grep -q '"ckpt_every": *5000'
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X PUT "http://$ADDR/config" -d '{"bogus": 1}')
+[ "$CODE" = 400 ] || { echo "bad config key returned $CODE, want 400" >&2; exit 1; }
+
+# Submit a sweep job and poll it to completion.
+JOB=$(curl -sf -X POST "http://$ADDR/jobs" -d '{"only": ["fig08"]}')
+echo "$JOB" | grep -q '"state": *"running"'
+ID=$(echo "$JOB" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+[ -n "$ID" ] || { echo "no job id in: $JOB" >&2; exit 1; }
+
+for _ in $(seq 1 600); do
+    STATE=$(get "/jobs/$ID" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p' | head -n1)
+    [ "$STATE" = running ] || break
+    sleep 1
+done
+[ "$STATE" = done ] || { echo "job ended as '$STATE'" >&2; get "/jobs/$ID" >&2; exit 1; }
+[ -s "$WORK/jobs/$ID/results/fig08.json" ] || { echo "job produced no artifact" >&2; exit 1; }
+echo "sweep job $ID done"
+
+# The metrics scrape carries the daemon families (the text-format lint
+# itself is enforced by crates/bench/tests/serve_http.rs).
+METRICS=$(get /metrics)
+echo "$METRICS" | grep -q '^# TYPE ascc_serve_uptime_seconds gauge$'
+echo "$METRICS" | grep -q '^ascc_serve_jobs_total{state="done"} 1$'
+echo "$METRICS" | grep -q '^ascc_serve_config_ckpt_every 5000$'
+
+curl -sf -X POST "http://$ADDR/shutdown" >/dev/null
+for _ in $(seq 1 100); do
+    kill -0 "$SERVE_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "daemon ignored /shutdown" >&2
+    exit 1
+fi
+echo "serve smoke OK"
