@@ -1,7 +1,7 @@
 //! End-to-end simulator throughput: simulated L1 accesses per wall-clock
 //! second, per policy, per access front-end (streaming generation vs
-//! shared materialized-trace replay), at one worker and at the machine's
-//! worker count.
+//! shared materialized-trace replay vs the batched event loop over replay),
+//! at one worker and at the machine's worker count.
 //!
 //! This is the engine-level benchmark the cache-arena layout, the
 //! [`cmp_sim::SweepPool`] fan-out and the trace arena are aimed at: each
@@ -10,10 +10,15 @@
 //! whole sweep (warmup included, identically in every row). The
 //! `streaming` rows regenerate every access from the workload generator
 //! stack (the pre-arena engine); the `arena` rows replay shared
-//! materialized chunks, measured with the arena warm (one untimed warming
-//! sweep runs first). A generator-only microbenchmark separates front-end
-//! cost from engine cost. Results go to stdout and to
-//! `BENCH_throughput.json` (override with `ASCC_BENCH_OUT`).
+//! materialized chunks through the per-access interleave; the `batched`
+//! rows drain those chunks through the batched event loop (DESIGN.md §5h)
+//! — all measured with the arena warm (one untimed warming sweep runs
+//! first). A generator-only microbenchmark separates front-end cost from
+//! engine cost. Per-worker rates are reported next to the aggregate, since
+//! the engine target (≥25M acc/s per core) is a per-worker number.
+//! Results go to stdout and to `BENCH_throughput.json` (override with
+//! `ASCC_BENCH_OUT`). `--check-batched` exits nonzero when the batched
+//! front-end is slower than streaming — the CI regression gate.
 //!
 //! `ASCC_QUICK=1` gives a fast smoke run; `ASCC_INSTRS`/`ASCC_WARMUP`
 //! rescale as usual. `--jobs` (or `ASCC_JOBS`) sets the "many workers"
@@ -42,6 +47,7 @@ const MIXES: usize = 4;
 enum FrontEnd {
     Streaming,
     Arena,
+    Batched,
 }
 
 impl FrontEnd {
@@ -49,9 +55,12 @@ impl FrontEnd {
         match self {
             FrontEnd::Streaming => "streaming",
             FrontEnd::Arena => "arena",
+            FrontEnd::Batched => "batched",
         }
     }
 }
+
+const FRONT_ENDS: [FrontEnd; 3] = [FrontEnd::Streaming, FrontEnd::Arena, FrontEnd::Batched];
 
 struct Row {
     policy: String,
@@ -64,6 +73,12 @@ struct Row {
 impl Row {
     fn per_sec(&self) -> f64 {
         self.accesses as f64 / self.wall_s.max(1e-9)
+    }
+
+    /// Engine rate per worker thread — the per-core number the ≥25M
+    /// acc/s/core target is stated against.
+    fn per_sec_per_worker(&self) -> f64 {
+        self.per_sec() / self.jobs.max(1) as f64
     }
 }
 
@@ -81,17 +96,24 @@ fn run_one(
     scale: Scale,
     front_end: FrontEnd,
 ) -> RunResult {
-    let mut sys = match front_end {
+    // Explicit run_streaming/run_batched (not env-dispatched run()) so all
+    // three rows are measured in one process regardless of ASCC_BATCH.
+    match front_end {
         FrontEnd::Streaming => CmpSystem::new(
             cfg.clone(),
             policy.build(cfg),
             mix_workloads(mix, scale.seed),
-        ),
+        )
+        .run_streaming(scale.instrs, scale.warmup),
         FrontEnd::Arena => {
             CmpSystem::from_sources(cfg.clone(), policy.build(cfg), mix_sources(mix, scale.seed))
+                .run_streaming(scale.instrs, scale.warmup)
         }
-    };
-    sys.run(scale.instrs, scale.warmup)
+        FrontEnd::Batched => {
+            CmpSystem::from_sources(cfg.clone(), policy.build(cfg), mix_sources(mix, scale.seed))
+                .run_batched(scale.instrs, scale.warmup)
+        }
+    }
 }
 
 fn sweep(
@@ -154,6 +176,10 @@ fn main() {
         "sim_throughput",
         "simulated accesses per wall-clock second, per policy and front-end",
     )
+    .flag(
+        "--check-batched",
+        "exit nonzero if batched acc/s falls below streaming (CI gate)",
+    )
     .harness_flags()
     .parse();
     let config = parsed.run_config().unwrap_or_else(|e| {
@@ -166,7 +192,7 @@ fn main() {
     let cfg = SystemConfig::table2(2);
     let many = SweepPool::from_env();
     println!(
-        "sim_throughput: {} mixes x {} policies x 2 front-ends, {} + {} worker(s), {} instrs/core (trace cache {})",
+        "sim_throughput: {} mixes x {} policies x 3 front-ends, {} + {} worker(s), {} instrs/core (trace cache {})",
         MIXES,
         POLICIES.len(),
         1,
@@ -196,7 +222,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for policy in POLICIES {
-        for fe in [FrontEnd::Streaming, FrontEnd::Arena] {
+        for fe in FRONT_ENDS {
             rows.push(sweep(&cfg, policy, scale, SweepPool::with_jobs(1), fe));
             if many.jobs() > 1 {
                 rows.push(sweep(&cfg, policy, scale, many, fe));
@@ -207,9 +233,17 @@ fn main() {
         println!("(single-core host: skipping the many-worker rows)");
     }
 
-    let headers = ["policy", "front end", "jobs", "wall s", "accesses", "acc/s"]
-        .map(String::from)
-        .to_vec();
+    let headers = [
+        "policy",
+        "front end",
+        "jobs",
+        "wall s",
+        "accesses",
+        "acc/s",
+        "acc/s/worker",
+    ]
+    .map(String::from)
+    .to_vec();
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -220,42 +254,70 @@ fn main() {
                 format!("{:.2}", r.wall_s),
                 r.accesses.to_string(),
                 format!("{:.0}", r.per_sec()),
+                format!("{:.0}", r.per_sec_per_worker()),
             ]
         })
         .collect();
     println!();
     print_table(&headers, &table);
 
-    // Before/after per (policy, jobs): arena acc/s over streaming acc/s.
-    let speedups: Vec<Value> = rows
+    // Before/after per (policy, jobs): each upgraded front-end over its
+    // predecessor (arena over streaming, batched over both).
+    let pairs = [
+        (FrontEnd::Streaming, FrontEnd::Arena),
+        (FrontEnd::Streaming, FrontEnd::Batched),
+        (FrontEnd::Arena, FrontEnd::Batched),
+    ];
+    let mut speedups: Vec<Value> = Vec::new();
+    let mut batched_regressed = false;
+    for (base_fe, new_fe) in pairs {
+        for after in rows.iter().filter(|r| r.front_end == new_fe) {
+            let Some(before) = rows.iter().find(|b| {
+                b.front_end == base_fe && b.policy == after.policy && b.jobs == after.jobs
+            }) else {
+                continue;
+            };
+            let s = after.per_sec() / before.per_sec().max(1e-9);
+            println!(
+                "speedup {} over {} {} jobs={}: {:.2}x ({:.0} -> {:.0} acc/s)",
+                new_fe.label(),
+                base_fe.label(),
+                after.policy,
+                after.jobs,
+                s,
+                before.per_sec(),
+                after.per_sec()
+            );
+            if base_fe == FrontEnd::Streaming && new_fe == FrontEnd::Batched && s < 1.0 {
+                batched_regressed = true;
+            }
+            speedups.push(
+                Value::object()
+                    .insert("policy", after.policy.clone())
+                    .insert("jobs", after.jobs as f64)
+                    .insert("baseline_front_end", base_fe.label())
+                    .insert("front_end", new_fe.label())
+                    .insert("baseline_acc_per_sec", before.per_sec())
+                    .insert("acc_per_sec", after.per_sec())
+                    .insert("speedup", s),
+            );
+        }
+    }
+    let best_per_worker = rows
         .iter()
-        .filter(|r| r.front_end == FrontEnd::Arena)
-        .filter_map(|after| {
-            rows.iter()
-                .find(|b| {
-                    b.front_end == FrontEnd::Streaming
-                        && b.policy == after.policy
-                        && b.jobs == after.jobs
-                })
-                .map(|before| {
-                    let s = after.per_sec() / before.per_sec().max(1e-9);
-                    println!(
-                        "speedup {} jobs={}: {:.2}x ({:.0} -> {:.0} acc/s)",
-                        after.policy,
-                        after.jobs,
-                        s,
-                        before.per_sec(),
-                        after.per_sec()
-                    );
-                    Value::object()
-                        .insert("policy", after.policy.clone())
-                        .insert("jobs", after.jobs as f64)
-                        .insert("streaming_acc_per_sec", before.per_sec())
-                        .insert("arena_acc_per_sec", after.per_sec())
-                        .insert("speedup", s)
-                })
-        })
-        .collect();
+        .filter(|r| r.front_end == FrontEnd::Batched)
+        .map(|r| r.per_sec_per_worker())
+        .fold(0.0f64, f64::max);
+    const TARGET_PER_WORKER: f64 = 25_000_000.0;
+    println!(
+        "batched peak {:.1}M acc/s/worker vs the 25M target: {}",
+        best_per_worker / 1e6,
+        if best_per_worker >= TARGET_PER_WORKER {
+            "met"
+        } else {
+            "not met"
+        }
+    );
 
     let json = Value::object()
         .insert("bench", "sim_throughput")
@@ -287,11 +349,19 @@ fn main() {
                             .insert("wall_s", r.wall_s)
                             .insert("accesses", r.accesses as f64)
                             .insert("accesses_per_sec", r.per_sec())
+                            .insert("accesses_per_sec_per_worker", r.per_sec_per_worker())
                     })
                     .collect(),
             ),
         )
-        .insert("speedups", Value::Array(speedups));
+        .insert("speedups", Value::Array(speedups))
+        .insert(
+            "target",
+            Value::object()
+                .insert("batched_acc_per_sec_per_worker", TARGET_PER_WORKER)
+                .insert("best_batched_acc_per_sec_per_worker", best_per_worker)
+                .insert("met", best_per_worker >= TARGET_PER_WORKER),
+        );
     let path = config
         .out
         .clone()
@@ -299,4 +369,9 @@ fn main() {
     ascc_bench::atomic_write_text(&path, &json.pretty())
         .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     println!("\n[saved {}]", path.display());
+
+    if parsed.has("--check-batched") && batched_regressed {
+        eprintln!("sim_throughput: batched front-end regressed below streaming (see speedups)");
+        std::process::exit(1);
+    }
 }

@@ -43,7 +43,7 @@ use ascc_serve::http::{HttpServer, Request, Response, ShutdownHandle};
 use ascc_serve::prometheus::{MetricKind, MetricsText};
 use cmp_cache::{ObsEvent, ObsProbe, PolicySnapshot};
 use cmp_json::Value;
-use cmp_sim::{mix_sources, CmpSystem, EpochRecorder, SystemConfig};
+use cmp_sim::{batch_enabled, mix_sources, CmpSystem, EpochRecorder, SystemConfig};
 use cmp_trace::{four_app_mixes, two_app_mixes, WorkloadMix};
 use std::io;
 use std::path::PathBuf;
@@ -148,6 +148,9 @@ enum JobKind {
         cancel: Arc<AtomicBool>,
         /// Core count (metrics labels).
         cores: usize,
+        /// Simulated L1 accesses so far, refreshed by the run hook — the
+        /// `/metrics` throughput-gauge numerator.
+        accesses: Arc<AtomicU64>,
     },
 }
 
@@ -437,6 +440,7 @@ impl DaemonState {
         let id = format!("job-{}", self.next_id.fetch_add(1, Ordering::SeqCst));
         let recorder = Arc::new(Mutex::new(EpochRecorder::new(cores)));
         let cancel = Arc::new(AtomicBool::new(false));
+        let accesses = Arc::new(AtomicU64::new(0));
         let label = format!("{} under {}", mix.name, policy.label());
         let job = Arc::new(Job {
             id: id.clone(),
@@ -446,6 +450,7 @@ impl DaemonState {
                 recorder: Arc::clone(&recorder),
                 cancel: Arc::clone(&cancel),
                 cores,
+                accesses: Arc::clone(&accesses),
             },
             state: Mutex::new(JobState::Running),
             error: Mutex::new(None),
@@ -462,8 +467,20 @@ impl DaemonState {
                 LiveProbe(Arc::clone(&recorder)),
                 epoch,
             );
-            let outcome =
-                sys.try_run_with_hook(instrs, warmup, |_| !cancel.load(Ordering::Relaxed));
+            // Refresh the live access counter from each hook (the batched
+            // engine fires it with flushed state every METRICS_EVERY global
+            // accesses; the streaming fallback after every access).
+            let live = |sys: &mut CmpSystem<LiveProbe>| {
+                accesses.store(sys.total_accesses(), Ordering::Relaxed);
+                !cancel.load(Ordering::Relaxed)
+            };
+            const METRICS_EVERY: u64 = 4096;
+            let outcome = if batch_enabled() {
+                sys.try_run_batched(instrs, warmup, METRICS_EVERY, live)
+            } else {
+                sys.try_run_with_hook(instrs, warmup, live)
+            };
+            accesses.store(sys.total_accesses(), Ordering::Relaxed);
             drop(sys);
             recorder.lock().expect("recorder lock").finish();
             match outcome {
@@ -539,12 +556,28 @@ impl DaemonState {
 
         // Live ObsProbe counters of every mix job, family-major so each
         // family's samples stay contiguous (the linter enforces this).
-        let mix_jobs: Vec<(&str, &Arc<Mutex<EpochRecorder>>, usize)> = jobs
+        struct MixRow<'a> {
+            id: &'a str,
+            recorder: &'a Arc<Mutex<EpochRecorder>>,
+            cores: usize,
+            accesses: u64,
+            seconds: f64,
+        }
+        let mix_jobs: Vec<MixRow<'_>> = jobs
             .iter()
             .filter_map(|j| match &j.kind {
                 JobKind::Mix {
-                    recorder, cores, ..
-                } => Some((j.id.as_str(), recorder, *cores)),
+                    recorder,
+                    cores,
+                    accesses,
+                    ..
+                } => Some(MixRow {
+                    id: j.id.as_str(),
+                    recorder,
+                    cores: *cores,
+                    accesses: accesses.load(Ordering::Relaxed),
+                    seconds: j.seconds(),
+                }),
                 JobKind::Sweep { .. } => None,
             })
             .collect();
@@ -571,12 +604,12 @@ impl DaemonState {
         ];
         for (name, help, pick) in per_core_families {
             m.family(name, help, MetricKind::Counter);
-            for (id, recorder, _) in &mix_jobs {
-                let rec = recorder.lock().expect("recorder lock");
+            for job in &mix_jobs {
+                let rec = job.recorder.lock().expect("recorder lock");
                 for (core, v) in pick(rec.totals()).iter().enumerate() {
                     m.sample(
                         name,
-                        &[("job", id.to_string()), ("core", core.to_string())],
+                        &[("job", job.id.to_string()), ("core", core.to_string())],
                         *v as f64,
                     );
                 }
@@ -587,13 +620,13 @@ impl DaemonState {
             "Spills out of each core (summed over receivers).",
             MetricKind::Counter,
         );
-        for (id, recorder, cores) in &mix_jobs {
-            let rec = recorder.lock().expect("recorder lock");
-            for from in 0..*cores {
+        for job in &mix_jobs {
+            let rec = job.recorder.lock().expect("recorder lock");
+            for from in 0..job.cores {
                 let out: u64 = rec.totals().spill_matrix[from].iter().sum();
                 m.sample(
                     "ascc_obs_spills_total",
-                    &[("job", id.to_string()), ("from_core", from.to_string())],
+                    &[("job", job.id.to_string()), ("from_core", from.to_string())],
                     out as f64,
                 );
             }
@@ -603,12 +636,37 @@ impl DaemonState {
             "Closed observation epochs per mix job.",
             MetricKind::Gauge,
         );
-        for (id, recorder, _) in &mix_jobs {
-            let n = recorder.lock().expect("recorder lock").epochs().len();
+        for job in &mix_jobs {
+            let n = job.recorder.lock().expect("recorder lock").epochs().len();
             m.sample(
                 "ascc_obs_epochs_recorded",
-                &[("job", id.to_string())],
+                &[("job", job.id.to_string())],
                 n as f64,
+            );
+        }
+        m.family(
+            "ascc_mix_accesses_total",
+            "Simulated L1 accesses so far per mix job (warm-up included).",
+            MetricKind::Counter,
+        );
+        for job in &mix_jobs {
+            m.sample(
+                "ascc_mix_accesses_total",
+                &[("job", job.id.to_string())],
+                job.accesses as f64,
+            );
+        }
+        m.family(
+            "ascc_mix_accesses_per_second",
+            "Live engine throughput per mix job: simulated accesses over \
+             wall-clock seconds (frozen once the job finishes).",
+            MetricKind::Gauge,
+        );
+        for job in &mix_jobs {
+            m.sample(
+                "ascc_mix_accesses_per_second",
+                &[("job", job.id.to_string())],
+                job.accesses as f64 / job.seconds.max(1e-9),
             );
         }
         m.render()

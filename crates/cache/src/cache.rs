@@ -30,6 +30,23 @@ use crate::stats::{CacheStats, SetStats};
 use crate::types::{CoreId, FillKind, InsertPos, LineAddr, SetIdx, WayIdx};
 use cmp_snap::{SnapError, SnapReader, SnapWriter};
 
+/// Way holding `raw` in one set's tag row, if resident.
+///
+/// Branchless replacement for `iter().position()`: the accumulating
+/// compare visits every way unconditionally, which the compiler turns into
+/// conditional moves (and, for the common 4/8/16-way rows, vector
+/// compares) instead of a data-dependent early-exit branch per way. A line
+/// is resident at most once per cache, so keeping the last match is
+/// equivalent to keeping the first.
+#[inline]
+fn find_way(tags: &[u64], raw: u64) -> Option<usize> {
+    let mut found = usize::MAX;
+    for (w, &t) in tags.iter().enumerate() {
+        found = if t == raw { w } else { found };
+    }
+    (found != usize::MAX).then_some(found)
+}
+
 /// A set-associative cache with true-LRU recency tracking and pluggable
 /// insertion positions.
 ///
@@ -163,10 +180,25 @@ impl SetAssocCache {
     pub fn probe(&self, line: LineAddr) -> Option<(SetIdx, WayIdx)> {
         let set = self.geometry.set_of(line);
         let raw = line.raw();
-        self.tags[self.row(set)]
-            .iter()
-            .position(|&t| t == raw)
-            .map(|w| (set, WayIdx(w as u16)))
+        find_way(&self.tags[self.row(set)], raw).map(|w| (set, WayIdx(w as u16)))
+    }
+
+    /// Hints the hardware prefetcher at the tag row of `set` — used by the
+    /// batched engine to pull the next access's set slab into cache while
+    /// the current access is still being processed. Pure performance hint:
+    /// no simulator-visible state changes.
+    #[inline]
+    pub fn prefetch_set(&self, set: SetIdx) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `row(set)` is in bounds for `tags`, so the pointer is
+        // derived from a live allocation; prefetch dereferences nothing.
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let base = set.index() * self.geometry.ways() as usize;
+            _mm_prefetch(self.tags.as_ptr().add(base).cast::<i8>(), _MM_HINT_T0);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = set;
     }
 
     /// Performs a local access: on a hit the line is promoted to MRU and its
@@ -179,7 +211,7 @@ impl SetAssocCache {
         let set = self.geometry.set_of(line);
         let row = self.row(set);
         let raw = line.raw();
-        match self.tags[row.clone()].iter().position(|&t| t == raw) {
+        match find_way(&self.tags[row.clone()], raw) {
             Some(w) => {
                 let way = WayIdx(w as u16);
                 let rw = &mut self.recency[set.index()];

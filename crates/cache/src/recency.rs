@@ -162,17 +162,23 @@ pub(crate) fn identity_word(ways: u16) -> u64 {
 }
 
 /// Depth of `way` in `word`, or `None` if absent from the low `ways` nibbles.
+///
+/// Branchless zero-nibble search: XOR spreads the target into every nibble,
+/// then the carry-borrow trick `(x - 0x11…1) & !x & 0x88…8` flags zero
+/// nibbles. The subtraction can flag false positives, but only at depths
+/// strictly *above* the lowest true zero nibble (a borrow has to ripple
+/// through that zero to corrupt anything), so `trailing_zeros` always lands
+/// on the true match. Depths `>= ways` hold zero nibbles (spuriously
+/// matching `way` 0), but those too sit above any true match and are
+/// rejected by the final range check.
 #[inline]
 pub(crate) fn position_in_word(word: u64, ways: u16, way: WayIdx) -> Option<usize> {
-    let target = way.0 as u64;
-    let mut w = word;
-    for d in 0..ways as usize {
-        if w & 0xF == target {
-            return Some(d);
-        }
-        w >>= 4;
-    }
-    None
+    const ONES: u64 = 0x1111_1111_1111_1111;
+    let x = word ^ (way.0 as u64).wrapping_mul(ONES);
+    let m = x.wrapping_sub(ONES) & !x & 0x8888_8888_8888_8888;
+    // m == 0 gives trailing_zeros() == 64 -> depth 16, outside any stack.
+    let d = (m.trailing_zeros() >> 2) as usize;
+    (d < ways as usize).then_some(d)
 }
 
 /// `word` with `way` promoted to depth 0; nibbles above its old depth are
@@ -181,10 +187,9 @@ pub(crate) fn position_in_word(word: u64, ways: u16, way: WayIdx) -> Option<usiz
 pub(crate) fn touch_mru_word(word: u64, ways: u16, way: WayIdx) -> u64 {
     let p = position_in_word(word, ways, way)
         .unwrap_or_else(|| panic!("{way} is not part of this {ways}-way stack")) as u32;
-    if p == 0 {
-        return word;
-    }
     // Shift depths 0..p one nibble deeper and drop the way in at nibble 0.
+    // Branchless at p == 0 too: `below` is empty and the masks reduce to
+    // replacing nibble 0 with the way it already holds.
     let below = word & low_mask(4 * p);
     (word & !low_mask(4 * (p + 1))) | (below << 4) | way.0 as u64
 }

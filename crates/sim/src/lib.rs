@@ -59,4 +59,4 @@ pub use runner::{
 };
 pub use shared::{SharedConfig, SharedLlcSystem};
 pub use sweep::{CancelToken, SweepPool};
-pub use system::CmpSystem;
+pub use system::{batch_enabled, CmpSystem};

@@ -112,15 +112,29 @@ pub fn run_mix_with(
             }
         }
     }
-    let mut cadence = ck.cadence;
-    let result = sys.run_with_hook(instr_target, warmup, |sys| {
-        if cadence.tick() {
-            let snap = sys.snapshot();
-            if let Err(e) = cmp_snap::atomic_write(&path, &snap) {
-                eprintln!("[ckpt] warning: cannot write {}: {e}", path.display());
-            }
+    let checkpoint = |sys: &mut CmpSystem| {
+        let snap = sys.snapshot();
+        if let Err(e) = cmp_snap::atomic_write(&path, &snap) {
+            eprintln!("[ckpt] warning: cannot write {}: {e}", path.display());
         }
-    });
+    };
+    let result = if crate::batch_enabled() {
+        // The batched engine fires its hook every N global accesses with
+        // flushed state — the same placement the streaming cadence below
+        // produces, just without a per-access callback.
+        sys.try_run_batched(instr_target, warmup, ck.cadence.every(), |sys| {
+            checkpoint(sys);
+            true
+        })
+        .expect("an always-continue hook cannot abort the run")
+    } else {
+        let mut cadence = ck.cadence;
+        sys.run_with_hook(instr_target, warmup, |sys| {
+            if cadence.tick() {
+                checkpoint(sys);
+            }
+        })
+    };
     // The run completed; its in-flight checkpoint is obsolete.
     let _ = std::fs::remove_file(&path);
     result

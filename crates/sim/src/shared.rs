@@ -126,30 +126,15 @@ impl SharedLlcSystem {
     }
 
     /// Runs warmup + measured instructions per core (same protocol as
-    /// [`crate::CmpSystem::run`]).
+    /// [`crate::CmpSystem::run`]). Dispatches on the `ASCC_BATCH` knob
+    /// between the horizon-batched interleave (default) and the per-access
+    /// streaming one; the two produce identical access orders.
     pub fn run(&mut self, instr_target: u64, warmup_instrs: u64) -> RunResult {
         assert!(instr_target > 0, "need a nonzero instruction target");
-        loop {
-            let i = self
-                .cores
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.clock.total_cmp(&b.1.clock))
-                .map(|(i, _)| i)
-                .expect("at least one core");
-            self.step(i);
-            let c = &mut self.cores[i];
-            if c.start.is_none() && c.instrs >= warmup_instrs {
-                c.start = Some((c.instrs, c.cycles, c.cnt));
-            }
-            if let Some((si, _, _)) = c.start {
-                if c.end.is_none() && c.instrs - si >= instr_target {
-                    c.end = Some((c.instrs, c.cycles, c.cnt));
-                }
-            }
-            if self.cores.iter().all(|c| c.end.is_some()) {
-                break;
-            }
+        if crate::batch_enabled() {
+            self.interleave_batched(instr_target, warmup_instrs);
+        } else {
+            self.interleave_streaming(instr_target, warmup_instrs);
         }
         RunResult {
             policy: "shared-LLC".to_string(),
@@ -178,6 +163,73 @@ impl SharedLlcSystem {
             swaps: 0,
             spill_hits: 0,
         }
+    }
+
+    /// One access per scheduler pick: always advance the globally-oldest
+    /// core (first-minimum clock).
+    fn interleave_streaming(&mut self, instr_target: u64, warmup_instrs: u64) {
+        loop {
+            let i = self
+                .cores
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.clock.total_cmp(&b.1.clock))
+                .map(|(i, _)| i)
+                .expect("at least one core");
+            self.step(i);
+            if self.bookkeeping(i, instr_target, warmup_instrs) {
+                break;
+            }
+        }
+    }
+
+    /// Horizon-batched interleave: the scheduled core drains as long as
+    /// the streaming scheduler would keep picking it (its clock stays
+    /// below the other cores' minimum, or ties it with the smaller index),
+    /// so the argmin scan runs once per drain instead of once per access.
+    /// Access-for-access identical order to
+    /// [`interleave_streaming`](SharedLlcSystem::interleave_streaming).
+    fn interleave_batched(&mut self, instr_target: u64, warmup_instrs: u64) {
+        'sched: loop {
+            let mut i = 0usize;
+            for j in 1..self.cores.len() {
+                if self.cores[j].clock.total_cmp(&self.cores[i].clock) == std::cmp::Ordering::Less {
+                    i = j;
+                }
+            }
+            let mut horizon = f64::INFINITY;
+            let mut jfirst = usize::MAX;
+            for (j, c) in self.cores.iter().enumerate() {
+                if j != i && c.clock.total_cmp(&horizon) == std::cmp::Ordering::Less {
+                    horizon = c.clock;
+                    jfirst = j;
+                }
+            }
+            let wins_tie = i < jfirst;
+            loop {
+                if !crate::system::holds_schedule(self.cores[i].clock, horizon, wins_tie) {
+                    continue 'sched;
+                }
+                self.step(i);
+                if self.bookkeeping(i, instr_target, warmup_instrs) {
+                    break 'sched;
+                }
+            }
+        }
+    }
+
+    /// Post-access warm-up/end capture; `true` once every core is done.
+    fn bookkeeping(&mut self, i: usize, instr_target: u64, warmup_instrs: u64) -> bool {
+        let c = &mut self.cores[i];
+        if c.start.is_none() && c.instrs >= warmup_instrs {
+            c.start = Some((c.instrs, c.cycles, c.cnt));
+        }
+        if let Some((si, _, _)) = c.start {
+            if c.end.is_none() && c.instrs - si >= instr_target {
+                c.end = Some((c.instrs, c.cycles, c.cnt));
+            }
+        }
+        self.cores.iter().all(|c| c.end.is_some())
     }
 
     fn step(&mut self, i: usize) {

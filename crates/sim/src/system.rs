@@ -27,12 +27,74 @@
 use crate::config::SystemConfig;
 use crate::metrics::{CoreResult, RunResult};
 use cmp_cache::{
-    AccessKind, AccessOutcome, CacheLine, CoreId, FillKind, InsertPos, LineAddr, LlcPolicy,
+    AccessKind, AccessOutcome, Addr, CacheLine, CoreId, FillKind, InsertPos, LineAddr, LlcPolicy,
     MesiState, NullProbe, ObsEvent, ObsProbe, SetAssocCache, SetIdx, SpillDecision,
     StridePrefetcher,
 };
 use cmp_coherence::{ReadPolicy, SnoopBus};
 use cmp_trace::{CoreSource, CoreWorkload};
+
+/// `false` when `ASCC_BATCH=0` selects the per-access streaming interleave;
+/// anything else (including unset) selects the batched event-loop
+/// front-end. Read per call — deliberately *not* latched in a `OnceLock`,
+/// so one process can time both front-ends (`sim_throughput` does).
+pub fn batch_enabled() -> bool {
+    std::env::var("ASCC_BATCH").map_or(true, |v| v != "0")
+}
+
+/// Accesses the batched engine looks ahead in the chunk when prefetching
+/// the upcoming access's simulated L1 tag row.
+const PF_DIST: usize = 8;
+
+/// Batch-local mirror of the [`CoreState`] fields the per-access header
+/// math touches: they live in registers for the length of a drain and are
+/// flushed back before any externally visible pause (snapshot capture,
+/// hook, reschedule).
+#[derive(Clone, Copy)]
+struct HotCore {
+    clock: f64,
+    carry: f64,
+    cycles: f64,
+    instrs: u64,
+    l1_accesses: u64,
+    l1_hits: u64,
+}
+
+impl HotCore {
+    fn load(c: &CoreState) -> Self {
+        HotCore {
+            clock: c.clock,
+            carry: c.carry,
+            cycles: c.counters.cycles,
+            instrs: c.counters.instrs,
+            l1_accesses: c.counters.l1_accesses,
+            l1_hits: c.counters.l1_hits,
+        }
+    }
+}
+
+/// Why a batched drain stopped.
+enum Pause {
+    /// The cycle horizon was crossed: another core is now globally oldest.
+    Resched,
+    /// `hook_every` accesses elapsed; the hook must run.
+    Hook,
+    /// Every core captured its end snapshot; the run is complete.
+    Done,
+}
+
+/// Whether the drained core still holds the schedule: its clock is below
+/// the other cores' minimum, or ties it while having the smaller index —
+/// exactly the condition under which the streaming loop's first-minimum
+/// `min_by` would pick it again.
+#[inline(always)]
+pub(crate) fn holds_schedule(clock: f64, horizon: f64, wins_tie: bool) -> bool {
+    match clock.total_cmp(&horizon) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Equal => wins_tie,
+        std::cmp::Ordering::Greater => false,
+    }
+}
 
 #[derive(Clone, Copy, Debug, Default)]
 struct Counters {
@@ -277,8 +339,301 @@ impl<P: ObsProbe> CmpSystem<P> {
     /// measured), then `instr_target` measured instructions. Cores that
     /// finish keep executing — competing for cache space — until the last
     /// one is done, as in the paper's methodology (§5).
+    ///
+    /// Dispatches on the `ASCC_BATCH` knob between the batched event loop
+    /// (default) and the per-access streaming interleave; the two are
+    /// bit-identical (DESIGN.md §5h), so the choice is purely about
+    /// throughput.
     pub fn run(&mut self, instr_target: u64, warmup_instrs: u64) -> RunResult {
+        if batch_enabled() {
+            self.run_batched(instr_target, warmup_instrs)
+        } else {
+            self.run_streaming(instr_target, warmup_instrs)
+        }
+    }
+
+    /// [`run`](CmpSystem::run) forced onto the per-access streaming
+    /// interleave, regardless of `ASCC_BATCH`. The equivalence tests use
+    /// this explicit pair rather than racing env-var mutations across test
+    /// threads.
+    pub fn run_streaming(&mut self, instr_target: u64, warmup_instrs: u64) -> RunResult {
         self.run_with_hook(instr_target, warmup_instrs, |_| {})
+    }
+
+    /// [`run`](CmpSystem::run) forced onto the batched event loop,
+    /// regardless of `ASCC_BATCH`.
+    pub fn run_batched(&mut self, instr_target: u64, warmup_instrs: u64) -> RunResult {
+        self.try_run_batched(instr_target, warmup_instrs, 0, |_| true)
+            .expect("an always-continue hook cannot abort the run")
+    }
+
+    /// The batched event loop: drains whole [`TraceChunk`](cmp_trace::TraceChunk)
+    /// runs per core instead of re-scheduling after every access, while
+    /// producing the exact access interleaving of the streaming loop.
+    ///
+    /// The scheduled core is the one the streaming `min_by` would pick
+    /// (first-minimum clock). It keeps draining while
+    /// [`holds_schedule`] says the streaming scheduler would keep picking
+    /// it — its clock stays below the *cycle horizon* (the minimum clock of
+    /// the other cores, which cannot move during the drain: spill
+    /// retirement only touches peers' writeback counters). Inside a drain
+    /// the per-access header math runs on a register-local [`HotCore`]
+    /// (one reciprocal hoists the `mem_fraction` divide), accesses come
+    /// straight out of the chunk's SoA arrays, and upcoming tag rows are
+    /// prefetched [`PF_DIST`] accesses ahead.
+    ///
+    /// `hook` runs with flushed, snapshot-able state after every
+    /// `hook_every` global accesses (`0` = never) — the batched analogue
+    /// of [`try_run_with_hook`](CmpSystem::try_run_with_hook)'s per-access
+    /// cadence, used for `ASCC_CKPT_EVERY` checkpoints and cancellation.
+    /// Returning `false` abandons the run (`None`), leaving the system in
+    /// the consistent state the hook observed.
+    pub fn try_run_batched(
+        &mut self,
+        instr_target: u64,
+        warmup_instrs: u64,
+        hook_every: u64,
+        mut hook: impl FnMut(&mut Self) -> bool,
+    ) -> Option<RunResult> {
+        assert!(instr_target > 0, "need a nonzero instruction target");
+        let hook_period = if hook_every == 0 {
+            u64::MAX
+        } else {
+            hook_every
+        };
+        let mut until_hook = hook_period;
+        'sched: loop {
+            // First-minimum scheduling, same comparator as the streaming
+            // loop's `min_by`.
+            let mut i = 0usize;
+            for j in 1..self.cores.len() {
+                if self.cores[j].clock.total_cmp(&self.cores[i].clock) == std::cmp::Ordering::Less {
+                    i = j;
+                }
+            }
+            let mut horizon = f64::INFINITY;
+            let mut jfirst = usize::MAX;
+            for (j, c) in self.cores.iter().enumerate() {
+                if j != i && c.clock.total_cmp(&horizon) == std::cmp::Ordering::Less {
+                    horizon = c.clock;
+                    jfirst = j;
+                }
+            }
+            let wins_tie = i < jfirst;
+            let cpu = self.cores[i].source.cpu;
+            let inv_mf = 1.0 / cpu.mem_fraction;
+            let offset_bits = self.cfg.l1.offset_bits();
+            let mut h = HotCore::load(&self.cores[i]);
+            let mut warm_base = self.cores[i].warm_snap.map(|w| w.instrs);
+            let mut ended = self.cores[i].end_snap.is_some();
+            let pause = 'drain: loop {
+                let Some((chunk, start)) = self.cores[i].source.feed.run_slice() else {
+                    // Streaming generator (or budget-degraded cursor):
+                    // per-access pulls, still horizon-batched.
+                    loop {
+                        if !holds_schedule(h.clock, horizon, wins_tie) {
+                            break 'drain Pause::Resched;
+                        }
+                        let acc = self.cores[i].source.feed.next_access();
+                        self.batched_access(
+                            i, &mut h, inv_mf, &cpu, acc.addr, acc.kind, acc.stream,
+                        );
+                        if let Some(p) = self.batched_bookkeeping(
+                            i,
+                            &h,
+                            instr_target,
+                            warmup_instrs,
+                            &mut warm_base,
+                            &mut ended,
+                            &mut until_hook,
+                        ) {
+                            break 'drain p;
+                        }
+                    }
+                };
+                let len = chunk.len();
+                let addrs = chunk.addrs();
+                let streams = chunk.streams();
+                let stores = chunk.store_words();
+                let mut idx = start;
+                let mut pause = None;
+                while idx < len {
+                    if !holds_schedule(h.clock, horizon, wins_tie) {
+                        pause = Some(Pause::Resched);
+                        break;
+                    }
+                    if idx + PF_DIST < len {
+                        let ahead = Addr::new(addrs[idx + PF_DIST]).line(offset_bits);
+                        self.l1s[i].prefetch_set(self.cfg.l1.set_of(ahead));
+                    }
+                    let addr = Addr::new(addrs[idx]);
+                    let stream = streams[idx];
+                    let kind = if stores[idx >> 6] >> (idx & 63) & 1 == 1 {
+                        AccessKind::Store
+                    } else {
+                        AccessKind::Load
+                    };
+                    idx += 1;
+                    self.batched_access(i, &mut h, inv_mf, &cpu, addr, kind, stream);
+                    if let Some(p) = self.batched_bookkeeping(
+                        i,
+                        &h,
+                        instr_target,
+                        warmup_instrs,
+                        &mut warm_base,
+                        &mut ended,
+                        &mut until_hook,
+                    ) {
+                        pause = Some(p);
+                        break;
+                    }
+                }
+                // Commit chunk consumption before pausing: hooks may
+                // snapshot, and the next drain reads the cursor.
+                self.cores[i].source.feed.advance(idx - start);
+                match pause {
+                    Some(p) => break 'drain p,
+                    None => continue 'drain, // chunk exhausted mid-drain
+                }
+            };
+            self.flush_hot(i, &h);
+            match pause {
+                Pause::Resched => {}
+                Pause::Done => break 'sched,
+                Pause::Hook => {
+                    until_hook = hook_period;
+                    if !hook(self) {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(self.result())
+    }
+
+    /// Writes a drain's register-local [`HotCore`] back into the core's
+    /// authoritative state.
+    fn flush_hot(&mut self, i: usize, h: &HotCore) {
+        let c = &mut self.cores[i];
+        c.clock = h.clock;
+        c.carry = h.carry;
+        c.counters.cycles = h.cycles;
+        c.counters.instrs = h.instrs;
+        c.counters.l1_accesses = h.l1_accesses;
+        c.counters.l1_hits = h.l1_hits;
+    }
+
+    /// One access of the batched loop: identical arithmetic to
+    /// [`step`](CmpSystem::step), but the header math (carry/CPI/clock and
+    /// the L1 counters) runs on the drain's [`HotCore`] and the
+    /// `mem_fraction` divide is a pre-inverted multiply.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)] // private hot path; the args are the drain's registers
+    fn batched_access(
+        &mut self,
+        i: usize,
+        h: &mut HotCore,
+        inv_mf: f64,
+        cpu: &cmp_trace::CpuModel,
+        addr: Addr,
+        kind: AccessKind,
+        stream: u16,
+    ) {
+        h.carry += inv_mf;
+        let n = (h.carry as u64).max(1);
+        h.carry -= n as f64;
+        h.instrs += n;
+        let dc = n as f64 * cpu.base_cpi;
+        h.clock += dc;
+        h.cycles += dc;
+        h.l1_accesses += 1;
+        let line = addr.line(self.cfg.l1.offset_bits());
+        let l1_hit = self.l1s[i].access(line).is_some();
+        let latency = if l1_hit {
+            h.l1_hits += 1;
+            if kind.is_store() {
+                self.upgrade_for_store(i, line);
+            }
+            0
+        } else {
+            let lat = self.l2_access(i, line, kind, stream);
+            let set = self.cfg.l1.set_of(line);
+            let way = self.l1s[i].set(set).default_victim();
+            self.l1s[i].fill(
+                set,
+                way,
+                CacheLine::demand(line, MesiState::Exclusive),
+                InsertPos::Mru,
+                FillKind::Demand,
+            );
+            lat
+        };
+        if !kind.is_store() && latency > 0 {
+            let stall = latency as f64 * cpu.overlap;
+            h.clock += stall;
+            h.cycles += stall;
+        }
+        self.policy.on_cycle(CoreId(i as u8), h.clock as u64);
+        if P::ACTIVE {
+            self.forward_policy_events();
+            if self.epoch_accesses > 0 && self.epoch_counter >= self.epoch_accesses {
+                self.epoch_counter -= self.epoch_accesses;
+                let snap = self.policy.snapshot();
+                self.probe.on_epoch(self.epoch_index, &snap);
+                self.epoch_index += 1;
+            }
+        }
+        #[cfg(feature = "debug-invariants")]
+        {
+            self.flush_hot(i, h);
+            self.debug_check_invariants();
+        }
+    }
+
+    /// Post-access warm-up/end/hook bookkeeping for the batched loop;
+    /// returns the pause the drain must take, if any. Mirrors the
+    /// streaming loop's per-access checks; snapshots are captured from
+    /// freshly flushed counters.
+    #[allow(clippy::too_many_arguments)]
+    fn batched_bookkeeping(
+        &mut self,
+        i: usize,
+        h: &HotCore,
+        instr_target: u64,
+        warmup_instrs: u64,
+        warm_base: &mut Option<u64>,
+        ended: &mut bool,
+        until_hook: &mut u64,
+    ) -> Option<Pause> {
+        if warm_base.is_none() && h.instrs >= warmup_instrs {
+            self.flush_hot(i, h);
+            let c = &mut self.cores[i];
+            c.warm_snap = Some(c.counters);
+            *warm_base = Some(c.counters.instrs);
+            if self.global_warm.is_none() && self.cores.iter().all(|c| c.warm_snap.is_some()) {
+                self.global_warm = Some(self.global);
+            }
+        }
+        if let Some(w) = *warm_base {
+            if !*ended && h.instrs - w >= instr_target {
+                self.flush_hot(i, h);
+                let c = &mut self.cores[i];
+                c.end_snap = Some(c.counters);
+                *ended = true;
+                // End snapshots never unset, so the all-done transition can
+                // only happen on the access that captures the last one —
+                // checking here is equivalent to the streaming loop's
+                // every-access scan.
+                if self.cores.iter().all(|c| c.end_snap.is_some()) {
+                    return Some(Pause::Done);
+                }
+            }
+        }
+        *until_hook -= 1;
+        if *until_hook == 0 {
+            return Some(Pause::Hook);
+        }
+        None
     }
 
     /// [`run`](CmpSystem::run) with a periodic-checkpoint hook: `after_step`
@@ -381,6 +736,14 @@ impl<P: ObsProbe> CmpSystem<P> {
             swaps: self.global.swaps - gw.swaps,
             spill_hits: self.global.spill_hits - gw.spill_hits,
         }
+    }
+
+    /// Total simulated L1 accesses across every core since construction
+    /// (warm-up included) — the numerator live-throughput observers divide
+    /// by wall-clock time. Only consistent outside a batched drain, i.e.
+    /// from run hooks or after a run returns.
+    pub fn total_accesses(&self) -> u64 {
+        self.cores.iter().map(|c| c.counters.l1_accesses).sum()
     }
 
     /// Counters accumulated since construction, with *no* warm-up

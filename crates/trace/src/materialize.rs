@@ -108,6 +108,26 @@ impl TraceChunk {
     pub fn bytes_for(n: usize) -> u64 {
         (n * 8 + n * 2 + n.div_ceil(64) * 8) as u64
     }
+
+    /// The raw byte addresses, one per access — the batched engine indexes
+    /// these directly instead of reconstructing [`Access`] values.
+    #[inline]
+    pub fn addrs(&self) -> &[u64] {
+        &self.addrs
+    }
+
+    /// The raw stream ids, parallel to [`addrs`](TraceChunk::addrs).
+    #[inline]
+    pub fn streams(&self) -> &[u16] {
+        &self.streams
+    }
+
+    /// The store-kind bitset words: bit `i % 64` of word `i / 64` is set
+    /// when access `i` is a store.
+    #[inline]
+    pub fn store_words(&self) -> &[u64] {
+        &self.stores
+    }
 }
 
 /// Byte budget shared by every trace of an arena.
@@ -347,6 +367,49 @@ impl TraceCursor {
         }
     }
 
+    /// The chunk this cursor currently points into plus the index of the
+    /// next unconsumed access in it, materializing the next chunk when the
+    /// current one is exhausted. Returns `None` once the arena budget has
+    /// forced private regeneration (callers then fall back to per-access
+    /// [`next_access`](TraceCursor::next_access), which installs the
+    /// fallback stream) — so the batched engine can scan a whole chunk run
+    /// without per-access dispatch, committing consumption afterwards via
+    /// [`advance`](TraceCursor::advance).
+    pub fn run_slice(&mut self) -> Option<(Arc<TraceChunk>, usize)> {
+        if self.fallback.is_some() {
+            return None;
+        }
+        if let Some(c) = &self.chunk {
+            if self.pos < c.len() {
+                return Some((c.clone(), self.pos));
+            }
+        }
+        match self.trace.chunk(self.next_chunk) {
+            Some(c) => {
+                self.chunk = Some(c.clone());
+                self.next_chunk += 1;
+                self.pos = 0;
+                Some((c, 0))
+            }
+            None => None,
+        }
+    }
+
+    /// Commits `n` accesses consumed out of the slice handed back by
+    /// [`run_slice`](TraceCursor::run_slice).
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when the commit runs past the current chunk.
+    #[inline]
+    pub fn advance(&mut self, n: usize) {
+        debug_assert!(
+            self.chunk.as_ref().is_some_and(|c| self.pos + n <= c.len()),
+            "advance({n}) past the current chunk"
+        );
+        self.pos += n;
+    }
+
     /// Accesses replayed so far (chunks are uniformly sized; `next_chunk`
     /// counts the current chunk when one is loaded).
     fn consumed(&self) -> u64 {
@@ -497,6 +560,31 @@ impl AccessFeed {
         match self {
             AccessFeed::Streaming(s) => s.next_access(),
             AccessFeed::Replay(c) => c.next_access(),
+        }
+    }
+
+    /// The current chunk run for batched draining, or `None` for streaming
+    /// generators and budget-degraded cursors (which only serve per-access
+    /// [`next_access`](AccessFeed::next_access)). See
+    /// [`TraceCursor::run_slice`].
+    #[inline]
+    pub fn run_slice(&mut self) -> Option<(Arc<TraceChunk>, usize)> {
+        match self {
+            AccessFeed::Streaming(_) => None,
+            AccessFeed::Replay(c) => c.run_slice(),
+        }
+    }
+
+    /// Commits `n` accesses consumed out of [`run_slice`](AccessFeed::run_slice).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a streaming feed — there is no slice to commit against.
+    #[inline]
+    pub fn advance(&mut self, n: usize) {
+        match self {
+            AccessFeed::Streaming(_) => panic!("advance() without a run_slice()"),
+            AccessFeed::Replay(c) => c.advance(n),
         }
     }
 
