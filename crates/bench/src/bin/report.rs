@@ -60,7 +60,10 @@ impl Record {
 
 /// Experiment ids whose values are fractions to print as percentages.
 fn is_percent(id: &str) -> bool {
-    !matches!(id, "fig01" | "table3" | "table5" | "behavior_spills")
+    !matches!(
+        id,
+        "fig01" | "table3" | "table5" | "behavior_spills" | "scaling_cores"
+    )
 }
 
 fn fmt(id: &str, col: &str, v: f64) -> String {

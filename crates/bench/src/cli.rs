@@ -107,14 +107,20 @@ impl Cli {
         self
     }
 
-    /// The standard harness trio: `--jobs`, `--out`, `--resume`, wired to
-    /// [`RunConfig`] by [`Parsed::run_config`]. Shared so the three flags
-    /// cannot drift in spelling or semantics between binaries.
+    /// The standard harness flags: `--jobs`, `--cores`, `--out`,
+    /// `--resume`, wired to [`RunConfig`] by [`Parsed::run_config`].
+    /// Shared so the flags cannot drift in spelling or semantics between
+    /// binaries.
     pub fn harness_flags(self) -> Self {
         self.option(
             "--jobs",
             "<n>",
             "sweep worker count (0 or unset: all cores; 1 runs inline)",
+        )
+        .option(
+            "--cores",
+            "<n>",
+            "simulated core count 1..=64 (unset: the binary's default)",
         )
         .option("--out", "<path>", "result artifact destination")
         .flag(
@@ -272,6 +278,12 @@ impl Parsed {
         if let Some(jobs) = self.parsed::<usize>("--jobs")? {
             cfg = cfg.with_jobs(Some(jobs));
         }
+        if let Some(cores) = self.parsed::<usize>("--cores")? {
+            if !(1..=64).contains(&cores) {
+                return Err(format!("--cores must be 1..=64, got {cores}"));
+            }
+            cfg = cfg.with_cores(Some(cores));
+        }
         if let Some(out) = self.value("--out") {
             cfg = cfg.with_out(Some(out.into()));
         }
@@ -360,6 +372,17 @@ mod tests {
         assert!(cfg.resume);
         let bad = g.try_parse(&args(&["--jobs", "many"])).unwrap();
         assert!(bad.run_config().unwrap_err().contains("--jobs"));
+    }
+
+    #[test]
+    fn cores_flag_overlays_and_validates() {
+        let g = grammar();
+        let p = g.try_parse(&args(&["--cores", "16"])).unwrap();
+        assert_eq!(p.run_config().unwrap().cores, Some(16));
+        let p = g.try_parse(&args(&["--cores=65"])).unwrap();
+        assert!(p.run_config().unwrap_err().contains("1..=64"));
+        let p = g.try_parse(&args(&["--cores", "0"])).unwrap();
+        assert!(p.run_config().unwrap_err().contains("1..=64"));
     }
 
     #[test]

@@ -47,6 +47,12 @@ pub const FIELDS: &[Field] = &[
         help: "sweep worker count (default: all available cores; 1 = run inline)",
     },
     Field {
+        flag: "--cores",
+        env: "ASCC_CORES",
+        json: "cores",
+        help: "simulated core count 1..=64 (default: each binary's own, usually 2 or 4)",
+    },
+    Field {
         flag: "",
         env: "ASCC_TRACE_CACHE",
         json: "trace_cache",
@@ -101,6 +107,8 @@ pub const FIELDS: &[Field] = &[
 pub struct RunConfig {
     /// Sweep worker count; `None` means all available cores.
     pub jobs: Option<usize>,
+    /// Simulated core count; `None` keeps each binary's own default.
+    pub cores: Option<usize>,
     /// Whether the materialized trace arena is enabled.
     pub trace_cache: bool,
     /// Whether the batched event-loop engine is enabled (bit-identical to
@@ -122,6 +130,7 @@ impl Default for RunConfig {
     fn default() -> Self {
         RunConfig {
             jobs: None,
+            cores: None,
             trace_cache: true,
             batch: true,
             arena_mb: 4096,
@@ -144,6 +153,9 @@ impl RunConfig {
             jobs: var("ASCC_JOBS")
                 .and_then(|v| v.parse::<usize>().ok())
                 .filter(|&n| n > 0),
+            cores: var("ASCC_CORES")
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| (1..=64).contains(&n)),
             trace_cache: var("ASCC_TRACE_CACHE").map_or(d.trace_cache, |v| v != "0"),
             batch: var("ASCC_BATCH").map_or(d.batch, |v| v != "0"),
             arena_mb: var("ASCC_TRACE_ARENA_MB")
@@ -161,6 +173,12 @@ impl RunConfig {
     /// Sets the sweep worker count (`None` = all cores).
     pub fn with_jobs(mut self, jobs: Option<usize>) -> Self {
         self.jobs = jobs.filter(|&n| n > 0);
+        self
+    }
+
+    /// Sets the simulated core count (`None` = each binary's default).
+    pub fn with_cores(mut self, cores: Option<usize>) -> Self {
+        self.cores = cores.filter(|&n| n > 0);
         self
     }
 
@@ -213,6 +231,10 @@ impl RunConfig {
                 self.jobs.map_or_else(String::new, |n| n.to_string()),
             ),
             (
+                "ASCC_CORES",
+                self.cores.map_or_else(String::new, |n| n.to_string()),
+            ),
+            (
                 "ASCC_TRACE_CACHE",
                 if self.trace_cache { "1" } else { "0" }.into(),
             ),
@@ -250,6 +272,7 @@ impl RunConfig {
     pub fn to_json(&self) -> Value {
         let mut doc = Value::object()
             .insert("jobs", self.jobs.map_or(0.0, |n| n as f64))
+            .insert("cores", self.cores.map_or(0.0, |n| n as f64))
             .insert("trace_cache", self.trace_cache)
             .insert("batch", self.batch)
             .insert("arena_mb", self.arena_mb as f64)
@@ -278,6 +301,15 @@ impl RunConfig {
                         .as_u64()
                         .ok_or_else(|| format!("jobs wants a non-negative integer, got {val}"))?;
                     next.jobs = if n == 0 { None } else { Some(n as usize) };
+                }
+                "cores" => {
+                    let n = val
+                        .as_u64()
+                        .ok_or_else(|| format!("cores wants a non-negative integer, got {val}"))?;
+                    if n > 64 {
+                        return Err(format!("cores must be 0 (default) or 1..=64, got {n}"));
+                    }
+                    next.cores = if n == 0 { None } else { Some(n as usize) };
                 }
                 "trace_cache" => {
                     next.trace_cache = val
@@ -386,6 +418,7 @@ mod tests {
     fn env_pairs_pin_every_knob() {
         let cfg = RunConfig::default()
             .with_jobs(Some(2))
+            .with_cores(Some(16))
             .with_trace_cache(false)
             .with_batch(false)
             .with_checkpoints(1000, "ckpt")
@@ -399,6 +432,7 @@ mod tests {
                 .unwrap()
         };
         assert_eq!(get("ASCC_JOBS"), "2");
+        assert_eq!(get("ASCC_CORES"), "16");
         assert_eq!(get("ASCC_TRACE_CACHE"), "0");
         assert_eq!(get("ASCC_BATCH"), "0");
         assert_eq!(get("ASCC_CKPT_EVERY"), "1000");
@@ -415,6 +449,22 @@ mod tests {
         cfg.merge_json(&Value::parse(r#"{"jobs": 0}"#).unwrap())
             .unwrap();
         assert_eq!(cfg.jobs, None);
+    }
+
+    #[test]
+    fn cores_knob_round_trips_and_rejects_out_of_range() {
+        let mut cfg = RunConfig::default();
+        cfg.merge_json(&Value::parse(r#"{"cores": 32}"#).unwrap())
+            .unwrap();
+        assert_eq!(cfg.cores, Some(32));
+        cfg.merge_json(&Value::parse(r#"{"cores": 0}"#).unwrap())
+            .unwrap();
+        assert_eq!(cfg.cores, None);
+        let err = cfg
+            .merge_json(&Value::parse(r#"{"cores": 65}"#).unwrap())
+            .unwrap_err();
+        assert!(err.contains("1..=64"), "{err}");
+        assert_eq!(RunConfig::default().with_cores(Some(0)).cores, None);
     }
 
     #[test]

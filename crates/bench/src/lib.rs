@@ -20,6 +20,7 @@
 pub mod cli;
 pub mod config;
 pub mod orchestrate;
+pub mod scaling;
 pub mod serve;
 
 pub use config::RunConfig;

@@ -44,6 +44,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "fig11_qos",
     "sect7_limited",
     "ablations",
+    "scaling_cores",
 ];
 
 /// Applies `--only`-style case-insensitive substring filters to the

@@ -34,17 +34,24 @@
 //! * **Mix**: `{"kind": "mix", "cores": 4, "mix": 0, "policy": "ASCC",
 //!   "epoch_accesses": 20000}` — simulates one mix in-process with a live
 //!   [`EpochRecorder`] probe, so `/snapshots/:id` and `/metrics` expose
-//!   the policy's internal dynamics while the run is still going.
+//!   the policy's internal dynamics while the run is still going. Any
+//!   `cores` in 1..=64 works ([`cmp_trace::mixes_for`] supplies synthetic
+//!   mixes beyond the paper's 2- and 4-core lists); optional `"fabric"`
+//!   (`"broadcast"` / `"directory"`, default directory) picks the
+//!   coherence fabric and `"l2_ways"` resizes the LLC associativity —
+//!   rejected with a clean 400 past the 16 ways the packed recency word
+//!   can track.
 
 use crate::cli::Cli;
 use crate::orchestrate::{execute, select, Control, Plan};
 use crate::{manifest::RunManifest, Policy, RunConfig, Scale};
 use ascc_serve::http::{HttpServer, Request, Response, ShutdownHandle};
 use ascc_serve::prometheus::{MetricKind, MetricsText};
-use cmp_cache::{ObsEvent, ObsProbe, PolicySnapshot};
+use cmp_cache::{CacheGeometry, ObsEvent, ObsProbe, PolicySnapshot, MAX_WAYS};
+use cmp_coherence::FabricKind;
 use cmp_json::Value;
 use cmp_sim::{batch_enabled, mix_sources, CmpSystem, EpochRecorder, SystemConfig};
-use cmp_trace::{four_app_mixes, two_app_mixes, WorkloadMix};
+use cmp_trace::{mixes_for, WorkloadMix};
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -390,14 +397,37 @@ impl DaemonState {
     fn create_mix_job(self: &Arc<Self>, spec: Value) -> Result<Arc<Job>, String> {
         let cores = spec
             .get("cores")
-            .map(|v| v.as_u64().ok_or("\"cores\" wants 2 or 4"))
+            .map(|v| v.as_u64().ok_or("\"cores\" wants 1..=64"))
             .transpose()?
             .unwrap_or(4) as usize;
-        let mixes: Vec<WorkloadMix> = match cores {
-            2 => two_app_mixes(),
-            4 => four_app_mixes(),
-            n => return Err(format!("cores must be 2 or 4, got {n}")),
+        if !(1..=64).contains(&cores) {
+            return Err(format!("cores must be 1..=64, got {cores}"));
+        }
+        let mixes: Vec<WorkloadMix> = mixes_for(cores);
+        let fabric = match spec.get("fabric").map(Value::as_str) {
+            None => FabricKind::Directory,
+            Some(Some("directory")) => FabricKind::Directory,
+            Some(Some("broadcast")) => FabricKind::Broadcast,
+            Some(f) => return Err(format!("unknown fabric {f:?}; known: broadcast, directory")),
         };
+        let mut cfg = SystemConfig::table2(cores).with_fabric(fabric);
+        if let Some(w) = spec
+            .get("l2_ways")
+            .map(|v| v.as_u64().ok_or("\"l2_ways\" wants a way count"))
+            .transpose()?
+        {
+            // Validated here, not in the worker thread: a 17-way request
+            // must come back as a clean 400, not a panic in the recency
+            // word (which packs a set's LRU order at 4 bits per way).
+            cfg.l2 = CacheGeometry::from_capacity(
+                cfg.l2.capacity_bytes(),
+                u16::try_from(w).unwrap_or(u16::MAX),
+                cfg.l2.line_bytes(),
+            )
+            .map_err(|e| {
+                format!("l2_ways {w}: {e} (the packed recency word tracks at most {MAX_WAYS} ways)")
+            })?;
+        }
         let mix_idx = spec
             .get("mix")
             .map(|v| v.as_u64().ok_or("\"mix\" wants an index"))
@@ -459,7 +489,6 @@ impl DaemonState {
         });
         let worker_job = Arc::clone(&job);
         let worker = std::thread::spawn(move || {
-            let cfg = SystemConfig::table2(mix.cores());
             let mut sys = CmpSystem::with_probe_sources(
                 cfg.clone(),
                 policy.build(&cfg),
@@ -851,7 +880,12 @@ mod tests {
         assert!(expect_err(r#"{"kind": "nope"}"#).contains("unknown job kind"));
         assert!(expect_err(r#"{"only": ["zzz"]}"#).contains("no experiment matches"));
         assert!(expect_err(r#"{"kind": "mix", "policy": "LRS2"}"#).contains("unknown policy"));
-        assert!(expect_err(r#"{"kind": "mix", "cores": 3}"#).contains("cores must be 2 or 4"));
+        assert!(expect_err(r#"{"kind": "mix", "cores": 65}"#).contains("cores must be 1..=64"));
+        assert!(expect_err(r#"{"kind": "mix", "cores": 0}"#).contains("cores must be 1..=64"));
+        assert!(expect_err(r#"{"kind": "mix", "fabric": "mesh"}"#).contains("unknown fabric"));
+        let e = expect_err(r#"{"kind": "mix", "l2_ways": 17}"#);
+        assert!(e.contains("recency word"), "{e}");
+        assert!(expect_err(r#"{"kind": "mix", "mix": 99}"#).contains("out of range"));
         assert!(state.jobs().is_empty());
         let _ = std::fs::remove_dir_all(&state.root);
     }

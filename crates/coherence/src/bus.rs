@@ -43,6 +43,11 @@ pub struct BusStats {
     pub transfers: u64,
     /// Remote copies invalidated by write snoops.
     pub invalidations: u64,
+    /// Peer tag arrays actually probed by miss traffic. A broadcast bus
+    /// probes every peer on every snoop (`cores - 1` per miss); a directory
+    /// only probes the caches its sharer mask names, so this is the scaling
+    /// cost the two fabrics differ on.
+    pub probes: u64,
 }
 
 /// The broadcast snoop bus.
@@ -73,9 +78,7 @@ impl SnoopBus {
 
     /// Serialises the bus statistics (the bus's only state) into `w`.
     pub fn save_state(&self, w: &mut cmp_snap::SnapWriter) {
-        w.put_u64(self.stats.snoops);
-        w.put_u64(self.stats.transfers);
-        w.put_u64(self.stats.invalidations);
+        save_stats(&self.stats, w);
     }
 
     /// Restores statistics captured by [`save_state`](SnoopBus::save_state).
@@ -83,11 +86,7 @@ impl SnoopBus {
         &mut self,
         r: &mut cmp_snap::SnapReader<'_>,
     ) -> Result<(), cmp_snap::SnapError> {
-        self.stats = BusStats {
-            snoops: r.get_u64()?,
-            transfers: r.get_u64()?,
-            invalidations: r.get_u64()?,
-        };
+        self.stats = load_stats(r)?;
         Ok(())
     }
 
@@ -141,6 +140,7 @@ impl SnoopBus {
             "read_miss broadcast for a line resident at the requester"
         );
         self.stats.snoops += 1;
+        self.stats.probes += caches.len() as u64 - 1;
         let owner = caches
             .iter()
             .enumerate()
@@ -185,6 +185,7 @@ impl SnoopBus {
         line: LineAddr,
     ) -> Option<RemoteHit> {
         self.stats.snoops += 1;
+        self.stats.probes += caches.len() as u64 - 1;
         let mut hit: Option<RemoteHit> = None;
         for (i, cache) in caches.iter_mut().enumerate() {
             if i == requester.index() {
@@ -227,6 +228,26 @@ impl SnoopBus {
     }
 }
 
+/// Writes `stats` in the fixed four-word wire order shared by both fabrics.
+pub(crate) fn save_stats(stats: &BusStats, w: &mut cmp_snap::SnapWriter) {
+    w.put_u64(stats.snoops);
+    w.put_u64(stats.transfers);
+    w.put_u64(stats.invalidations);
+    w.put_u64(stats.probes);
+}
+
+/// Reads statistics written by [`save_stats`].
+pub(crate) fn load_stats(
+    r: &mut cmp_snap::SnapReader<'_>,
+) -> Result<BusStats, cmp_snap::SnapError> {
+    Ok(BusStats {
+        snoops: r.get_u64()?,
+        transfers: r.get_u64()?,
+        invalidations: r.get_u64()?,
+        probes: r.get_u64()?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +283,7 @@ mod tests {
         assert_eq!(bus.fetch_state(&cs, CoreId(0), la), MesiState::Exclusive);
         assert_eq!(bus.stats().snoops, 1);
         assert_eq!(bus.stats().transfers, 0);
+        assert_eq!(bus.stats().probes, 1, "broadcast probes every peer");
     }
 
     #[test]
@@ -311,6 +333,7 @@ mod tests {
         assert!(cs[2].probe(LineAddr::new(5)).is_none());
         assert_eq!(bus.stats().invalidations, 2);
         assert_eq!(bus.stats().transfers, 1);
+        assert_eq!(bus.stats().probes, 2, "broadcast probes every peer");
     }
 
     #[test]

@@ -1,0 +1,932 @@
+//! Coherence fabrics: broadcast snooping vs a sharer-bitmask directory.
+//!
+//! The broadcast [`SnoopBus`] is the paper's platform (Table 2): every miss
+//! probes every peer tag array, so per-access coherence cost is O(cores).
+//! That is tolerable at the paper's 4 cores and fatal at the 16–64-core
+//! server configurations the scaling experiments target. The
+//! [`DirectoryFabric`] keeps a *snoop filter* — a hash table mapping each
+//! resident line to the bitmask of private caches holding it — so miss
+//! traffic touches only O(sharers) caches while producing **bit-identical**
+//! architectural results:
+//!
+//! * the broadcast owner search scans caches in ascending core index and
+//!   stops at the first holder; the directory takes the lowest set bit of
+//!   the sharer mask — the same core;
+//! * write-miss invalidation walks set bits in ascending order, matching the
+//!   broadcast's ascending scan;
+//! * memory fetch state (Exclusive vs Shared) depends only on whether any
+//!   peer holds the line, which a mask popcount answers exactly.
+//!
+//! Only [`BusStats::probes`] differs between the fabrics — it *is* the
+//! metric the scaling study compares.
+
+use cmp_cache::{CoreId, LineAddr, MesiState, SetAssocCache, SetIdx};
+
+use crate::bus::{load_stats, save_stats, BusStats, ReadPolicy, RemoteHit, SnoopBus};
+
+/// Which coherence fabric a system runs on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FabricKind {
+    /// Spec-literal broadcast snooping: every miss probes every peer.
+    Broadcast,
+    /// Sharer-bitmask directory: misses probe only the recorded holders.
+    #[default]
+    Directory,
+}
+
+impl FabricKind {
+    /// Stable single-byte encoding used in snapshot fingerprints.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            FabricKind::Broadcast => 0,
+            FabricKind::Directory => 1,
+        }
+    }
+
+    /// Inverse of [`FabricKind::as_u8`].
+    pub fn from_u8(raw: u8) -> Option<Self> {
+        match raw {
+            0 => Some(FabricKind::Broadcast),
+            1 => Some(FabricKind::Directory),
+            _ => None,
+        }
+    }
+
+    /// Short lower-case label (`broadcast` / `directory`) for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FabricKind::Broadcast => "broadcast",
+            FabricKind::Directory => "directory",
+        }
+    }
+}
+
+/// The operations a coherence fabric offers the CMP engine.
+///
+/// Implemented by the broadcast [`SnoopBus`], the sharer-bitmask
+/// [`DirectoryFabric`], and the dispatching [`Fabric`] enum the engine
+/// embeds. All three produce bit-identical architectural outcomes; they
+/// differ only in how many peer tag arrays each miss touches (the
+/// [`BusStats::probes`] counter).
+pub trait CoherenceFabric {
+    /// Which fabric this is.
+    fn kind(&self) -> FabricKind;
+
+    /// Statistics so far.
+    fn stats(&self) -> &BusStats;
+
+    /// Zeroes statistics (end of warmup).
+    fn reset_stats(&mut self);
+
+    /// Number of caches currently holding `line` (requester included).
+    fn holder_count(&self, caches: &[SetAssocCache], line: LineAddr) -> usize;
+
+    /// Services a read miss by `requester`; see [`SnoopBus::read_miss`].
+    fn read_miss(
+        &mut self,
+        caches: &mut [SetAssocCache],
+        requester: CoreId,
+        line: LineAddr,
+        policy: ReadPolicy,
+    ) -> Option<RemoteHit>;
+
+    /// Services a write miss or upgrade; see [`SnoopBus::write_miss`].
+    fn write_miss(
+        &mut self,
+        caches: &mut [SetAssocCache],
+        requester: CoreId,
+        line: LineAddr,
+    ) -> Option<RemoteHit>;
+
+    /// MESI state granted to a copy fetched from memory.
+    fn fetch_state(&self, caches: &[SetAssocCache], requester: CoreId, line: LineAddr)
+        -> MesiState;
+
+    /// Records that `core`'s cache gained a copy of `line` (demand fill,
+    /// spill receive, or swap). No-op on the broadcast bus.
+    fn note_fill(&mut self, core: CoreId, line: LineAddr);
+
+    /// Records that `core`'s cache lost its copy of `line` through an
+    /// eviction the fabric did not itself perform. No-op on the broadcast
+    /// bus.
+    fn note_evict(&mut self, core: CoreId, line: LineAddr);
+
+    /// Rebuilds any derived tracking state from the caches themselves (used
+    /// after a snapshot restore). Returns `Err` if previously loaded state
+    /// is inconsistent with the caches.
+    fn sync(&mut self, caches: &[SetAssocCache]) -> Result<(), cmp_snap::SnapError>;
+
+    /// Serialises fabric state into `w`.
+    fn save_state(&self, w: &mut cmp_snap::SnapWriter);
+
+    /// Restores state captured by `save_state`.
+    fn load_state(&mut self, r: &mut cmp_snap::SnapReader<'_>) -> Result<(), cmp_snap::SnapError>;
+}
+
+impl CoherenceFabric for SnoopBus {
+    fn kind(&self) -> FabricKind {
+        FabricKind::Broadcast
+    }
+
+    fn stats(&self) -> &BusStats {
+        SnoopBus::stats(self)
+    }
+
+    fn reset_stats(&mut self) {
+        SnoopBus::reset_stats(self)
+    }
+
+    fn holder_count(&self, caches: &[SetAssocCache], line: LineAddr) -> usize {
+        caches.iter().filter(|c| c.probe(line).is_some()).count()
+    }
+
+    fn read_miss(
+        &mut self,
+        caches: &mut [SetAssocCache],
+        requester: CoreId,
+        line: LineAddr,
+        policy: ReadPolicy,
+    ) -> Option<RemoteHit> {
+        SnoopBus::read_miss(self, caches, requester, line, policy)
+    }
+
+    fn write_miss(
+        &mut self,
+        caches: &mut [SetAssocCache],
+        requester: CoreId,
+        line: LineAddr,
+    ) -> Option<RemoteHit> {
+        SnoopBus::write_miss(self, caches, requester, line)
+    }
+
+    fn fetch_state(
+        &self,
+        caches: &[SetAssocCache],
+        requester: CoreId,
+        line: LineAddr,
+    ) -> MesiState {
+        SnoopBus::fetch_state(self, caches, requester, line)
+    }
+
+    fn note_fill(&mut self, _core: CoreId, _line: LineAddr) {}
+
+    fn note_evict(&mut self, _core: CoreId, _line: LineAddr) {}
+
+    fn sync(&mut self, _caches: &[SetAssocCache]) -> Result<(), cmp_snap::SnapError> {
+        Ok(())
+    }
+
+    fn save_state(&self, w: &mut cmp_snap::SnapWriter) {
+        SnoopBus::save_state(self, w)
+    }
+
+    fn load_state(&mut self, r: &mut cmp_snap::SnapReader<'_>) -> Result<(), cmp_snap::SnapError> {
+        SnoopBus::load_state(self, r)
+    }
+}
+
+/// Open-addressing map from line address to a 64-bit sharer mask.
+///
+/// Linear probing with fibonacci hashing and backward-shift deletion; a slot
+/// is empty iff its mask is zero (a line with no sharers has no entry, so
+/// the zero mask never needs to be stored). Capacities are powers of two and
+/// the table grows at ~7/8 load, sized up front from the aggregate cache
+/// capacity so steady-state runs never rehash.
+#[derive(Clone, Debug)]
+pub struct SharerTable {
+    keys: Vec<u64>,
+    masks: Vec<u64>,
+    len: usize,
+    shift: u32,
+}
+
+impl SharerTable {
+    /// A table pre-sized to hold `lines_hint` entries without growing.
+    pub fn with_capacity(lines_hint: usize) -> Self {
+        // Headroom over the hint keeps the steady-state load factor low:
+        // aggregate resident lines can never exceed total cache lines, so
+        // 2x the hint keeps probes short for the life of the run.
+        let cap = (lines_hint.max(4) * 2).next_power_of_two();
+        SharerTable {
+            keys: vec![0; cap],
+            masks: vec![0; cap],
+            len: 0,
+            shift: 64 - cap.trailing_zeros(),
+        }
+    }
+
+    /// Number of lines with at least one sharer.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no line has any sharer.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn ideal(&self, key: u64) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shift) as usize
+    }
+
+    /// The sharer mask for `line` (zero when untracked).
+    #[inline]
+    pub fn get(&self, line: LineAddr) -> u64 {
+        let key = line.raw();
+        let cap_mask = self.keys.len() - 1;
+        let mut i = self.ideal(key);
+        loop {
+            if self.masks[i] == 0 {
+                return 0;
+            }
+            if self.keys[i] == key {
+                return self.masks[i];
+            }
+            i = (i + 1) & cap_mask;
+        }
+    }
+
+    /// Sets `core`'s bit in the mask for `line`.
+    pub fn insert(&mut self, line: LineAddr, core: CoreId) {
+        debug_assert!(core.index() < 64, "sharer masks cover at most 64 cores");
+        if self.len + 1 > self.keys.len() / 8 * 7 {
+            self.grow();
+        }
+        let key = line.raw();
+        let bit = 1u64 << core.index();
+        let cap_mask = self.keys.len() - 1;
+        let mut i = self.ideal(key);
+        loop {
+            if self.masks[i] == 0 {
+                self.keys[i] = key;
+                self.masks[i] = bit;
+                self.len += 1;
+                return;
+            }
+            if self.keys[i] == key {
+                self.masks[i] |= bit;
+                return;
+            }
+            i = (i + 1) & cap_mask;
+        }
+    }
+
+    /// Clears `core`'s bit in the mask for `line`, removing the entry when
+    /// the mask empties. Returns whether the bit was set.
+    pub fn remove(&mut self, line: LineAddr, core: CoreId) -> bool {
+        let key = line.raw();
+        let bit = 1u64 << core.index();
+        let cap_mask = self.keys.len() - 1;
+        let mut i = self.ideal(key);
+        loop {
+            if self.masks[i] == 0 {
+                return false;
+            }
+            if self.keys[i] == key {
+                let had = self.masks[i] & bit != 0;
+                self.masks[i] &= !bit;
+                if self.masks[i] == 0 {
+                    self.remove_at(i);
+                }
+                return had;
+            }
+            i = (i + 1) & cap_mask;
+        }
+    }
+
+    /// Replaces the whole mask for `line` (removing the entry when zero).
+    pub fn replace(&mut self, line: LineAddr, mask: u64) {
+        let key = line.raw();
+        let cap_mask = self.keys.len() - 1;
+        let mut i = self.ideal(key);
+        loop {
+            if self.masks[i] == 0 {
+                if mask != 0 {
+                    if self.len + 1 > self.keys.len() / 8 * 7 {
+                        self.grow();
+                        self.replace(line, mask);
+                        return;
+                    }
+                    self.keys[i] = key;
+                    self.masks[i] = mask;
+                    self.len += 1;
+                }
+                return;
+            }
+            if self.keys[i] == key {
+                if mask == 0 {
+                    self.remove_at(i);
+                } else {
+                    self.masks[i] = mask;
+                }
+                return;
+            }
+            i = (i + 1) & cap_mask;
+        }
+    }
+
+    /// Drops every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.masks.fill(0);
+        self.len = 0;
+    }
+
+    /// Backward-shift deletion: close the hole at `i` by sliding back any
+    /// later entry of the same probe chain, so lookups never need
+    /// tombstones.
+    fn remove_at(&mut self, mut i: usize) {
+        let cap_mask = self.keys.len() - 1;
+        self.len -= 1;
+        loop {
+            self.masks[i] = 0;
+            let mut j = i;
+            loop {
+                j = (j + 1) & cap_mask;
+                if self.masks[j] == 0 {
+                    return;
+                }
+                let h = self.ideal(self.keys[j]);
+                // The entry at j may move back into the hole at i only if
+                // its ideal slot is not cyclically within (i, j] — moving
+                // it otherwise would park it before its probe chain starts.
+                let stays = if i <= j {
+                    i < h && h <= j
+                } else {
+                    i < h || h <= j
+                };
+                if !stays {
+                    self.keys[i] = self.keys[j];
+                    self.masks[i] = self.masks[j];
+                    i = j;
+                    break;
+                }
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        let old_keys = std::mem::take(&mut self.keys);
+        let old_masks = std::mem::take(&mut self.masks);
+        let cap = old_keys.len() * 2;
+        self.keys = vec![0; cap];
+        self.masks = vec![0; cap];
+        self.shift = 64 - cap.trailing_zeros();
+        self.len = 0;
+        let cap_mask = cap - 1;
+        for (key, mask) in old_keys.into_iter().zip(old_masks) {
+            if mask == 0 {
+                continue;
+            }
+            let mut i = self.ideal(key);
+            while self.masks[i] != 0 {
+                i = (i + 1) & cap_mask;
+            }
+            self.keys[i] = key;
+            self.masks[i] = mask;
+            self.len += 1;
+        }
+    }
+
+    /// Order-independent digest over (line, mask) pairs, used to validate a
+    /// restored directory against the rebuilt one.
+    fn digest(&self) -> u64 {
+        let mut acc = 0u64;
+        for (&key, &mask) in self.keys.iter().zip(&self.masks) {
+            if mask != 0 {
+                acc ^= key
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(mask)
+                    .wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            }
+        }
+        acc
+    }
+}
+
+/// Sharer-bitmask directory (snoop filter) over the private caches.
+///
+/// Tracks per line which caches hold a copy, so miss traffic probes only
+/// O(sharers) peers. The directory is *derived* state: snapshots persist
+/// only the statistics plus a digest, and [`DirectoryFabric::sync`] rebuilds
+/// the table from the restored caches (validating it against the digest).
+#[derive(Clone, Debug)]
+pub struct DirectoryFabric {
+    stats: BusStats,
+    table: SharerTable,
+    /// (len, digest) loaded from a snapshot, checked at the next `sync`.
+    pending_check: Option<(u64, u64)>,
+}
+
+impl DirectoryFabric {
+    /// A directory pre-sized for `lines_hint` aggregate resident lines.
+    pub fn with_capacity(lines_hint: usize) -> Self {
+        DirectoryFabric {
+            stats: BusStats::default(),
+            table: SharerTable::with_capacity(lines_hint),
+            pending_check: None,
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &BusStats {
+        &self.stats
+    }
+
+    /// The tracked sharer mask for `line`.
+    pub fn sharers(&self, line: LineAddr) -> u64 {
+        self.table.get(line)
+    }
+
+    fn rebuild(&mut self, caches: &[SetAssocCache]) {
+        self.table.clear();
+        for (i, cache) in caches.iter().enumerate() {
+            let core = CoreId(i as u8);
+            for s in 0..cache.geometry().sets() {
+                for (_, l) in cache.set(SetIdx(s)).iter() {
+                    self.table.insert(l.addr, core);
+                }
+            }
+        }
+    }
+}
+
+impl CoherenceFabric for DirectoryFabric {
+    fn kind(&self) -> FabricKind {
+        FabricKind::Directory
+    }
+
+    fn stats(&self) -> &BusStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = BusStats::default();
+    }
+
+    fn holder_count(&self, _caches: &[SetAssocCache], line: LineAddr) -> usize {
+        self.table.get(line).count_ones() as usize
+    }
+
+    fn read_miss(
+        &mut self,
+        caches: &mut [SetAssocCache],
+        requester: CoreId,
+        line: LineAddr,
+        policy: ReadPolicy,
+    ) -> Option<RemoteHit> {
+        debug_assert!(
+            caches[requester.index()].probe(line).is_none(),
+            "read_miss for a line resident at the requester"
+        );
+        self.stats.snoops += 1;
+        let peers = self.table.get(line) & !(1u64 << requester.index());
+        if peers == 0 {
+            return None;
+        }
+        // The lowest set bit is the lowest-index holder — exactly the core
+        // the broadcast's ascending scan would stop at.
+        let owner = peers.trailing_zeros() as usize;
+        self.stats.probes += 1;
+        self.stats.transfers += 1;
+        let from = CoreId(owner as u8);
+        match policy {
+            ReadPolicy::Migrate => {
+                let taken = caches[owner]
+                    .invalidate(line)
+                    .expect("directory tracked a holder");
+                self.table.remove(line, from);
+                Some(RemoteHit {
+                    from,
+                    line: taken,
+                    granted: taken.state,
+                })
+            }
+            ReadPolicy::Replicate => {
+                let observed = {
+                    let (s, w) = caches[owner]
+                        .probe(line)
+                        .expect("directory tracked a holder");
+                    caches[owner].set(s).line(w).expect("valid way")
+                };
+                caches[owner].set_state(line, observed.state.after_remote_read());
+                Some(RemoteHit {
+                    from,
+                    line: observed,
+                    granted: MesiState::Shared,
+                })
+            }
+        }
+    }
+
+    fn write_miss(
+        &mut self,
+        caches: &mut [SetAssocCache],
+        requester: CoreId,
+        line: LineAddr,
+    ) -> Option<RemoteHit> {
+        self.stats.snoops += 1;
+        let mask = self.table.get(line);
+        let peers = mask & !(1u64 << requester.index());
+        let mut hit: Option<RemoteHit> = None;
+        // Ascending bit order matches the broadcast's ascending core scan,
+        // so the supplier (first holder) is identical.
+        let mut rest = peers;
+        while rest != 0 {
+            let i = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            let taken = caches[i]
+                .invalidate(line)
+                .expect("directory tracked a holder");
+            self.stats.probes += 1;
+            self.stats.invalidations += 1;
+            if hit.is_none() {
+                self.stats.transfers += 1;
+                hit = Some(RemoteHit {
+                    from: CoreId(i as u8),
+                    line: taken,
+                    granted: MesiState::Modified,
+                });
+            }
+        }
+        if peers != 0 {
+            // Only the requester's own copy (upgrade path) may remain.
+            self.table.replace(line, mask & (1u64 << requester.index()));
+        }
+        hit
+    }
+
+    fn fetch_state(
+        &self,
+        _caches: &[SetAssocCache],
+        requester: CoreId,
+        line: LineAddr,
+    ) -> MesiState {
+        if self.table.get(line) & !(1u64 << requester.index()) != 0 {
+            MesiState::Shared
+        } else {
+            MesiState::Exclusive
+        }
+    }
+
+    fn note_fill(&mut self, core: CoreId, line: LineAddr) {
+        self.table.insert(line, core);
+    }
+
+    fn note_evict(&mut self, core: CoreId, line: LineAddr) {
+        let had = self.table.remove(line, core);
+        debug_assert!(had, "note_evict for an untracked copy");
+    }
+
+    fn sync(&mut self, caches: &[SetAssocCache]) -> Result<(), cmp_snap::SnapError> {
+        self.rebuild(caches);
+        if let Some((len, digest)) = self.pending_check.take() {
+            if self.table.len() as u64 != len || self.table.digest() != digest {
+                return Err(cmp_snap::SnapError::Mismatch(
+                    "restored caches do not reproduce the snapshotted directory".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn save_state(&self, w: &mut cmp_snap::SnapWriter) {
+        save_stats(&self.stats, w);
+        w.put_u64(self.table.len() as u64);
+        w.put_u64(self.table.digest());
+    }
+
+    fn load_state(&mut self, r: &mut cmp_snap::SnapReader<'_>) -> Result<(), cmp_snap::SnapError> {
+        self.stats = load_stats(r)?;
+        self.pending_check = Some((r.get_u64()?, r.get_u64()?));
+        Ok(())
+    }
+}
+
+/// The engine-facing fabric: a closed enum over both implementations so the
+/// hot path dispatches statically (no vtable per miss).
+#[derive(Clone, Debug)]
+pub enum Fabric {
+    /// Spec-literal broadcast snooping.
+    Broadcast(SnoopBus),
+    /// Sharer-bitmask directory.
+    Directory(DirectoryFabric),
+}
+
+impl Fabric {
+    /// Builds the fabric `kind` names, pre-sized for `lines_hint` aggregate
+    /// resident lines (ignored by the broadcast bus).
+    pub fn new(kind: FabricKind, lines_hint: usize) -> Self {
+        match kind {
+            FabricKind::Broadcast => Fabric::Broadcast(SnoopBus::new()),
+            FabricKind::Directory => Fabric::Directory(DirectoryFabric::with_capacity(lines_hint)),
+        }
+    }
+
+    /// Statistics so far (inherent mirror of the trait method, so callers
+    /// outside the engine don't need the trait in scope).
+    pub fn stats(&self) -> &BusStats {
+        match self {
+            Fabric::Broadcast(b) => b.stats(),
+            Fabric::Directory(d) => d.stats(),
+        }
+    }
+
+    /// Which fabric this is.
+    pub fn kind(&self) -> FabricKind {
+        match self {
+            Fabric::Broadcast(_) => FabricKind::Broadcast,
+            Fabric::Directory(_) => FabricKind::Directory,
+        }
+    }
+}
+
+macro_rules! dispatch {
+    ($self:expr, $f:ident ( $($arg:expr),* )) => {
+        match $self {
+            Fabric::Broadcast(b) => CoherenceFabric::$f(b, $($arg),*),
+            Fabric::Directory(d) => CoherenceFabric::$f(d, $($arg),*),
+        }
+    };
+}
+
+impl CoherenceFabric for Fabric {
+    fn kind(&self) -> FabricKind {
+        dispatch!(self, kind())
+    }
+
+    fn stats(&self) -> &BusStats {
+        dispatch!(self, stats())
+    }
+
+    fn reset_stats(&mut self) {
+        dispatch!(self, reset_stats())
+    }
+
+    fn holder_count(&self, caches: &[SetAssocCache], line: LineAddr) -> usize {
+        dispatch!(self, holder_count(caches, line))
+    }
+
+    fn read_miss(
+        &mut self,
+        caches: &mut [SetAssocCache],
+        requester: CoreId,
+        line: LineAddr,
+        policy: ReadPolicy,
+    ) -> Option<RemoteHit> {
+        dispatch!(self, read_miss(caches, requester, line, policy))
+    }
+
+    fn write_miss(
+        &mut self,
+        caches: &mut [SetAssocCache],
+        requester: CoreId,
+        line: LineAddr,
+    ) -> Option<RemoteHit> {
+        dispatch!(self, write_miss(caches, requester, line))
+    }
+
+    fn fetch_state(
+        &self,
+        caches: &[SetAssocCache],
+        requester: CoreId,
+        line: LineAddr,
+    ) -> MesiState {
+        dispatch!(self, fetch_state(caches, requester, line))
+    }
+
+    fn note_fill(&mut self, core: CoreId, line: LineAddr) {
+        dispatch!(self, note_fill(core, line))
+    }
+
+    fn note_evict(&mut self, core: CoreId, line: LineAddr) {
+        dispatch!(self, note_evict(core, line))
+    }
+
+    fn sync(&mut self, caches: &[SetAssocCache]) -> Result<(), cmp_snap::SnapError> {
+        dispatch!(self, sync(caches))
+    }
+
+    fn save_state(&self, w: &mut cmp_snap::SnapWriter) {
+        dispatch!(self, save_state(w))
+    }
+
+    fn load_state(&mut self, r: &mut cmp_snap::SnapReader<'_>) -> Result<(), cmp_snap::SnapError> {
+        dispatch!(self, load_state(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmp_cache::{CacheGeometry, CacheLine, FillKind, InsertPos};
+    use std::collections::HashMap;
+
+    fn caches(n: usize) -> Vec<SetAssocCache> {
+        (0..n)
+            .map(|_| SetAssocCache::new(CacheGeometry::new(4, 2, 32).unwrap()))
+            .collect()
+    }
+
+    /// Fills `line` into `c` and mirrors the fill into the directory the way
+    /// the engine's `fill_l2` does.
+    fn put(dir: &mut DirectoryFabric, c: &mut SetAssocCache, core: CoreId, line: u64) {
+        let la = LineAddr::new(line);
+        let set = c.geometry().set_of(la);
+        let way = c.set(set).default_victim();
+        if let Some(victim) = c.fill(
+            set,
+            way,
+            CacheLine::demand(la, MesiState::Shared),
+            InsertPos::Mru,
+            FillKind::Demand,
+        ) {
+            dir.note_evict(core, victim.addr);
+        }
+        dir.note_fill(core, la);
+    }
+
+    #[test]
+    fn sharer_table_tracks_bits_and_removal() {
+        let mut t = SharerTable::with_capacity(8);
+        let la = LineAddr::new(42);
+        assert_eq!(t.get(la), 0);
+        t.insert(la, CoreId(3));
+        t.insert(la, CoreId(0));
+        assert_eq!(t.get(la), 0b1001);
+        assert!(t.remove(la, CoreId(3)));
+        assert!(!t.remove(la, CoreId(3)), "bit already clear");
+        assert_eq!(t.get(la), 0b0001);
+        assert!(t.remove(la, CoreId(0)));
+        assert_eq!(t.get(la), 0);
+        assert!(t.is_empty(), "entry removed once mask empties");
+    }
+
+    #[test]
+    fn sharer_table_matches_hashmap_under_churn() {
+        // Deterministic LCG churn over a small key space forces collisions,
+        // growth, and backward-shift deletions; a HashMap is the model.
+        let mut t = SharerTable::with_capacity(4);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for _ in 0..20_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = (x >> 11) % 257;
+            let core = CoreId(((x >> 33) % 64) as u8);
+            let la = LineAddr::new(key);
+            match (x >> 27) % 3 {
+                0 | 1 => {
+                    t.insert(la, core);
+                    *model.entry(key).or_default() |= 1 << core.index();
+                }
+                _ => {
+                    let had_model = model
+                        .get_mut(&key)
+                        .map(|m| {
+                            let had = *m & (1 << core.index()) != 0;
+                            *m &= !(1 << core.index());
+                            had
+                        })
+                        .unwrap_or(false);
+                    model.retain(|_, m| *m != 0);
+                    assert_eq!(t.remove(la, core), had_model);
+                }
+            }
+        }
+        assert_eq!(t.len(), model.len());
+        for (&k, &m) in &model {
+            assert_eq!(t.get(LineAddr::new(k)), m, "mask mismatch for line {k}");
+        }
+    }
+
+    #[test]
+    fn directory_read_miss_matches_broadcast_owner() {
+        // Holders at cores 2 and 1: both fabrics must pick core 1.
+        let mut cs_bus = caches(4);
+        let mut cs_dir = caches(4);
+        let mut bus = SnoopBus::new();
+        let mut dir = DirectoryFabric::with_capacity(64);
+        for &(core, line) in &[(2u8, 5u64), (1, 5)] {
+            put(&mut dir, &mut cs_dir[core as usize], CoreId(core), line);
+            let la = LineAddr::new(line);
+            let set = cs_bus[core as usize].geometry().set_of(la);
+            let way = cs_bus[core as usize].set(set).default_victim();
+            cs_bus[core as usize].fill(
+                set,
+                way,
+                CacheLine::demand(la, MesiState::Shared),
+                InsertPos::Mru,
+                FillKind::Demand,
+            );
+        }
+        let la = LineAddr::new(5);
+        let hb = bus.read_miss(&mut cs_bus, CoreId(0), la, ReadPolicy::Migrate);
+        let hd =
+            CoherenceFabric::read_miss(&mut dir, &mut cs_dir, CoreId(0), la, ReadPolicy::Migrate);
+        assert_eq!(hb, hd, "owner choice must be bit-identical");
+        assert_eq!(hb.unwrap().from, CoreId(1));
+        assert_eq!(dir.stats().probes, 1, "directory probed only the owner");
+        assert_eq!(bus.stats().probes, 3, "broadcast probed every peer");
+    }
+
+    #[test]
+    fn directory_write_miss_preserves_requester_copy() {
+        // Upgrade path: the requester holds the line Shared alongside two
+        // peers; write_miss must invalidate the peers but keep tracking the
+        // requester's copy.
+        let mut cs = caches(4);
+        let mut dir = DirectoryFabric::with_capacity(64);
+        for core in [0u8, 1, 3] {
+            put(&mut dir, &mut cs[core as usize], CoreId(core), 5);
+        }
+        let la = LineAddr::new(5);
+        let hit = CoherenceFabric::write_miss(&mut dir, &mut cs, CoreId(0), la).unwrap();
+        assert_eq!(hit.from, CoreId(1), "lowest-index peer supplies");
+        assert_eq!(dir.stats().invalidations, 2);
+        assert_eq!(dir.stats().probes, 2);
+        assert_eq!(dir.sharers(la), 0b0001, "requester's copy still tracked");
+        assert!(cs[0].probe(la).is_some());
+        assert!(cs[1].probe(la).is_none());
+        assert!(cs[3].probe(la).is_none());
+    }
+
+    #[test]
+    fn directory_full_miss_probes_nothing() {
+        let mut cs = caches(2);
+        let mut dir = DirectoryFabric::with_capacity(64);
+        let la = LineAddr::new(9);
+        assert!(
+            CoherenceFabric::read_miss(&mut dir, &mut cs, CoreId(0), la, ReadPolicy::Migrate)
+                .is_none()
+        );
+        assert_eq!(
+            CoherenceFabric::fetch_state(&dir, &cs, CoreId(0), la),
+            MesiState::Exclusive
+        );
+        assert_eq!(dir.stats().snoops, 1);
+        assert_eq!(dir.stats().probes, 0, "no sharers, no probes");
+    }
+
+    #[test]
+    fn directory_replicate_keeps_peer_tracked() {
+        let mut cs = caches(2);
+        let mut dir = DirectoryFabric::with_capacity(64);
+        put(&mut dir, &mut cs[1], CoreId(1), 5);
+        let la = LineAddr::new(5);
+        let hit =
+            CoherenceFabric::read_miss(&mut dir, &mut cs, CoreId(0), la, ReadPolicy::Replicate)
+                .unwrap();
+        assert_eq!(hit.granted, MesiState::Shared);
+        assert_eq!(dir.sharers(la), 0b10, "peer copy stays tracked");
+        assert_eq!(
+            CoherenceFabric::fetch_state(&dir, &cs, CoreId(0), la),
+            MesiState::Shared
+        );
+    }
+
+    #[test]
+    fn sync_rebuilds_and_digest_validates() {
+        let mut cs = caches(3);
+        let mut dir = DirectoryFabric::with_capacity(64);
+        for (core, line) in [(0u8, 1u64), (1, 1), (2, 9), (0, 12)] {
+            put(&mut dir, &mut cs[core as usize], CoreId(core), line);
+        }
+        let mut w = cmp_snap::SnapWriter::new();
+        CoherenceFabric::save_state(&dir, &mut w);
+        let bytes = w.into_bytes();
+
+        let mut restored = DirectoryFabric::with_capacity(64);
+        let mut r = cmp_snap::SnapReader::new(&bytes);
+        CoherenceFabric::load_state(&mut restored, &mut r).unwrap();
+        restored.sync(&cs).unwrap();
+        assert_eq!(
+            restored.sharers(LineAddr::new(1)),
+            dir.sharers(LineAddr::new(1))
+        );
+        assert_eq!(restored.stats(), dir.stats());
+
+        // Perturb a cache: the digest check must now fail.
+        let mut restored2 = DirectoryFabric::with_capacity(64);
+        let mut r2 = cmp_snap::SnapReader::new(&bytes);
+        CoherenceFabric::load_state(&mut restored2, &mut r2).unwrap();
+        cs[2].invalidate(LineAddr::new(9)).unwrap();
+        assert!(restored2.sync(&cs).is_err(), "digest mismatch detected");
+    }
+
+    #[test]
+    fn fabric_kind_round_trips() {
+        for kind in [FabricKind::Broadcast, FabricKind::Directory] {
+            assert_eq!(FabricKind::from_u8(kind.as_u8()), Some(kind));
+        }
+        assert_eq!(FabricKind::from_u8(7), None);
+        assert_eq!(FabricKind::default(), FabricKind::Directory);
+        let f = Fabric::new(FabricKind::Directory, 16);
+        assert_eq!(f.kind(), FabricKind::Directory);
+        assert_eq!(
+            Fabric::new(FabricKind::Broadcast, 16).kind(),
+            FabricKind::Broadcast
+        );
+    }
+}

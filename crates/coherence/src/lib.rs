@@ -47,9 +47,11 @@
 
 mod bus;
 mod checker;
+mod fabric;
 
 pub use bus::{BusStats, ReadPolicy, RemoteHit, SnoopBus};
 pub use checker::{
     assert_coherent, check_granularity, check_mesi, check_recency, check_spilled_last_copies,
     check_ssl, ssl_role, InvariantViolation, ProtocolViolation, SslRole,
 };
+pub use fabric::{CoherenceFabric, DirectoryFabric, Fabric, FabricKind, SharerTable};

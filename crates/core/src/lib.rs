@@ -52,7 +52,7 @@ mod tuning;
 
 pub use avgcc::{AvgccConfig, AvgccPolicy};
 pub use policy::{AsccConfig, AsccPolicy, CapacityPolicy, ReceiverSelection};
-pub use spill_alloc::SpillAllocator;
+pub use spill_alloc::{cluster_of, SpillAllocator, CLUSTER_CORES};
 pub use ssl::{SetRole, SslTable};
 pub use storage::{StorageCost, StorageModel};
 pub use tuning::{SslTuning, StressMetric};

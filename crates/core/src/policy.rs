@@ -17,7 +17,7 @@
 //! | ASCC-2S (two-state) | [`AsccConfig::ascc_2s`] |
 //! | ASCCn (static granularity) | [`AsccConfig::ascc`] + [`AsccConfig::with_counters`] |
 
-use crate::spill_alloc::SpillAllocator;
+use crate::spill_alloc::{cluster_of, SpillAllocator, CLUSTER_CORES};
 use crate::ssl::{SetRole, SslTable};
 use crate::tuning::SslTuning;
 use cmp_cache::{
@@ -243,8 +243,9 @@ impl AsccPolicy {
                 }
             })
             .collect();
+        let clusters = cfg.cores.div_ceil(CLUSTER_CORES) as u16;
         let allocators = (0..cfg.cores)
-            .map(|_| SpillAllocator::new(cfg.sets, cfg.ways << 3))
+            .map(|_| SpillAllocator::clustered(cfg.sets, cfg.ways << 3, clusters))
             .collect();
         AsccPolicy {
             rng: SmallRng::seed_from_u64(cfg.seed),
@@ -318,7 +319,7 @@ impl AsccPolicy {
 
     fn find_receiver(&mut self, from: CoreId, set: u32) -> Option<CoreId> {
         if self.cfg.use_spill_allocator {
-            return self.allocators[from.index()].candidate(set);
+            return self.allocators[from.index()].candidate_near(set, cluster_of(from));
         }
         let k_fixed = self.caches[0].ssl.k_fixed();
         let mut best: u16 = k_fixed;
@@ -342,6 +343,17 @@ impl AsccPolicy {
                         candidates.push(CoreId(i as u8));
                     }
                 }
+            }
+        }
+        // At scale, equally good receivers are not equally close: keep only
+        // the spiller's own cluster among the tied candidates when it has
+        // any, so spilled lines land a short hop away. Gated on the core
+        // count so systems of one cluster keep the paper's exact behavior,
+        // including the RNG draw sequence.
+        if self.cfg.cores > CLUSTER_CORES && candidates.len() > 1 {
+            let home = cluster_of(from);
+            if candidates.iter().any(|&c| cluster_of(c) == home) {
+                candidates.retain(|&c| cluster_of(c) == home);
             }
         }
         match candidates.len() {
@@ -833,6 +845,64 @@ mod tests {
             }
         }
         assert!(seen.len() >= 2, "random selection never varied: {seen:?}");
+    }
+
+    #[test]
+    fn minssl_ties_prefer_the_spillers_cluster_at_scale() {
+        // 16 cores, two clusters. Two receivers drained to the same SSL
+        // value, one per cluster: the spiller always picks its neighbor.
+        let mut p = AsccConfig::ascc(16, SETS, K).build();
+        saturate(&mut p, 0, 2);
+        drain(&mut p, 5, 2); // cluster 0, value 0
+        drain(&mut p, 12, 2); // cluster 1, value 0
+        for _ in 0..50 {
+            match p.spill_decision(CoreId(0), SetIdx(2), false) {
+                SpillDecision::Spill(c) => assert_eq!(c, CoreId(5)),
+                d => panic!("expected spill, got {d:?}"),
+            }
+        }
+        // A spiller in cluster 1 prefers its own neighbor symmetrically.
+        saturate(&mut p, 15, 2);
+        match p.spill_decision(CoreId(15), SetIdx(2), false) {
+            SpillDecision::Spill(c) => assert_eq!(c, CoreId(12)),
+            d => panic!("expected spill, got {d:?}"),
+        }
+    }
+
+    #[test]
+    fn far_cluster_still_receives_when_home_has_no_candidate() {
+        let mut p = AsccConfig::ascc(32, SETS, K).build();
+        saturate(&mut p, 0, 2);
+        drain(&mut p, 29, 2); // only valid receiver lives in cluster 3
+        match p.spill_decision(CoreId(0), SetIdx(2), false) {
+            SpillDecision::Spill(c) => assert_eq!(c, CoreId(29)),
+            d => panic!("expected spill, got {d:?}"),
+        }
+    }
+
+    #[test]
+    fn allocator_mode_prefers_the_spillers_cluster_at_scale() {
+        let mut cfg = AsccConfig::ascc(16, SETS, K);
+        cfg.use_spill_allocator = true;
+        let mut p = cfg.build();
+        saturate(&mut p, 0, 7);
+        // Both peers advertise validity through an observed miss; the far
+        // one is strictly better, the near one still wins.
+        drain(&mut p, 12, 7);
+        p.record_access(CoreId(12), SetIdx(7), AccessOutcome::Miss); // cluster 1, value ONE
+        drain(&mut p, 3, 7);
+        drain(&mut p, 3, 7);
+        p.record_access(CoreId(3), SetIdx(7), AccessOutcome::Miss); // cluster 0
+        assert_eq!(
+            p.spill_decision(CoreId(0), SetIdx(7), false),
+            SpillDecision::Spill(CoreId(3))
+        );
+        // And cluster-1 spillers pick the cluster-1 candidate.
+        saturate(&mut p, 15, 7);
+        assert_eq!(
+            p.spill_decision(CoreId(15), SetIdx(7), false),
+            SpillDecision::Spill(CoreId(12))
+        );
     }
 
     #[test]

@@ -15,30 +15,70 @@
 
 use cmp_cache::CoreId;
 
-/// One cache's spill-allocator: the best-known receiver candidate per set.
+/// Cores per cluster: receivers inside the spiller's cluster are
+/// topologically "near" (one crossbar / mesh quadrant hop), everything
+/// else is "far". Systems with at most this many cores have exactly one
+/// cluster and see no cluster logic at all.
+pub const CLUSTER_CORES: usize = 8;
+
+/// The cluster a core belongs to.
+pub fn cluster_of(core: CoreId) -> u16 {
+    (core.index() / CLUSTER_CORES) as u16
+}
+
+/// One cache's spill-allocator: the best-known receiver candidate per set
+/// — and, on many-core systems, per cluster of peers, so a spiller can
+/// prefer a nearby receiver and still fall back to a distant one.
 #[derive(Clone, Debug)]
 pub struct SpillAllocator {
-    /// `(candidate_value_fixed, candidate_cache)`; value `>= k_fixed` means
-    /// "no valid candidate".
+    /// `(candidate_value_fixed, candidate_cache)` at
+    /// `[set * clusters + cluster]`; value `>= k_fixed` means "no valid
+    /// candidate" for that set/cluster.
     entries: Vec<(u16, CoreId)>,
     k_fixed: u16,
+    clusters: u16,
 }
 
 impl SpillAllocator {
-    /// Creates an allocator for `sets` sets with receiver threshold
-    /// `k_fixed` (fixed-point `K`). All entries start invalid.
+    /// Creates a single-cluster allocator for `sets` sets with receiver
+    /// threshold `k_fixed` (fixed-point `K`). All entries start invalid.
     pub fn new(sets: u32, k_fixed: u16) -> Self {
+        Self::clustered(sets, k_fixed, 1)
+    }
+
+    /// Creates an allocator tracking one candidate per set *per cluster*
+    /// of [`CLUSTER_CORES`] peers. `clustered(sets, k, 1)` is identical to
+    /// [`new`](SpillAllocator::new).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is zero.
+    pub fn clustered(sets: u32, k_fixed: u16, clusters: u16) -> Self {
+        assert!(clusters > 0, "need at least one cluster");
         SpillAllocator {
-            entries: vec![(k_fixed, CoreId(0)); sets as usize],
+            entries: vec![(k_fixed, CoreId(0)); sets as usize * clusters as usize],
             k_fixed,
+            clusters,
         }
+    }
+
+    fn slot(&self, set: u32, cluster: u16) -> usize {
+        set as usize * self.clusters as usize + cluster.min(self.clusters - 1) as usize
     }
 
     /// Observes that peer `cache`'s counter covering `set` changed to
     /// `value_fixed` (called on every miss — and, in our implementation,
     /// every update — in the other caches).
     pub fn observe(&mut self, cache: CoreId, set: u32, value_fixed: u16) {
-        let e = &mut self.entries[set as usize];
+        let slot = self.slot(
+            set,
+            if self.clusters == 1 {
+                0
+            } else {
+                cluster_of(cache)
+            },
+        );
+        let e = &mut self.entries[slot];
         if value_fixed < e.0 {
             *e = (value_fixed, cache);
         } else if e.1 == cache {
@@ -51,10 +91,39 @@ impl SpillAllocator {
         }
     }
 
-    /// The current candidate receiver for `set`, if any.
+    /// The current candidate receiver for `set`, if any (cluster 0 first —
+    /// use [`candidate_near`](SpillAllocator::candidate_near) on clustered
+    /// allocators).
     pub fn candidate(&self, set: u32) -> Option<CoreId> {
-        let (v, c) = self.entries[set as usize];
-        (v < self.k_fixed).then_some(c)
+        self.candidate_near(set, 0)
+    }
+
+    /// The current candidate receiver for `set`, preferring the spiller's
+    /// `home` cluster and falling back to the others in increasing
+    /// cluster-index distance (ties: lower cluster first — deterministic).
+    pub fn candidate_near(&self, set: u32, home: u16) -> Option<CoreId> {
+        let home = home.min(self.clusters - 1);
+        let pick = |cluster: u16| -> Option<CoreId> {
+            let (v, c) = self.entries[self.slot(set, cluster)];
+            (v < self.k_fixed).then_some(c)
+        };
+        if let Some(c) = pick(home) {
+            return Some(c);
+        }
+        for d in 1..self.clusters {
+            if let Some(lo) = home.checked_sub(d) {
+                if let Some(c) = pick(lo) {
+                    return Some(c);
+                }
+            }
+            let hi = home + d;
+            if hi < self.clusters {
+                if let Some(c) = pick(hi) {
+                    return Some(c);
+                }
+            }
+        }
+        None
     }
 
     /// Invalidate every entry (used when SSL tables are re-initialised).
@@ -69,6 +138,7 @@ impl SpillAllocator {
     /// identical shape).
     pub fn save_state(&self, w: &mut cmp_snap::SnapWriter) {
         w.put_u16(self.k_fixed);
+        w.put_u16(self.clusters);
         w.put_u64(self.entries.len() as u64);
         for &(v, c) in &self.entries {
             w.put_u16(v);
@@ -82,11 +152,14 @@ impl SpillAllocator {
         r: &mut cmp_snap::SnapReader<'_>,
     ) -> Result<(), cmp_snap::SnapError> {
         let k_fixed = r.get_u16()?;
+        let clusters = r.get_u16()?;
         let n = r.get_u64()?;
-        if k_fixed != self.k_fixed || n != self.entries.len() as u64 {
+        if k_fixed != self.k_fixed || clusters != self.clusters || n != self.entries.len() as u64 {
             return Err(cmp_snap::SnapError::Mismatch(format!(
-                "spill allocator shape: snapshot K={k_fixed}/{n} sets, live K={}/{} sets",
+                "spill allocator shape: snapshot K={k_fixed}/{clusters} clusters/{n} slots, \
+                 live K={}/{} clusters/{} slots",
                 self.k_fixed,
+                self.clusters,
                 self.entries.len()
             )));
         }
@@ -161,5 +234,56 @@ mod tests {
         a.observe(CoreId(1), 0, 0);
         assert_eq!(a.candidate(0), Some(CoreId(1)));
         assert_eq!(a.candidate(1), None);
+    }
+
+    #[test]
+    fn clustered_allocator_prefers_the_home_cluster() {
+        // 32 cores = 4 clusters of 8. A far candidate is strictly better,
+        // but the near one (same cluster) still wins the spiller's pick.
+        let mut a = SpillAllocator::clustered(4, K, 4);
+        a.observe(CoreId(25), 0, 1 << 3); // cluster 3, value 1
+        a.observe(CoreId(9), 0, 3 << 3); // cluster 1, value 3
+        assert_eq!(a.candidate_near(0, 1), Some(CoreId(9)));
+        assert_eq!(a.candidate_near(0, 3), Some(CoreId(25)));
+    }
+
+    #[test]
+    fn clustered_allocator_falls_back_by_distance() {
+        let mut a = SpillAllocator::clustered(1, K, 4);
+        a.observe(CoreId(0), 0, 2 << 3); // cluster 0
+        a.observe(CoreId(30), 0, 2 << 3); // cluster 3
+                                          // Home cluster 1 is empty: cluster 0 (distance 1) beats cluster 3.
+        assert_eq!(a.candidate_near(0, 1), Some(CoreId(0)));
+        // Home cluster 2: cluster 1 (empty), then 3 at distance 1.
+        assert_eq!(a.candidate_near(0, 2), Some(CoreId(30)));
+    }
+
+    #[test]
+    fn cluster_of_splits_every_eight_cores() {
+        assert_eq!(cluster_of(CoreId(0)), 0);
+        assert_eq!(cluster_of(CoreId(7)), 0);
+        assert_eq!(cluster_of(CoreId(8)), 1);
+        assert_eq!(cluster_of(CoreId(63)), 7);
+    }
+
+    #[test]
+    fn clustered_state_round_trips_and_rejects_shape_changes() {
+        let mut a = SpillAllocator::clustered(2, K, 2);
+        a.observe(CoreId(9), 0, 1 << 3);
+        a.observe(CoreId(1), 1, 2 << 3);
+        let mut w = cmp_snap::SnapWriter::new();
+        a.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut b = SpillAllocator::clustered(2, K, 2);
+        b.load_state(&mut cmp_snap::SnapReader::new(&bytes))
+            .unwrap();
+        assert_eq!(b.candidate_near(0, 1), Some(CoreId(9)));
+        assert_eq!(b.candidate_near(1, 0), Some(CoreId(1)));
+
+        let mut wrong = SpillAllocator::clustered(2, K, 4);
+        assert!(wrong
+            .load_state(&mut cmp_snap::SnapReader::new(&bytes))
+            .is_err());
     }
 }

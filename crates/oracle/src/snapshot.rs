@@ -116,8 +116,8 @@ pub struct SysSnap {
     pub swaps: u64,
     /// Global spilled-line hit count (local + remote).
     pub spill_hits: u64,
-    /// Bus statistics: (snoops, transfers, invalidations).
-    pub bus: (u64, u64, u64),
+    /// Fabric statistics: (snoops, transfers, invalidations, probes).
+    pub bus: (u64, u64, u64, u64),
     /// Policy-internal state.
     pub policy: PolicySnap,
 }
@@ -256,7 +256,7 @@ pub fn diff_snapshots(oracle: &SysSnap, real: &SysSnap) -> Option<String> {
     }
     if oracle.bus != real.bus {
         return Some(format!(
-            "bus (snoops, transfers, invalidations): oracle {:?}, real {:?}",
+            "bus (snoops, transfers, invalidations, probes): oracle {:?}, real {:?}",
             oracle.bus, real.bus
         ));
     }

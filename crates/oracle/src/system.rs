@@ -48,6 +48,11 @@ pub struct OracleConfig {
     pub lat_mem: u32,
     /// Migrate remote hits (multiprogrammed) instead of replicating.
     pub migrate: bool,
+    /// Model the sharer-bitmask directory instead of the broadcast bus.
+    /// The protocol outcome is identical either way (the oracle's map *is*
+    /// a directory); only the `probes` accounting differs: a broadcast
+    /// probes every peer per snoop, a directory only the known holders.
+    pub directory: bool,
     /// Per-core CPU models (`cores` entries).
     pub cpu: Vec<OracleCpu>,
 }
@@ -98,6 +103,7 @@ pub struct OracleSystem {
     snoops: u64,
     transfers: u64,
     invalidations: u64,
+    probes: u64,
     spills: u64,
     swaps: u64,
     spill_hits: u64,
@@ -129,6 +135,7 @@ impl OracleSystem {
             snoops: 0,
             transfers: 0,
             invalidations: 0,
+            probes: 0,
             spills: 0,
             swaps: 0,
             spill_hits: 0,
@@ -161,7 +168,13 @@ impl OracleSystem {
     /// Shared, grant Shared).
     fn bus_read_miss(&mut self, requester: usize, line: u64) -> Option<RemoteHit> {
         self.snoops += 1;
+        if !self.cfg.directory {
+            self.probes += self.cfg.cores as u64 - 1;
+        }
         let owner = self.holders(line).into_iter().find(|&i| i != requester)?;
+        if self.cfg.directory {
+            self.probes += 1;
+        }
         self.transfers += 1;
         if self.cfg.migrate {
             let taken = self.l2[owner].invalidate(line).expect("holder has it");
@@ -186,6 +199,9 @@ impl OracleSystem {
     /// lowest-index peer that held one supplies the data.
     fn bus_write_miss(&mut self, requester: usize, line: u64) -> Option<RemoteHit> {
         self.snoops += 1;
+        if !self.cfg.directory {
+            self.probes += self.cfg.cores as u64 - 1;
+        }
         let mut hit: Option<RemoteHit> = None;
         for i in 0..self.cfg.cores {
             if i == requester {
@@ -193,6 +209,9 @@ impl OracleSystem {
             }
             if let Some(taken) = self.l2[i].invalidate(line) {
                 self.invalidations += 1;
+                if self.cfg.directory {
+                    self.probes += 1;
+                }
                 if hit.is_none() {
                     self.transfers += 1;
                     hit = Some(RemoteHit {
@@ -460,7 +479,7 @@ impl OracleSystem {
             spills: self.spills,
             swaps: self.swaps,
             spill_hits: self.spill_hits,
-            bus: (self.snoops, self.transfers, self.invalidations),
+            bus: (self.snoops, self.transfers, self.invalidations, self.probes),
             policy: self.policy.snap(),
         }
     }
@@ -485,6 +504,7 @@ mod tests {
                 lat_l2_remote: 25,
                 lat_mem: 460,
                 migrate: true,
+                directory: false,
                 cpu: vec![
                     OracleCpu {
                         mem_fraction: 1.0,

@@ -42,6 +42,7 @@ mod energy;
 mod metrics;
 mod obs;
 mod runner;
+mod sched;
 mod shared;
 pub mod snapshot;
 mod sweep;

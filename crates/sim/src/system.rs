@@ -31,7 +31,7 @@ use cmp_cache::{
     MesiState, NullProbe, ObsEvent, ObsProbe, SetAssocCache, SetIdx, SpillDecision,
     StridePrefetcher,
 };
-use cmp_coherence::{ReadPolicy, SnoopBus};
+use cmp_coherence::{CoherenceFabric, Fabric, ReadPolicy};
 use cmp_trace::{CoreSource, CoreWorkload};
 
 /// `false` when `ASCC_BATCH=0` selects the per-access streaming interleave;
@@ -46,10 +46,27 @@ pub fn batch_enabled() -> bool {
 /// the upcoming access's simulated L1 tag row.
 const PF_DIST: usize = 8;
 
+/// Accesses per adaptive-mode probe window: in drain mode the loop
+/// accumulates this many accesses, then compares the mean drain length
+/// against [`STEP_THRESHOLD`].
+const PROBE_WINDOW: u64 = 2048;
+
+/// Mean accesses per drain below which the per-drain machinery (horizon
+/// scan, state copy in/out, chunk slice setup) no longer amortizes and
+/// the loop switches to step mode.
+const STEP_THRESHOLD: u64 = 4;
+
+/// Accesses executed in step mode before the loop returns to drain mode
+/// to re-probe. Re-probing costs one [`PROBE_WINDOW`] of (at worst)
+/// drain-mode overhead per `STEP_RUN`, about 3% of the time at a ~30%
+/// overhead — cheap insurance against the workload coarsening again.
+const STEP_RUN: u64 = 1 << 16;
+
 /// Batch-local mirror of the [`CoreState`] fields the per-access header
-/// math touches: they live in registers for the length of a drain and are
-/// flushed back before any externally visible pause (snapshot capture,
-/// hook, reschedule).
+/// math touches: they live in registers for the length of a drain (and in
+/// the dense [`DrainCore`] array between drains) and are flushed back to
+/// the authoritative [`CoreState`] only where the outside world can look —
+/// before hooks (which may snapshot) and at the end of the run.
 #[derive(Clone, Copy)]
 struct HotCore {
     clock: f64,
@@ -69,6 +86,77 @@ impl HotCore {
             instrs: c.counters.instrs,
             l1_accesses: c.counters.l1_accesses,
             l1_hits: c.counters.l1_hits,
+        }
+    }
+}
+
+/// Per-core scheduler state of the batched event loop, persistent across
+/// drains. Drains shrink as the core count grows — the horizon is a min
+/// over the peers, so at 16+ cores a drain is often one access — and any
+/// work done per *drain* rather than per chunk shows up directly in
+/// throughput. Everything lives in one dense struct (two cache lines per
+/// core) instead of being re-derived from the scattered [`CoreState`]:
+/// the [`HotCore`] mirror stays loaded (cores are flushed only at hooks
+/// and at the end of the run), the CPU constants and warm-up/end
+/// trackers are plain fields, and the current chunk run is cached so
+/// [`run_slice`](cmp_trace::AccessFeed::run_slice)'s `Arc` clone and the
+/// feed-cursor commit happen once per chunk, not once per drain.
+struct DrainCore {
+    hot: HotCore,
+    cpu: cmp_trace::CpuModel,
+    inv_mf: f64,
+    warm_base: Option<u64>,
+    ended: bool,
+    /// The cached chunk run, `None` for streaming generators (and
+    /// budget-degraded cursors, which only serve per-access pulls).
+    chunk: Option<std::sync::Arc<cmp_trace::TraceChunk>>,
+    /// Cached `chunk.len()`.
+    len: usize,
+    /// Next unconsumed access within `chunk`.
+    pos: usize,
+    /// Position the feed cursor has been advanced to. Commits are
+    /// deferred: the cursor is synced to `pos` when the cached chunk is
+    /// exhausted and before anything externally visible (hooks, the end
+    /// of the run) — see [`CmpSystem::commit_feeds`].
+    committed: usize,
+}
+
+impl DrainCore {
+    fn load(c: &CoreState) -> Self {
+        DrainCore {
+            hot: HotCore::load(c),
+            cpu: c.source.cpu,
+            inv_mf: 1.0 / c.source.cpu.mem_fraction,
+            warm_base: c.warm_snap.map(|w| w.instrs),
+            ended: c.end_snap.is_some(),
+            chunk: None,
+            len: 0,
+            pos: 0,
+            committed: 0,
+        }
+    }
+}
+
+/// Refills a core's cached chunk run: syncs the feed cursor past the
+/// consumed prefix of the old run, then caches the next one. Leaves
+/// `chunk` as `None` for streaming generators and budget-degraded
+/// cursors, which only serve per-access pulls.
+fn refresh_chunk(d: &mut DrainCore, feed: &mut cmp_trace::AccessFeed) {
+    if d.chunk.is_some() {
+        feed.advance(d.pos - d.committed);
+    }
+    match feed.run_slice() {
+        Some((chunk, pos)) => {
+            d.len = chunk.len();
+            d.chunk = Some(chunk);
+            d.pos = pos;
+            d.committed = pos;
+        }
+        None => {
+            d.chunk = None;
+            d.len = 0;
+            d.pos = 0;
+            d.committed = 0;
         }
     }
 }
@@ -139,7 +227,7 @@ pub struct CmpSystem<P: ObsProbe = NullProbe> {
     cfg: SystemConfig,
     l1s: Vec<SetAssocCache>,
     l2s: Vec<SetAssocCache>,
-    bus: SnoopBus,
+    fabric: Fabric,
     policy: Box<dyn LlcPolicy>,
     prefetchers: Vec<StridePrefetcher>,
     pf_buf: Vec<LineAddr>,
@@ -257,7 +345,7 @@ impl<P: ObsProbe> CmpSystem<P> {
         CmpSystem {
             l1s: (0..cfg.cores).map(|_| SetAssocCache::new(cfg.l1)).collect(),
             l2s: (0..cfg.cores).map(|_| l2_builder()).collect(),
-            bus: SnoopBus::new(),
+            fabric: Fabric::new(cfg.fabric, cfg.cores * cfg.l2.lines() as usize),
             prefetchers: cfg
                 .prefetch
                 .map(|p| (0..cfg.cores).map(|_| StridePrefetcher::new(p)).collect())
@@ -311,9 +399,9 @@ impl<P: ObsProbe> CmpSystem<P> {
         &self.l1s
     }
 
-    /// The snoop bus statistics.
-    pub fn bus(&self) -> &SnoopBus {
-        &self.bus
+    /// The coherence fabric (for its statistics and kind).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
     }
 
     /// Verifies L1 ⊆ L2 inclusion for every core (test helper).
@@ -382,6 +470,20 @@ impl<P: ObsProbe> CmpSystem<P> {
     /// straight out of the chunk's SoA arrays, and upcoming tag rows are
     /// prefetched [`PF_DIST`] accesses ahead.
     ///
+    /// Drains shrink as cores are added — the horizon is a min over the
+    /// peers — and at 16+ cores they degenerate to single accesses, where
+    /// the per-drain machinery is pure overhead. The loop is therefore
+    /// *adaptive*: every [`PROBE_WINDOW`] accesses it measures the mean
+    /// drain length, and below [`STEP_THRESHOLD`] it switches to *step
+    /// mode* for the next [`STEP_RUN`] accesses — single-access
+    /// first-minimum picks with no horizon computation, no drain
+    /// entry/exit, and the accesses still served from the cached chunk
+    /// run. Both modes execute identical arithmetic in the identical
+    /// first-minimum order, so the interleaving (and every counter) stays
+    /// bit-identical to the streaming loop regardless of where the mode
+    /// switches land; the switch points themselves are access-count
+    /// driven and thus deterministic.
+    ///
     /// `hook` runs with flushed, snapshot-able state after every
     /// `hook_every` global accesses (`0` = never) — the batched analogue
     /// of [`try_run_with_hook`](CmpSystem::try_run_with_hook)'s per-access
@@ -402,32 +504,98 @@ impl<P: ObsProbe> CmpSystem<P> {
             hook_every
         };
         let mut until_hook = hook_period;
+        // The per-drain machinery is the whole ballgame at high core
+        // counts (see [`DrainCore`]): per-core scheduler state persists
+        // across drains in dense structs, the scheduler is one fused pass
+        // over a compact clock mirror (see
+        // [`sched::argmin_and_horizon`](crate::sched) for the
+        // first-minimum tie-break contract), cores are flushed only at
+        // hooks and at the end of the run, and when a probe window shows
+        // drains have degenerated to single accesses the loop drops into
+        // step mode (see the doc comment above). Hooks take `&mut Self`
+        // and may move anything, so every mirror is rebuilt after one
+        // fires.
+        let offset_bits = self.cfg.l1.offset_bits();
+        let mut drain: Vec<DrainCore> = self.cores.iter().map(DrainCore::load).collect();
+        let mut clocks: Vec<f64> = drain.iter().map(|d| d.hot.clock).collect();
+        // Adaptive-mode state: accesses and drains seen in the current
+        // probe window, and accesses left in the current step-mode run.
+        let mut probe_acc: u64 = 0;
+        let mut probe_drains: u64 = 0;
+        let mut step_left: u64 = 0;
         'sched: loop {
-            // First-minimum scheduling, same comparator as the streaming
-            // loop's `min_by`.
-            let mut i = 0usize;
-            for j in 1..self.cores.len() {
-                if self.cores[j].clock.total_cmp(&self.cores[i].clock) == std::cmp::Ordering::Less {
-                    i = j;
+            // Step mode: drains have degenerated to ~single accesses, so
+            // skip the horizon and the drain entry/exit entirely — pick
+            // the first-minimum core and execute exactly one access from
+            // its cached run, operating on the dense DrainCore in place.
+            while step_left > 0 {
+                let i = crate::sched::argmin(&clocks);
+                if drain[i].pos >= drain[i].len {
+                    refresh_chunk(&mut drain[i], &mut self.cores[i].source.feed);
+                }
+                let d = &mut drain[i];
+                let (addr, kind, stream) = if let Some(chunk) = &d.chunk {
+                    let idx = d.pos;
+                    d.pos = idx + 1;
+                    let kind = if chunk.store_words()[idx >> 6] >> (idx & 63) & 1 == 1 {
+                        AccessKind::Store
+                    } else {
+                        AccessKind::Load
+                    };
+                    (Addr::new(chunk.addrs()[idx]), kind, chunk.streams()[idx])
+                } else {
+                    let acc = self.cores[i].source.feed.next_access();
+                    (acc.addr, acc.kind, acc.stream)
+                };
+                self.batched_access(i, &mut d.hot, d.inv_mf, &d.cpu, addr, kind, stream);
+                clocks[i] = d.hot.clock;
+                step_left -= 1;
+                let pause = self.batched_bookkeeping(
+                    i,
+                    &d.hot,
+                    instr_target,
+                    warmup_instrs,
+                    &mut d.warm_base,
+                    &mut d.ended,
+                    &mut until_hook,
+                );
+                match pause {
+                    None => {}
+                    Some(Pause::Resched) => unreachable!("step mode holds no horizon to lose"),
+                    Some(Pause::Done) => {
+                        self.commit_feeds(&mut drain);
+                        break 'sched;
+                    }
+                    Some(Pause::Hook) => {
+                        self.commit_feeds(&mut drain);
+                        until_hook = hook_period;
+                        if !hook(self) {
+                            return None;
+                        }
+                        for (j, c) in self.cores.iter().enumerate() {
+                            drain[j] = DrainCore::load(c);
+                            clocks[j] = c.clock;
+                        }
+                        // The hook may have moved anything — re-probe.
+                        step_left = 0;
+                        probe_acc = 0;
+                        probe_drains = 0;
+                    }
                 }
             }
-            let mut horizon = f64::INFINITY;
-            let mut jfirst = usize::MAX;
-            for (j, c) in self.cores.iter().enumerate() {
-                if j != i && c.clock.total_cmp(&horizon) == std::cmp::Ordering::Less {
-                    horizon = c.clock;
-                    jfirst = j;
-                }
-            }
+            let (i, horizon, jfirst) = crate::sched::argmin_and_horizon(&clocks);
             let wins_tie = i < jfirst;
-            let cpu = self.cores[i].source.cpu;
-            let inv_mf = 1.0 / cpu.mem_fraction;
-            let offset_bits = self.cfg.l1.offset_bits();
-            let mut h = HotCore::load(&self.cores[i]);
-            let mut warm_base = self.cores[i].warm_snap.map(|w| w.instrs);
-            let mut ended = self.cores[i].end_snap.is_some();
+            let cpu = drain[i].cpu;
+            let inv_mf = drain[i].inv_mf;
+            let mut h = drain[i].hot;
+            let mut warm_base = drain[i].warm_base;
+            let mut ended = drain[i].ended;
+            let acc_base = h.l1_accesses;
             let pause = 'drain: loop {
-                let Some((chunk, start)) = self.cores[i].source.feed.run_slice() else {
+                if drain[i].pos >= drain[i].len {
+                    refresh_chunk(&mut drain[i], &mut self.cores[i].source.feed);
+                }
+                let Some(chunk) = &drain[i].chunk else {
                     // Streaming generator (or budget-degraded cursor):
                     // per-access pulls, still horizon-batched.
                     loop {
@@ -451,11 +619,11 @@ impl<P: ObsProbe> CmpSystem<P> {
                         }
                     }
                 };
-                let len = chunk.len();
+                let len = drain[i].len;
                 let addrs = chunk.addrs();
                 let streams = chunk.streams();
                 let stores = chunk.store_words();
-                let mut idx = start;
+                let mut idx = drain[i].pos;
                 let mut pause = None;
                 while idx < len {
                     if !holds_schedule(h.clock, horizon, wins_tie) {
@@ -488,27 +656,70 @@ impl<P: ObsProbe> CmpSystem<P> {
                         break;
                     }
                 }
-                // Commit chunk consumption before pausing: hooks may
-                // snapshot, and the next drain reads the cursor.
-                self.cores[i].source.feed.advance(idx - start);
+                drain[i].pos = idx;
                 match pause {
                     Some(p) => break 'drain p,
                     None => continue 'drain, // chunk exhausted mid-drain
                 }
             };
-            self.flush_hot(i, &h);
+            let d = &mut drain[i];
+            d.hot = h;
+            d.warm_base = warm_base;
+            d.ended = ended;
+            clocks[i] = h.clock;
+            // Probe accounting: a window's mean drain length decides
+            // whether the next STEP_RUN accesses run in step mode.
+            probe_acc += h.l1_accesses - acc_base;
+            probe_drains += 1;
+            if probe_acc >= PROBE_WINDOW {
+                if probe_acc < probe_drains * STEP_THRESHOLD {
+                    step_left = STEP_RUN;
+                }
+                probe_acc = 0;
+                probe_drains = 0;
+            }
             match pause {
                 Pause::Resched => {}
-                Pause::Done => break 'sched,
+                Pause::Done => {
+                    self.commit_feeds(&mut drain);
+                    break 'sched;
+                }
                 Pause::Hook => {
+                    self.commit_feeds(&mut drain);
                     until_hook = hook_period;
                     if !hook(self) {
                         return None;
                     }
+                    // The hook holds `&mut Self` and may have moved
+                    // anything (e.g. restoring a snapshot): reload the
+                    // mirrors and drop every cache rather than trust the
+                    // incremental state.
+                    for (j, c) in self.cores.iter().enumerate() {
+                        drain[j] = DrainCore::load(c);
+                        clocks[j] = c.clock;
+                    }
+                    step_left = 0;
+                    probe_acc = 0;
+                    probe_drains = 0;
                 }
             }
         }
         Some(self.result())
+    }
+
+    /// Makes the batched loop's deferred state externally visible: every
+    /// core's [`HotCore`] mirror is flushed and every feed cursor synced
+    /// to its cached chunk position. Run before anything that observes
+    /// the system as a whole — hooks (which may snapshot) and the end of
+    /// the run.
+    fn commit_feeds(&mut self, drain: &mut [DrainCore]) {
+        for (j, d) in drain.iter_mut().enumerate() {
+            if d.chunk.is_some() && d.pos > d.committed {
+                self.cores[j].source.feed.advance(d.pos - d.committed);
+                d.committed = d.pos;
+            }
+            self.flush_hot(j, &d.hot);
+        }
     }
 
     /// Writes a drain's register-local [`HotCore`] back into the core's
@@ -594,6 +805,7 @@ impl<P: ObsProbe> CmpSystem<P> {
     /// returns the pause the drain must take, if any. Mirrors the
     /// streaming loop's per-access checks; snapshots are captured from
     /// freshly flushed counters.
+    #[inline(always)]
     #[allow(clippy::too_many_arguments)]
     fn batched_bookkeeping(
         &mut self,
@@ -928,10 +1140,10 @@ impl<P: ObsProbe> CmpSystem<P> {
             self.probe.record(ObsEvent::Miss { core, set });
         }
         self.policy.record_access(core, set, AccessOutcome::Miss);
-        let requested_last_copy = self.bus.holders(&self.l2s, line).len() == 1;
+        let requested_last_copy = self.fabric.holder_count(&self.l2s, line) == 1;
 
         let remote = if kind.is_store() {
-            let hit = self.bus.write_miss(&mut self.l2s, core, line);
+            let hit = self.fabric.write_miss(&mut self.l2s, core, line);
             if hit.is_some() {
                 // Every remote copy vanished: keep the L1s inclusive.
                 for (j, l1) in self.l1s.iter_mut().enumerate() {
@@ -943,7 +1155,7 @@ impl<P: ObsProbe> CmpSystem<P> {
             hit
         } else {
             let hit = self
-                .bus
+                .fabric
                 .read_miss(&mut self.l2s, core, line, self.cfg.read_policy);
             if let Some(h) = hit {
                 if self.cfg.read_policy == ReadPolicy::Migrate {
@@ -979,7 +1191,7 @@ impl<P: ObsProbe> CmpSystem<P> {
                     // §3.2 swap: the supplier's slot is free; if both lines
                     // are last copies, the victim moves into it.
                     let moved_out = kind.is_store() || self.cfg.read_policy == ReadPolicy::Migrate;
-                    let victim_last = self.bus.holders(&self.l2s, v.addr).is_empty();
+                    let victim_last = self.fabric.holder_count(&self.l2s, v.addr) == 0;
                     if self.policy.swap_enabled() && moved_out && requested_last_copy && victim_last
                     {
                         self.l1s[i].invalidate(v.addr);
@@ -1018,7 +1230,7 @@ impl<P: ObsProbe> CmpSystem<P> {
                 let state = if kind.is_store() {
                     MesiState::Modified
                 } else {
-                    self.bus.fetch_state(&self.l2s, core, line)
+                    self.fabric.fetch_state(&self.l2s, core, line)
                 };
                 let evicted = self.fill_l2(i, set, line, state, false, FillKind::Demand);
                 if let Some(v) = evicted {
@@ -1040,7 +1252,7 @@ impl<P: ObsProbe> CmpSystem<P> {
                 self.l2s[i].set_state(line, MesiState::Modified);
             }
             Some(MesiState::Shared) => {
-                self.bus.write_miss(&mut self.l2s, CoreId(i as u8), line);
+                self.fabric.write_miss(&mut self.l2s, CoreId(i as u8), line);
                 for (j, l1) in self.l1s.iter_mut().enumerate() {
                     if j != i {
                         l1.invalidate(line);
@@ -1080,7 +1292,14 @@ impl<P: ObsProbe> CmpSystem<P> {
             state,
             spilled,
         };
-        self.l2s[core].fill_probed(id, set, way, line, pos, kind, &mut self.probe)
+        let evicted = self.l2s[core].fill_probed(id, set, way, line, pos, kind, &mut self.probe);
+        // Every L2 content change routes through here, so these two calls
+        // keep the directory's sharer masks exact.
+        if let Some(v) = &evicted {
+            self.fabric.note_evict(id, v.addr);
+        }
+        self.fabric.note_fill(id, addr);
+        evicted
     }
 
     /// Handles a line evicted from `core`'s L2: back-invalidates the L1,
@@ -1088,7 +1307,7 @@ impl<P: ObsProbe> CmpSystem<P> {
     /// to memory.
     fn dispose(&mut self, core: usize, set: SetIdx, v: CacheLine) {
         self.l1s[core].invalidate(v.addr);
-        let last_copy = self.bus.holders(&self.l2s, v.addr).is_empty();
+        let last_copy = self.fabric.holder_count(&self.l2s, v.addr) == 0;
         if !last_copy {
             // Another cache still holds the line; dropping a clean replica
             // is free (Modified implies sole ownership, so it cannot
@@ -1186,6 +1405,7 @@ impl<P: ObsProbe> CmpSystem<P> {
                 }
             }
             w.put_u64(self.epoch_accesses);
+            w.put_u8(self.cfg.fabric.as_u8());
         });
         w.section(tag::GLOBALS, |w| {
             Self::save_globals(w, &self.global);
@@ -1238,7 +1458,7 @@ impl<P: ObsProbe> CmpSystem<P> {
                 c.save_state(w);
             }
         });
-        w.section(tag::BUS, |w| self.bus.save_state(w));
+        w.section(tag::BUS, |w| self.fabric.save_state(w));
         w.section(tag::PREFETCH, |w| {
             w.put_u64(self.prefetchers.len() as u64);
             for p in &self.prefetchers {
@@ -1385,6 +1605,13 @@ impl<P: ObsProbe> CmpSystem<P> {
                 "observation-epoch length differs".into(),
             ));
         }
+        let fk = fp.get_u8()?;
+        if fk != self.cfg.fabric.as_u8() {
+            return Err(SnapError::Mismatch(format!(
+                "coherence fabric: snapshot {fk}, live {}",
+                self.cfg.fabric.as_u8()
+            )));
+        }
         fp.finish("fingerprint section")?;
 
         let mut gl = r.expect_section(tag::GLOBALS)?;
@@ -1461,8 +1688,11 @@ impl<P: ObsProbe> CmpSystem<P> {
         l2.finish("L2 section")?;
 
         let mut bus = r.expect_section(tag::BUS)?;
-        self.bus.load_state(&mut bus)?;
+        self.fabric.load_state(&mut bus)?;
         bus.finish("bus section")?;
+        // The directory's sharer table is derived state: rebuild it from
+        // the just-restored L2s (and validate against the saved digest).
+        self.fabric.sync(&self.l2s)?;
 
         let mut pf = r.expect_section(tag::PREFETCH)?;
         let np = pf.get_u64()?;
@@ -1492,8 +1722,9 @@ impl<P: ObsProbe> CmpSystem<P> {
         let mut buf = std::mem::take(&mut self.pf_buf);
         self.prefetchers[i].train(stream, line, &mut buf);
         for &pl in &buf {
-            // Prefetch from memory only; skip lines already on chip.
-            if !self.bus.holders(&self.l2s, pl).is_empty() || self.l2s[i].probe(pl).is_some() {
+            // Prefetch from memory only; skip lines already on chip (the
+            // holder count covers the local cache too).
+            if self.fabric.holder_count(&self.l2s, pl) != 0 {
                 continue;
             }
             let set = self.cfg.l2.set_of(pl);
@@ -1690,6 +1921,33 @@ mod tests {
             two_core_ascc().restore(&garbled),
             Err(cmp_snap::SnapError::BadMagic)
         ));
+    }
+
+    #[test]
+    fn fabrics_are_bit_identical() {
+        // Same mix, same policy, both coherence fabrics: architectural
+        // results and every counter except `probes` must agree exactly.
+        let run = |fabric| {
+            let cfg = tiny_cfg(2).with_fabric(fabric);
+            let policy = Box::new(ascc::AsccPolicy::new(ascc::AsccConfig::ascc(
+                2,
+                cfg.l2.sets(),
+                cfg.l2.ways(),
+            )));
+            let mut sys = CmpSystem::new(
+                cfg,
+                policy,
+                vec![workload(0, 24 << 10), workload(1 << 40, 20 << 10)],
+            );
+            let r = sys.run(30_000, 5_000);
+            let s = *sys.fabric().stats();
+            (r, s.snoops, s.transfers, s.invalidations, s.probes)
+        };
+        let (rb, sb, tb, ib, pb) = run(cmp_coherence::FabricKind::Broadcast);
+        let (rd, sd, td, id, pd) = run(cmp_coherence::FabricKind::Directory);
+        assert_eq!(rb, rd, "results diverge across fabrics");
+        assert_eq!((sb, tb, ib), (sd, td, id), "protocol counters diverge");
+        assert!(pd <= pb, "directory probes ({pd}) exceed broadcast ({pb})");
     }
 
     #[test]

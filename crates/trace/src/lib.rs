@@ -54,7 +54,7 @@ pub use materialize::{
     trace_cache_enabled, AccessFeed, CoreSource, SharedTrace, TraceArena, TraceChunk, TraceCursor,
     CHUNK_ACCESSES,
 };
-pub use mixes::{four_app_mixes, two_app_mixes, WorkloadMix};
+pub use mixes::{four_app_mixes, mixes_for, two_app_mixes, WorkloadMix};
 pub use parallel::ParallelBench;
 pub use replay::{RecordedTrace, ReplayStream, TraceError};
 pub use spec::{CoreWorkload, CpuModel, SpecBench, LINE_BYTES};

@@ -83,6 +83,32 @@ pub fn two_app_mixes() -> Vec<WorkloadMix> {
     ]
 }
 
+/// Workload mixes for an arbitrary core count: the paper's own lists at 2
+/// and 4 cores, and — for the core-scaling study — six synthetic `cores`-app
+/// mixes built by cycling Table 3's 13 benchmarks from a different offset
+/// per mix, so every width gets the same blend of hungry applications and
+/// providers.
+///
+/// # Panics
+///
+/// Panics if `cores` is zero or above 64.
+pub fn mixes_for(cores: usize) -> Vec<WorkloadMix> {
+    assert!(cores > 0 && cores <= 64, "1..=64 cores supported");
+    match cores {
+        2 => two_app_mixes(),
+        4 => four_app_mixes(),
+        n => (0..6)
+            .map(|i| {
+                WorkloadMix::new(
+                    (0..n)
+                        .map(|j| SpecBench::ALL[(i * 5 + j) % SpecBench::ALL.len()])
+                        .collect(),
+                )
+            })
+            .collect(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +144,20 @@ mod tests {
     fn display_matches_name() {
         let m = mix(&[429, 401]);
         assert_eq!(m.to_string(), "429+401");
+    }
+
+    #[test]
+    fn mixes_for_covers_every_width() {
+        assert_eq!(mixes_for(2), two_app_mixes());
+        assert_eq!(mixes_for(4), four_app_mixes());
+        for cores in [1usize, 3, 8, 16, 32, 64] {
+            let mixes = mixes_for(cores);
+            assert_eq!(mixes.len(), 6, "{cores} cores");
+            assert!(mixes.iter().all(|m| m.cores() == cores), "{cores} cores");
+            let mut names: Vec<&str> = mixes.iter().map(|m| m.name.as_str()).collect();
+            names.sort();
+            names.dedup();
+            assert_eq!(names.len(), 6, "duplicate {cores}-core mixes");
+        }
     }
 }

@@ -12,6 +12,7 @@
 //! minimizes a failing case before it is reported.
 
 use cmp_cache::{CoreId, MesiState, SetIdx, WayIdx};
+use cmp_coherence::FabricKind;
 use cmp_oracle::{
     diff_snapshots, CacheSnap, CoreSnap, LineSnap, OracleAsccConfig, OracleAvgccConfig,
     OracleCapacity, OracleConfig, OracleCpu, OraclePolicyConfig, OracleSelection, OracleSystem,
@@ -76,6 +77,8 @@ pub struct DiffCase {
     pub mem_q: u8,
     /// Compare full state every this many ops (always compared at the end).
     pub check_every: u32,
+    /// Coherence fabric the engine runs on (the oracle mirrors it).
+    pub fabric: FabricKind,
     /// The policy under test.
     pub policy: DiffPolicy,
     /// The interleaved access script.
@@ -114,6 +117,7 @@ fn build_real(case: &DiffCase) -> CmpSystem {
     } else {
         cmp_coherence::ReadPolicy::Replicate
     };
+    cfg.fabric = case.fabric;
 
     let policy: Box<dyn cmp_cache::LlcPolicy> = match &case.policy {
         DiffPolicy::Ascc {
@@ -255,6 +259,7 @@ fn build_oracle(case: &DiffCase) -> OracleSystem {
             lat_l2_remote: 25,
             lat_mem: 460,
             migrate: case.migrate,
+            directory: case.fabric == FabricKind::Directory,
             cpu: vec![
                 OracleCpu {
                     mem_fraction: 1.0 / case.mem_q as f64,
@@ -311,7 +316,7 @@ fn snap_cache(cache: &cmp_cache::SetAssocCache) -> CacheSnap {
 /// like the oracle's [`SysSnap`].
 pub fn snapshot_real(sys: &CmpSystem, case: &DiffCase) -> SysSnap {
     let res = sys.lifetime_result();
-    let bus = sys.bus().stats();
+    let bus = sys.fabric().stats();
     let cores = case.cores as usize;
     let policy = match &case.policy {
         DiffPolicy::Ascc { .. } => {
@@ -368,7 +373,7 @@ pub fn snapshot_real(sys: &CmpSystem, case: &DiffCase) -> SysSnap {
         spills: res.spills,
         swaps: res.swaps,
         spill_hits: res.spill_hits,
-        bus: (bus.snoops, bus.transfers, bus.invalidations),
+        bus: (bus.snoops, bus.transfers, bus.invalidations, bus.probes),
         policy,
     }
 }
@@ -419,6 +424,46 @@ pub fn run_case(case: &DiffCase) -> Result<(), String> {
                 return Err(format!(
                     "after op {i} ({op:?}): invariants violated: {}",
                     problems.join("; ")
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs the same case on the broadcast and directory fabrics in lockstep
+/// and compares full architectural state at every checkpoint. `probes` is
+/// the one counter allowed to differ (fewer tag lookups is the point of
+/// the directory) and is required to be no worse; everything else must be
+/// bit-identical.
+pub fn run_case_cross_fabric(case: &DiffCase) -> Result<(), String> {
+    let mut bcast_case = case.clone();
+    bcast_case.fabric = FabricKind::Broadcast;
+    let mut dir_case = case.clone();
+    dir_case.fabric = FabricKind::Directory;
+    let mut bcast = build_real(&bcast_case);
+    let mut dir = build_real(&dir_case);
+    let check_every = case.check_every.max(1) as usize;
+    for (i, op) in case.ops.iter().enumerate() {
+        let core = (op.core % case.cores) as usize;
+        bcast.step(core);
+        dir.step(core);
+        if (i + 1) % check_every == 0 || i + 1 == case.ops.len() {
+            let mut sb = snapshot_real(&bcast, &bcast_case);
+            let mut sd = snapshot_real(&dir, &dir_case);
+            if sd.bus.3 > sb.bus.3 {
+                return Err(format!(
+                    "after op {i} ({op:?}): directory probed more than broadcast \
+                     ({} > {})",
+                    sd.bus.3, sb.bus.3
+                ));
+            }
+            sb.bus.3 = 0;
+            sd.bus.3 = 0;
+            if let Some(d) = diff_snapshots(&sb, &sd) {
+                return Err(format!(
+                    "after op {i} ({op:?}): broadcast (reported as oracle) vs \
+                     directory (reported as real): {d}"
                 ));
             }
         }
@@ -524,6 +569,7 @@ pub fn dump_case(case: &DiffCase) -> String {
     s.push_str(&format!("migrate {}\n", case.migrate as u8));
     s.push_str(&format!("memq {}\n", case.mem_q));
     s.push_str(&format!("check {}\n", case.check_every));
+    s.push_str(&format!("fabric {}\n", case.fabric.label()));
     match &case.policy {
         DiffPolicy::Ascc {
             variant,
@@ -558,6 +604,7 @@ pub fn parse_case(text: &str) -> Result<DiffCase, String> {
     let mut migrate = None;
     let mut mem_q = None;
     let mut check_every = None;
+    let mut fabric = None;
     let mut policy = None;
     let mut ops = Vec::new();
     let want = |f: &mut std::str::SplitWhitespace<'_>, what: &str| -> Result<u64, String> {
@@ -581,6 +628,13 @@ pub fn parse_case(text: &str) -> Result<DiffCase, String> {
                 "migrate" => migrate = Some(want(&mut f, "migrate")? != 0),
                 "memq" => mem_q = Some(want(&mut f, "memq")? as u8),
                 "check" => check_every = Some(want(&mut f, "check")? as u32),
+                "fabric" => {
+                    fabric = Some(match f.next() {
+                        Some("broadcast") => FabricKind::Broadcast,
+                        Some("directory") => FabricKind::Directory,
+                        other => return Err(format!("unknown fabric {other:?}")),
+                    });
+                }
                 "policy" => {
                     policy = Some(match f.next() {
                         Some("ascc") => DiffPolicy::Ascc {
@@ -629,6 +683,10 @@ pub fn parse_case(text: &str) -> Result<DiffCase, String> {
         migrate: migrate.ok_or("missing migrate")?,
         mem_q: mem_q.ok_or("missing memq")?,
         check_every: check_every.ok_or("missing check")?,
+        // Absent in v1 case files dumped before the directory existed; both
+        // fabrics are bit-identical, so replaying them on the directory is
+        // the stronger check.
+        fabric: fabric.unwrap_or(FabricKind::Directory),
         policy: policy.ok_or("missing policy")?,
         ops,
     };
@@ -724,6 +782,7 @@ mod tests {
             migrate: true,
             mem_q: 3,
             check_every: 4,
+            fabric: FabricKind::Directory,
             policy: DiffPolicy::Ascc {
                 variant: 0,
                 swap: true,
@@ -753,6 +812,9 @@ mod tests {
     fn dump_parse_round_trip() {
         let case = sample_case();
         assert_eq!(parse_case(&dump_case(&case)).unwrap(), case);
+        let mut bcast = case.clone();
+        bcast.fabric = FabricKind::Broadcast;
+        assert_eq!(parse_case(&dump_case(&bcast)).unwrap(), bcast);
         let mut avgcc = case;
         avgcc.policy = DiffPolicy::Avgcc {
             qos: true,
@@ -768,6 +830,29 @@ mod tests {
     #[test]
     fn sample_case_matches() {
         assert!(run_case(&sample_case()).is_ok());
+    }
+
+    #[test]
+    fn sample_case_matches_on_broadcast_fabric() {
+        let mut case = sample_case();
+        case.fabric = FabricKind::Broadcast;
+        assert!(run_case(&case).is_ok());
+    }
+
+    #[test]
+    fn fabric_key_defaults_to_directory_for_old_case_files() {
+        let text = dump_case(&sample_case());
+        let stripped: String = text
+            .lines()
+            .filter(|l| !l.starts_with("fabric"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(parse_case(&stripped).unwrap().fabric, FabricKind::Directory);
+    }
+
+    #[test]
+    fn sample_case_fabrics_agree() {
+        assert!(run_case_cross_fabric(&sample_case()).is_ok());
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! `PROPTEST_CASES`), split across the ASCC family, AVGCC, and QoS-AVGCC.
 
 use ascc_integration::diff::{self, DiffCase, DiffOp, DiffPolicy};
+use cmp_coherence::FabricKind;
 use proptest::prelude::*;
 
 type Shape = (u8, u8, u16, bool, u8, u32);
@@ -45,6 +46,7 @@ fn make_case(sh: Shape, policy: DiffPolicy, raw: Vec<(u8, u32, bool)>) -> DiffCa
         migrate,
         mem_q,
         check_every,
+        fabric: FabricKind::Directory,
         policy,
         ops: raw
             .into_iter()
@@ -116,6 +118,32 @@ proptest! {
             seed,
         };
         diff::assert_case(&make_case(sh, policy, raw));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+    /// The broadcast bus and the sharer-bitmask directory are bit-identical
+    /// fabrics: the same case run on both engines in lockstep must agree on
+    /// every cache line, recency order, counter, and policy register at
+    /// every checkpoint. Only `probes` may differ, and the directory's
+    /// count must never exceed broadcast's — that O(sharers) <= O(cores)
+    /// saving is the whole point of the snoop filter. The broadcast engine
+    /// is additionally diffed against the oracle in broadcast mode, so the
+    /// reference fabric keeps its own oracle coverage.
+    #[test]
+    fn broadcast_and_directory_fabrics_are_bit_identical(
+        sh in shape(),
+        knobs in (0u8..6, prop::bool::ANY, 0u64..1 << 48),
+        raw in ops(),
+    ) {
+        let (variant, swap, seed) = knobs;
+        let mut case = make_case(sh, DiffPolicy::Ascc { variant, swap, seed }, raw);
+        if let Err(e) = diff::run_case_cross_fabric(&case) {
+            panic!("fabric divergence: {e}");
+        }
+        case.fabric = FabricKind::Broadcast;
+        diff::assert_case(&case);
     }
 }
 

@@ -12,9 +12,10 @@
 
 use ascc::{AsccConfig, AvgccConfig};
 use cmp_cache::{CacheGeometry, LlcPolicy, PrivateBaseline};
+use cmp_coherence::FabricKind;
 use cmp_json::Value;
 use cmp_sim::{run_mix, RunResult, SystemConfig};
-use cmp_trace::two_app_mixes;
+use cmp_trace::{mixes_for, two_app_mixes};
 use spill_baselines::{DsrConfig, DsrDipPolicy, EccConfig};
 
 const INSTRS: u64 = 80_000;
@@ -141,6 +142,93 @@ fn mid_run_restore_matches_golden_runs() {
             "{name}: resumed run diverged from the golden-pinned straight run"
         );
     }
+}
+
+// ----- wide-engine goldens (8 and 16 cores) ------------------------------
+
+const WIDE_INSTRS: u64 = 30_000;
+const WIDE_WARMUP: u64 = 10_000;
+
+fn wide_golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("golden/engine_wide_identity.json")
+}
+
+/// The 2-core golden config widened: same small caches so the cluster-aware
+/// spill paths (>8 cores route ties to the spiller's cluster) see real
+/// pressure at every width.
+fn wide_cfg(cores: usize) -> SystemConfig {
+    let mut wide = SystemConfig::table2(cores);
+    wide.l1 = CacheGeometry::from_capacity(1 << 10, 2, 32).unwrap();
+    wide.l2 = CacheGeometry::from_capacity(16 << 10, 4, 32).unwrap();
+    wide
+}
+
+fn capture_wide() -> Value {
+    let widths: Vec<Value> = [8usize, 16]
+        .iter()
+        .map(|&cores| {
+            let cfg = wide_cfg(cores);
+            let mix = &mixes_for(cores)[0];
+            let runs: Vec<Value> = policies(&cfg)
+                .into_iter()
+                .map(|(name, policy)| {
+                    let r = run_mix(&cfg, mix, policy, WIDE_INSTRS, WIDE_WARMUP, SEED);
+                    Value::object()
+                        .insert("name", name)
+                        .insert("run", run_to_json(&r))
+                })
+                .collect();
+            Value::object()
+                .insert("cores", cores as f64)
+                .insert("mix", mix.name.clone())
+                .insert("runs", Value::Array(runs))
+        })
+        .collect();
+    Value::object()
+        .insert("instrs", WIDE_INSTRS as f64)
+        .insert("warmup", WIDE_WARMUP as f64)
+        .insert("seed", SEED as f64)
+        .insert("widths", Value::Array(widths))
+}
+
+/// Pins every policy at 8 and 16 cores, and asserts the broadcast fabric
+/// lands on exactly the pinned (directory-fabric) numbers at both widths —
+/// the O(sharers) directory must stay invisible to architectural state at
+/// scale, not just in the ≤8-core differential cases.
+#[test]
+fn wide_engine_matches_goldens_and_fabrics_agree() {
+    for cores in [8usize, 16] {
+        let dir_cfg = wide_cfg(cores);
+        let bcast_cfg = wide_cfg(cores).with_fabric(FabricKind::Broadcast);
+        let mix = &mixes_for(cores)[0];
+        for ((name, on_dir), (_, on_bcast)) in
+            policies(&dir_cfg).into_iter().zip(policies(&bcast_cfg))
+        {
+            let d = run_mix(&dir_cfg, mix, on_dir, WIDE_INSTRS, WIDE_WARMUP, SEED);
+            let b = run_mix(&bcast_cfg, mix, on_bcast, WIDE_INSTRS, WIDE_WARMUP, SEED);
+            assert_eq!(d, b, "{name} at {cores} cores: fabrics diverged");
+        }
+    }
+
+    let got = capture_wide().pretty();
+    let path = wide_golden_path();
+    if std::env::var("ASCC_BLESS").is_ok_and(|v| v != "0") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run with ASCC_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "wide-engine output diverged from the goldens; if the behaviour \
+         change is deliberate, regenerate with ASCC_BLESS=1"
+    );
 }
 
 #[test]

@@ -186,6 +186,49 @@ fn qos_avgcc_resume_preserves_inhibition_state() {
     assert_eq!(resumed.snapshot(), straight_end);
 }
 
+/// The directory fabric's sharer table is derived state: a snapshot holds
+/// only its stats and a digest, and restore rebuilds the table from the
+/// restored L2s, validating the digest. A mid-run round trip must therefore
+/// be bit-identical on *both* fabrics, and a snapshot taken on one fabric
+/// must refuse to restore into a system configured with the other.
+#[test]
+fn fabrics_resume_bit_identically_and_reject_cross_restore() {
+    use cmp_coherence::FabricKind;
+    let mix = &two_app_mixes()[0];
+    for kind in [FabricKind::Broadcast, FabricKind::Directory] {
+        let cfg = pressured_cfg().with_fabric(kind);
+        let build = || {
+            CmpSystem::from_sources(
+                cfg.clone(),
+                all_policies(&cfg).remove(0),
+                mix_sources(mix, SEED),
+            )
+        };
+        assert_resume_identical(&format!("{kind:?} fabric"), build(), build(), 7_777);
+
+        let other = match kind {
+            FabricKind::Broadcast => FabricKind::Directory,
+            FabricKind::Directory => FabricKind::Broadcast,
+        };
+        let mut donor = build();
+        donor.run(2_000, 500);
+        let snap = donor.snapshot();
+        let other_cfg = cfg.clone().with_fabric(other);
+        let mut wrong = CmpSystem::from_sources(
+            other_cfg.clone(),
+            all_policies(&other_cfg).remove(0),
+            mix_sources(mix, SEED),
+        );
+        let err = wrong
+            .restore(&snap)
+            .expect_err("cross-fabric restore must be rejected");
+        assert!(
+            err.to_string().contains("fabric"),
+            "unexpected cross-fabric restore error: {err}"
+        );
+    }
+}
+
 /// Deterministic interleaved script for the differential resume cases.
 fn lcg_ops(n: usize, cores: u8, lines: u32, mut x: u64) -> Vec<DiffOp> {
     x |= 1;
@@ -218,6 +261,7 @@ fn diff_oracle_accepts_resumed_engine() {
                 migrate: true,
                 mem_q: 2,
                 check_every: 5,
+                fabric: cmp_coherence::FabricKind::Directory,
                 policy: DiffPolicy::Ascc {
                     variant: 0,
                     swap: true,
@@ -235,6 +279,9 @@ fn diff_oracle_accepts_resumed_engine() {
                 migrate: false,
                 mem_q: 3,
                 check_every: 7,
+                // The reference fabric: broadcast resume stays under
+                // oracle scrutiny too.
+                fabric: cmp_coherence::FabricKind::Broadcast,
                 policy: DiffPolicy::Avgcc {
                     qos: true,
                     epoch_accesses: 16,
