@@ -7,7 +7,9 @@
 //! criticises in §2. We implement 1-chance forwarding: a line that already
 //! arrived via a spill is not recirculated when evicted again.
 
-use cmp_cache::{AccessOutcome, CoreId, LlcPolicy, PolicySnapshot, SetIdx, SpillDecision};
+use cmp_cache::{
+    AccessOutcome, CoreId, LlcPolicy, PolicySnapshot, SetIdx, SpillDecision, SpillVictim,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -51,16 +53,11 @@ impl LlcPolicy for CcPolicy {
 
     fn record_access(&mut self, _core: CoreId, _set: SetIdx, _outcome: AccessOutcome) {}
 
-    fn spill_decision(
-        &mut self,
-        from: CoreId,
-        _set: SetIdx,
-        victim_spilled: bool,
-    ) -> SpillDecision {
+    fn spill_decision(&mut self, from: CoreId, _set: SetIdx, victim: SpillVictim) -> SpillDecision {
         if self.cores < 2 {
             return SpillDecision::NoCandidate;
         }
-        if victim_spilled {
+        if victim.spilled {
             // 1-chance forwarding: spilled lines die on their next eviction.
             self.spills_refused += 1;
             return SpillDecision::NotSpiller;
@@ -99,7 +96,7 @@ mod tests {
     fn always_spills_fresh_victims() {
         let mut p = CcPolicy::new(4, 7);
         for _ in 0..50 {
-            match p.spill_decision(CoreId(2), SetIdx(0), false) {
+            match p.spill_decision(CoreId(2), SetIdx(0), SpillVictim::default()) {
                 SpillDecision::Spill(c) => assert_ne!(c, CoreId(2), "never to itself"),
                 d => panic!("CC must always spill, got {d:?}"),
             }
@@ -111,7 +108,9 @@ mod tests {
         let mut p = CcPolicy::new(4, 7);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..200 {
-            if let SpillDecision::Spill(c) = p.spill_decision(CoreId(0), SetIdx(0), false) {
+            if let SpillDecision::Spill(c) =
+                p.spill_decision(CoreId(0), SetIdx(0), SpillVictim::default())
+            {
                 seen.insert(c.0);
             }
         }
@@ -122,7 +121,14 @@ mod tests {
     fn one_chance_forwarding() {
         let mut p = CcPolicy::new(2, 7);
         assert_eq!(
-            p.spill_decision(CoreId(0), SetIdx(0), true),
+            p.spill_decision(
+                CoreId(0),
+                SetIdx(0),
+                SpillVictim {
+                    spilled: true,
+                    ..SpillVictim::default()
+                }
+            ),
             SpillDecision::NotSpiller
         );
         assert_eq!(p.spills_refused(), 1);
@@ -132,7 +138,7 @@ mod tests {
     fn single_core_never_spills() {
         let mut p = CcPolicy::new(1, 7);
         assert_eq!(
-            p.spill_decision(CoreId(0), SetIdx(0), false),
+            p.spill_decision(CoreId(0), SetIdx(0), SpillVictim::default()),
             SpillDecision::NoCandidate
         );
     }
@@ -142,7 +148,7 @@ mod tests {
         let mut p = CcPolicy::new(2, 7);
         for _ in 0..20 {
             assert_eq!(
-                p.spill_decision(CoreId(1), SetIdx(3), false),
+                p.spill_decision(CoreId(1), SetIdx(3), SpillVictim::default()),
                 SpillDecision::Spill(CoreId(0))
             );
         }

@@ -253,6 +253,7 @@ impl LlcPolicy for DipPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cmp_cache::SpillVictim;
 
     const SETS: u32 = 4096;
 
@@ -326,7 +327,7 @@ mod tests {
     fn dip_never_spills() {
         let mut p = DipConfig::dip(2, SETS).build();
         assert_eq!(
-            p.spill_decision(CoreId(0), SetIdx(0), false),
+            p.spill_decision(CoreId(0), SetIdx(0), SpillVictim::default()),
             cmp_cache::SpillDecision::NotSpiller
         );
     }

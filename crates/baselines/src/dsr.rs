@@ -20,7 +20,7 @@
 
 use cmp_cache::{
     AccessOutcome, CoreId, CoreSnapshot, LlcPolicy, PolicySnapshot, RoleHistogram, SetIdx,
-    SpillDecision,
+    SpillDecision, SpillVictim,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -241,12 +241,7 @@ impl LlcPolicy for DsrPolicy {
         }
     }
 
-    fn spill_decision(
-        &mut self,
-        from: CoreId,
-        set: SetIdx,
-        _victim_spilled: bool,
-    ) -> SpillDecision {
+    fn spill_decision(&mut self, from: CoreId, set: SetIdx, _victim: SpillVictim) -> SpillDecision {
         if self.role(from, set) != DsrRole::Spiller {
             return SpillDecision::NotSpiller;
         }
@@ -402,7 +397,7 @@ mod tests {
         assert_eq!(p.follower_role(CoreId(1)), DsrRole::Receiver);
         // Cache 0 in a spiller-monitor set must spill to cache 1.
         assert_eq!(
-            p.spill_decision(CoreId(0), SetIdx(0), false),
+            p.spill_decision(CoreId(0), SetIdx(0), SpillVictim::default()),
             SpillDecision::Spill(CoreId(1))
         );
     }
@@ -418,7 +413,7 @@ mod tests {
         assert_eq!(p.follower_role(CoreId(1)), DsrRole::Spiller);
         // From a follower set, cache 0 spills but no one receives.
         assert_eq!(
-            p.spill_decision(CoreId(0), SetIdx(100), false),
+            p.spill_decision(CoreId(0), SetIdx(100), SpillVictim::default()),
             SpillDecision::NoCandidate
         );
     }
@@ -431,13 +426,13 @@ mod tests {
         assert_eq!(p.follower_role(CoreId(0)), DsrRole::Neutral);
         // Neutral followers neither spill...
         assert_eq!(
-            p.spill_decision(CoreId(0), SetIdx(100), false),
+            p.spill_decision(CoreId(0), SetIdx(100), SpillVictim::default()),
             SpillDecision::NotSpiller
         );
         // ...but monitor indices stay active: cache 0's spiller-SDM set 0
         // spills into the peer (forced receiver there).
         assert_eq!(
-            p.spill_decision(CoreId(0), SetIdx(0), false),
+            p.spill_decision(CoreId(0), SetIdx(0), SpillVictim::default()),
             SpillDecision::Spill(CoreId(1))
         );
     }

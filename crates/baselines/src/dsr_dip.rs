@@ -12,7 +12,7 @@
 use crate::dip::{DipConfig, DipPolicy};
 use crate::dsr::{DsrConfig, DsrPolicy};
 use cmp_cache::{
-    AccessOutcome, CoreId, InsertPos, LlcPolicy, PolicySnapshot, SetIdx, SpillDecision,
+    AccessOutcome, CoreId, InsertPos, LlcPolicy, PolicySnapshot, SetIdx, SpillDecision, SpillVictim,
 };
 
 /// The combined DSR+DIP policy.
@@ -69,8 +69,8 @@ impl LlcPolicy for DsrDipPolicy {
         self.dsr.note_remote_hit(owner, set, was_spilled);
     }
 
-    fn spill_decision(&mut self, from: CoreId, set: SetIdx, victim_spilled: bool) -> SpillDecision {
-        self.dsr.spill_decision(from, set, victim_spilled)
+    fn spill_decision(&mut self, from: CoreId, set: SetIdx, victim: SpillVictim) -> SpillDecision {
+        self.dsr.spill_decision(from, set, victim)
     }
 
     fn snapshot(&self) -> PolicySnapshot {
@@ -154,7 +154,7 @@ mod tests {
             p.record_access(CoreId(1), SetIdx((i % 32) * 128 + 2), AccessOutcome::Miss);
         }
         assert!(matches!(
-            p.spill_decision(CoreId(0), SetIdx(0), false),
+            p.spill_decision(CoreId(0), SetIdx(0), SpillVictim::default()),
             SpillDecision::Spill(_)
         ));
     }

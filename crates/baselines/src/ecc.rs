@@ -18,7 +18,7 @@
 
 use cmp_cache::{
     AccessOutcome, CoreId, CoreSnapshot, FillKind, LlcPolicy, PolicySnapshot, SetIdx, SetRef,
-    SpillDecision, WayIdx,
+    SpillDecision, SpillVictim, WayIdx,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -214,13 +214,8 @@ impl LlcPolicy for EccPolicy {
         }
     }
 
-    fn spill_decision(
-        &mut self,
-        from: CoreId,
-        _set: SetIdx,
-        victim_spilled: bool,
-    ) -> SpillDecision {
-        if victim_spilled || self.cfg.cores < 2 {
+    fn spill_decision(&mut self, from: CoreId, _set: SetIdx, victim: SpillVictim) -> SpillDecision {
+        if victim.spilled || self.cfg.cores < 2 {
             // Shared lines die on eviction; no recirculation.
             return SpillDecision::NotSpiller;
         }
@@ -389,11 +384,18 @@ mod tests {
     fn always_spills_fresh_private_victims() {
         let mut p = policy(3);
         assert!(matches!(
-            p.spill_decision(CoreId(0), SetIdx(0), false),
+            p.spill_decision(CoreId(0), SetIdx(0), SpillVictim::default()),
             SpillDecision::Spill(_)
         ));
         assert_eq!(
-            p.spill_decision(CoreId(0), SetIdx(0), true),
+            p.spill_decision(
+                CoreId(0),
+                SetIdx(0),
+                SpillVictim {
+                    spilled: true,
+                    ..SpillVictim::default()
+                }
+            ),
             SpillDecision::NotSpiller
         );
     }
@@ -416,7 +418,7 @@ mod tests {
         // Spills from cache 0 now go to cache 2 (bigger shared region).
         for _ in 0..10 {
             assert_eq!(
-                p.spill_decision(CoreId(0), SetIdx(0), false),
+                p.spill_decision(CoreId(0), SetIdx(0), SpillVictim::default()),
                 SpillDecision::Spill(CoreId(2))
             );
         }

@@ -8,7 +8,7 @@
 
 use ascc::{AsccConfig, AvgccConfig};
 use ascc_bench::Policy;
-use cmp_cache::{AccessOutcome, CoreId, LlcPolicy, PrivateBaseline, SetIdx};
+use cmp_cache::{AccessOutcome, CoreId, LlcPolicy, PrivateBaseline, SetIdx, SpillVictim};
 use cmp_sim::{mix_sources, CmpSystem, SystemConfig};
 use cmp_trace::{two_app_mixes, AccessStream, SharedTrace, SpecBench};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
@@ -28,7 +28,7 @@ fn drive(policy: &mut dyn LlcPolicy, i: &mut u32) {
     };
     policy.record_access(core, set, outcome);
     if (*i).is_multiple_of(8) {
-        black_box(policy.spill_decision(core, set, false));
+        black_box(policy.spill_decision(core, set, SpillVictim::default()));
     }
 }
 

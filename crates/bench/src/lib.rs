@@ -25,7 +25,7 @@ pub mod serve;
 
 pub use config::RunConfig;
 
-use ascc::{AsccConfig, AvgccConfig};
+use ascc::{ArcConfig, AsccConfig, AvgccConfig, RdcbConfig, TinyLfuConfig};
 use cmp_cache::{LlcPolicy, PrivateBaseline};
 use cmp_json::Value;
 use cmp_sim::{
@@ -112,6 +112,14 @@ pub enum Policy {
     AsccAllocator,
     /// ASCC without the §3.2 swap (ablation).
     AsccNoSwap,
+    /// Per-set ARC (post-2012 frontier contender).
+    Arc,
+    /// TinyLFU admission filtering over the private-LRU baseline
+    /// (post-2012 frontier contender).
+    TinyLfu,
+    /// Reuse-distance clean-line copy-back over ASCC (post-2012 frontier
+    /// contender).
+    RdCb,
 }
 
 impl Policy {
@@ -162,6 +170,9 @@ impl Policy {
                 c.swap = false;
                 Box::new(c.build())
             }
+            Policy::Arc => Box::new(ArcConfig::new(cores, sets, ways).build()),
+            Policy::TinyLfu => Box::new(TinyLfuConfig::for_geometry(cores, sets, ways).build()),
+            Policy::RdCb => Box::new(RdcbConfig::new(cores, sets, ways).build()),
         }
     }
 
@@ -188,6 +199,9 @@ impl Policy {
             Policy::QosAvgcc => "QoS-AVGCC".into(),
             Policy::AsccAllocator => "ASCC-alloc".into(),
             Policy::AsccNoSwap => "ASCC-noswap".into(),
+            Policy::Arc => "ARC".into(),
+            Policy::TinyLfu => "TinyLFU".into(),
+            Policy::RdCb => "RD-CB".into(),
         }
     }
 }
@@ -641,6 +655,9 @@ mod tests {
             Policy::QosAvgcc,
             Policy::AsccAllocator,
             Policy::AsccNoSwap,
+            Policy::Arc,
+            Policy::TinyLfu,
+            Policy::RdCb,
         ] {
             let built = p.build(&cfg);
             assert!(!built.name().is_empty(), "{p:?}");

@@ -45,6 +45,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "sect7_limited",
     "ablations",
     "scaling_cores",
+    "policy_frontier",
 ];
 
 /// Applies `--only`-style case-insensitive substring filters to the

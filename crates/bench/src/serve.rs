@@ -89,6 +89,9 @@ const API_POLICIES: &[(&str, Policy)] = &[
     ("ASCC", Policy::Ascc),
     ("AVGCC", Policy::Avgcc),
     ("QoS-AVGCC", Policy::QosAvgcc),
+    ("ARC", Policy::Arc),
+    ("TinyLFU", Policy::TinyLfu),
+    ("RD-CB", Policy::RdCb),
 ];
 
 fn parse_policy(label: &str) -> Option<Policy> {

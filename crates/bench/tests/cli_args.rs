@@ -82,6 +82,36 @@ fn help_is_uniform_across_binaries() {
 }
 
 #[test]
+fn trace_tool_repro_lists_valid_policies_on_unknown_policy() {
+    // A `.case` naming a policy the harness doesn't know must fail with a
+    // diagnostic that enumerates every valid name — including the frontier
+    // policies — so a hand-edited repro is self-correcting.
+    let dir = std::env::temp_dir().join(format!("ascc-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mk temp dir");
+    let case = dir.join("bad-policy.case");
+    std::fs::write(
+        &case,
+        "# ascc differential repro v1\n\
+         cores 2\nl2sets_log2 2\nl2ways 2\nmigrate 1\nmemq 1\ncheck 1\n\
+         fabric directory\npolicy frobcc 1 2 3\nop 0 0 0\n",
+    )
+    .expect("write case");
+    let out = Command::new(env!("CARGO_BIN_EXE_trace_tool"))
+        .arg("repro")
+        .arg(&case)
+        .output()
+        .expect("spawn trace_tool");
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(out.stdout.is_empty(), "diagnostics belong on stderr");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown policy"), "{err}");
+    for name in ["ascc", "avgcc", "arc", "tinylfu", "rdcb"] {
+        assert!(err.contains(name), "valid-name listing lacks {name}: {err}");
+    }
+}
+
+#[test]
 fn trace_tool_still_rejects_bad_subcommands() {
     let out = Command::new(env!("CARGO_BIN_EXE_trace_tool"))
         .arg("frobnicate")

@@ -285,6 +285,14 @@ pub struct PolicySnapshot {
     /// (AVGCC's `A`/`B` counters); `None` when the policy has no such
     /// invariant.
     pub ab_consistent: Option<bool>,
+    /// Ghost-list hits (ARC's B1 + B2).
+    pub ghost_hits: Option<u64>,
+    /// Fills rejected by an admission filter (TinyLFU).
+    pub admission_rejections: Option<u64>,
+    /// Frequency-sketch halving resets (TinyLFU).
+    pub sketch_resets: Option<u64>,
+    /// Clean-victim copy-backs forwarded to a peer (RD-CB).
+    pub copy_backs: Option<u64>,
 }
 
 impl PolicySnapshot {
@@ -298,6 +306,10 @@ impl PolicySnapshot {
             repartitions: None,
             spills_refused: None,
             ab_consistent: None,
+            ghost_hits: None,
+            admission_rejections: None,
+            sketch_resets: None,
+            copy_backs: None,
         }
     }
 

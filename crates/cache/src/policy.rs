@@ -9,7 +9,7 @@
 
 use crate::obs::{ObsEvent, PolicySnapshot};
 use crate::set::SetRef;
-use crate::types::{CoreId, FillKind, InsertPos, SetIdx, WayIdx};
+use crate::types::{CoreId, FillKind, InsertPos, LineAddr, SetIdx, WayIdx};
 
 /// What an L2 access observed, as reported to the policy.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -32,6 +32,35 @@ impl AccessOutcome {
     #[inline]
     pub fn is_hit(self) -> bool {
         matches!(self, AccessOutcome::Hit { .. })
+    }
+}
+
+/// The evicted last-copy line a spill decision is about.
+///
+/// Address-aware refinements (reuse-distance copy-back) need to know *which*
+/// line is leaving and whether dropping it is free (`dirty == false`), not
+/// just the recirculation bit the 2012-era policies consult.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SpillVictim {
+    /// Address of the evicted line.
+    pub addr: LineAddr,
+    /// Whether the victim itself arrived via a spill — policies with bounded
+    /// recirculation (CC's 1-chance forwarding) refuse to re-spill such
+    /// lines.
+    pub spilled: bool,
+    /// Whether the victim is dirty (Modified): retiring it costs a
+    /// write-back, dropping a clean line is free.
+    pub dirty: bool,
+}
+
+impl SpillVictim {
+    /// A clean, demand-filled victim (the common case in unit tests).
+    pub const fn clean(addr: LineAddr) -> Self {
+        SpillVictim {
+            addr,
+            spilled: false,
+            dirty: false,
+        }
     }
 }
 
@@ -117,6 +146,44 @@ pub trait LlcPolicy {
     /// Records the outcome of an L2 access by `core` to `set`.
     fn record_access(&mut self, core: CoreId, set: SetIdx, outcome: AccessOutcome);
 
+    /// Address-carrying companion to
+    /// [`record_access`](LlcPolicy::record_access), called immediately after
+    /// it with the same outcome plus the accessed line and — on a hit — the
+    /// way it was found in (pre-promotion).
+    ///
+    /// The set-index-only `record_access` is all the 2012-era designs need
+    /// (SSL counters, PSEL duels); line-granular policies (ARC ghost lists,
+    /// TinyLFU frequency sketches, reuse-distance predictors) hook in here.
+    /// The default does nothing, so address-blind policies pay no cost.
+    fn note_access(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        set: SetIdx,
+        outcome: AccessOutcome,
+        way: Option<WayIdx>,
+    ) {
+        let _ = (core, line, set, outcome, way);
+    }
+
+    /// Whether a demand fill fetched from memory may enter `core`'s `set`.
+    ///
+    /// Consulted only on the off-chip fetch path — remote-hit migrations and
+    /// spills always land. Returning `false` bypasses the cache hierarchy
+    /// entirely for this fill (neither L2 nor L1 is filled); the data is
+    /// still delivered to the core and all miss counters advance. This is
+    /// the TinyLFU admission-filter hook; the default admits everything.
+    fn admit_fill(
+        &mut self,
+        core: CoreId,
+        set: SetIdx,
+        line: LineAddr,
+        contents: SetRef<'_>,
+    ) -> bool {
+        let _ = (core, set, line, contents);
+        true
+    }
+
     /// Recency position for a demand fill (miss fill or remote-hit
     /// migration) into `core`'s `set`.
     fn demand_insert_pos(&mut self, core: CoreId, set: SetIdx) -> InsertPos {
@@ -136,11 +203,12 @@ pub trait LlcPolicy {
 
     /// Decides the fate of a last-copy line evicted from `from`'s `set`.
     ///
-    /// `victim_spilled` reports whether the evicted line itself arrived via
-    /// a spill — policies with bounded recirculation (CC's 1-chance
-    /// forwarding) refuse to re-spill such lines.
-    fn spill_decision(&mut self, from: CoreId, set: SetIdx, victim_spilled: bool) -> SpillDecision {
-        let _ = (from, set, victim_spilled);
+    /// `victim` describes the evicted line: its address, whether it arrived
+    /// via a spill, and whether it is dirty. Most policies only consult
+    /// `victim.spilled`; copy-back refinements use the address and dirtiness
+    /// to forward predicted-reuse clean victims to a peer.
+    fn spill_decision(&mut self, from: CoreId, set: SetIdx, victim: SpillVictim) -> SpillDecision {
+        let _ = (from, set, victim);
         SpillDecision::NotSpiller
     }
 
@@ -257,7 +325,7 @@ mod tests {
         let mut p = PrivateBaseline::new();
         p.record_access(CoreId(0), SetIdx(3), AccessOutcome::Miss);
         assert_eq!(
-            p.spill_decision(CoreId(0), SetIdx(3), false),
+            p.spill_decision(CoreId(0), SetIdx(3), SpillVictim::default()),
             SpillDecision::NotSpiller
         );
         assert!(!p.swap_enabled());

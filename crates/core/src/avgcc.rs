@@ -30,7 +30,7 @@ use crate::ssl::{SetRole, SslTable};
 use crate::tuning::SslTuning;
 use cmp_cache::{
     AccessOutcome, CoreId, CoreSnapshot, InsertPos, LlcPolicy, ObsEvent, PolicySnapshot,
-    RoleHistogram, SetIdx, SpillDecision,
+    RoleHistogram, SetIdx, SpillDecision, SpillVictim,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -457,12 +457,7 @@ impl LlcPolicy for AvgccPolicy {
         }
     }
 
-    fn spill_decision(
-        &mut self,
-        from: CoreId,
-        set: SetIdx,
-        _victim_spilled: bool,
-    ) -> SpillDecision {
+    fn spill_decision(&mut self, from: CoreId, set: SetIdx, _victim: SpillVictim) -> SpillDecision {
         if self.cfg.qos && self.caches[from.index()].qos.ratio_fixed == 0 {
             // Fully inhibited: behave like the baseline (no spilling).
             return SpillDecision::NotSpiller;
@@ -875,7 +870,7 @@ mod tests {
                     AccessOutcome::Miss
                 },
             );
-            let _ = p.spill_decision(CoreId(core as u8), SetIdx(set), false);
+            let _ = p.spill_decision(CoreId(core as u8), SetIdx(set), SpillVictim::default());
         }
         p.assert_ab_consistent();
     }
@@ -890,7 +885,7 @@ mod tests {
         }
         assert_eq!(p.role(CoreId(0), SetIdx(0)), SetRole::Spiller);
         assert_eq!(
-            p.spill_decision(CoreId(0), SetIdx(0), false),
+            p.spill_decision(CoreId(0), SetIdx(0), SpillVictim::default()),
             SpillDecision::NoCandidate
         );
         assert!(
@@ -918,7 +913,7 @@ mod tests {
             );
         }
         // Cache 1 sits at K-1; cache 2 is lower.
-        match p.spill_decision(CoreId(0), SetIdx(0), false) {
+        match p.spill_decision(CoreId(0), SetIdx(0), SpillVictim::default()) {
             SpillDecision::Spill(c) => assert_eq!(c, CoreId(2)),
             d => panic!("expected spill, got {d:?}"),
         }

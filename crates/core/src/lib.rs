@@ -19,11 +19,24 @@
 //!   sketched in §3.1.
 //! * [`StorageModel`] — the Table 5 / §7 storage-cost accounting.
 //!
+//! Beyond the paper, the post-2012 policy frontier (ROADMAP item 2):
+//!
+//! * [`ArcPolicy`] / [`ArcConfig`] — per-set **ARC** with T1/T2 membership,
+//!   B1/B2 ghost lists and the adaptive target `p`;
+//! * [`TinyLfuPolicy`] / [`TinyLfuConfig`] — a **TinyLFU admission filter**
+//!   (4-bit count-min sketch + doorkeeper + periodic halving reset)
+//!   composable in front of any [`cmp_cache::LlcPolicy`];
+//! * [`RdcbPolicy`] / [`RdcbConfig`] — **reuse-distance clean-line
+//!   copy-back** layered over ASCC's spill allocator (arXiv 2105.14442).
+//!
+//! Their variable-size metadata (ghost tags, sketch counters, predictor
+//! rows) lives in [`SidecarSlab`] arenas next to the SoA set layout.
+//!
 //! ## Example
 //!
 //! ```
 //! use ascc::{AsccConfig, SetRole};
-//! use cmp_cache::{AccessOutcome, CoreId, LlcPolicy, SetIdx, SpillDecision};
+//! use cmp_cache::{AccessOutcome, CoreId, LlcPolicy, SetIdx, SpillDecision, SpillVictim};
 //!
 //! // 2 cores, 64-set 8-way LLCs.
 //! let mut policy = AsccConfig::ascc(2, 64, 8).build();
@@ -36,23 +49,29 @@
 //!
 //! // ...so an evicted last-copy line from that set spills to core 1,
 //! // whose same-index set is underutilized.
-//! assert_eq!(policy.spill_decision(CoreId(0), SetIdx(3), false),
+//! assert_eq!(policy.spill_decision(CoreId(0), SetIdx(3), SpillVictim::default()),
 //!            SpillDecision::Spill(CoreId(1)));
 //! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod arc;
 mod avgcc;
 mod policy;
+mod rdcb;
 mod spill_alloc;
 mod ssl;
 mod storage;
+mod tinylfu;
 mod tuning;
 
+pub use arc::{ArcConfig, ArcPolicy};
 pub use avgcc::{AvgccConfig, AvgccPolicy};
 pub use policy::{AsccConfig, AsccPolicy, CapacityPolicy, ReceiverSelection};
+pub use rdcb::{RdcbConfig, RdcbPolicy};
 pub use spill_alloc::{cluster_of, SpillAllocator, CLUSTER_CORES};
 pub use ssl::{SetRole, SslTable};
-pub use storage::{StorageCost, StorageModel};
+pub use storage::{SidecarSlab, StorageCost, StorageModel};
+pub use tinylfu::{TinyLfuConfig, TinyLfuPolicy};
 pub use tuning::{SslTuning, StressMetric};

@@ -22,7 +22,7 @@ use crate::ssl::{SetRole, SslTable};
 use crate::tuning::SslTuning;
 use cmp_cache::{
     AccessOutcome, CoreId, CoreSnapshot, InsertPos, LlcPolicy, ObsEvent, PolicySnapshot,
-    RoleHistogram, SetIdx, SpillDecision,
+    RoleHistogram, SetIdx, SpillDecision, SpillVictim,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -304,6 +304,18 @@ impl AsccPolicy {
         self.caches[core.index()].bip.clone()
     }
 
+    /// Picks a receiver core for a line evicted from `from`'s set `set`,
+    /// exactly as the spill path would (min-SSL scan, cluster filtering,
+    /// RNG tie-break — the draw sequence is shared with
+    /// [`LlcPolicy::spill_decision`]).
+    ///
+    /// Exposed so refinements layered on top of ASCC — e.g. the
+    /// reuse-distance copy-back policy ([`crate::RdcbPolicy`]) — can route
+    /// extra lines through the same allocator instead of duplicating it.
+    pub fn receiver_for(&mut self, from: CoreId, set: SetIdx) -> Option<CoreId> {
+        self.find_receiver(from, set.0)
+    }
+
     /// Role class counts over all of `core`'s sets.
     fn role_histogram(&self, core: usize) -> RoleHistogram {
         let mut h = RoleHistogram::default();
@@ -425,12 +437,7 @@ impl LlcPolicy for AsccPolicy {
         }
     }
 
-    fn spill_decision(
-        &mut self,
-        from: CoreId,
-        set: SetIdx,
-        _victim_spilled: bool,
-    ) -> SpillDecision {
+    fn spill_decision(&mut self, from: CoreId, set: SetIdx, _victim: SpillVictim) -> SpillDecision {
         if self.role(from, set) != SetRole::Spiller {
             return SpillDecision::NotSpiller;
         }
@@ -660,7 +667,7 @@ mod tests {
         saturate(&mut p, 0, 5);
         // Cache 1: receiver with value K-1 (initial); cache 2: drain to 0.
         drain(&mut p, 2, 5);
-        match p.spill_decision(CoreId(0), SetIdx(5), false) {
+        match p.spill_decision(CoreId(0), SetIdx(5), SpillVictim::default()) {
             SpillDecision::Spill(c) => assert_eq!(c, CoreId(2)),
             d => panic!("expected spill, got {d:?}"),
         }
@@ -676,7 +683,7 @@ mod tests {
         }
         assert_eq!(p.role(CoreId(1), SetIdx(1)), SetRole::Neutral);
         assert_eq!(
-            p.spill_decision(CoreId(0), SetIdx(1), false),
+            p.spill_decision(CoreId(0), SetIdx(1), SpillVictim::default()),
             SpillDecision::NoCandidate
         );
     }
@@ -685,13 +692,13 @@ mod tests {
     fn non_spiller_set_does_not_spill() {
         let mut p = AsccConfig::ascc(2, SETS, K).build();
         assert_eq!(
-            p.spill_decision(CoreId(0), SetIdx(0), false),
+            p.spill_decision(CoreId(0), SetIdx(0), SpillVictim::default()),
             SpillDecision::NotSpiller
         );
         // Neutral is not a spiller either (the design's key point, Fig. 5).
         p.record_access(CoreId(0), SetIdx(0), AccessOutcome::Miss);
         assert_eq!(
-            p.spill_decision(CoreId(0), SetIdx(0), false),
+            p.spill_decision(CoreId(0), SetIdx(0), SpillVictim::default()),
             SpillDecision::NotSpiller
         );
     }
@@ -703,7 +710,7 @@ mod tests {
         p.record_access(CoreId(0), SetIdx(0), AccessOutcome::Miss);
         assert_eq!(p.role(CoreId(0), SetIdx(0)), SetRole::Spiller);
         assert!(matches!(
-            p.spill_decision(CoreId(0), SetIdx(0), false),
+            p.spill_decision(CoreId(0), SetIdx(0), SpillVictim::default()),
             SpillDecision::Spill(_)
         ));
     }
@@ -714,7 +721,7 @@ mod tests {
         saturate(&mut p, 0, 3);
         saturate(&mut p, 1, 3); // peer also saturated: no candidate
         assert_eq!(
-            p.spill_decision(CoreId(0), SetIdx(3), false),
+            p.spill_decision(CoreId(0), SetIdx(3), SpillVictim::default()),
             SpillDecision::NoCandidate
         );
         assert!(p.in_capacity_mode(CoreId(0), SetIdx(3)));
@@ -736,7 +743,7 @@ mod tests {
         p.set_observed(true);
         saturate(&mut p, 0, 3);
         saturate(&mut p, 1, 3);
-        p.spill_decision(CoreId(0), SetIdx(3), false);
+        p.spill_decision(CoreId(0), SetIdx(3), SpillVictim::default());
 
         let snap = p.snapshot();
         assert_eq!(snap.policy, "ASCC");
@@ -778,7 +785,7 @@ mod tests {
         p.set_observed(false);
         saturate(&mut p, 0, 3);
         saturate(&mut p, 1, 3);
-        p.spill_decision(CoreId(0), SetIdx(3), false);
+        p.spill_decision(CoreId(0), SetIdx(3), SpillVictim::default());
         events.clear();
         p.drain_events(&mut events);
         assert!(events.is_empty());
@@ -790,7 +797,7 @@ mod tests {
         saturate(&mut p, 0, 3);
         saturate(&mut p, 1, 3);
         assert_eq!(
-            p.spill_decision(CoreId(0), SetIdx(3), false),
+            p.spill_decision(CoreId(0), SetIdx(3), SpillVictim::default()),
             SpillDecision::NoCandidate
         );
         assert!(!p.in_capacity_mode(CoreId(0), SetIdx(3)));
@@ -802,7 +809,7 @@ mod tests {
         let mut p = AsccConfig::lms_bip(2, SETS, K).build();
         saturate(&mut p, 0, 3);
         saturate(&mut p, 1, 3);
-        p.spill_decision(CoreId(0), SetIdx(3), false);
+        p.spill_decision(CoreId(0), SetIdx(3), SpillVictim::default());
         let lru = (0..200)
             .filter(|_| p.demand_insert_pos(CoreId(0), SetIdx(3)) == InsertPos::Lru)
             .count();
@@ -816,7 +823,7 @@ mod tests {
                                 // Any other set of cache 0 is now also a spiller.
         assert_eq!(p.role(CoreId(0), SetIdx(9)), SetRole::Spiller);
         assert!(matches!(
-            p.spill_decision(CoreId(0), SetIdx(9), false),
+            p.spill_decision(CoreId(0), SetIdx(9), SpillVictim::default()),
             SpillDecision::Spill(CoreId(1))
         ));
     }
@@ -840,7 +847,9 @@ mod tests {
         saturate(&mut p, 0, 2);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..100 {
-            if let SpillDecision::Spill(c) = p.spill_decision(CoreId(0), SetIdx(2), false) {
+            if let SpillDecision::Spill(c) =
+                p.spill_decision(CoreId(0), SetIdx(2), SpillVictim::default())
+            {
                 seen.insert(c.0);
             }
         }
@@ -856,14 +865,14 @@ mod tests {
         drain(&mut p, 5, 2); // cluster 0, value 0
         drain(&mut p, 12, 2); // cluster 1, value 0
         for _ in 0..50 {
-            match p.spill_decision(CoreId(0), SetIdx(2), false) {
+            match p.spill_decision(CoreId(0), SetIdx(2), SpillVictim::default()) {
                 SpillDecision::Spill(c) => assert_eq!(c, CoreId(5)),
                 d => panic!("expected spill, got {d:?}"),
             }
         }
         // A spiller in cluster 1 prefers its own neighbor symmetrically.
         saturate(&mut p, 15, 2);
-        match p.spill_decision(CoreId(15), SetIdx(2), false) {
+        match p.spill_decision(CoreId(15), SetIdx(2), SpillVictim::default()) {
             SpillDecision::Spill(c) => assert_eq!(c, CoreId(12)),
             d => panic!("expected spill, got {d:?}"),
         }
@@ -874,7 +883,7 @@ mod tests {
         let mut p = AsccConfig::ascc(32, SETS, K).build();
         saturate(&mut p, 0, 2);
         drain(&mut p, 29, 2); // only valid receiver lives in cluster 3
-        match p.spill_decision(CoreId(0), SetIdx(2), false) {
+        match p.spill_decision(CoreId(0), SetIdx(2), SpillVictim::default()) {
             SpillDecision::Spill(c) => assert_eq!(c, CoreId(29)),
             d => panic!("expected spill, got {d:?}"),
         }
@@ -894,13 +903,13 @@ mod tests {
         drain(&mut p, 3, 7);
         p.record_access(CoreId(3), SetIdx(7), AccessOutcome::Miss); // cluster 0
         assert_eq!(
-            p.spill_decision(CoreId(0), SetIdx(7), false),
+            p.spill_decision(CoreId(0), SetIdx(7), SpillVictim::default()),
             SpillDecision::Spill(CoreId(3))
         );
         // And cluster-1 spillers pick the cluster-1 candidate.
         saturate(&mut p, 15, 7);
         assert_eq!(
-            p.spill_decision(CoreId(15), SetIdx(7), false),
+            p.spill_decision(CoreId(15), SetIdx(7), SpillVictim::default()),
             SpillDecision::Spill(CoreId(12))
         );
     }
@@ -917,14 +926,14 @@ mod tests {
         p.record_access(CoreId(2), SetIdx(7), AccessOutcome::Miss);
         // Its observed value is K (= 4<<3 after one miss from K-1): invalid.
         assert_eq!(
-            p.spill_decision(CoreId(0), SetIdx(7), false),
+            p.spill_decision(CoreId(0), SetIdx(7), SpillVictim::default()),
             SpillDecision::NoCandidate
         );
         // A peer miss that leaves the counter below K is observable.
         drain(&mut p, 1, 7); // value 0, but via hits -> unobserved
         p.record_access(CoreId(1), SetIdx(7), AccessOutcome::Miss); // one miss: observed, value ONE
         assert_eq!(
-            p.spill_decision(CoreId(0), SetIdx(7), false),
+            p.spill_decision(CoreId(0), SetIdx(7), SpillVictim::default()),
             SpillDecision::Spill(CoreId(1))
         );
     }

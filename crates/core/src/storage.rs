@@ -1,12 +1,129 @@
-//! Analytical storage-cost model (Table 5 and the §7 cost study).
+//! Analytical storage-cost model (Table 5 and the §7 cost study) and the
+//! sidecar metadata arena the post-2012 policies allocate from.
 //!
 //! The paper accounts a 1 MB/8-way/32 B baseline cache at 42-bit addresses:
 //! 30-bit tag-store entries (5 bits MESI+LRU state, 25-bit tag), a 1 MB data
 //! store, and for AVGCC 5 extra bits per set (4-bit SSL + insertion policy
 //! bit) plus the `A`/`B`/`D` counters (12+12+4 bits). The QoS extension adds
 //! 3 fractional bits per SSL counter and a few per-core counters.
+//!
+//! The SoA set arena of `cmp-cache` packs recency as one nibble per way,
+//! which caps metadata at 16 ways and leaves no room for variable-length
+//! per-set state. Policies that need more — ARC's ghost lists, TinyLFU's
+//! counting sketch, reuse-distance tables — allocate a [`SidecarSlab`]: a
+//! flat `rows × words` u64 arena indexed the same way the set arena is, so
+//! the per-set metadata stays contiguous, snapshot-friendly (one
+//! `put_u64_slice`) and free of per-set heap boxes.
 
 use cmp_cache::CacheGeometry;
+
+/// A flat sidecar metadata arena: `rows` rows of `words` u64 words each.
+///
+/// Rows are whatever granularity the owning policy indexes by — (core, set)
+/// pairs for ARC's per-set ghost state, sketch rows for TinyLFU, hash
+/// buckets for reuse-distance tables. The slab itself is policy-agnostic:
+/// it hands out `&[u64]` / `&mut [u64]` row views and serialises as a
+/// single word vector.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SidecarSlab {
+    words_per_row: usize,
+    data: Vec<u64>,
+}
+
+impl SidecarSlab {
+    /// An all-zero slab of `rows` rows with `words` u64 words per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is zero (a row must hold something).
+    pub fn new(rows: usize, words: usize) -> Self {
+        assert!(words > 0, "sidecar rows must be at least one word");
+        SidecarSlab {
+            words_per_row: words,
+            data: vec![0; rows * words],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.data.len() / self.words_per_row
+    }
+
+    /// Words per row.
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Read-only view of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[u64] {
+        let base = row * self.words_per_row;
+        &self.data[base..base + self.words_per_row]
+    }
+
+    /// Mutable view of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> &mut [u64] {
+        let base = row * self.words_per_row;
+        &mut self.data[base..base + self.words_per_row]
+    }
+
+    /// The whole arena as one word slice (bulk scans, halving sweeps).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Mutable view of the whole arena.
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.data
+    }
+
+    /// Zeroes every word (sketch/doorkeeper resets).
+    pub fn clear(&mut self) {
+        self.data.fill(0);
+    }
+
+    /// Serialises the arena (shape + contents).
+    pub fn save_state(&self, w: &mut cmp_snap::SnapWriter) {
+        w.put_u64(self.words_per_row as u64);
+        w.put_u64_slice(&self.data);
+    }
+
+    /// Restores an arena saved by [`save_state`](SidecarSlab::save_state);
+    /// the shape must match this slab's.
+    pub fn load_state(
+        &mut self,
+        r: &mut cmp_snap::SnapReader<'_>,
+    ) -> Result<(), cmp_snap::SnapError> {
+        let words = r.get_u64()?;
+        if words != self.words_per_row as u64 {
+            return Err(cmp_snap::SnapError::Mismatch(format!(
+                "sidecar row width: snapshot {words}, live {}",
+                self.words_per_row
+            )));
+        }
+        let data = r.get_u64_slice()?;
+        if data.len() != self.data.len() {
+            return Err(cmp_snap::SnapError::Mismatch(format!(
+                "sidecar word count: snapshot {}, live {}",
+                data.len(),
+                self.data.len()
+            )));
+        }
+        self.data = data;
+        Ok(())
+    }
+}
 
 /// Storage accounting for one private LLC under a given design.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -96,6 +213,38 @@ impl StorageModel {
         c.extra_bits += max_counters * 3 + 16 + 4 + 12;
         c
     }
+
+    /// ARC: per set a target `p` plus a T2 membership bit per way and two
+    /// ghost lists of up to `ways` tags each (with 1+log2(ways) length
+    /// fields). Ghost entries store only tags — no data, no state.
+    pub fn arc(&self) -> StorageCost {
+        let mut c = self.baseline();
+        let ways = self.geometry.ways() as u64;
+        let sets = self.geometry.sets() as u64;
+        let len_bits = 64 - u64::from(ways.leading_zeros()); // log2(ways)+1
+        let p_bits = len_bits;
+        c.extra_bits = sets * (p_bits + ways + 2 * (ways * self.tag_bits() as u64 + len_bits));
+        c
+    }
+
+    /// TinyLFU admission: a `depth × width` count-min sketch of 4-bit
+    /// counters, a 1-bit doorkeeper per sketch column and a 32-bit sample
+    /// counter. Shared across all private LLCs, so the per-cache share is
+    /// `1/cores` of it; this accounts the whole structure.
+    pub fn tinylfu(&self, depth: u64, width: u64) -> StorageCost {
+        let mut c = self.baseline();
+        c.extra_bits = depth * width * 4 + width + 32;
+        c
+    }
+
+    /// Reuse-distance copy-back: per core a direct-mapped predictor of
+    /// `entries` rows, each a partial tag (16 bits), last-access timestamp
+    /// (32 bits) and predicted distance (32 bits).
+    pub fn rdcb(&self, entries: u64) -> StorageCost {
+        let mut c = self.baseline();
+        c.extra_bits = entries * (16 + 32 + 32);
+        c
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +298,61 @@ mod tests {
         // 0.35% claimed vs 0.17% for plain AVGCC: about 2x.
         let ratio = qos.overhead_fraction() / plain.overhead_fraction();
         assert!((1.5..2.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn sidecar_rows_are_isolated_and_round_trip() {
+        let mut s = SidecarSlab::new(4, 3);
+        assert_eq!(s.rows(), 4);
+        assert_eq!(s.words_per_row(), 3);
+        s.row_mut(1).copy_from_slice(&[7, 8, 9]);
+        s.row_mut(3)[2] = 0xDEAD;
+        assert_eq!(s.row(0), &[0, 0, 0]);
+        assert_eq!(s.row(1), &[7, 8, 9]);
+        assert_eq!(s.row(3), &[0, 0, 0xDEAD]);
+
+        let mut w = cmp_snap::SnapWriter::new();
+        s.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = SidecarSlab::new(4, 3);
+        let mut r = cmp_snap::SnapReader::new(&bytes);
+        restored.load_state(&mut r).unwrap();
+        assert_eq!(restored, s);
+
+        // Shape mismatches are rejected, not silently truncated.
+        let mut wrong = SidecarSlab::new(4, 2);
+        let mut r = cmp_snap::SnapReader::new(&bytes);
+        assert!(wrong.load_state(&mut r).is_err());
+        let mut wrong_rows = SidecarSlab::new(5, 3);
+        let mut r = cmp_snap::SnapReader::new(&bytes);
+        assert!(wrong_rows.load_state(&mut r).is_err());
+
+        s.clear();
+        assert!(s.words().iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn new_policy_costs_stay_small() {
+        let m = paper_model();
+        // ARC's ghost directory holds a full tag per resident way (B1+B2),
+        // roughly doubling the tag store — by far the most expensive of the
+        // frontier, and the honest contrast with AVGCC's ~0.1% counters.
+        let arc = m.arc();
+        assert!(
+            arc.overhead_fraction() < 0.25,
+            "{}",
+            arc.overhead_fraction()
+        );
+        assert!(arc.extra_bits > m.avgcc(4096).extra_bits);
+        // A 4x16384 sketch of nibbles plus doorkeeper is ~34 kB on a 1 MB
+        // cache: a few percent, an order cheaper than ARC's ghosts.
+        let t = m.tinylfu(4, 16384);
+        assert_eq!(t.extra_bits, 4 * 16384 * 4 + 16384 + 32);
+        assert!(t.overhead_fraction() < 0.05);
+        assert!(t.extra_bits < arc.extra_bits / 4);
+        // A 4096-entry reuse-distance table is 40 kB.
+        let r = m.rdcb(4096);
+        assert_eq!(r.extra_bytes(), 4096 * 10);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! last observation).
 
 use ascc::{AsccConfig, AsccPolicy};
-use cmp_cache::{AccessOutcome, CoreId, LlcPolicy, SetIdx, SpillDecision};
+use cmp_cache::{AccessOutcome, CoreId, LlcPolicy, SetIdx, SpillDecision, SpillVictim};
 use proptest::prelude::*;
 
 const CORES: usize = 4;
@@ -31,8 +31,8 @@ proptest! {
             alloc.record_access(CoreId(core), SetIdx(set), AccessOutcome::Miss);
         }
         for &(core, set) in &misses {
-            let e = exact.spill_decision(CoreId(core), SetIdx(set), false);
-            let a = alloc.spill_decision(CoreId(core), SetIdx(set), false);
+            let e = exact.spill_decision(CoreId(core), SetIdx(set), SpillVictim::default());
+            let a = alloc.spill_decision(CoreId(core), SetIdx(set), SpillVictim::default());
             match (e, a) {
                 (SpillDecision::Spill(ej), SpillDecision::Spill(aj)) => {
                     // Possibly different caches, but equally good ones —
@@ -74,7 +74,7 @@ proptest! {
         for core in 0..CORES as u8 {
             for set in 0..SETS {
                 if let SpillDecision::Spill(j) =
-                    alloc.spill_decision(CoreId(core), SetIdx(set), false)
+                    alloc.spill_decision(CoreId(core), SetIdx(set), SpillVictim::default())
                 {
                     prop_assert_ne!(j, CoreId(core), "never spill to self");
                 }

@@ -1,7 +1,7 @@
 //! Long-horizon behavioural properties of AVGCC under randomized traffic.
 
 use ascc::{AvgccConfig, SetRole};
-use cmp_cache::{AccessOutcome, CoreId, LlcPolicy, SetIdx, SpillDecision};
+use cmp_cache::{AccessOutcome, CoreId, LlcPolicy, SetIdx, SpillDecision, SpillVictim};
 use proptest::prelude::*;
 
 const SETS: u32 = 64;
@@ -21,7 +21,7 @@ fn drive(policy: &mut ascc::AvgccPolicy, ops: &[(u8, u32, bool)], cores: usize) 
         };
         policy.record_access(core, set, outcome);
         // Exercise the spill path as the simulator would.
-        let _ = policy.spill_decision(core, set, false);
+        let _ = policy.spill_decision(core, set, SpillVictim::default());
         policy.on_cycle(core, (set.0 as u64) << 8);
     }
 }
@@ -64,7 +64,7 @@ proptest! {
         drive(&mut p, &ops, 2);
         for core in 0..2u8 {
             for set in 0..SETS {
-                let d = p.spill_decision(CoreId(core), SetIdx(set), false);
+                let d = p.spill_decision(CoreId(core), SetIdx(set), SpillVictim::default());
                 match d {
                     SpillDecision::NotSpiller => {
                         prop_assert_ne!(p.role(CoreId(core), SetIdx(set)), SetRole::Spiller);

@@ -159,6 +159,23 @@ impl OracleCache {
         self.sets[set].lines[way]
     }
 
+    /// The recency order of `set`, way indices most- to least-recently
+    /// used (always a full permutation of `0..ways`).
+    pub fn order(&self, set: usize) -> &[u16] {
+        &self.sets[set].order
+    }
+
+    /// First invalid way of `set` in way order, if any (the optimized
+    /// engine's `SetRef::invalid_way`).
+    pub fn invalid_way(&self, set: usize) -> Option<usize> {
+        self.sets[set].lines.iter().position(|l| l.is_none())
+    }
+
+    /// Number of valid lines in `set`.
+    pub fn valid_count(&self, set: usize) -> usize {
+        self.sets[set].lines.iter().filter(|l| l.is_some()).count()
+    }
+
     /// Recency depth of `way` in its set (0 = MRU).
     pub fn depth_of(&self, set: usize, way: usize) -> usize {
         self.sets[set]

@@ -32,8 +32,9 @@ mod system;
 
 pub use cache::{OracleCache, OracleFill, OracleLine, OracleMesi, OraclePos, OracleStats};
 pub use policy::{
-    OracleAscc, OracleAsccConfig, OracleAvgcc, OracleAvgccConfig, OracleCapacity, OraclePolicy,
-    OraclePolicyConfig, OracleSelection, OracleSpill,
+    OracleArc, OracleArcConfig, OracleAscc, OracleAsccConfig, OracleAvgcc, OracleAvgccConfig,
+    OracleCapacity, OraclePolicy, OraclePolicyConfig, OracleRdcb, OracleRdcbConfig,
+    OracleSelection, OracleSpill, OracleTinyLfu, OracleTinyLfuConfig,
 };
 pub use snapshot::{diff_snapshots, CacheSnap, CoreSnap, LineSnap, PolicySnap, SetSnap, SysSnap};
 pub use system::{OracleConfig, OracleCpu, OracleSystem};

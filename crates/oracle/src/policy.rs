@@ -115,6 +115,42 @@ pub struct OracleAvgccConfig {
     pub seed: u64,
 }
 
+/// Literal per-set ARC configuration (Megiddo & Modha, FAST 2003), run
+/// independently in every `(core, set)` pair.
+#[derive(Clone, Copy, Debug)]
+pub struct OracleArcConfig {
+    /// Cores / private LLCs.
+    pub cores: usize,
+    /// Sets per LLC.
+    pub sets: u32,
+    /// Associativity (the per-set ARC capacity `c`).
+    pub ways: u16,
+}
+
+/// Literal TinyLFU admission-filter configuration (Einziger, Friedman &
+/// Manes, ACM ToS 2017) over the plain private-LRU baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct OracleTinyLfuConfig {
+    /// Counters per sketch row (power of two).
+    pub width: u32,
+    /// Sketch rows, `1..=8`.
+    pub depth: u32,
+    /// Observations between halving resets.
+    pub sample_period: u64,
+}
+
+/// Literal RD-CB configuration: reuse-distance clean-line copy-back
+/// refining ASCC's spill decision.
+#[derive(Clone, Copy, Debug)]
+pub struct OracleRdcbConfig {
+    /// The wrapped ASCC configuration.
+    pub ascc: OracleAsccConfig,
+    /// Predictor rows per core (power of two).
+    pub entries: u32,
+    /// Copy-back reuse-distance threshold.
+    pub threshold: u64,
+}
+
 /// Which policy the oracle system runs.
 #[derive(Clone, Copy, Debug)]
 pub enum OraclePolicyConfig {
@@ -122,6 +158,12 @@ pub enum OraclePolicyConfig {
     Ascc(OracleAsccConfig),
     /// AVGCC or QoS-AVGCC.
     Avgcc(OracleAvgccConfig),
+    /// Per-set ARC.
+    Arc(OracleArcConfig),
+    /// TinyLFU admission over the private-LRU baseline.
+    TinyLfu(OracleTinyLfuConfig),
+    /// Reuse-distance copy-back over ASCC.
+    Rdcb(OracleRdcbConfig),
 }
 
 /// Outcome of offering an evicted last copy to the policy.
@@ -532,6 +574,462 @@ impl OracleAvgcc {
     }
 }
 
+/// Ghost-hit classification of an in-flight miss (mirrors the optimized
+/// policy's per-core pending latch).
+const ARC_FRESH: u8 = 0;
+const ARC_B1: u8 = 1;
+const ARC_B2: u8 = 2;
+
+/// One `(core, set)` ARC directory entry, the naive way: a membership flag
+/// per way and two plain ghost-tag vectors (index 0 = MRU).
+#[derive(Debug)]
+struct OracleArcSet {
+    /// `t2[w]`: way `w` belongs to T2 (seen at least twice); clear = T1.
+    t2: Vec<bool>,
+    b1: Vec<u64>,
+    b2: Vec<u64>,
+    /// Adaptive target size of T1, `0..=ways`.
+    p: u16,
+}
+
+/// Pushes `addr` at the MRU end of a ghost list capped at `cap` entries,
+/// dropping the LRU entry first when full.
+fn ghost_push(list: &mut Vec<u64>, cap: usize, addr: u64) {
+    if list.len() >= cap {
+        list.truncate(cap - 1);
+    }
+    list.insert(0, addr);
+}
+
+/// The transcribed per-set ARC policy. Decision-identical to the optimized
+/// `ascc::ArcPolicy`: same pending-latch discipline, same DBL(2c)
+/// trimming (including the case-IV-A discard without a ghost), same
+/// REPLACE(p) rule over the recency order filtered by T1/T2 membership.
+/// ARC never spills and draws no randomness.
+#[derive(Debug)]
+pub struct OracleArc {
+    cfg: OracleArcConfig,
+    /// `sets[core][set]`.
+    sets: Vec<Vec<OracleArcSet>>,
+    /// Ghost classification of the in-flight miss, per core.
+    pending: Vec<u8>,
+    b1_hits: u64,
+    b2_hits: u64,
+}
+
+impl OracleArc {
+    /// Builds the policy with empty lists and `p = 0` everywhere.
+    pub fn new(cfg: OracleArcConfig) -> Self {
+        OracleArc {
+            sets: (0..cfg.cores)
+                .map(|_| {
+                    (0..cfg.sets)
+                        .map(|_| OracleArcSet {
+                            t2: vec![false; cfg.ways as usize],
+                            b1: Vec::new(),
+                            b2: Vec::new(),
+                            p: 0,
+                        })
+                        .collect()
+                })
+                .collect(),
+            pending: vec![ARC_FRESH; cfg.cores],
+            b1_hits: 0,
+            b2_hits: 0,
+            cfg,
+        }
+    }
+
+    /// Address-carrying access notification: hits promote the touched way
+    /// to T2; misses classify against the ghost lists and move `p`.
+    pub fn note_access(&mut self, core: usize, set: u32, line: u64, hit: bool, way: Option<usize>) {
+        let k = self.cfg.ways as u64;
+        let s = &mut self.sets[core][set as usize];
+        if hit {
+            if let Some(w) = way {
+                s.t2[w] = true;
+            }
+            return;
+        }
+        if let Some(pos) = s.b1.iter().position(|&t| t == line) {
+            // Case II: hit in B1 -> grow the recency target.
+            self.b1_hits += 1;
+            let delta = ((s.b2.len() as u64) / (s.b1.len() as u64)).max(1);
+            s.p = ((s.p as u64 + delta).min(k)) as u16;
+            s.b1.remove(pos);
+            self.pending[core] = ARC_B1;
+        } else if let Some(pos) = s.b2.iter().position(|&t| t == line) {
+            // Case III: hit in B2 -> grow the frequency target.
+            self.b2_hits += 1;
+            let delta = ((s.b1.len() as u64) / (s.b2.len() as u64)).max(1);
+            s.p = (s.p as u64).saturating_sub(delta) as u16;
+            s.b2.remove(pos);
+            self.pending[core] = ARC_B2;
+        } else {
+            // Case IV: a completely fresh line.
+            self.pending[core] = ARC_FRESH;
+        }
+    }
+
+    /// ARC's victim choice for a fill into `core`'s `set` of `cache`.
+    pub fn choose_victim(
+        &mut self,
+        core: usize,
+        set: usize,
+        kind: crate::OracleFill,
+        cache: &crate::OracleCache,
+    ) -> usize {
+        let demand = kind == crate::OracleFill::Demand;
+        let pending = if demand {
+            std::mem::replace(&mut self.pending[core], ARC_FRESH)
+        } else {
+            ARC_FRESH
+        };
+        let k = self.cfg.ways as usize;
+        if let Some(w) = cache.invalid_way(set) {
+            // Coherence invalidations open holes classic ARC never sees;
+            // fill them without evicting. Ghost hits still enter as T2.
+            self.sets[core][set].t2[w] = demand && pending != ARC_FRESH;
+            return w;
+        }
+        if !demand {
+            // Spilled-in lines have no ARC history; treat them as
+            // single-touch (T1) residents at the LRU way, remembering the
+            // displaced line in its list's ghost.
+            let w = cache.default_victim(set);
+            let s = &mut self.sets[core][set];
+            if let Some(victim) = cache.line(set, w) {
+                if s.t2[w] {
+                    ghost_push(&mut s.b2, k, victim.addr);
+                } else {
+                    ghost_push(&mut s.b1, k, victim.addr);
+                }
+            }
+            s.t2[w] = false;
+            return w;
+        }
+
+        let s = &mut self.sets[core][set];
+        let valid_count = cache.valid_count(set);
+        let t1_size = (0..k)
+            .filter(|&w| cache.line(set, w).is_some() && !s.t2[w])
+            .count();
+        // Each list's LRU: the deepest way of the recency order that is
+        // valid and carries the list's membership flag.
+        let t1_lru = cache
+            .order(set)
+            .iter()
+            .rev()
+            .map(|&w| w as usize)
+            .find(|&w| cache.line(set, w).is_some() && !s.t2[w]);
+        let t2_lru = cache
+            .order(set)
+            .iter()
+            .rev()
+            .map(|&w| w as usize)
+            .find(|&w| cache.line(set, w).is_some() && s.t2[w]);
+
+        // DBL(2c) directory trimming (paper's case IV), fresh misses only:
+        // ghost hits already freed a slot in their own list.
+        let mut push_ghost = true;
+        if pending == ARC_FRESH {
+            if t1_size + s.b1.len() >= k {
+                if !s.b1.is_empty() {
+                    s.b1.pop();
+                } else {
+                    // |T1| == c and B1 empty: ARC discards the T1 LRU
+                    // without remembering it.
+                    push_ghost = false;
+                }
+            } else if valid_count + s.b1.len() + s.b2.len() >= 2 * k && !s.b2.is_empty() {
+                s.b2.pop();
+            }
+        }
+
+        // REPLACE(p): evict the T1 LRU when T1 exceeds its target (or a B2
+        // hit demands frequency room at the boundary), else the T2 LRU.
+        let evict_t1 = match (t1_lru, t2_lru) {
+            (Some(_), None) => true,
+            (None, _) => false,
+            (Some(_), Some(_)) => {
+                t1_size > s.p as usize || (pending == ARC_B2 && t1_size == s.p as usize)
+            }
+        };
+        let way = if evict_t1 {
+            t1_lru.expect("T1 nonempty")
+        } else {
+            t2_lru.expect("full set has a T2 line")
+        };
+        if push_ghost {
+            let victim = cache.line(set, way).expect("victim is valid").addr;
+            if evict_t1 {
+                ghost_push(&mut s.b1, k, victim);
+            } else {
+                ghost_push(&mut s.b2, k, victim);
+            }
+        }
+        // The newcomer joins T2 exactly when it was a ghost hit.
+        s.t2[way] = pending != ARC_FRESH;
+        way
+    }
+
+    fn snap(&self) -> PolicySnap {
+        PolicySnap::Arc {
+            p: self
+                .sets
+                .iter()
+                .map(|c| c.iter().map(|s| s.p).collect())
+                .collect(),
+            t2: self
+                .sets
+                .iter()
+                .map(|c| {
+                    c.iter()
+                        .map(|s| {
+                            s.t2.iter()
+                                .enumerate()
+                                .fold(0u16, |m, (w, &b)| m | (b as u16) << w)
+                        })
+                        .collect()
+                })
+                .collect(),
+            b1: self
+                .sets
+                .iter()
+                .map(|c| c.iter().map(|s| s.b1.clone()).collect())
+                .collect(),
+            b2: self
+                .sets
+                .iter()
+                .map(|c| c.iter().map(|s| s.b2.clone()).collect())
+                .collect(),
+            ghost_hits: (self.b1_hits, self.b2_hits),
+        }
+    }
+}
+
+/// Per-row seed constants of the count-min sketch rows — the same fixed
+/// constants as the optimized filter; they are part of the policy's
+/// specified behavior, not an implementation detail.
+const TINYLFU_ROW_SEEDS: [u64; 8] = [
+    0x9e37_79b9_7f4a_7c15,
+    0xc2b2_ae3d_27d4_eb4f,
+    0x1656_67b1_9e37_79f9,
+    0x27d4_eb2f_1656_67c5,
+    0xff51_afd7_ed55_8ccd,
+    0xc4ce_b9fe_1a85_ec53,
+    0x8538_ecb5_bd45_6ea3,
+    0x2545_f491_4f6c_dd1d,
+];
+
+/// Doorkeeper bloom-bit seed.
+const TINYLFU_DOORKEEPER_SEED: u64 = 0x5851_f42d_4c95_7f2d;
+
+/// SplitMix64 finalizer, transcribed.
+fn tinylfu_mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// The transcribed TinyLFU admission filter over the plain private-LRU
+/// baseline: counters are a `Vec<Vec<u8>>` count-min sketch (values
+/// saturating at 15) behind a `Vec<bool>` doorkeeper, halved and cleared
+/// every `sample_period` observations. Eviction, insertion and spilling
+/// are the baseline's (LRU victim, MRU insert, never spill).
+#[derive(Debug)]
+pub struct OracleTinyLfu {
+    cfg: OracleTinyLfuConfig,
+    /// `counters[row][col]`, each `0..=15`.
+    counters: Vec<Vec<u8>>,
+    doorkeeper: Vec<bool>,
+    samples: u64,
+    resets: u64,
+    admissions: u64,
+    rejections: u64,
+}
+
+impl OracleTinyLfu {
+    /// Builds the filter with a cold sketch.
+    pub fn new(cfg: OracleTinyLfuConfig) -> Self {
+        OracleTinyLfu {
+            counters: vec![vec![0; cfg.width as usize]; cfg.depth as usize],
+            doorkeeper: vec![false; cfg.width as usize],
+            samples: 0,
+            resets: 0,
+            admissions: 0,
+            rejections: 0,
+            cfg,
+        }
+    }
+
+    fn column(&self, row: usize, line: u64) -> usize {
+        (tinylfu_mix(line ^ TINYLFU_ROW_SEEDS[row]) & (self.cfg.width as u64 - 1)) as usize
+    }
+
+    fn doorkeeper_slot(&self, line: u64) -> usize {
+        (tinylfu_mix(line ^ TINYLFU_DOORKEEPER_SEED) & (self.cfg.width as u64 - 1)) as usize
+    }
+
+    fn estimate(&self, line: u64) -> u32 {
+        let sketch_min = (0..self.cfg.depth as usize)
+            .map(|row| self.counters[row][self.column(row, line)] as u32)
+            .min()
+            .unwrap_or(0);
+        sketch_min + self.doorkeeper[self.doorkeeper_slot(line)] as u32
+    }
+
+    /// Every L2 access feeds the sketch: first sight in a window sets the
+    /// doorkeeper bit, recurrences bump every row; the window's end halves
+    /// everything.
+    pub fn note_access(&mut self, line: u64) {
+        let slot = self.doorkeeper_slot(line);
+        if self.doorkeeper[slot] {
+            for row in 0..self.cfg.depth as usize {
+                let col = self.column(row, line);
+                if self.counters[row][col] < 15 {
+                    self.counters[row][col] += 1;
+                }
+            }
+        } else {
+            self.doorkeeper[slot] = true;
+        }
+        self.samples += 1;
+        if self.samples >= self.cfg.sample_period {
+            for row in &mut self.counters {
+                for c in row {
+                    *c >>= 1;
+                }
+            }
+            self.doorkeeper.iter_mut().for_each(|b| *b = false);
+            self.samples = 0;
+            self.resets += 1;
+        }
+    }
+
+    /// The admission test: a free way always admits; otherwise the
+    /// candidate must *strictly* beat the line the default victim choice
+    /// would displace.
+    pub fn admit_fill(&mut self, line: u64, set: usize, cache: &crate::OracleCache) -> bool {
+        let victim = cache.line(set, cache.default_victim(set));
+        let Some(victim) = victim else {
+            self.admissions += 1;
+            return true;
+        };
+        if self.estimate(line) > self.estimate(victim.addr) {
+            self.admissions += 1;
+            true
+        } else {
+            self.rejections += 1;
+            false
+        }
+    }
+
+    fn snap(&self) -> PolicySnap {
+        PolicySnap::TinyLfu {
+            sketch: self.counters.clone(),
+            doorkeeper: self.doorkeeper.clone(),
+            samples: self.samples,
+            resets: self.resets,
+            admissions: self.admissions,
+            rejections: self.rejections,
+        }
+    }
+}
+
+/// Sentinel distance for "seen once, no distance yet" (matches the
+/// optimized predictor's encoding so snapshots compare bit-for-bit).
+const RDCB_DIST_UNKNOWN: u64 = u64::MAX;
+
+/// The transcribed RD-CB refinement: plain ASCC plus a direct-mapped
+/// per-core reuse-distance predictor (`[tag+1, last stamp, distance]`
+/// rows) that forwards clean, short-distance victims to the receiver
+/// ASCC's own scan picks — consuming the same RNG draws in the same order.
+#[derive(Debug)]
+pub struct OracleRdcb {
+    cfg: OracleRdcbConfig,
+    ascc: OracleAscc,
+    /// `table[core][slot]` = `[tag+1, last stamp, distance]`.
+    table: Vec<Vec<[u64; 3]>>,
+    clock: Vec<u64>,
+    copy_backs: u64,
+}
+
+impl OracleRdcb {
+    /// Builds the refinement over a fresh ASCC.
+    pub fn new(cfg: OracleRdcbConfig) -> Self {
+        OracleRdcb {
+            ascc: OracleAscc::new(cfg.ascc),
+            table: vec![vec![[0; 3]; cfg.entries as usize]; cfg.ascc.cores],
+            clock: vec![0; cfg.ascc.cores],
+            copy_backs: 0,
+            cfg,
+        }
+    }
+
+    fn slot(&self, line: u64) -> usize {
+        ((line ^ (line >> 20)) & (self.cfg.entries as u64 - 1)) as usize
+    }
+
+    /// Predictor update on every L2 access by `core`.
+    pub fn note_access(&mut self, core: usize, line: u64) {
+        let now = self.clock[core];
+        self.clock[core] += 1;
+        let slot = self.slot(line);
+        let row = &mut self.table[core][slot];
+        if row[0] == line.wrapping_add(1) {
+            row[2] = now - row[1];
+            row[1] = now;
+        } else {
+            row[0] = line.wrapping_add(1);
+            row[1] = now;
+            row[2] = RDCB_DIST_UNKNOWN;
+        }
+    }
+
+    fn would_copy_back(&self, core: usize, line: u64) -> bool {
+        let row = &self.table[core][self.slot(line)];
+        row[0] == line.wrapping_add(1)
+            && row[2] != RDCB_DIST_UNKNOWN
+            && row[2] <= self.cfg.threshold
+    }
+
+    /// ASCC decides first (its spill is final); a clean victim with a
+    /// short predicted reuse distance is then copied back to the receiver
+    /// the same allocator scan chooses.
+    pub fn spill_decision(&mut self, from: usize, set: u32, addr: u64, dirty: bool) -> OracleSpill {
+        let base = self.ascc.spill_decision(from, set);
+        if matches!(base, OracleSpill::Spill(_)) {
+            return base;
+        }
+        if !dirty && self.would_copy_back(from, addr) {
+            if let Some(to) = self.ascc.find_receiver(from, set) {
+                self.copy_backs += 1;
+                return OracleSpill::Spill(to);
+            }
+        }
+        base
+    }
+
+    fn snap(&self) -> PolicySnap {
+        PolicySnap::Rdcb {
+            ssl: self.ascc.ssl.clone(),
+            bip: self.ascc.bip.clone(),
+            activations: self.ascc.activations,
+            predictor: self
+                .table
+                .iter()
+                .map(|c| c.iter().map(|r| (r[0], r[1], r[2])).collect())
+                .collect(),
+            clock: self.clock.clone(),
+            copy_backs: self.copy_backs,
+        }
+    }
+}
+
 /// Either transcribed policy behind one dispatch surface for the system.
 #[derive(Debug)]
 pub enum OraclePolicy {
@@ -539,6 +1037,12 @@ pub enum OraclePolicy {
     Ascc(OracleAscc),
     /// AVGCC or QoS-AVGCC.
     Avgcc(OracleAvgcc),
+    /// Per-set ARC.
+    Arc(OracleArc),
+    /// TinyLFU admission over the private-LRU baseline.
+    TinyLfu(OracleTinyLfu),
+    /// Reuse-distance copy-back over ASCC.
+    Rdcb(OracleRdcb),
 }
 
 impl OraclePolicy {
@@ -547,6 +1051,9 @@ impl OraclePolicy {
         match cfg {
             OraclePolicyConfig::Ascc(c) => OraclePolicy::Ascc(OracleAscc::new(c)),
             OraclePolicyConfig::Avgcc(c) => OraclePolicy::Avgcc(OracleAvgcc::new(c)),
+            OraclePolicyConfig::Arc(c) => OraclePolicy::Arc(OracleArc::new(c)),
+            OraclePolicyConfig::TinyLfu(c) => OraclePolicy::TinyLfu(OracleTinyLfu::new(c)),
+            OraclePolicyConfig::Rdcb(c) => OraclePolicy::Rdcb(OracleRdcb::new(c)),
         }
     }
 
@@ -555,6 +1062,45 @@ impl OraclePolicy {
         match self {
             OraclePolicy::Ascc(p) => p.record_access(core, set, hit),
             OraclePolicy::Avgcc(p) => p.record_access(core, set, hit),
+            OraclePolicy::Arc(_) | OraclePolicy::TinyLfu(_) => {}
+            OraclePolicy::Rdcb(p) => p.ascc.record_access(core, set, hit),
+        }
+    }
+
+    /// Address-carrying access notification, called right after
+    /// [`record_access`](Self::record_access) with the same outcome plus
+    /// the line and — on a hit — the way it was found in (pre-promotion).
+    pub fn note_access(&mut self, core: usize, set: u32, line: u64, hit: bool, way: Option<usize>) {
+        match self {
+            OraclePolicy::Ascc(_) | OraclePolicy::Avgcc(_) => {}
+            OraclePolicy::Arc(p) => p.note_access(core, set, line, hit, way),
+            OraclePolicy::TinyLfu(p) => p.note_access(line),
+            OraclePolicy::Rdcb(p) => p.note_access(core, line),
+        }
+    }
+
+    /// Whether an off-chip fetch may enter `core`'s `set` (TinyLFU's gate;
+    /// everything else admits unconditionally).
+    pub fn admit_fill(&mut self, set: usize, line: u64, cache: &crate::OracleCache) -> bool {
+        match self {
+            OraclePolicy::TinyLfu(p) => p.admit_fill(line, set, cache),
+            _ => true,
+        }
+    }
+
+    /// Victim way for a fill of `kind` into `core`'s `set` of `cache`:
+    /// ARC's REPLACE(p) choice, everyone else the first invalid way then
+    /// the LRU way.
+    pub fn choose_victim(
+        &mut self,
+        core: usize,
+        set: usize,
+        kind: crate::OracleFill,
+        cache: &crate::OracleCache,
+    ) -> usize {
+        match self {
+            OraclePolicy::Arc(p) => p.choose_victim(core, set, kind, cache),
+            _ => cache.default_victim(set),
         }
     }
 
@@ -563,19 +1109,24 @@ impl OraclePolicy {
         match self {
             OraclePolicy::Ascc(p) => p.demand_insert_pos(core, set),
             OraclePolicy::Avgcc(p) => p.demand_insert_pos(core, set),
+            OraclePolicy::Arc(_) | OraclePolicy::TinyLfu(_) => crate::OraclePos::Mru,
+            OraclePolicy::Rdcb(p) => p.ascc.demand_insert_pos(core, set),
         }
     }
 
-    /// Spill-fill insertion depth (both designs install spills at MRU).
+    /// Spill-fill insertion depth (every design installs spills at MRU).
     pub fn spill_insert_pos(&mut self) -> crate::OraclePos {
         crate::OraclePos::Mru
     }
 
-    /// Last-copy eviction decision.
-    pub fn spill_decision(&mut self, from: usize, set: u32) -> OracleSpill {
+    /// Last-copy eviction decision. `addr` and `dirty` describe the
+    /// victim; only RD-CB's copy-back refinement consults them.
+    pub fn spill_decision(&mut self, from: usize, set: u32, addr: u64, dirty: bool) -> OracleSpill {
         match self {
             OraclePolicy::Ascc(p) => p.spill_decision(from, set),
             OraclePolicy::Avgcc(p) => p.spill_decision(from, set),
+            OraclePolicy::Arc(_) | OraclePolicy::TinyLfu(_) => OracleSpill::NotSpiller,
+            OraclePolicy::Rdcb(p) => p.spill_decision(from, set, addr, dirty),
         }
     }
 
@@ -584,14 +1135,15 @@ impl OraclePolicy {
         match self {
             OraclePolicy::Ascc(p) => p.cfg.swap,
             OraclePolicy::Avgcc(p) => p.cfg.swap,
+            OraclePolicy::Arc(_) | OraclePolicy::TinyLfu(_) => false,
+            OraclePolicy::Rdcb(p) => p.cfg.ascc.swap,
         }
     }
 
     /// Clock notification (QoS epochs only).
     pub fn on_cycle(&mut self, core: usize, cycles: u64) {
-        match self {
-            OraclePolicy::Ascc(_) => {}
-            OraclePolicy::Avgcc(p) => p.on_cycle(core, cycles),
+        if let OraclePolicy::Avgcc(p) = self {
+            p.on_cycle(core, cycles)
         }
     }
 
@@ -600,6 +1152,9 @@ impl OraclePolicy {
         match self {
             OraclePolicy::Ascc(p) => p.snap(),
             OraclePolicy::Avgcc(p) => p.snap(),
+            OraclePolicy::Arc(p) => p.snap(),
+            OraclePolicy::TinyLfu(p) => p.snap(),
+            OraclePolicy::Rdcb(p) => p.snap(),
         }
     }
 }

@@ -99,6 +99,49 @@ pub enum PolicySnap {
         /// Total granularity changes across all cores.
         granularity_changes: u64,
     },
+    /// Per-set ARC.
+    Arc {
+        /// `p[core][set]`: adaptive T1 target.
+        p: Vec<Vec<u16>>,
+        /// `t2[core][set]`: T2 membership bitmask over the ways.
+        t2: Vec<Vec<u16>>,
+        /// `b1[core][set]`: B1 ghost tags, MRU first.
+        b1: Vec<Vec<Vec<u64>>>,
+        /// `b2[core][set]`: B2 ghost tags, MRU first.
+        b2: Vec<Vec<Vec<u64>>>,
+        /// Total `(B1, B2)` ghost hits.
+        ghost_hits: (u64, u64),
+    },
+    /// TinyLFU admission over the private-LRU baseline.
+    TinyLfu {
+        /// `sketch[row][col]`: 4-bit count-min counters.
+        sketch: Vec<Vec<u8>>,
+        /// Doorkeeper bloom bits.
+        doorkeeper: Vec<bool>,
+        /// Observations in the current sample window.
+        samples: u64,
+        /// Halving resets performed.
+        resets: u64,
+        /// Fills admitted.
+        admissions: u64,
+        /// Fills rejected (bypassed).
+        rejections: u64,
+    },
+    /// Reuse-distance copy-back over ASCC.
+    Rdcb {
+        /// `ssl[core][counter]` of the wrapped ASCC.
+        ssl: Vec<Vec<u16>>,
+        /// `bip[core][counter]` of the wrapped ASCC.
+        bip: Vec<Vec<bool>>,
+        /// ASCC capacity activations.
+        activations: u64,
+        /// `predictor[core][slot]` = `(tag+1, last stamp, distance)`.
+        predictor: Vec<Vec<(u64, u64, u64)>>,
+        /// Per-core L2-access clocks.
+        clock: Vec<u64>,
+        /// Clean-victim copy-backs performed.
+        copy_backs: u64,
+    },
 }
 
 /// Full architectural state of one engine at a checkpoint.
@@ -225,6 +268,131 @@ fn diff_policy(a: &PolicySnap, b: &PolicySnap) -> Option<String> {
             }
             if ga != gb {
                 return Some(format!("granularity changes: oracle {ga}, real {gb}"));
+            }
+            None
+        }
+        (
+            PolicySnap::Arc {
+                p: pa,
+                t2: ta,
+                b1: b1a,
+                b2: b2a,
+                ghost_hits: ga,
+            },
+            PolicySnap::Arc {
+                p: pb,
+                t2: tb,
+                b1: b1b,
+                b2: b2b,
+                ghost_hits: gb,
+            },
+        ) => {
+            if pa != pb {
+                return Some(format!("ARC p targets: oracle {pa:?}, real {pb:?}"));
+            }
+            if ta != tb {
+                return Some(format!("ARC T2 masks: oracle {ta:?}, real {tb:?}"));
+            }
+            if b1a != b1b {
+                return Some(format!("ARC B1 ghosts: oracle {b1a:?}, real {b1b:?}"));
+            }
+            if b2a != b2b {
+                return Some(format!("ARC B2 ghosts: oracle {b2a:?}, real {b2b:?}"));
+            }
+            if ga != gb {
+                return Some(format!("ARC ghost hits: oracle {ga:?}, real {gb:?}"));
+            }
+            None
+        }
+        (
+            PolicySnap::TinyLfu {
+                sketch: ka,
+                doorkeeper: da,
+                samples: sa,
+                resets: ra,
+                admissions: aa,
+                rejections: ja,
+            },
+            PolicySnap::TinyLfu {
+                sketch: kb,
+                doorkeeper: db,
+                samples: sb,
+                resets: rb,
+                admissions: ab,
+                rejections: jb,
+            },
+        ) => {
+            if ka != kb {
+                for (row, (xa, xb)) in ka.iter().zip(kb).enumerate() {
+                    for (col, (ca, cb)) in xa.iter().zip(xb).enumerate() {
+                        if ca != cb {
+                            return Some(format!(
+                                "TinyLFU sketch[{row}][{col}]: oracle {ca}, real {cb}"
+                            ));
+                        }
+                    }
+                }
+            }
+            if da != db {
+                return Some("TinyLFU doorkeeper bits differ".to_string());
+            }
+            if (sa, ra) != (sb, rb) {
+                return Some(format!(
+                    "TinyLFU (samples, resets): oracle ({sa}, {ra}), real ({sb}, {rb})"
+                ));
+            }
+            if (aa, ja) != (ab, jb) {
+                return Some(format!(
+                    "TinyLFU (admissions, rejections): oracle ({aa}, {ja}), real ({ab}, {jb})"
+                ));
+            }
+            None
+        }
+        (
+            PolicySnap::Rdcb {
+                ssl: sa,
+                bip: ba,
+                activations: aa,
+                predictor: pa,
+                clock: ca,
+                copy_backs: cba,
+            },
+            PolicySnap::Rdcb {
+                ssl: sb,
+                bip: bb,
+                activations: ab,
+                predictor: pb,
+                clock: cb,
+                copy_backs: cbb,
+            },
+        ) => {
+            if sa != sb {
+                return Some(format!("RD-CB SSL counters: oracle {sa:?}, real {sb:?}"));
+            }
+            if ba != bb {
+                return Some(format!("RD-CB BIP flags: oracle {ba:?}, real {bb:?}"));
+            }
+            if aa != ab {
+                return Some(format!(
+                    "RD-CB capacity activations: oracle {aa}, real {ab}"
+                ));
+            }
+            if ca != cb {
+                return Some(format!("RD-CB access clocks: oracle {ca:?}, real {cb:?}"));
+            }
+            if pa != pb {
+                for (core, (xa, xb)) in pa.iter().zip(pb).enumerate() {
+                    for (slot, (ra, rb)) in xa.iter().zip(xb).enumerate() {
+                        if ra != rb {
+                            return Some(format!(
+                                "RD-CB predictor[{core}][{slot}]: oracle {ra:?}, real {rb:?}"
+                            ));
+                        }
+                    }
+                }
+            }
+            if cba != cbb {
+                return Some(format!("RD-CB copy-backs: oracle {cba}, real {cbb}"));
             }
             None
         }

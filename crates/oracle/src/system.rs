@@ -259,20 +259,22 @@ impl OracleSystem {
             }
             0
         } else {
-            let lat = self.l2_access(core, line, store);
-            let set = self.l1[core].set_of(line);
-            let way = self.l1[core].default_victim(set);
-            self.l1[core].fill(
-                set,
-                way,
-                OracleLine {
-                    addr: line,
-                    state: OracleMesi::Exclusive,
-                    spilled: false,
-                },
-                crate::OraclePos::Mru,
-                OracleFill::Demand,
-            );
+            let (lat, fill_l1) = self.l2_access(core, line, store);
+            if fill_l1 {
+                let set = self.l1[core].set_of(line);
+                let way = self.l1[core].default_victim(set);
+                self.l1[core].fill(
+                    set,
+                    way,
+                    OracleLine {
+                        addr: line,
+                        state: OracleMesi::Exclusive,
+                        spilled: false,
+                    },
+                    crate::OraclePos::Mru,
+                    OracleFill::Demand,
+                );
+            }
             lat
         };
         let c = &mut self.cores[core];
@@ -283,7 +285,10 @@ impl OracleSystem {
         self.policy.on_cycle(core, clock);
     }
 
-    fn l2_access(&mut self, core: usize, line: u64, store: bool) -> u32 {
+    /// One L2 access; returns its latency and whether the line should be
+    /// filled into the L1 (`false` only when an admission filter bypassed
+    /// the hierarchy for this fetch).
+    fn l2_access(&mut self, core: usize, line: u64, store: bool) -> (u32, bool) {
         let set = self.l2[core].set_of(line);
         self.cores[core].counters.l2_accesses += 1;
 
@@ -295,16 +300,19 @@ impl OracleSystem {
                 self.spill_hits += 1;
             }
             self.policy.record_access(core, set as u32, true);
+            self.policy
+                .note_access(core, set as u32, line, true, Some(w));
             if store {
                 self.upgrade_for_store(core, line);
             }
             self.cores[core].counters.l2_local_hits += 1;
-            return self.cfg.lat_l2_local;
+            return (self.cfg.lat_l2_local, true);
         }
 
         // Miss.
         self.l2[core].access(line);
         self.policy.record_access(core, set as u32, false);
+        self.policy.note_access(core, set as u32, line, false, None);
         let requested_last_copy = self.holders(line).len() == 1;
 
         let remote = if store {
@@ -328,7 +336,8 @@ impl OracleSystem {
             hit
         };
 
-        match remote {
+        let mut fill_l1 = true;
+        let latency = match remote {
             Some(hit) => {
                 self.cores[core].counters.l2_remote_hits += 1;
                 let was_spilled = hit.line.spilled;
@@ -370,13 +379,20 @@ impl OracleSystem {
                 } else {
                     self.bus_fetch_state(core, line)
                 };
-                let evicted = self.fill_l2(core, set, line, state, false, OracleFill::Demand);
-                if let Some(v) = evicted {
-                    self.dispose(core, set, v);
+                // Admission gate (TinyLFU-style filters): a rejected fetch
+                // is delivered to the core but enters neither cache level.
+                if self.policy.admit_fill(set, line, &self.l2[core]) {
+                    let evicted = self.fill_l2(core, set, line, state, false, OracleFill::Demand);
+                    if let Some(v) = evicted {
+                        self.dispose(core, set, v);
+                    }
+                } else {
+                    fill_l1 = false;
                 }
                 self.cfg.lat_mem
             }
-        }
+        };
+        (latency, fill_l1)
     }
 
     /// A store hitting a non-Modified line: upgrade, invalidating remote
@@ -409,7 +425,7 @@ impl OracleSystem {
         spilled: bool,
         kind: OracleFill,
     ) -> Option<OracleLine> {
-        let way = self.l2[core].default_victim(set);
+        let way = self.policy.choose_victim(core, set, kind, &self.l2[core]);
         let pos = match kind {
             OracleFill::Spill => self.policy.spill_insert_pos(),
             OracleFill::Demand => self.policy.demand_insert_pos(core, set as u32),
@@ -435,7 +451,10 @@ impl OracleSystem {
         if !last_copy {
             return;
         }
-        match self.policy.spill_decision(core, set as u32) {
+        match self
+            .policy
+            .spill_decision(core, set as u32, v.addr, v.state.is_dirty())
+        {
             OracleSpill::Spill(to) => {
                 let evicted = self.fill_l2(to, set, v.addr, v.state, true, OracleFill::Spill);
                 self.spills += 1;

@@ -28,7 +28,7 @@ use crate::config::SystemConfig;
 use crate::metrics::{CoreResult, RunResult};
 use cmp_cache::{
     AccessKind, AccessOutcome, Addr, CacheLine, CoreId, FillKind, InsertPos, LineAddr, LlcPolicy,
-    MesiState, NullProbe, ObsEvent, ObsProbe, SetAssocCache, SetIdx, SpillDecision,
+    MesiState, NullProbe, ObsEvent, ObsProbe, SetAssocCache, SetIdx, SpillDecision, SpillVictim,
     StridePrefetcher,
 };
 use cmp_coherence::{CoherenceFabric, Fabric, ReadPolicy};
@@ -767,16 +767,18 @@ impl<P: ObsProbe> CmpSystem<P> {
             }
             0
         } else {
-            let lat = self.l2_access(i, line, kind, stream);
-            let set = self.cfg.l1.set_of(line);
-            let way = self.l1s[i].set(set).default_victim();
-            self.l1s[i].fill(
-                set,
-                way,
-                CacheLine::demand(line, MesiState::Exclusive),
-                InsertPos::Mru,
-                FillKind::Demand,
-            );
+            let (lat, fill_l1) = self.l2_access(i, line, kind, stream);
+            if fill_l1 {
+                let set = self.cfg.l1.set_of(line);
+                let way = self.l1s[i].set(set).default_victim();
+                self.l1s[i].fill(
+                    set,
+                    way,
+                    CacheLine::demand(line, MesiState::Exclusive),
+                    InsertPos::Mru,
+                    FillKind::Demand,
+                );
+            }
             lat
         };
         if !kind.is_store() && latency > 0 {
@@ -1022,17 +1024,19 @@ impl<P: ObsProbe> CmpSystem<P> {
             }
             0
         } else {
-            let lat = self.l2_access(i, line, acc.kind, acc.stream);
-            // Fill L1 (evictions are silent: write-through keeps L1 clean).
-            let set = self.cfg.l1.set_of(line);
-            let way = self.l1s[i].set(set).default_victim();
-            self.l1s[i].fill(
-                set,
-                way,
-                CacheLine::demand(line, MesiState::Exclusive),
-                InsertPos::Mru,
-                FillKind::Demand,
-            );
+            let (lat, fill_l1) = self.l2_access(i, line, acc.kind, acc.stream);
+            if fill_l1 {
+                // Fill L1 (evictions are silent: write-through keeps L1 clean).
+                let set = self.cfg.l1.set_of(line);
+                let way = self.l1s[i].set(set).default_victim();
+                self.l1s[i].fill(
+                    set,
+                    way,
+                    CacheLine::demand(line, MesiState::Exclusive),
+                    InsertPos::Mru,
+                    FillKind::Demand,
+                );
+            }
             lat
         };
         let c = &mut self.cores[i];
@@ -1102,8 +1106,16 @@ impl<P: ObsProbe> CmpSystem<P> {
         self.drain_buf = buf;
     }
 
-    /// One L2 access; returns its full (unoverlapped) latency in cycles.
-    fn l2_access(&mut self, i: usize, line: LineAddr, kind: AccessKind, stream: u16) -> u32 {
+    /// One L2 access; returns its full (unoverlapped) latency in cycles and
+    /// whether the line should be filled into the L1 (`false` only when an
+    /// admission filter bypassed the hierarchy for this fetch).
+    fn l2_access(
+        &mut self,
+        i: usize,
+        line: LineAddr,
+        kind: AccessKind,
+        stream: u16,
+    ) -> (u32, bool) {
         let set = self.cfg.l2.set_of(line);
         self.cores[i].counters.l2_accesses += 1;
         if P::ACTIVE {
@@ -1124,14 +1136,15 @@ impl<P: ObsProbe> CmpSystem<P> {
             if P::ACTIVE {
                 self.probe.record(ObsEvent::LocalHit { core, set, spilled });
             }
-            self.policy
-                .record_access(core, set, AccessOutcome::Hit { spilled, depth });
+            let outcome = AccessOutcome::Hit { spilled, depth };
+            self.policy.record_access(core, set, outcome);
+            self.policy.note_access(core, line, set, outcome, Some(w));
             if kind.is_store() {
                 self.upgrade_for_store(i, line);
             }
             self.cores[i].counters.l2_local_hits += 1;
             self.train_prefetcher(i, stream, line);
-            return self.cfg.lat_l2_local;
+            return (self.cfg.lat_l2_local, true);
         }
 
         // Miss path.
@@ -1140,6 +1153,8 @@ impl<P: ObsProbe> CmpSystem<P> {
             self.probe.record(ObsEvent::Miss { core, set });
         }
         self.policy.record_access(core, set, AccessOutcome::Miss);
+        self.policy
+            .note_access(core, line, set, AccessOutcome::Miss, None);
         let requested_last_copy = self.fabric.holder_count(&self.l2s, line) == 1;
 
         let remote = if kind.is_store() {
@@ -1165,6 +1180,7 @@ impl<P: ObsProbe> CmpSystem<P> {
             hit
         };
 
+        let mut fill_l1 = true;
         let latency = match remote {
             Some(hit) => {
                 self.cores[i].counters.l2_remote_hits += 1;
@@ -1232,15 +1248,24 @@ impl<P: ObsProbe> CmpSystem<P> {
                 } else {
                     self.fabric.fetch_state(&self.l2s, core, line)
                 };
-                let evicted = self.fill_l2(i, set, line, state, false, FillKind::Demand);
-                if let Some(v) = evicted {
-                    self.dispose(i, set, v);
+                // Admission gate (TinyLFU-style filters): a rejected fetch
+                // is delivered to the core but enters neither cache level.
+                if self
+                    .policy
+                    .admit_fill(core, set, line, self.l2s[i].set(set))
+                {
+                    let evicted = self.fill_l2(i, set, line, state, false, FillKind::Demand);
+                    if let Some(v) = evicted {
+                        self.dispose(i, set, v);
+                    }
+                } else {
+                    fill_l1 = false;
                 }
                 self.cfg.lat_mem
             }
         };
         self.train_prefetcher(i, stream, line);
-        latency
+        (latency, fill_l1)
     }
 
     /// A store hitting a line that is not Modified: invalidate any remote
@@ -1315,10 +1340,12 @@ impl<P: ObsProbe> CmpSystem<P> {
             debug_assert!(!v.state.is_dirty(), "dirty line with live replicas");
             return;
         }
-        match self
-            .policy
-            .spill_decision(CoreId(core as u8), set, v.spilled)
-        {
+        let victim = SpillVictim {
+            addr: v.addr,
+            spilled: v.spilled,
+            dirty: v.state.is_dirty(),
+        };
+        match self.policy.spill_decision(CoreId(core as u8), set, victim) {
             SpillDecision::Spill(to) => {
                 debug_assert_ne!(to.index(), core, "cannot spill to self");
                 let evicted = self.fill_l2(to.index(), set, v.addr, v.state, true, FillKind::Spill);

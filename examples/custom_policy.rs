@@ -9,7 +9,9 @@
 //! Run with: `cargo run --release -p ascc-examples --bin custom_policy`
 
 use ascc::AsccConfig;
-use cmp_cache::{AccessOutcome, CoreId, LlcPolicy, PrivateBaseline, SetIdx, SpillDecision};
+use cmp_cache::{
+    AccessOutcome, CoreId, LlcPolicy, PrivateBaseline, SetIdx, SpillDecision, SpillVictim,
+};
 use cmp_sim::{run_mix, weighted_speedup_improvement, SystemConfig};
 use cmp_trace::four_app_mixes;
 
@@ -37,13 +39,8 @@ impl LlcPolicy for EagerSpill {
 
     fn record_access(&mut self, _core: CoreId, _set: SetIdx, _outcome: AccessOutcome) {}
 
-    fn spill_decision(
-        &mut self,
-        from: CoreId,
-        _set: SetIdx,
-        victim_spilled: bool,
-    ) -> SpillDecision {
-        if self.cores < 2 || victim_spilled {
+    fn spill_decision(&mut self, from: CoreId, _set: SetIdx, victim: SpillVictim) -> SpillDecision {
+        if self.cores < 2 || victim.spilled {
             return SpillDecision::NotSpiller;
         }
         // Round-robin over the peers.

@@ -14,9 +14,10 @@
 use cmp_cache::{CoreId, MesiState, SetIdx, WayIdx};
 use cmp_coherence::FabricKind;
 use cmp_oracle::{
-    diff_snapshots, CacheSnap, CoreSnap, LineSnap, OracleAsccConfig, OracleAvgccConfig,
-    OracleCapacity, OracleConfig, OracleCpu, OraclePolicyConfig, OracleSelection, OracleSystem,
-    PolicySnap, SetSnap, SysSnap,
+    diff_snapshots, CacheSnap, CoreSnap, LineSnap, OracleArcConfig, OracleAsccConfig,
+    OracleAvgccConfig, OracleCapacity, OracleConfig, OracleCpu, OraclePolicyConfig,
+    OracleRdcbConfig, OracleSelection, OracleSystem, OracleTinyLfuConfig, PolicySnap, SetSnap,
+    SysSnap,
 };
 use cmp_sim::{CmpSystem, SystemConfig};
 use cmp_trace::{Access, AccessStream, CoreWorkload, CpuModel};
@@ -55,6 +56,28 @@ pub enum DiffPolicy {
         qos_epoch_cycles: u64,
         /// Counter cap, if any.
         max_counters: Option<u32>,
+        /// §3.2 swap enabled.
+        swap: bool,
+        /// RNG seed shared by both engines.
+        seed: u64,
+    },
+    /// Per-set ARC (RNG-free, never spills).
+    Arc,
+    /// TinyLFU admission filtering over the private-LRU baseline.
+    TinyLfu {
+        /// Sketch counters per row (power of two, >= 64).
+        width: u32,
+        /// Sketch rows (1..=8).
+        depth: u32,
+        /// Observations per sample window (kept tiny so resets fire).
+        sample_period: u64,
+    },
+    /// Reuse-distance copy-back over the paper's default ASCC.
+    Rdcb {
+        /// Predictor rows per core (power of two).
+        entries: u32,
+        /// Copy-back reuse-distance threshold.
+        threshold: u64,
         /// §3.2 swap enabled.
         swap: bool,
         /// RNG seed shared by both engines.
@@ -107,7 +130,9 @@ fn l2_sets(case: &DiffCase) -> u32 {
     1u32 << case.l2_sets_log2
 }
 
-fn build_real(case: &DiffCase) -> CmpSystem {
+/// Builds the optimized engine for a case. Public so characterization
+/// tests can script exact access sequences and then inspect policy state.
+pub fn build_real(case: &DiffCase) -> CmpSystem {
     let cores = case.cores as usize;
     let mut cfg = SystemConfig::table2(cores);
     cfg.l1 = cmp_cache::CacheGeometry::new(2, 2, 32).expect("valid L1");
@@ -157,6 +182,39 @@ fn build_real(case: &DiffCase) -> CmpSystem {
             c.swap = *swap;
             c.seed = *seed;
             Box::new(c.build())
+        }
+        DiffPolicy::Arc => {
+            Box::new(ascc::ArcConfig::new(cores, l2_sets(case), case.l2_ways).build())
+        }
+        DiffPolicy::TinyLfu {
+            width,
+            depth,
+            sample_period,
+        } => Box::new(
+            ascc::TinyLfuConfig {
+                width: *width,
+                depth: *depth,
+                sample_period: *sample_period,
+            }
+            .build(),
+        ),
+        DiffPolicy::Rdcb {
+            entries,
+            threshold,
+            swap,
+            seed,
+        } => {
+            let mut inner = ascc::AsccConfig::ascc(cores, l2_sets(case), case.l2_ways);
+            inner.swap = *swap;
+            inner.seed = *seed;
+            Box::new(
+                ascc::RdcbConfig {
+                    inner,
+                    entries: *entries,
+                    threshold: *threshold,
+                }
+                .build(),
+            )
         }
     };
 
@@ -245,6 +303,38 @@ fn build_oracle(case: &DiffCase) -> OracleSystem {
             epsilon: 1.0 / 32.0,
             swap: *swap,
             seed: *seed,
+        }),
+        DiffPolicy::Arc => OraclePolicyConfig::Arc(OracleArcConfig { cores, sets, ways }),
+        DiffPolicy::TinyLfu {
+            width,
+            depth,
+            sample_period,
+        } => OraclePolicyConfig::TinyLfu(OracleTinyLfuConfig {
+            width: *width,
+            depth: *depth,
+            sample_period: *sample_period,
+        }),
+        DiffPolicy::Rdcb {
+            entries,
+            threshold,
+            swap,
+            seed,
+        } => OraclePolicyConfig::Rdcb(OracleRdcbConfig {
+            // Mirrors `AsccConfig::ascc` (the paper's default tuning).
+            ascc: OracleAsccConfig {
+                cores,
+                sets,
+                ways,
+                sets_per_counter: 1,
+                selection: OracleSelection::MinSsl,
+                capacity: OracleCapacity::Sabip,
+                two_state: false,
+                swap: *swap,
+                epsilon: 1.0 / 32.0,
+                seed: *seed,
+            },
+            entries: *entries,
+            threshold: *threshold,
         }),
     };
     OracleSystem::new(
@@ -348,6 +438,80 @@ pub fn snapshot_real(sys: &CmpSystem, case: &DiffCase) -> SysSnap {
                     .map(|c| (p.qos_ratio(CoreId(c as u8)) * 8.0).round() as u16)
                     .collect(),
                 granularity_changes: p.granularity_changes(),
+            }
+        }
+        DiffPolicy::Arc => {
+            let p = sys
+                .policy()
+                .as_any()
+                .downcast_ref::<ascc::ArcPolicy>()
+                .expect("ARC case runs an ArcPolicy");
+            let sets = 1usize << case.l2_sets_log2;
+            let per_set = |f: &dyn Fn(CoreId, SetIdx) -> u16| -> Vec<Vec<u16>> {
+                (0..cores)
+                    .map(|c| {
+                        (0..sets)
+                            .map(|s| f(CoreId(c as u8), SetIdx(s as u32)))
+                            .collect()
+                    })
+                    .collect()
+            };
+            let ghosts: Vec<Vec<(Vec<u64>, Vec<u64>)>> = (0..cores)
+                .map(|c| {
+                    (0..sets)
+                        .map(|s| p.ghosts(CoreId(c as u8), SetIdx(s as u32)))
+                        .collect()
+                })
+                .collect();
+            PolicySnap::Arc {
+                p: per_set(&|c, s| p.p_of(c, s)),
+                t2: per_set(&|c, s| p.t2_mask(c, s)),
+                b1: ghosts
+                    .iter()
+                    .map(|core| core.iter().map(|(b1, _)| b1.clone()).collect())
+                    .collect(),
+                b2: ghosts
+                    .iter()
+                    .map(|core| core.iter().map(|(_, b2)| b2.clone()).collect())
+                    .collect(),
+                ghost_hits: p.ghost_hits(),
+            }
+        }
+        DiffPolicy::TinyLfu { .. } => {
+            let p = sys
+                .policy()
+                .as_any()
+                .downcast_ref::<ascc::TinyLfuPolicy>()
+                .expect("TinyLFU case runs a TinyLfuPolicy");
+            PolicySnap::TinyLfu {
+                sketch: p.sketch_counters(),
+                doorkeeper: p.doorkeeper_bits(),
+                samples: p.samples(),
+                resets: p.resets(),
+                admissions: p.admissions(),
+                rejections: p.rejections(),
+            }
+        }
+        DiffPolicy::Rdcb { .. } => {
+            let p = sys
+                .policy()
+                .as_any()
+                .downcast_ref::<ascc::RdcbPolicy>()
+                .expect("RD-CB case runs an RdcbPolicy");
+            let inner = p.inner();
+            PolicySnap::Rdcb {
+                ssl: (0..cores)
+                    .map(|c| inner.ssl_values(CoreId(c as u8)))
+                    .collect(),
+                bip: (0..cores)
+                    .map(|c| inner.bip_flags(CoreId(c as u8)))
+                    .collect(),
+                activations: inner.capacity_activations(),
+                predictor: (0..cores)
+                    .map(|c| p.predictor_rows(CoreId(c as u8)))
+                    .collect(),
+                clock: (0..cores).map(|c| p.clock_of(CoreId(c as u8))).collect(),
+                copy_backs: p.copy_backs(),
             }
         }
     };
@@ -589,6 +753,21 @@ pub fn dump_case(case: &DiffCase) -> String {
             max_counters.map_or("-".to_string(), |m| m.to_string()),
             *swap as u8,
         )),
+        DiffPolicy::Arc => s.push_str("policy arc\n"),
+        DiffPolicy::TinyLfu {
+            width,
+            depth,
+            sample_period,
+        } => s.push_str(&format!("policy tinylfu {width} {depth} {sample_period}\n")),
+        DiffPolicy::Rdcb {
+            entries,
+            threshold,
+            swap,
+            seed,
+        } => s.push_str(&format!(
+            "policy rdcb {entries} {threshold} {} {seed}\n",
+            *swap as u8
+        )),
     }
     for op in &case.ops {
         s.push_str(&format!("op {} {} {}\n", op.core, op.line, op.store as u8));
@@ -662,7 +841,23 @@ pub fn parse_case(text: &str) -> Result<DiffCase, String> {
                                 seed: want(&mut f, "seed")?,
                             }
                         }
-                        other => return Err(format!("unknown policy {other:?}")),
+                        Some("arc") => DiffPolicy::Arc,
+                        Some("tinylfu") => DiffPolicy::TinyLfu {
+                            width: want(&mut f, "width")? as u32,
+                            depth: want(&mut f, "depth")? as u32,
+                            sample_period: want(&mut f, "sample period")?,
+                        },
+                        Some("rdcb") => DiffPolicy::Rdcb {
+                            entries: want(&mut f, "entries")? as u32,
+                            threshold: want(&mut f, "threshold")?,
+                            swap: want(&mut f, "swap")? != 0,
+                            seed: want(&mut f, "seed")?,
+                        },
+                        other => {
+                            return Err(format!(
+                                "unknown policy {other:?} (valid: ascc, avgcc, arc, tinylfu, rdcb)"
+                            ))
+                        }
                     });
                 }
                 "op" => ops.push(DiffOp {
@@ -716,6 +911,33 @@ fn validate_case(case: &DiffCase) -> Result<(), String> {
     }
     if case.mem_q == 0 {
         return Err("memq must be >= 1".to_string());
+    }
+    match &case.policy {
+        DiffPolicy::TinyLfu {
+            width,
+            depth,
+            sample_period,
+        } => {
+            if *width < 64 || !width.is_power_of_two() {
+                return Err(format!(
+                    "tinylfu width must be a power of two >= 64, got {width}"
+                ));
+            }
+            if *depth == 0 || *depth > 8 {
+                return Err(format!("tinylfu depth must be 1..=8, got {depth}"));
+            }
+            if *sample_period == 0 {
+                return Err("tinylfu sample period must be >= 1".to_string());
+            }
+        }
+        DiffPolicy::Rdcb { entries, .. } => {
+            if *entries == 0 || !entries.is_power_of_two() {
+                return Err(format!(
+                    "rdcb entries must be a nonzero power of two, got {entries}"
+                ));
+            }
+        }
+        DiffPolicy::Ascc { .. } | DiffPolicy::Avgcc { .. } | DiffPolicy::Arc => {}
     }
     Ok(())
 }
@@ -808,6 +1030,53 @@ mod tests {
         }
     }
 
+    /// A longer mixed-sharing script that exercises fills, evictions,
+    /// ghost/sketch updates and clean-victim spills for the frontier
+    /// policies (the 3-op sample barely fills one set).
+    fn frontier_case(policy: DiffPolicy) -> DiffCase {
+        let mut ops = Vec::new();
+        for i in 0u32..160 {
+            ops.push(DiffOp {
+                core: (i % 3) as u8,
+                // Collide heavily within 4 sets, revisit a small hot window.
+                line: (i * 7 + (i / 5) * 3) % 48,
+                store: i % 6 == 1,
+            });
+        }
+        DiffCase {
+            cores: 3,
+            l2_sets_log2: 2,
+            l2_ways: 2,
+            migrate: true,
+            mem_q: 3,
+            check_every: 8,
+            fabric: FabricKind::Directory,
+            policy,
+            ops,
+        }
+    }
+
+    fn arc_policy() -> DiffPolicy {
+        DiffPolicy::Arc
+    }
+
+    fn tinylfu_policy() -> DiffPolicy {
+        DiffPolicy::TinyLfu {
+            width: 64,
+            depth: 4,
+            sample_period: 32,
+        }
+    }
+
+    fn rdcb_policy() -> DiffPolicy {
+        DiffPolicy::Rdcb {
+            entries: 64,
+            threshold: 24,
+            swap: true,
+            seed: 0x4DCB,
+        }
+    }
+
     #[test]
     fn dump_parse_round_trip() {
         let case = sample_case();
@@ -825,6 +1094,57 @@ mod tests {
             seed: 7,
         };
         assert_eq!(parse_case(&dump_case(&avgcc)).unwrap(), avgcc);
+        for policy in [arc_policy(), tinylfu_policy(), rdcb_policy()] {
+            let mut c = sample_case();
+            c.policy = policy;
+            assert_eq!(parse_case(&dump_case(&c)).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn arc_case_matches() {
+        assert!(run_case(&frontier_case(arc_policy())).is_ok());
+    }
+
+    #[test]
+    fn tinylfu_case_matches() {
+        assert!(run_case(&frontier_case(tinylfu_policy())).is_ok());
+    }
+
+    #[test]
+    fn rdcb_case_matches() {
+        assert!(run_case(&frontier_case(rdcb_policy())).is_ok());
+    }
+
+    #[test]
+    fn frontier_cases_agree_across_fabrics() {
+        for policy in [arc_policy(), tinylfu_policy(), rdcb_policy()] {
+            assert!(run_case_cross_fabric(&frontier_case(policy)).is_ok());
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_frontier_parameters() {
+        let mut c = sample_case();
+        c.policy = DiffPolicy::TinyLfu {
+            width: 48,
+            depth: 4,
+            sample_period: 32,
+        };
+        assert!(parse_case(&dump_case(&c)).unwrap_err().contains("width"));
+        c.policy = DiffPolicy::TinyLfu {
+            width: 64,
+            depth: 9,
+            sample_period: 32,
+        };
+        assert!(parse_case(&dump_case(&c)).unwrap_err().contains("depth"));
+        c.policy = DiffPolicy::Rdcb {
+            entries: 48,
+            threshold: 8,
+            swap: false,
+            seed: 1,
+        };
+        assert!(parse_case(&dump_case(&c)).unwrap_err().contains("entries"));
     }
 
     #[test]
@@ -887,6 +1207,20 @@ mod tests {
         let case = sample_case();
         for split in 0..=case.ops.len() {
             assert!(run_case_resumed(&case, split).is_ok(), "split {split}");
+        }
+    }
+
+    #[test]
+    fn frontier_cases_resume_mid_run() {
+        for policy in [arc_policy(), tinylfu_policy(), rdcb_policy()] {
+            let case = frontier_case(policy);
+            for split in [0, 40, 97, 160] {
+                assert!(
+                    run_case_resumed(&case, split).is_ok(),
+                    "{:?} split {split}",
+                    case.policy
+                );
+            }
         }
     }
 }

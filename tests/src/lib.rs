@@ -8,7 +8,7 @@
 
 pub mod diff;
 
-use ascc::{AsccConfig, AvgccConfig};
+use ascc::{ArcConfig, AsccConfig, AvgccConfig, RdcbConfig, TinyLfuConfig};
 use cmp_cache::{CacheGeometry, LlcPolicy, PrivateBaseline};
 use cmp_sim::SystemConfig;
 use spill_baselines::{CcPolicy, DsrConfig, DsrDipPolicy, EccConfig};
@@ -38,6 +38,9 @@ pub fn all_policies(cfg: &SystemConfig) -> Vec<Box<dyn LlcPolicy>> {
         Box::new(AsccConfig::gms_sabip(cores, sets, ways).build()),
         Box::new(AvgccConfig::avgcc(cores, sets, ways).build()),
         Box::new(AvgccConfig::qos_avgcc(cores, sets, ways).build()),
+        Box::new(ArcConfig::new(cores, sets, ways).build()),
+        Box::new(TinyLfuConfig::for_geometry(cores, sets, ways).build()),
+        Box::new(RdcbConfig::new(cores, sets, ways).build()),
     ]
 }
 
@@ -54,6 +57,6 @@ mod tests {
 
     #[test]
     fn policy_zoo_builds() {
-        assert_eq!(all_policies(&small_config(4)).len(), 11);
+        assert_eq!(all_policies(&small_config(4)).len(), 14);
     }
 }

@@ -9,7 +9,8 @@
 //! `proptest-regressions/`.
 //!
 //! The per-test case counts sum to over 1000 (overridable with
-//! `PROPTEST_CASES`), split across the ASCC family, AVGCC, and QoS-AVGCC.
+//! `PROPTEST_CASES`), split across the ASCC family, AVGCC, QoS-AVGCC, and
+//! the post-2012 frontier policies (ARC, TinyLFU admission, RD-CB).
 
 use ascc_integration::diff::{self, DiffCase, DiffOp, DiffPolicy};
 use cmp_coherence::FabricKind;
@@ -122,6 +123,60 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+    /// Per-set ARC (T1/T2 partitions, B1/B2 ghosts, adaptive `p`) never
+    /// diverges from the oracle transcription. ARC is RNG-free, so the only
+    /// knobs are the system shape and the script.
+    #[test]
+    fn arc_matches_oracle(sh in shape(), raw in ops()) {
+        diff::assert_case(&make_case(sh, DiffPolicy::Arc, raw));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+    /// TinyLFU admission (count-min sketch + doorkeeper + halving reset)
+    /// over the private-LRU baseline never diverges from the oracle. Sample
+    /// periods are kept small so sketch resets fire within the script.
+    #[test]
+    fn tinylfu_matches_oracle(
+        sh in shape(),
+        knobs in (6u32..9, 1u32..5, 8u64..96),
+        raw in ops(),
+    ) {
+        let (width_log2, depth, sample_period) = knobs;
+        let policy = DiffPolicy::TinyLfu {
+            width: 1 << width_log2,
+            depth,
+            sample_period,
+        };
+        diff::assert_case(&make_case(sh, policy, raw));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+    /// Reuse-distance copy-back over full ASCC never diverges from the
+    /// oracle — including the shared `SmallRng` draw sequence consumed by
+    /// the wrapped receiver search on clean-victim copy-backs.
+    #[test]
+    fn rdcb_matches_oracle(
+        sh in shape(),
+        knobs in (6u32..10, 1u64..64, prop::bool::ANY, 0u64..1 << 48),
+        raw in ops(),
+    ) {
+        let (entries_log2, threshold, swap, seed) = knobs;
+        let policy = DiffPolicy::Rdcb {
+            entries: 1 << entries_log2,
+            threshold,
+            swap,
+            seed,
+        };
+        diff::assert_case(&make_case(sh, policy, raw));
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(200))]
     /// The broadcast bus and the sharer-bitmask directory are bit-identical
     /// fabrics: the same case run on both engines in lockstep must agree on
@@ -182,6 +237,34 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(90))]
+    /// Resume mode for the frontier policies: ghost-list order, sketch
+    /// counters and reset epoch, predictor rows and copy-back clocks must
+    /// all survive a snapshot/restore round trip mid-script — the resumed
+    /// engine stays in lockstep with the uninterrupted oracle.
+    #[test]
+    fn resumed_frontier_policies_match_oracle(
+        sh in shape(),
+        which in 0u8..3,
+        knobs in (1u64..48, prop::bool::ANY, 0u64..1 << 48),
+        split_pct in 0u8..=100,
+        raw in ops(),
+    ) {
+        let (threshold, swap, seed) = knobs;
+        let policy = match which {
+            0 => DiffPolicy::Arc,
+            1 => DiffPolicy::TinyLfu { width: 64, depth: 4, sample_period: 1 + threshold },
+            _ => DiffPolicy::Rdcb { entries: 64, threshold, swap, seed },
+        };
+        let case = make_case(sh, policy, raw);
+        let split = case.ops.len() * split_pct as usize / 100;
+        if let Err(e) = diff::run_case_resumed(&case, split) {
+            panic!("engine resumed at op {split} diverges from the oracle: {e}");
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
     /// The batched event loop (`ASCC_BATCH` on, the default) never diverges
     /// from the per-access streaming interleave: random mix/policy/scale
@@ -192,7 +275,7 @@ proptest! {
     #[test]
     fn batched_front_end_matches_streaming(
         mix_idx in 0usize..14,
-        policy_idx in 0usize..11,
+        policy_idx in 0usize..14,
         seed in 0u64..1 << 16,
         instrs in 10_000u64..50_000,
     ) {

@@ -10,7 +10,7 @@
 //! Regenerate (only when a *deliberate* behaviour change is made) with:
 //! `ASCC_BLESS=1 cargo test -p ascc-integration --test engine_golden`.
 
-use ascc::{AsccConfig, AvgccConfig};
+use ascc::{ArcConfig, AsccConfig, AvgccConfig, RdcbConfig, TinyLfuConfig};
 use cmp_cache::{CacheGeometry, LlcPolicy, PrivateBaseline};
 use cmp_coherence::FabricKind;
 use cmp_json::Value;
@@ -56,6 +56,15 @@ fn policies(cfg: &SystemConfig) -> Vec<(&'static str, Box<dyn LlcPolicy>)> {
         (
             "QoS-AVGCC",
             Box::new(AvgccConfig::qos_avgcc(cores, sets, ways).build()),
+        ),
+        ("ARC", Box::new(ArcConfig::new(cores, sets, ways).build())),
+        (
+            "TinyLFU",
+            Box::new(TinyLfuConfig::for_geometry(cores, sets, ways).build()),
+        ),
+        (
+            "RD-CB",
+            Box::new(RdcbConfig::new(cores, sets, ways).build()),
         ),
     ]
 }

@@ -160,6 +160,195 @@ fn qos_avgcc_limits_degradation_on_hostile_mixes() {
     assert!(ws > -0.02, "QoS must bound the damage, got {ws}");
 }
 
+mod frontier {
+    //! Characterization of the post-2012 frontier policies: exact scripted
+    //! access sequences through the full engine (L1 filtering, MESI fabric,
+    //! spill allocator) with the policy-visible state pinned afterwards.
+
+    use ascc_integration::diff::{self, DiffCase, DiffOp, DiffPolicy};
+    use cmp_cache::{CoreId, SetIdx};
+    use cmp_coherence::FabricKind;
+    use cmp_sim::CmpSystem;
+
+    /// 2 cores, 4 L2 sets x `ways` (L1 is the harness-fixed tiny one):
+    /// lines 0/4/8/12/16 all collide in L2 set 0 and the same L1 set, so
+    /// the L1 filter only passes what its 2 ways cannot hold.
+    fn scripted(policy: DiffPolicy, ways: u16, script: &[(u8, u32)]) -> CmpSystem {
+        let case = DiffCase {
+            cores: 2,
+            l2_sets_log2: 2,
+            l2_ways: ways,
+            migrate: true,
+            // Every step must issue exactly one scripted access (a higher
+            // divisor interleaves non-memory instructions).
+            mem_q: 1,
+            check_every: 1,
+            fabric: FabricKind::Directory,
+            policy,
+            ops: script
+                .iter()
+                .map(|&(core, line)| DiffOp {
+                    core,
+                    line,
+                    store: false,
+                })
+                .collect(),
+        };
+        let mut sys = diff::build_real(&case);
+        for op in &case.ops {
+            sys.step(op.core as usize);
+        }
+        sys
+    }
+
+    #[test]
+    fn arc_adapts_p_on_ghost_hits() {
+        // 4-way set: 0,4,8 fill T1; re-touching 0 (evicted from the 2-way
+        // L1 by then) is an L2 *hit* that promotes it to T2, dropping
+        // |T1| below capacity so later T1 evictions start ghosting into
+        // B1. The touches of 4 and 8 after their evictions are B1 ghost
+        // hits (p: 0 -> 1 -> 2) whose refills land in T2; growing T2
+        // forces a T2 eviction into B2, and the final touch of 0 is a B2
+        // ghost hit that pulls p back down to 1.
+        let sys = scripted(
+            DiffPolicy::Arc,
+            4,
+            &[
+                (0, 0),
+                (0, 4),
+                (0, 8),
+                (0, 0),
+                (0, 12),
+                (0, 16),
+                (0, 4),
+                (0, 8),
+                (0, 0),
+            ],
+        );
+        let p = sys
+            .policy()
+            .as_any()
+            .downcast_ref::<ascc::ArcPolicy>()
+            .expect("ARC policy");
+        assert_eq!(p.ghost_hits(), (2, 1), "two B1 hits then one B2 hit");
+        assert_eq!(
+            p.p_of(CoreId(0), SetIdx(0)),
+            1,
+            "p grew to 2, B2 hit shrank it"
+        );
+        assert_eq!(
+            p.t2_mask(CoreId(0), SetIdx(0)).count_ones(),
+            3,
+            "every ghost-hit refill lands in T2"
+        );
+        assert_eq!(
+            p.ghosts(CoreId(0), SetIdx(0)),
+            (vec![12], vec![]),
+            "the ghost hits consumed their entries; only the last T1 eviction remains"
+        );
+        // Untouched sets keep the cold defaults.
+        assert_eq!(p.p_of(CoreId(0), SetIdx(1)), 0);
+        assert_eq!(p.ghosts(CoreId(0), SetIdx(1)), (vec![], vec![]));
+    }
+
+    #[test]
+    fn tinylfu_doorkeeper_admission_and_sketch_reset() {
+        // Three warm lines cycle through L2 set 0 building sketch weight
+        // (fills into invalid ways admit unconditionally); the cold line 12
+        // then attempts a fill with doorkeeper-only frequency 1 against a
+        // warm victim and is rejected. Note the feedback loop: once
+        // rejections keep the warm pair resident, their accesses turn into
+        // L1 hits and only the rejected lines keep feeding the sketch —
+        // still enough observations to fire the period-16 halving reset.
+        let mut script: Vec<(u8, u32)> = Vec::new();
+        for _ in 0..12 {
+            script.extend([(0, 0), (0, 4), (0, 8)]);
+        }
+        script.push((0, 12));
+        script.extend([(0, 0), (0, 4), (0, 8)]);
+        script.push((0, 12));
+        let sys = scripted(
+            DiffPolicy::TinyLfu {
+                width: 64,
+                depth: 4,
+                sample_period: 16,
+            },
+            2,
+            &script,
+        );
+        let p = sys
+            .policy()
+            .as_any()
+            .downcast_ref::<ascc::TinyLfuPolicy>()
+            .expect("TinyLFU policy");
+        assert!(p.admissions() > 0, "cold-start fills must admit");
+        assert!(
+            p.rejections() > 0,
+            "the cold line must lose the frequency duel against warm victims"
+        );
+        assert!(
+            p.resets() >= 1,
+            "sample period 16 must have fired: {}",
+            p.resets()
+        );
+        assert!(
+            p.samples() < 16,
+            "samples counter rewinds on every reset, got {}",
+            p.samples()
+        );
+        assert!(
+            p.estimate(0u64.into()) > p.estimate(20u64.into()),
+            "warm line must out-score a never-seen line"
+        );
+    }
+
+    #[test]
+    fn rdcb_copy_back_is_gated_by_the_reuse_distance_threshold() {
+        // A 4-line loop fits the 4-way set exactly: after the cold fills,
+        // every lap is all L2 hits, draining the set's SSL so core 0 stays
+        // a non-spiller (base ASCC would just drop the victim). The
+        // injected 5th line then evicts a clean line with a recorded
+        // reuse distance of ~4-5 — exactly the case the predictor rescues
+        // by copying it to the idle peer.
+        let mut script: Vec<(u8, u32)> = Vec::new();
+        for round in 0..10 {
+            script.extend([(0, 0), (0, 4), (0, 8), (0, 12)]);
+            if round >= 2 && round % 2 == 0 {
+                script.push((0, 16));
+            }
+        }
+        let run = |threshold: u64| {
+            let sys = scripted(
+                DiffPolicy::Rdcb {
+                    entries: 64,
+                    threshold,
+                    swap: false,
+                    seed: 7,
+                },
+                4,
+                &script,
+            );
+            let copy_backs = sys
+                .policy()
+                .as_any()
+                .downcast_ref::<ascc::RdcbPolicy>()
+                .expect("RD-CB policy")
+                .copy_backs();
+            (copy_backs, sys.lifetime_result().spills)
+        };
+        let (hot, spills) = run(64);
+        assert!(hot > 0, "short-distance clean victims must be copied back");
+        assert!(
+            spills >= hot,
+            "every copy-back rides the spill path: {hot} copy-backs, {spills} spills"
+        );
+        // Distances are always >= 1, so a zero threshold disables the
+        // mechanism entirely and the policy degrades to plain ASCC.
+        let (cold, _) = run(0);
+        assert_eq!(cold, 0, "threshold 0 must never copy back");
+    }
+}
+
 #[test]
 fn two_app_mix_improvements_are_reproducible() {
     let cfg = small_config(2);

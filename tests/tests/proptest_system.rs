@@ -81,7 +81,7 @@ proptest! {
     fn random_workloads_never_break_invariants(
         s0 in shape(),
         s1 in shape(),
-        policy_idx in 0usize..11,
+        policy_idx in 0usize..14,
         seed in 0u64..1000,
     ) {
         let cfg = small_config(2);

@@ -4,7 +4,7 @@
 //! as soon as its SSL counter drops back below K.
 
 use ascc::AsccConfig;
-use cmp_cache::{AccessOutcome, CoreId, InsertPos, LlcPolicy, SetIdx, SpillDecision};
+use cmp_cache::{AccessOutcome, CoreId, InsertPos, LlcPolicy, SetIdx, SpillDecision, SpillVictim};
 
 const CORE: CoreId = CoreId(0);
 const SET: SetIdx = SetIdx(0);
@@ -22,7 +22,7 @@ fn arm_sabip(p: &mut ascc::AsccPolicy) {
         p.record_access(CORE, SET, AccessOutcome::Miss);
     }
     assert_eq!(
-        p.spill_decision(CORE, SET, false),
+        p.spill_decision(CORE, SET, SpillVictim::default()),
         SpillDecision::NoCandidate,
         "a saturated set with no peers must fail to spill"
     );

@@ -229,6 +229,170 @@ fn fabrics_resume_bit_identically_and_reject_cross_restore() {
     }
 }
 
+/// ARC captured with live adaptive state — non-empty ghost lists and at
+/// least one set whose target `p` has moved off zero: the restored policy
+/// reports identical ghost order, T2 membership and per-set targets, and
+/// the rest of the run is bit-identical.
+#[test]
+fn arc_resume_preserves_ghost_lists_and_p_targets() {
+    let cfg = pressured_cfg();
+    let mix = &two_app_mixes()[0];
+    let (sets, ways) = (cfg.l2.sets(), cfg.l2.ways());
+    let build = || Box::new(ascc::ArcConfig::new(2, sets, ways).build()) as Box<dyn LlcPolicy>;
+    let arc_state = |s: &CmpSystem| {
+        let p = s
+            .policy()
+            .as_any()
+            .downcast_ref::<ascc::ArcPolicy>()
+            .expect("an ARC system");
+        let mut per_set = Vec::new();
+        for c in 0..2u8 {
+            for set in 0..sets {
+                per_set.push((
+                    p.p_of(CoreId(c), cmp_cache::SetIdx(set)),
+                    p.t2_mask(CoreId(c), cmp_cache::SetIdx(set)),
+                    p.ghosts(CoreId(c), cmp_cache::SetIdx(set)),
+                ));
+            }
+        }
+        (per_set, p.ghost_hits())
+    };
+
+    let mut straight = CmpSystem::from_sources(cfg.clone(), build(), mix_sources(mix, SEED));
+    let mut captured = None;
+    let straight_result = straight.run_with_hook(INSTRS, WARMUP, |s| {
+        if captured.is_none() {
+            let (per_set, hits) = arc_state(s);
+            let adapted = per_set.iter().any(|(p, _, _)| *p > 0);
+            let ghosted = per_set
+                .iter()
+                .any(|(_, _, (b1, b2))| b1.len() + b2.len() > 1);
+            if adapted && ghosted && hits.0 + hits.1 > 0 {
+                captured = Some((s.snapshot(), per_set.clone(), hits));
+            }
+        }
+    });
+    let straight_end = straight.snapshot();
+    let (snap, per_set, hits) =
+        captured.expect("ARC never adapted p / filled ghosts; test workload too gentle");
+
+    let mut resumed = CmpSystem::from_sources(cfg.clone(), build(), mix_sources(mix, SEED));
+    resumed.restore(&snap).expect("restore ARC snapshot");
+    let (rs, rh) = arc_state(&resumed);
+    assert_eq!(rs, per_set, "restored per-set p / T2 / ghost-list order");
+    assert_eq!(rh, hits, "restored ghost-hit counters");
+    let resumed_result = resumed.run(INSTRS, WARMUP);
+    assert_eq!(resumed_result, straight_result);
+    assert_eq!(resumed.snapshot(), straight_end);
+}
+
+/// TinyLFU captured mid-sample-window with a warm sketch: the restored
+/// filter reports identical sketch counters, doorkeeper bits, window
+/// position and reset epoch, and the rest of the run is bit-identical.
+#[test]
+fn tinylfu_resume_preserves_sketch_and_reset_epoch() {
+    let cfg = pressured_cfg();
+    let mix = &two_app_mixes()[0];
+    let (sets, ways) = (cfg.l2.sets(), cfg.l2.ways());
+    let build = || {
+        let mut c = ascc::TinyLfuConfig::for_geometry(2, sets, ways);
+        c.sample_period = 2_048; // fast windows so resets fire mid-run
+        Box::new(c.build()) as Box<dyn LlcPolicy>
+    };
+    let lfu_state = |s: &CmpSystem| {
+        let p = s
+            .policy()
+            .as_any()
+            .downcast_ref::<ascc::TinyLfuPolicy>()
+            .expect("a TinyLFU system");
+        (
+            p.sketch_counters(),
+            p.doorkeeper_bits(),
+            p.samples(),
+            p.resets(),
+            p.admissions(),
+            p.rejections(),
+        )
+    };
+
+    let mut straight = CmpSystem::from_sources(cfg.clone(), build(), mix_sources(mix, SEED));
+    let mut captured = None;
+    let straight_result = straight.run_with_hook(INSTRS, WARMUP, |s| {
+        if captured.is_none() {
+            let st = lfu_state(s);
+            // Mid-window (samples != 0), post-reset, with a warm sketch.
+            if st.3 > 0 && st.2 > 0 && st.0.iter().flatten().any(|&c| c > 0) {
+                captured = Some((s.snapshot(), st));
+            }
+        }
+    });
+    let straight_end = straight.snapshot();
+    let (snap, st) = captured.expect("TinyLFU never reset mid-run; test workload too gentle");
+
+    let mut resumed = CmpSystem::from_sources(cfg.clone(), build(), mix_sources(mix, SEED));
+    resumed.restore(&snap).expect("restore TinyLFU snapshot");
+    assert_eq!(
+        lfu_state(&resumed),
+        st,
+        "restored sketch / doorkeeper / window / epoch state"
+    );
+    let resumed_result = resumed.run(INSTRS, WARMUP);
+    assert_eq!(resumed_result, straight_result);
+    assert_eq!(resumed.snapshot(), straight_end);
+}
+
+/// RD-CB captured with a live predictor (recorded finite distances and
+/// advanced per-core clocks): the restored policy reports identical
+/// predictor rows and clocks, and the rest of the run — including further
+/// RNG-consuming receiver searches — is bit-identical.
+#[test]
+fn rdcb_resume_preserves_predictor_and_clocks() {
+    let cfg = pressured_cfg();
+    let mix = &two_app_mixes()[0];
+    let (sets, ways) = (cfg.l2.sets(), cfg.l2.ways());
+    let build = || Box::new(ascc::RdcbConfig::new(2, sets, ways).build()) as Box<dyn LlcPolicy>;
+    let rdcb_state = |s: &CmpSystem| {
+        let p = s
+            .policy()
+            .as_any()
+            .downcast_ref::<ascc::RdcbPolicy>()
+            .expect("an RD-CB system");
+        (
+            (0..2)
+                .map(|c| p.predictor_rows(CoreId(c)))
+                .collect::<Vec<_>>(),
+            (0..2).map(|c| p.clock_of(CoreId(c))).collect::<Vec<_>>(),
+            p.copy_backs(),
+        )
+    };
+
+    let mut straight = CmpSystem::from_sources(cfg.clone(), build(), mix_sources(mix, SEED));
+    let mut captured = None;
+    let straight_result = straight.run_with_hook(INSTRS, WARMUP, |s| {
+        if captured.is_none() {
+            let st = rdcb_state(s);
+            let finite =
+                st.0.iter()
+                    .flatten()
+                    .filter(|(tag, _, dist)| *tag != 0 && *dist != u64::MAX)
+                    .count();
+            if finite > 8 && st.1.iter().all(|&c| c > 0) {
+                captured = Some((s.snapshot(), st));
+            }
+        }
+    });
+    let straight_end = straight.snapshot();
+    let (snap, st) =
+        captured.expect("RD-CB never copied back / recorded distances; workload too gentle");
+
+    let mut resumed = CmpSystem::from_sources(cfg.clone(), build(), mix_sources(mix, SEED));
+    resumed.restore(&snap).expect("restore RD-CB snapshot");
+    assert_eq!(rdcb_state(&resumed), st, "restored predictor rows / clocks");
+    let resumed_result = resumed.run(INSTRS, WARMUP);
+    assert_eq!(resumed_result, straight_result);
+    assert_eq!(resumed.snapshot(), straight_end);
+}
+
 /// Deterministic interleaved script for the differential resume cases.
 fn lcg_ops(n: usize, cores: u8, lines: u32, mut x: u64) -> Vec<DiffOp> {
     x |= 1;
@@ -291,6 +455,57 @@ fn diff_oracle_accepts_resumed_engine() {
                     seed: 0xBEEF,
                 },
                 ops: lcg_ops(240, 2, 64, 0xF00D),
+            },
+        ),
+        (
+            "arc",
+            DiffCase {
+                cores: 2,
+                l2_sets_log2: 2,
+                l2_ways: 4,
+                migrate: true,
+                mem_q: 2,
+                check_every: 3,
+                fabric: cmp_coherence::FabricKind::Directory,
+                policy: DiffPolicy::Arc,
+                ops: lcg_ops(240, 2, 48, 0xACED),
+            },
+        ),
+        (
+            "tinylfu",
+            DiffCase {
+                cores: 2,
+                l2_sets_log2: 2,
+                l2_ways: 2,
+                migrate: true,
+                mem_q: 2,
+                check_every: 5,
+                fabric: cmp_coherence::FabricKind::Directory,
+                policy: DiffPolicy::TinyLfu {
+                    width: 64,
+                    depth: 4,
+                    sample_period: 24,
+                },
+                ops: lcg_ops(240, 2, 48, 0x7151),
+            },
+        ),
+        (
+            "rdcb",
+            DiffCase {
+                cores: 3,
+                l2_sets_log2: 2,
+                l2_ways: 2,
+                migrate: true,
+                mem_q: 2,
+                check_every: 5,
+                fabric: cmp_coherence::FabricKind::Directory,
+                policy: DiffPolicy::Rdcb {
+                    entries: 64,
+                    threshold: 32,
+                    swap: true,
+                    seed: 0x4DCB,
+                },
+                ops: lcg_ops(240, 3, 48, 0xCB01),
             },
         ),
     ];
