@@ -132,6 +132,27 @@ impl Policy {
         Policy::Avgcc,
     ];
 
+    /// The full non-baseline zoo: every named design (paper policies plus
+    /// the post-2012 frontier contenders), excluding the parameterised
+    /// variants and single-figure ablations. The scenario experiments
+    /// (`tenant_traffic`, `sharing_degree`) sweep exactly this set against
+    /// the private baseline.
+    pub const ZOO: [Policy; 13] = [
+        Policy::Cc,
+        Policy::Dsr,
+        Policy::Dsr3s,
+        Policy::DsrDip,
+        Policy::Dip,
+        Policy::Ecc,
+        Policy::Ascc,
+        Policy::Ascc2s,
+        Policy::Avgcc,
+        Policy::QosAvgcc,
+        Policy::Arc,
+        Policy::TinyLfu,
+        Policy::RdCb,
+    ];
+
     /// Builds the policy for a system configuration.
     pub fn build(&self, cfg: &SystemConfig) -> Box<dyn LlcPolicy> {
         let (cores, sets, ways) = (cfg.cores, cfg.l2.sets(), cfg.l2.ways());

@@ -46,6 +46,8 @@ pub const EXPERIMENTS: &[&str] = &[
     "ablations",
     "scaling_cores",
     "policy_frontier",
+    "tenant_traffic",
+    "sharing_degree",
 ];
 
 /// Applies `--only`-style case-insensitive substring filters to the

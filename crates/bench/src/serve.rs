@@ -40,7 +40,10 @@
 //!   (`"broadcast"` / `"directory"`, default directory) picks the
 //!   coherence fabric and `"l2_ways"` resizes the LLC associativity —
 //!   rejected with a clean 400 past the 16 ways the packed recency word
-//!   can track.
+//!   can track. A `"scenario"` field (`"steady"`, `"churn"`,
+//!   `"scan_storm"`, `"flash_crowd"`, `"diurnal"`) replays multi-tenant
+//!   service traffic ([`cmp_trace::TenantScenario`]) instead of a SPEC
+//!   mix under the same live probe.
 
 use crate::cli::Cli;
 use crate::orchestrate::{execute, select, Control, Plan};
@@ -50,8 +53,8 @@ use ascc_serve::prometheus::{MetricKind, MetricsText};
 use cmp_cache::{CacheGeometry, ObsEvent, ObsProbe, PolicySnapshot, MAX_WAYS};
 use cmp_coherence::FabricKind;
 use cmp_json::Value;
-use cmp_sim::{batch_enabled, mix_sources, CmpSystem, EpochRecorder, SystemConfig};
-use cmp_trace::{mixes_for, WorkloadMix};
+use cmp_sim::{batch_enabled, mix_sources, tenant_sources, CmpSystem, EpochRecorder, SystemConfig};
+use cmp_trace::{mixes_for, TenantScenario, WorkloadMix};
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -406,7 +409,6 @@ impl DaemonState {
         if !(1..=64).contains(&cores) {
             return Err(format!("cores must be 1..=64, got {cores}"));
         }
-        let mixes: Vec<WorkloadMix> = mixes_for(cores);
         let fabric = match spec.get("fabric").map(Value::as_str) {
             None => FabricKind::Directory,
             Some(Some("directory")) => FabricKind::Directory,
@@ -431,15 +433,35 @@ impl DaemonState {
                 format!("l2_ways {w}: {e} (the packed recency word tracks at most {MAX_WAYS} ways)")
             })?;
         }
-        let mix_idx = spec
-            .get("mix")
-            .map(|v| v.as_u64().ok_or("\"mix\" wants an index"))
-            .transpose()?
-            .unwrap_or(0) as usize;
-        let mix = mixes
-            .get(mix_idx)
-            .ok_or_else(|| format!("mix index {mix_idx} out of range (0..{})", mixes.len()))?
-            .clone();
+        // A "scenario" field replays multi-tenant service traffic instead
+        // of a SPEC mix; the two sources are mutually exclusive and the
+        // scenario wins (the "mix" field is ignored when both appear).
+        let scenario = match spec.get("scenario").map(Value::as_str) {
+            None => None,
+            Some(Some(name)) => Some(TenantScenario::parse(name).ok_or_else(|| {
+                let known: Vec<&str> = TenantScenario::ALL.iter().map(|s| s.name()).collect();
+                format!("unknown scenario {name:?}; known: {}", known.join(", "))
+            })?),
+            Some(None) => return Err("\"scenario\" wants a string".into()),
+        };
+        let mix: Option<WorkloadMix> = if scenario.is_some() {
+            None
+        } else {
+            let mixes: Vec<WorkloadMix> = mixes_for(cores);
+            let mix_idx = spec
+                .get("mix")
+                .map(|v| v.as_u64().ok_or("\"mix\" wants an index"))
+                .transpose()?
+                .unwrap_or(0) as usize;
+            Some(
+                mixes
+                    .get(mix_idx)
+                    .ok_or_else(|| {
+                        format!("mix index {mix_idx} out of range (0..{})", mixes.len())
+                    })?
+                    .clone(),
+            )
+        };
         let policy_label = spec
             .get("policy")
             .and_then(Value::as_str)
@@ -474,7 +496,11 @@ impl DaemonState {
         let recorder = Arc::new(Mutex::new(EpochRecorder::new(cores)));
         let cancel = Arc::new(AtomicBool::new(false));
         let accesses = Arc::new(AtomicU64::new(0));
-        let label = format!("{} under {}", mix.name, policy.label());
+        let label = match (&scenario, &mix) {
+            (Some(s), _) => format!("tenant:{} under {}", s.name(), policy.label()),
+            (None, Some(m)) => format!("{} under {}", m.name, policy.label()),
+            (None, None) => unreachable!("either a scenario or a mix is always selected"),
+        };
         let job = Arc::new(Job {
             id: id.clone(),
             spec,
@@ -492,10 +518,15 @@ impl DaemonState {
         });
         let worker_job = Arc::clone(&job);
         let worker = std::thread::spawn(move || {
+            let sources = match (scenario, &mix) {
+                (Some(s), _) => tenant_sources(s, cores, seed),
+                (None, Some(m)) => mix_sources(m, seed),
+                (None, None) => unreachable!("either a scenario or a mix is always selected"),
+            };
             let mut sys = CmpSystem::with_probe_sources(
                 cfg.clone(),
                 policy.build(&cfg),
-                mix_sources(&mix, seed),
+                sources,
                 LiveProbe(Arc::clone(&recorder)),
                 epoch,
             );
@@ -889,6 +920,17 @@ mod tests {
         let e = expect_err(r#"{"kind": "mix", "l2_ways": 17}"#);
         assert!(e.contains("recency word"), "{e}");
         assert!(expect_err(r#"{"kind": "mix", "mix": 99}"#).contains("out of range"));
+        let e = expect_err(r#"{"kind": "mix", "scenario": "lunch_rush"}"#);
+        assert!(
+            e.contains("unknown scenario") && e.contains("flash_crowd"),
+            "{e}"
+        );
+        assert!(expect_err(r#"{"kind": "mix", "scenario": 3}"#).contains("wants a string"));
+        // A scenario job never touches the mix list, so an out-of-range
+        // "mix" index alongside a valid scenario must not be an error —
+        // reach the policy check instead to prove parsing got past it.
+        let e = expect_err(r#"{"kind": "mix", "scenario": "churn", "mix": 99, "policy": "zzz"}"#);
+        assert!(e.contains("unknown policy"), "{e}");
         assert!(state.jobs().is_empty());
         let _ = std::fs::remove_dir_all(&state.root);
     }

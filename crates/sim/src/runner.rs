@@ -8,7 +8,9 @@ use cmp_cache::{
     AccessKind, CacheGeometry, CacheLine, FillKind, FullyAssocLru, InsertPos, LlcPolicy, MesiState,
     PrivateBaseline, SetAssocCache,
 };
-use cmp_trace::{CoreSource, CoreWorkload, SpecBench, WorkloadMix};
+use cmp_trace::{
+    CoreSource, CoreWorkload, ParallelBench, SharingSpec, SpecBench, TenantScenario, WorkloadMix,
+};
 
 /// Each core owns a disjoint `2^40`-byte region of the physical address
 /// space (multiprogrammed isolation; DESIGN.md §5).
@@ -85,11 +87,109 @@ pub fn run_mix_with(
     ckpt: Option<&Checkpointing>,
 ) -> RunResult {
     assert_eq!(cfg.cores, mix.cores(), "config/mix core count mismatch");
-    let mut sys = CmpSystem::from_sources(cfg.clone(), policy, mix_sources(mix, seed));
+    let desc = format!("{:?}|seed{}", mix.benches, seed);
+    run_sources_with(
+        cfg,
+        mix_sources(mix, seed),
+        policy,
+        &desc,
+        instr_target,
+        warmup,
+        ckpt,
+    )
+}
+
+/// Builds the per-core [`CoreSource`]s of a multi-tenant scenario — one
+/// shard-interleaved tenant stream per core, all derived from `seed` (see
+/// [`TenantScenario`] for the per-`(tenant, generation, core)` schedule).
+pub fn tenant_sources(scenario: TenantScenario, cores: usize, seed: u64) -> Vec<CoreSource> {
+    (0..cores)
+        .map(|c| scenario.source(cores, c, seed))
+        .collect()
+}
+
+/// Runs a multi-tenant traffic scenario under `policy` on `cfg`, measuring
+/// `instr_target` instructions per core after `warmup`. Checkpointing
+/// follows the environment ([`Checkpointing::from_env`]), so the scenario
+/// sweeps inherit kill-resume exactly like the mix sweeps.
+pub fn run_tenant(
+    cfg: &SystemConfig,
+    scenario: TenantScenario,
+    policy: Box<dyn LlcPolicy>,
+    instr_target: u64,
+    warmup: u64,
+    seed: u64,
+) -> RunResult {
+    let desc = format!("tenant:{}|seed{}", scenario.name(), seed);
+    run_sources_with(
+        cfg,
+        tenant_sources(scenario, cfg.cores, seed),
+        policy,
+        &desc,
+        instr_target,
+        warmup,
+        Checkpointing::from_env().as_ref(),
+    )
+}
+
+/// Runs a multithreaded benchmark with a tunable sharing degree
+/// ([`SharingSpec`]) under `policy` on `cfg`. The threads stream directly
+/// (no arena) because each `(bench, spec, seed)` point is visited once per
+/// sweep; determinism still holds — the generators are pure functions of
+/// their seeds.
+pub fn run_sharing(
+    cfg: &SystemConfig,
+    bench: ParallelBench,
+    spec: SharingSpec,
+    policy: Box<dyn LlcPolicy>,
+    instr_target: u64,
+    warmup: u64,
+    seed: u64,
+) -> RunResult {
+    let sources = bench
+        .workloads_sharing(cfg.cores, seed, spec)
+        .into_iter()
+        .map(Into::into)
+        .collect();
+    let desc = format!(
+        "{bench:?}|d{:.3}w{:.3}|seed{seed}",
+        spec.degree, spec.write_fraction
+    );
+    run_sources_with(
+        cfg,
+        sources,
+        policy,
+        &desc,
+        instr_target,
+        warmup,
+        Checkpointing::from_env().as_ref(),
+    )
+}
+
+/// The general checkpointable runner: any per-core source set, described
+/// by a caller-supplied `desc` string that — together with the policy
+/// name, configuration and targets — fingerprints the run's checkpoint
+/// file. [`run_mix_with`], [`run_tenant`] and [`run_sharing`] are thin
+/// wrappers choosing the sources and the description.
+pub fn run_sources_with(
+    cfg: &SystemConfig,
+    sources: Vec<CoreSource>,
+    policy: Box<dyn LlcPolicy>,
+    desc: &str,
+    instr_target: u64,
+    warmup: u64,
+    ckpt: Option<&Checkpointing>,
+) -> RunResult {
+    assert_eq!(
+        cfg.cores,
+        sources.len(),
+        "config/source core count mismatch"
+    );
+    let mut sys = CmpSystem::from_sources(cfg.clone(), policy, sources);
     let Some(ck) = ckpt.filter(|c| c.cadence.is_enabled()) else {
         return sys.run(instr_target, warmup);
     };
-    let path = ck.path_for(&sys, cfg, mix, instr_target, warmup, seed);
+    let path = ck.path_for(&sys, cfg, desc, instr_target, warmup);
     // A missing checkpoint file just means there is nothing to resume yet.
     if let Some(bytes) = ck.resume.then(|| std::fs::read(&path).ok()).flatten() {
         match sys.restore(&bytes) {
@@ -195,22 +295,19 @@ impl Checkpointing {
         &self,
         sys: &CmpSystem,
         cfg: &SystemConfig,
-        mix: &WorkloadMix,
+        desc: &str,
         instr_target: u64,
         warmup: u64,
-        seed: u64,
     ) -> std::path::PathBuf {
-        let desc = format!(
-            "{}|{:?}|{:?}|{}|{}|{}",
+        let key = format!(
+            "{}|{desc}|{:?}|{}|{}",
             sys.policy().name(),
-            mix.benches,
             cfg,
             instr_target,
-            warmup,
-            seed
+            warmup
         );
         let mut h: u64 = 0xcbf29ce484222325; // FNV-1a
-        for b in desc.bytes() {
+        for b in key.bytes() {
             h ^= b as u64;
             h = h.wrapping_mul(0x100000001b3);
         }

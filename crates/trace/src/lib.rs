@@ -9,7 +9,12 @@
 //!   mixtures of archetypal reference streams, calibrated to Table 3's
 //!   L2 MPKI/CPI and Fig. 1's way-sensitivity split;
 //! * [`ParallelBench`] — shared-address-space models of eight
-//!   SPLASH2/PARSEC benchmarks for the §6.3 study;
+//!   SPLASH2/PARSEC benchmarks for the §6.3 study, with a tunable sharing
+//!   degree ([`SharingSpec`]) so the compulsory-miss component of data
+//!   sharing is a swept parameter;
+//! * [`TenantScenario`] — multi-tenant sharded service traffic (Zipf
+//!   popularity, tenant churn, scan storms, flash crowds, diurnal phase
+//!   shifts) at millions-of-keys scale;
 //! * [`two_app_mixes`] / [`four_app_mixes`] — the multiprogrammed mixes of
 //!   the evaluation (Table 1 names the four-app ones);
 //! * the generator toolbox ([`CyclicStream`], [`ZipfStream`],
@@ -46,16 +51,18 @@ mod mixes;
 mod parallel;
 mod replay;
 mod spec;
+mod tenant;
 mod zipf;
 
 pub use access::{Access, AccessStream};
 pub use gen::{ChaseStream, CyclicStream, Mixture, Phased, ZipfStream};
 pub use materialize::{
     trace_cache_enabled, AccessFeed, CoreSource, SharedTrace, TraceArena, TraceChunk, TraceCursor,
-    CHUNK_ACCESSES,
+    TraceKey, CHUNK_ACCESSES,
 };
 pub use mixes::{four_app_mixes, mixes_for, two_app_mixes, WorkloadMix};
-pub use parallel::ParallelBench;
+pub use parallel::{ParallelBench, SharingSpec};
 pub use replay::{RecordedTrace, ReplayStream, TraceError};
 pub use spec::{CoreWorkload, CpuModel, SpecBench, LINE_BYTES};
+pub use tenant::{tenant_seed, TenantParams, TenantScenario, TenantStream};
 pub use zipf::Zipf;

@@ -33,6 +33,7 @@
 
 use crate::access::{Access, AccessStream};
 use crate::spec::{CoreWorkload, CpuModel, SpecBench};
+use crate::tenant::TenantScenario;
 use cmp_cache::{AccessKind, Addr};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -467,10 +468,23 @@ impl AccessStream for TraceCursor {
     }
 }
 
-/// A process-wide memo of shared traces keyed by `(bench, base, seed)`.
+/// Identity of a shared trace in a [`TraceArena`]: every workload family
+/// that routes through the arena gets a variant, so one process-wide map
+/// memoizes them all without aliasing across families.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TraceKey {
+    /// `SpecBench::workload(base, seed)`.
+    Spec(SpecBench, u64, u64),
+    /// `TenantScenario::stream(cores, core, seed)` — the core index is
+    /// part of the key because tenant streams of one run share an address
+    /// space instead of disjoint per-core regions.
+    Tenant(TenantScenario, u16, u16, u64),
+}
+
+/// A process-wide memo of shared traces keyed by [`TraceKey`].
 #[derive(Debug)]
 pub struct TraceArena {
-    traces: Mutex<HashMap<(SpecBench, u64, u64), Arc<SharedTrace>>>,
+    traces: Mutex<HashMap<TraceKey, Arc<SharedTrace>>>,
     budget: Arc<ArenaBudget>,
 }
 
@@ -503,15 +517,25 @@ impl TraceArena {
     /// The shared trace for `bench.workload(base, seed)`, creating it on
     /// first use. All callers with the same key observe the same chunks.
     pub fn shared(&self, bench: SpecBench, base: u64, seed: u64) -> Arc<SharedTrace> {
+        self.shared_keyed(TraceKey::Spec(bench, base, seed), move || {
+            bench.workload(base, seed).stream
+        })
+    }
+
+    /// The shared trace for an arbitrary [`TraceKey`], creating it from
+    /// `factory` on first use. The factory must be a pure function of the
+    /// key — every instantiation has to yield the identical stream, or
+    /// replay would diverge from generation.
+    pub fn shared_keyed(
+        &self,
+        key: TraceKey,
+        factory: impl Fn() -> Box<dyn AccessStream> + Send + Sync + 'static,
+    ) -> Arc<SharedTrace> {
         let mut traces = self.traces.lock().expect("unpoisoned");
         traces
-            .entry((bench, base, seed))
+            .entry(key)
             .or_insert_with(|| {
-                SharedTrace::with_budget(
-                    Box::new(move || bench.workload(base, seed).stream),
-                    CHUNK_ACCESSES,
-                    self.budget.clone(),
-                )
+                SharedTrace::with_budget(Box::new(factory), CHUNK_ACCESSES, self.budget.clone())
             })
             .clone()
     }
@@ -651,6 +675,30 @@ impl SpecBench {
             w(AccessFeed::Replay(cursor))
         } else {
             self.workload(base, seed).into()
+        }
+    }
+}
+
+impl TenantScenario {
+    /// The scenario's per-core workload as a [`CoreSource`], replayed from
+    /// the process-wide [`TraceArena`] when trace caching is enabled —
+    /// same arena discipline as [`SpecBench::source`], keyed by
+    /// `(scenario, cores, core, seed)` so sweeps over the policy zoo pay
+    /// the (expensive, millions-of-keys) generation once per process.
+    pub fn source(self, cores: usize, core: usize, seed: u64) -> CoreSource {
+        let w = |feed| CoreSource {
+            label: format!("tenant:{}.c{core}", self.name()),
+            cpu: self.cpu_model(),
+            feed,
+        };
+        if trace_cache_enabled() {
+            let key = TraceKey::Tenant(self, cores as u16, core as u16, seed);
+            let cursor = TraceArena::global()
+                .shared_keyed(key, move || self.stream(cores, core, seed))
+                .cursor();
+            w(AccessFeed::Replay(cursor))
+        } else {
+            self.workload(cores, core, seed).into()
         }
     }
 }
@@ -815,6 +863,51 @@ mod tests {
         let d = arena.shared(SpecBench::Mcf, 0, 42);
         assert!(!Arc::ptr_eq(&a, &d), "different bench, different trace");
         assert_eq!(arena.traces(), 3);
+    }
+
+    #[test]
+    fn arena_keys_tenant_streams_per_core_without_aliasing() {
+        let arena = TraceArena::with_max_bytes(u64::MAX);
+        let mk = |scenario: TenantScenario, cores: usize, core: usize, seed: u64| {
+            arena.shared_keyed(
+                TraceKey::Tenant(scenario, cores as u16, core as u16, seed),
+                move || scenario.stream(cores, core, seed),
+            )
+        };
+        let a = mk(TenantScenario::Steady, 2, 0, 1);
+        assert!(
+            Arc::ptr_eq(&a, &mk(TenantScenario::Steady, 2, 0, 1)),
+            "same key, same trace"
+        );
+        for (other, why) in [
+            (mk(TenantScenario::Steady, 2, 1, 1), "different core"),
+            (mk(TenantScenario::Steady, 4, 0, 1), "different width"),
+            (mk(TenantScenario::Churn, 2, 0, 1), "different scenario"),
+            (mk(TenantScenario::Steady, 2, 0, 2), "different seed"),
+        ] {
+            assert!(!Arc::ptr_eq(&a, &other), "{why} must not alias");
+        }
+        // Spec and tenant families never collide in the shared map.
+        let spec = arena.shared(SpecBench::Astar, 0, 1);
+        assert!(!Arc::ptr_eq(&a, &spec));
+        assert_eq!(arena.traces(), 6);
+    }
+
+    #[test]
+    fn tenant_source_replays_streaming_sequence() {
+        // The arena-replayed tenant source must be access-for-access
+        // identical to plain streaming generation.
+        let (scenario, cores, core, seed) = (TenantScenario::Churn, 2, 1, 77);
+        let arena = TraceArena::with_max_bytes(u64::MAX);
+        let trace = arena.shared_keyed(
+            TraceKey::Tenant(scenario, cores as u16, core as u16, seed),
+            move || scenario.stream(cores, core, seed),
+        );
+        let mut cursor = trace.cursor();
+        let mut stream = scenario.stream(cores, core, seed);
+        for i in 0..(2 * CHUNK_ACCESSES + 100) {
+            assert_eq!(cursor.next_access(), stream.next_access(), "access {i}");
+        }
     }
 
     #[test]

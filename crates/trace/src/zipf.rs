@@ -48,9 +48,11 @@ impl Zipf {
         self.cdf.len()
     }
 
-    /// `true` when there is a single rank.
+    /// `true` when the sampler holds no ranks. Construction enforces
+    /// `n > 0`, so this is always `false` for a live sampler — it exists
+    /// to keep the conventional `len`/`is_empty` pair consistent.
     pub fn is_empty(&self) -> bool {
-        false // n > 0 is enforced at construction
+        self.cdf.is_empty()
     }
 
     /// Samples a rank in `0..n`.
@@ -134,5 +136,19 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zero_ranks_panics() {
         let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn is_empty_agrees_with_len() {
+        // The contract: is_empty() == (len() == 0), for every
+        // constructible sampler — including the single-rank edge case,
+        // which the old hardcoded `false` happened to get right only by
+        // accident of the construction-time assert.
+        for n in [1usize, 2, 17, 1024] {
+            let z = Zipf::new(n, 0.9);
+            assert_eq!(z.len(), n);
+            assert_eq!(z.is_empty(), z.len() == 0);
+            assert!(!z.is_empty());
+        }
     }
 }
